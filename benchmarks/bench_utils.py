@@ -1,0 +1,15 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: sections collected during the run; replayed by the terminal-summary hook in
+#: conftest.py so they appear in the benchmark log even with output capture on.
+COLLECTED_SECTIONS: List[Tuple[str, str]] = []
+
+
+def emit(title: str, body: str) -> None:
+    """Print a titled table and record it for the end-of-run summary."""
+    COLLECTED_SECTIONS.append((title, body))
+    print(f"\n=== {title} ===\n{body}")

@@ -1,0 +1,23 @@
+"""Ablation benchmark: RINC per hidden neuron vs per intermediate neuron (§4.1)."""
+
+from repro.experiments.ablations import ABLATION_HEADERS, run_hidden_layer_ablation
+from repro.experiments.reporting import rows_to_table
+
+from bench_utils import emit
+
+
+def test_hidden_layer_ablation(benchmark):
+    rows = benchmark.pedantic(
+        run_hidden_layer_ablation,
+        kwargs=dict(n_classes=5, intermediate_per_class=3, hidden_neurons=20, seed=0, fast=True),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 2
+    intermediate_row, hidden_row = rows
+    # the hidden-neuron variant costs more LUTs (the paper's resource argument)
+    assert hidden_row.luts != intermediate_row.luts
+    emit(
+        "Ablation: RINC per intermediate neuron vs per hidden neuron",
+        rows_to_table(ABLATION_HEADERS, rows),
+    )

@@ -1,0 +1,19 @@
+"""Ablation benchmark: LUT input width P (accuracy vs physical LUT cost)."""
+
+from repro.experiments.ablations import ABLATION_HEADERS, run_lut_width_ablation
+from repro.experiments.reporting import rows_to_table
+
+from bench_utils import emit
+
+
+def test_lut_width_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_lut_width_ablation,
+        kwargs=dict(widths=(4, 6, 8), seed=0, fast=True),
+        rounds=1,
+        iterations=1,
+    )
+    by_setting = {row.setting: row for row in rows}
+    # physical LUT cost rises sharply past the 6-input fabric width
+    assert by_setting["P=8"].luts > by_setting["P=6"].luts >= by_setting["P=4"].luts
+    emit("Ablation: LUT input width P", rows_to_table(ABLATION_HEADERS, rows))

@@ -1,0 +1,46 @@
+"""Ablation benchmark: output-layer quantisation width q (§3 of the paper).
+
+The paper reports q=4 loses noticeable accuracy, q=8 is near-lossless and
+q=16 doubles the output-layer LUT cost for no accuracy gain.
+"""
+
+import numpy as np
+
+from repro.core.output_layer import SparseQuantizedOutputLayer
+from repro.experiments.ablations import ABLATION_HEADERS, AblationRow
+from repro.experiments.reporting import rows_to_table
+from repro.utils.metrics import accuracy
+
+from bench_utils import emit
+
+
+def test_quantisation_sweep(benchmark, trained_reduced_poetbin):
+    clf, X, y = trained_reduced_poetbin
+    bits = clf.predict_intermediate(X)
+    split = int(0.8 * X.shape[0])
+    rinc_luts = sum(m.lut_count() for m in clf.rinc_modules_)
+
+    def sweep():
+        rows = []
+        for q in (4, 8, 16):
+            layer = SparseQuantizedOutputLayer(
+                n_classes=clf.n_classes,
+                fan_in=clf.intermediate_per_class,
+                n_bits=q,
+                epochs=10,
+                seed=0,
+            ).fit(bits[:split], y[:split])
+            acc = accuracy(y[split:], layer.predict(bits[split:])) * 100
+            rows.append(
+                AblationRow(
+                    setting=f"q={q}", accuracy_percent=acc, luts=rinc_luts + layer.lut_count()
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_setting = {row.setting: row for row in rows}
+    # LUT cost grows linearly with q; accuracy at q=16 does not beat q=8 by much
+    assert by_setting["q=16"].luts > by_setting["q=8"].luts > by_setting["q=4"].luts
+    assert by_setting["q=16"].accuracy_percent <= by_setting["q=8"].accuracy_percent + 5.0
+    emit("Ablation: output-layer quantisation width q", rows_to_table(ABLATION_HEADERS, rows))

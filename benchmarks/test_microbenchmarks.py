@@ -1,0 +1,67 @@
+"""Microbenchmarks of the core building blocks.
+
+Not a paper table, but useful engineering context: how long one level-wise
+tree takes to train at paper-like sizes, how fast LUT-netlist inference is,
+and the cost of VHDL generation.
+"""
+
+import numpy as np
+
+from repro.core import RINCClassifier
+from repro.hardware import generate_vhdl
+from repro.trees import LevelWiseDecisionTree
+from repro.utils.rng import as_rng
+
+from bench_utils import emit
+
+
+def _binary_task(n, n_features, seed=0):
+    rng = as_rng(seed)
+    X = (rng.random((n, n_features)) < 0.5).astype(np.uint8)
+    support = rng.choice(n_features, size=16, replace=False)
+    w = rng.normal(size=16)
+    y = (X[:, support] @ w - w.sum() / 2 >= 0).astype(np.int64)
+    return X, y
+
+
+def test_level_tree_fit_paper_size(benchmark):
+    """One RINC-0 tree at paper-like size: n=3000 samples, F=512 features, P=8."""
+    X, y = _binary_task(3000, 512)
+    tree = benchmark(lambda: LevelWiseDecisionTree(n_inputs=8).fit(X, y))
+    assert len(tree.feature_indices_) == 8
+
+
+def test_rinc2_predict_throughput(benchmark, trained_reduced_poetbin):
+    """Batch prediction throughput of a trained reduced PoET-BiN classifier."""
+    clf, X, _y = trained_reduced_poetbin
+    labels = benchmark(clf.predict, X)
+    assert labels.shape == (X.shape[0],)
+
+
+def test_netlist_inference_throughput(benchmark, trained_reduced_poetbin):
+    """LUT-netlist simulation throughput (the 'hardware' inference path)."""
+    clf, X, _y = trained_reduced_poetbin
+    netlist = clf.to_netlist()
+    bits = benchmark(netlist.evaluate_outputs, X[:500])
+    assert bits.shape == (500, clf.n_intermediate)
+
+
+def test_vhdl_generation_speed(benchmark, trained_reduced_poetbin):
+    """VHDL generation cost for the full reduced classifier netlist."""
+    clf, _X, _y = trained_reduced_poetbin
+    netlist = clf.to_netlist()
+    code = benchmark(generate_vhdl, netlist)
+    emit(
+        "VHDL generation summary",
+        f"{netlist.n_luts} LUT nodes -> {len(code.splitlines())} lines of VHDL",
+    )
+    assert "entity poetbin_classifier is" in code
+
+
+def test_boosted_rinc1_training(benchmark):
+    """Training one RINC-1 module (6 boosted trees) at moderate size."""
+    X, y = _binary_task(2000, 256, seed=3)
+    module = benchmark.pedantic(
+        lambda: RINCClassifier(n_inputs=6, n_levels=1).fit(X, y), rounds=1, iterations=1
+    )
+    assert module.lut_count() == 7

@@ -1,0 +1,14 @@
+"""Benchmark / regeneration of Table 1 (network architectures)."""
+
+from repro.experiments.runner import TABLE1_HEADERS, table1_rows
+from repro.experiments.reporting import rows_to_table
+
+from bench_utils import emit
+
+
+def test_table1_registry(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 3
+    symbols = [row[0] for row in rows]
+    assert symbols == ["M1", "C1", "S1"]
+    emit("Table 1: network architectures", rows_to_table(TABLE1_HEADERS, rows))

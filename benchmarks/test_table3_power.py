@@ -1,0 +1,25 @@
+"""Benchmark / regeneration of Table 3 (PoET-BiN power)."""
+
+from repro.experiments import run_table3
+from repro.experiments.reporting import rows_to_table
+from repro.experiments.table3_power import TABLE3_HEADERS
+
+from bench_utils import emit
+
+
+def test_table3_power_model(benchmark):
+    rows = benchmark(run_table3)
+    assert len(rows) == 3
+    for row in rows:
+        assert 0.02 < row.total_w < 2.0
+    emit("Table 3: PoET-BiN power (analytical)", rows_to_table(TABLE3_HEADERS, rows))
+
+
+def test_table3_pre_pruning_counts(benchmark):
+    rows = benchmark(run_table3, use_paper_lut_counts=False)
+    by_name = {row.dataset: row for row in rows}
+    assert by_name["svhn"].n_physical_luts == 2660
+    emit(
+        "Table 3 variant: pre-pruning analytical LUT counts",
+        rows_to_table(TABLE3_HEADERS, rows),
+    )

@@ -1,0 +1,15 @@
+"""Benchmark / regeneration of Table 4 (per-operation power)."""
+
+from repro.experiments import run_table4
+from repro.experiments.reporting import rows_to_table
+from repro.experiments.table4_operations import TABLE4_HEADERS
+
+from bench_utils import emit
+
+
+def test_table4_operation_library(benchmark):
+    rows = benchmark(run_table4)
+    assert len(rows) == 6
+    totals = {row[0]: row[6] for row in rows}
+    assert totals["Multiplication (float)"] == 0.099
+    emit("Table 4: per-operation power", rows_to_table(TABLE4_HEADERS, rows))

@@ -1,0 +1,15 @@
+"""Benchmark / regeneration of Table 5 (classifier operation counts)."""
+
+from repro.experiments import run_table5
+from repro.experiments.reporting import rows_to_table
+from repro.experiments.table5_opcounts import TABLE5_HEADERS
+
+from bench_utils import emit
+
+
+def test_table5_operation_counts(benchmark):
+    rows = benchmark(run_table5)
+    additions, multiplications, paper = rows
+    assert additions[1:] == paper[1:]
+    assert multiplications[1:] == paper[1:]
+    emit("Table 5: classifier operation counts", rows_to_table(TABLE5_HEADERS, rows))

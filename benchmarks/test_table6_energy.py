@@ -1,0 +1,28 @@
+"""Benchmark / regeneration of Table 6 (energy per inference)."""
+
+from repro.experiments import run_table6
+from repro.experiments.reporting import rows_to_table
+from repro.experiments.table6_energy import TABLE6_HEADERS, energy_reduction_summary
+
+from bench_utils import emit
+
+
+def test_table6_energy(benchmark):
+    rows = benchmark(run_table6)
+    by_technique = {row.technique: row for row in rows}
+    for dataset in ("mnist", "cifar10", "svhn"):
+        poetbin = getattr(by_technique["poet-bin"], dataset)
+        vanilla = getattr(by_technique["vanilla"], dataset)
+        assert poetbin < vanilla / 1e3
+    emit("Table 6: energy per inference", rows_to_table(TABLE6_HEADERS, rows))
+
+
+def test_table6_reduction_summary(benchmark):
+    rows = benchmark(energy_reduction_summary)
+    emit(
+        "Table 6 summary: PoET-BiN energy reduction factors "
+        "(vs vanilla / 16-bit / 1-bit)",
+        rows_to_table(["dataset", "vs vanilla", "vs 16-bit", "vs 1-bit"], rows),
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["cifar10"][1] > 1e5

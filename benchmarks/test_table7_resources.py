@@ -1,0 +1,58 @@
+"""Benchmark / regeneration of Table 7 (latency and LUT counts).
+
+Two parts: the paper-scale analytical table, and a measured row from an
+actually trained reduced classifier (netlist -> prune -> decompose -> latency),
+which also exercises the synthesizer-pruning observation of §4.3.
+"""
+
+from repro.experiments import run_table7
+from repro.experiments.reporting import rows_to_table
+from repro.experiments.table7_resources import TABLE7_HEADERS, measured_row
+from repro.hardware import resource_report
+
+from bench_utils import emit
+
+
+def test_table7_analytical(benchmark):
+    rows = benchmark(run_table7)
+    by_name = {row.dataset: row for row in rows}
+    assert by_name["svhn"].luts == 2660
+    assert by_name["svhn"].latency_ns < by_name["mnist"].latency_ns
+    emit("Table 7: latency and LUTs (paper scale, analytical)", rows_to_table(TABLE7_HEADERS, rows))
+
+
+def test_table7_measured_from_trained_classifier(benchmark, trained_reduced_poetbin):
+    clf, _X, _y = trained_reduced_poetbin
+    row = benchmark.pedantic(
+        measured_row, args=(clf,), kwargs=dict(dataset="reduced"), rounds=1, iterations=1
+    )
+    assert row.luts > 0
+    assert 2.0 < row.latency_ns < 30.0
+    emit(
+        "Table 7 (measured on the trained reduced classifier)",
+        rows_to_table(TABLE7_HEADERS, [row]),
+    )
+
+
+def test_table7_pruning_effect(benchmark, trained_reduced_poetbin):
+    """The §4.3 observation: synthesizer-style pruning removes some MAT trees."""
+    clf, _X, _y = trained_reduced_poetbin
+    netlist = clf.to_netlist()
+
+    def measure():
+        before = resource_report(netlist, prune=False)
+        after = resource_report(netlist, prune=True)
+        return before, after
+
+    before, after = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert after.logical_luts <= before.logical_luts
+    emit(
+        "Table 7 companion: pruning effect on the reduced netlist",
+        rows_to_table(
+            ["variant", "logical LUTs", "physical LUTs"],
+            [
+                ["before pruning", before.logical_luts, before.physical_luts],
+                ["after pruning", after.logical_luts, after.physical_luts],
+            ],
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Baseline comparison scenario: PoET-BiN vs BinaryNet, POLYBiNN and NDF.
+
+Reproduces the comparison protocol of Table 2 on a pure binary-feature task
+(no CNN needed): every classifier sees the same binary features, only the
+classifier portion differs.  Also reports the energy each classifier would
+consume according to the Table 6 estimators, illustrating the accuracy/energy
+trade-off the paper argues for.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import BinaryNetClassifier, NeuralDecisionForest, POLYBiNNClassifier
+from repro.core import PoETBiNClassifier
+from repro.datasets import make_binary_intermediate_task
+from repro.hardware import (
+    BinaryNeuronPowerModel,
+    LatencyModel,
+    PoETBiNPowerModel,
+    resource_report,
+)
+from repro.utils.rng import as_rng
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    n_classes = 10
+    data = make_binary_intermediate_task(
+        n_train=4000, n_test=1000, n_features=256, n_classes=n_classes,
+        n_hidden=48, n_active=12, seed=0,
+    )
+    print(data.describe())
+
+    # intermediate-bit targets for PoET-BiN: random sparse threshold neurons,
+    # playing the role of the teacher network's intermediate layer
+    rng = as_rng(1)
+    per_class = 4
+    n_intermediate = n_classes * per_class
+    targets_train = np.empty((data.n_train, n_intermediate), dtype=np.uint8)
+    for j in range(n_intermediate):
+        support = rng.choice(data.X_train.shape[1], size=10, replace=False)
+        w = rng.normal(size=10)
+        targets_train[:, j] = (
+            data.X_train[:, support] @ w - w.sum() / 2 >= 0
+        ).astype(np.uint8)
+
+    poetbin = PoETBiNClassifier(
+        n_classes=n_classes, n_inputs=6, n_levels=2, branching=(3, 6),
+        intermediate_per_class=per_class, output_epochs=25, seed=0,
+    ).fit(data.X_train, targets_train, data.y_train)
+
+    binarynet = BinaryNetClassifier(
+        n_classes=n_classes, hidden_sizes=(128,), epochs=20, seed=0
+    ).fit(data.X_train, data.y_train)
+    polybinn = POLYBiNNClassifier(
+        n_classes=n_classes, n_trees_per_class=6, max_depth=6, seed=0
+    ).fit(data.X_train, data.y_train)
+    ndf = NeuralDecisionForest(
+        n_classes=n_classes, n_trees=4, depth=5, epochs=10, learning_rate=0.2, seed=0
+    ).fit(data.X_train, data.y_train)
+
+    # energy estimates: PoET-BiN from its LUT netlist, BinaryNet from the
+    # binary-neuron model; the tree baselines have no calibrated hardware model
+    netlist = poetbin.to_netlist()
+    report = resource_report(netlist, n_classes=n_classes, output_bits=8)
+    latency_model = LatencyModel()
+    clock_hz = latency_model.supported_clock_hz(latency_model.netlist_latency(netlist))
+    poetbin_energy = PoETBiNPowerModel().energy_per_inference(
+        report.total_physical_luts, clock_hz
+    )
+    binarynet_energy = BinaryNeuronPowerModel().classifier_energy_per_inference(
+        binarynet.binary_neuron_layer_sizes()
+    )
+
+    rows = [
+        ["PoET-BiN", f"{poetbin.score(data.X_test, data.y_test) * 100:.2f}%",
+         f"{poetbin_energy:.2e} J", f"{report.total_physical_luts} LUTs"],
+        ["BinaryNet", f"{binarynet.score(data.X_test, data.y_test) * 100:.2f}%",
+         f"{binarynet_energy:.2e} J", "XNOR/popcount"],
+        ["POLYBiNN", f"{polybinn.score(data.X_test, data.y_test) * 100:.2f}%",
+         "-", f"{polybinn.total_trees()} deep trees"],
+        ["NDF", f"{ndf.score(data.X_test, data.y_test) * 100:.2f}%",
+         "-", f"{ndf.n_trees} soft trees"],
+    ]
+    print("\n" + format_table(["classifier", "accuracy", "energy/inference", "hardware"], rows))
+
+
+if __name__ == "__main__":
+    main()

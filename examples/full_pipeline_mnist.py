@@ -1,0 +1,74 @@
+"""Full Fig. 5 pipeline on the MNIST stand-in: A1 -> A2 -> A3 -> A4.
+
+Trains the vanilla network, the binary-feature network and the teacher
+network, replaces the classifier with RINC modules plus the sparse quantised
+output layer, and prints the Table 2-style accuracy row plus the classifier's
+hardware cost.  Uses the reduced experiment settings so it finishes in a few
+minutes on a laptop.
+
+Run with::
+
+    python examples/full_pipeline_mnist.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import PoETBiNWorkflow
+from repro.datasets import load_dataset
+from repro.experiments import reduced_experiment_settings
+from repro.experiments.table7_resources import measured_row
+from repro.hardware import PoETBiNPowerModel
+from repro.utils.tables import format_table
+
+
+def main(fast: bool = False) -> None:
+    settings = reduced_experiment_settings("mnist", seed=0, fast=fast)
+    data = load_dataset("mnist", **settings.dataset_kwargs)
+    print(data.describe())
+
+    workflow = PoETBiNWorkflow(
+        feature_extractor_factory=settings.feature_extractor_factory,
+        feature_dim=settings.feature_dim,
+        spec=settings.spec,
+        epochs=settings.epochs,
+        batch_size=settings.batch_size,
+        learning_rate=settings.learning_rate,
+        output_epochs=settings.output_epochs,
+        seed=0,
+        verbose=True,
+    )
+    result = workflow.run(data)
+
+    accuracies = result.accuracies
+    print(
+        "\n"
+        + format_table(
+            ["A1 vanilla", "A2 binary", "A3 teacher", "A4 PoET-BiN"],
+            [[f"{100 * value:.2f}%" for value in accuracies.as_row()]],
+        )
+    )
+
+    # hardware cost of the trained classifier portion
+    row = measured_row(result.poetbin, dataset="mnist-reduced")
+    power_model = PoETBiNPowerModel()
+    clock_hz = 62.5e6
+    print(
+        f"\nclassifier hardware: {row.luts} physical LUTs, "
+        f"latency {row.latency_ns:.2f} ns, "
+        f"energy {power_model.energy_per_inference(row.luts, clock_hz) * 1e9:.2f} nJ/inference"
+    )
+    emulation = result.poetbin.emulation_accuracy(
+        result.features_train, result.intermediate_train
+    )
+    print(
+        "per-module emulation accuracy on the training set "
+        f"(mean over {emulation.size} intermediate bits): {emulation.mean():.3f}"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smallest settings (smoke run)")
+    main(parser.parse_args().fast)

@@ -1,0 +1,46 @@
+"""Power / energy comparison scenario: regenerate Tables 3-6 analytically.
+
+Prints the per-operation power library (Table 4), the classifier operation
+counts (Table 5), the PoET-BiN power model output (Table 3) and the energy
+comparison across techniques (Table 6), together with the paper's headline
+reduction factors.  No training involved — everything derives from the
+Table 1 architectures and the calibrated cost models.
+
+Run with::
+
+    python examples/power_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table3, run_table4, run_table5, run_table6
+from repro.experiments.reporting import rows_to_table
+from repro.experiments.table3_power import TABLE3_HEADERS
+from repro.experiments.table4_operations import TABLE4_HEADERS
+from repro.experiments.table5_opcounts import TABLE5_HEADERS
+from repro.experiments.table6_energy import TABLE6_HEADERS, energy_reduction_summary
+
+
+def main() -> None:
+    print("Table 4: per-operation power on the target FPGA")
+    print(rows_to_table(TABLE4_HEADERS, run_table4()))
+
+    print("\nTable 5: classifier-portion operation counts")
+    print(rows_to_table(TABLE5_HEADERS, run_table5()))
+
+    print("\nTable 3: PoET-BiN power (analytical model)")
+    print(rows_to_table(TABLE3_HEADERS, run_table3()))
+
+    print("\nTable 6: energy per inference")
+    print(rows_to_table(TABLE6_HEADERS, run_table6()))
+
+    print("\nPoET-BiN energy reduction factors (vs vanilla / 16-bit / 1-bit):")
+    print(
+        rows_to_table(
+            ["dataset", "vs vanilla", "vs 16-bit", "vs 1-bit"], energy_reduction_summary()
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

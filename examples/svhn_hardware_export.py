@@ -1,0 +1,104 @@
+"""Hardware export scenario: train a PoET-BiN classifier for the SVHN stand-in
+and generate the FPGA artefacts (VHDL, testbench, resource/power/latency report).
+
+This mirrors the paper's §4.2-4.3 flow for the S1 architecture: P = 6, RINC-2,
+8-bit output layer, automatic VHDL generation and a self-checking testbench
+whose golden outputs come from the Python netlist simulator.
+
+Run with::
+
+    python examples/svhn_hardware_export.py [--outdir DIR] [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.core import PoETBiNWorkflow
+from repro.datasets import load_dataset
+from repro.experiments import reduced_experiment_settings
+from repro.core import save_netlist
+from repro.hardware import (
+    LatencyModel,
+    PoETBiNPowerModel,
+    generate_testbench,
+    generate_verilog,
+    generate_vhdl,
+    resource_report,
+    total_memory_bits,
+    write_memory_files,
+)
+
+
+def main(outdir: str = "svhn_hardware", fast: bool = True) -> None:
+    settings = reduced_experiment_settings("svhn", seed=0, fast=fast)
+    data = load_dataset("svhn", **settings.dataset_kwargs)
+    print(data.describe())
+
+    workflow = PoETBiNWorkflow(
+        feature_extractor_factory=settings.feature_extractor_factory,
+        feature_dim=settings.feature_dim,
+        spec=settings.spec,
+        epochs=settings.epochs,
+        batch_size=settings.batch_size,
+        learning_rate=settings.learning_rate,
+        output_epochs=settings.output_epochs,
+        seed=0,
+    )
+    result = workflow.run(data)
+    print(
+        f"accuracies: vanilla {result.accuracies.vanilla:.3f}, "
+        f"teacher {result.accuracies.teacher:.3f}, "
+        f"PoET-BiN {result.accuracies.poetbin:.3f}"
+    )
+
+    classifier = result.poetbin
+    netlist = classifier.to_netlist()
+    report = resource_report(
+        netlist, n_classes=classifier.n_classes, output_bits=classifier.output_bits
+    )
+    latency_model = LatencyModel()
+    latency = latency_model.netlist_latency(netlist)
+    clock_hz = latency_model.supported_clock_hz(latency)
+    power = PoETBiNPowerModel().power_report(report.total_physical_luts, clock_hz)
+    print(
+        f"resources: {report.total_physical_luts} physical LUTs "
+        f"(RINC {report.physical_luts} + output layer {report.output_layer_luts}), "
+        f"{report.pruned_luts} pruned"
+    )
+    print(
+        f"timing/power: latency {latency * 1e9:.2f} ns, clock {clock_hz / 1e6:.1f} MHz, "
+        f"total power {power['total_w']:.3f} W"
+    )
+
+    # write the FPGA artefacts: VHDL + testbench, Verilog, the serialized
+    # netlist, and block-memory initialisation images (§2.1.1's alternative
+    # implementation target)
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    vhdl = generate_vhdl(netlist, entity_name="svhn_classifier")
+    testbench = generate_testbench(
+        netlist, result.features_test[:32], entity_name="svhn_classifier"
+    )
+    verilog = generate_verilog(netlist, module_name="svhn_classifier")
+    (out / "svhn_classifier.vhd").write_text(vhdl)
+    (out / "svhn_classifier_tb.vhd").write_text(testbench)
+    (out / "svhn_classifier.v").write_text(verilog)
+    save_netlist(netlist, out / "svhn_classifier_netlist.json")
+    memory_files = write_memory_files(netlist, out / "memory")
+    print(
+        f"wrote {out / 'svhn_classifier.vhd'} ({len(vhdl.splitlines())} lines), "
+        f"{out / 'svhn_classifier_tb.vhd'} ({len(testbench.splitlines())} lines), "
+        f"{out / 'svhn_classifier.v'} ({len(verilog.splitlines())} lines), "
+        f"the serialized netlist, and {len(memory_files)} .mem images "
+        f"({total_memory_bits(netlist)} ROM bits total)"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default="svhn_hardware")
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+    main(outdir=args.outdir, fast=args.fast)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .``) cannot build the editable wheel.  This shim lets
+``python setup.py develop`` register the package instead; all metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

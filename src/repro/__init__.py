@@ -1,0 +1,22 @@
+"""repro: reproduction of PoET-BiN — Power Efficient Tiny Binary Neurons.
+
+The public API is organised in subpackages:
+
+* :mod:`repro.core` — RINC modules, the PoET-BiN classifier and the A1→A4
+  training workflow (the paper's primary contribution).
+* :mod:`repro.trees` / :mod:`repro.boosting` — decision-tree and AdaBoost
+  substrates.
+* :mod:`repro.nn` — the NumPy neural-network framework used for the vanilla
+  and teacher networks.
+* :mod:`repro.hardware` — FPGA cost models (power, energy, LUTs, latency) and
+  VHDL generation.
+* :mod:`repro.baselines` — BinaryNet, POLYBiNN and Neural Decision Forest
+  comparison classifiers.
+* :mod:`repro.datasets` — synthetic datasets standing in for MNIST, CIFAR-10
+  and SVHN.
+* :mod:`repro.experiments` — the per-table reproduction harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,18 @@
+"""Comparison classifiers used in Table 2 and Table 6 of the paper.
+
+All baselines operate on the same binary feature vector as PoET-BiN (the paper
+keeps the feature extractor fixed and swaps only the classifier portion):
+
+* :class:`~repro.baselines.binarynet.BinaryNetClassifier` — binary weights and
+  activations trained with straight-through estimators (Courbariaux et al.).
+* :class:`~repro.baselines.polybinn.POLYBiNNClassifier` — one-vs-all boosted
+  off-the-shelf decision trees (Abdelsalam et al.).
+* :class:`~repro.baselines.ndf.NeuralDecisionForest` — differentiable decision
+  trees with learned leaf distributions (Kontschieder et al.).
+"""
+
+from repro.baselines.binarynet import BinaryNetClassifier
+from repro.baselines.ndf import NeuralDecisionForest
+from repro.baselines.polybinn import POLYBiNNClassifier
+
+__all__ = ["BinaryNetClassifier", "NeuralDecisionForest", "POLYBiNNClassifier"]

@@ -1,0 +1,147 @@
+"""BinaryNet-style classifier baseline.
+
+The classifier portion of BinaryNet (Courbariaux et al., 2016): fully
+connected layers whose weights are binarised to ±1 in the forward pass, with
+±1 sign activations, trained with straight-through estimators, squared hinge
+loss and Adam, clipping the shadow weights to [-1, 1] after every update.  At
+inference every MAC is an XNOR + popcount, which is what the paper's 1-bit
+energy estimate of Table 6 models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.binary import BinaryDense, xnor_popcount_matmul
+from repro.nn.layers.activations import Sign
+from repro.nn.layers.dense import Dense
+from repro.nn.losses import SquaredHingeLoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.schedulers import ExponentialDecay
+from repro.nn.trainer import Trainer
+from repro.utils.metrics import accuracy
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_binary_matrix, check_labels
+
+
+class BinaryNetClassifier:
+    """Binary-weight, binary-activation MLP over binary features.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of output classes.
+    hidden_sizes:
+        Widths of the binarised hidden layers.
+    epochs, batch_size, learning_rate, lr_decay:
+        Training hyper-parameters (Adam + exponential decay, as in the paper).
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        hidden_sizes: Sequence[int] = (256, 256),
+        epochs: int = 25,
+        batch_size: int = 64,
+        learning_rate: float = 0.005,
+        lr_decay: float = 0.95,
+        seed: SeedLike = 0,
+    ) -> None:
+        if n_classes <= 1:
+            raise ValueError("n_classes must be at least 2")
+        if not hidden_sizes or any(h <= 0 for h in hidden_sizes):
+            raise ValueError("hidden_sizes must be non-empty and positive")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.n_classes = n_classes
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.lr_decay = lr_decay
+        self.seed = seed
+        self.model_: Optional[Sequential] = None
+        self.n_features_: Optional[int] = None
+
+    def _build(self, n_features: int) -> Sequential:
+        rng = as_rng(self.seed)
+        layers: List[Layer] = []
+        in_dim = n_features
+        for width in self.hidden_sizes:
+            layers.append(BinaryDense(in_dim, width, seed=int(rng.integers(2**31))))
+            layers.append(Sign())
+            in_dim = width
+        # the final read-out keeps real-valued weights, as in the reference
+        # BinaryNet classifier (the last layer is not binarised)
+        layers.append(Dense(in_dim, self.n_classes, seed=int(rng.integers(2**31))))
+        return Sequential(layers)
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinaryNetClassifier":
+        X = check_binary_matrix(X, "X")
+        y = check_labels(y, self.n_classes, "y")
+        self.n_features_ = X.shape[1]
+        self.model_ = self._build(self.n_features_)
+        trainer = Trainer(
+            self.model_,
+            SquaredHingeLoss(),
+            Adam(self.model_.layers, learning_rate=self.learning_rate),
+            schedule=ExponentialDecay(self.learning_rate, self.lr_decay),
+            clip_binary_weights=True,
+            seed=self.seed,
+        )
+        # ±1 input encoding: BinaryNet treats 0/1 features as -1/+1 signals
+        trainer.fit(
+            2.0 * X.astype(np.float64) - 1.0,
+            y,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+        )
+        return self
+
+    # -------------------------------------------------------------- predict
+    def _check_fitted(self) -> None:
+        if self.model_ is None:
+            raise RuntimeError("this classifier has not been fitted yet")
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = check_binary_matrix(X, "X")
+        signed = 2.0 * X.astype(np.float64) - 1.0
+        return self.model_.predict(signed, batch_size=256)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        y = check_labels(y, self.n_classes, "y")
+        return accuracy(y, self.predict(X))
+
+    # ------------------------------------------------------ hardware counts
+    def binary_neuron_layer_sizes(self) -> List[int]:
+        """Layer widths used by the Table 6 binary-neuron energy estimate."""
+        self._check_fitted()
+        return [self.n_features_, *self.hidden_sizes, self.n_classes]
+
+    def predict_with_xnor_popcount(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Integer-only inference through the binarised hidden layers.
+
+        Returns ``(labels, hidden_bits)`` where the hidden layers are computed
+        exclusively with XNOR + popcount arithmetic (the hardware-friendly
+        path); the result must match :meth:`predict` exactly, which the tests
+        verify.
+        """
+        self._check_fitted()
+        X = check_binary_matrix(X, "X")
+        bits = X.astype(np.int64)
+        for layer in self.model_.layers[:-1]:
+            if isinstance(layer, BinaryDense):
+                w_bits = (layer.params["W"] >= 0).astype(np.int64)
+                pre_activation = xnor_popcount_matmul(bits, w_bits)
+                if layer.use_bias:
+                    pre_activation = pre_activation + layer.params["b"]
+                bits = (pre_activation >= 0).astype(np.int64)
+        read_out: Dense = self.model_.layers[-1]
+        scores = (2.0 * bits - 1.0) @ read_out.params["W"] + read_out.params["b"]
+        return np.argmax(scores, axis=1), bits.astype(np.uint8)

@@ -1,0 +1,190 @@
+"""Neural Decision Forest baseline (Kontschieder et al., 2015), simplified.
+
+A differentiable decision forest: each tree routes an input through a full
+binary tree of soft decision nodes (sigmoid of a linear function of the
+features) and mixes per-leaf class distributions with the resulting routing
+probabilities.  Decision weights are trained by gradient descent; leaf
+distributions with the paper's multiplicative update.  The original work
+couples the forest to a CNN; here — as in the PoET-BiN comparison — the trees
+consume the fixed binary feature vector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.metrics import accuracy
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_binary_matrix, check_labels
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class _SoftTree:
+    """One differentiable tree of fixed depth."""
+
+    def __init__(self, n_features: int, n_classes: int, depth: int, rng: np.random.Generator):
+        self.depth = depth
+        self.n_nodes = 2**depth - 1
+        self.n_leaves = 2**depth
+        self.W = rng.normal(0.0, 0.1, size=(n_features, self.n_nodes))
+        self.b = np.zeros(self.n_nodes)
+        self.leaf_distributions = np.full((self.n_leaves, n_classes), 1.0 / n_classes)
+        # Pre-compute, for every leaf, the node index and direction at each depth.
+        self.paths: List[List[tuple]] = []
+        for leaf in range(self.n_leaves):
+            node = 0
+            path = []
+            for level in range(depth):
+                go_right = (leaf >> (depth - 1 - level)) & 1
+                path.append((node, go_right))
+                node = 2 * node + 1 + go_right
+            self.paths.append(path)
+
+    def routing(self, X: np.ndarray) -> np.ndarray:
+        """Per-leaf arrival probabilities mu, shape (n, n_leaves)."""
+        d = _sigmoid(X @ self.W + self.b)  # probability of going right at each node
+        mu = np.ones((X.shape[0], self.n_leaves))
+        for leaf, path in enumerate(self.paths):
+            for node, go_right in path:
+                mu[:, leaf] *= d[:, node] if go_right else (1.0 - d[:, node])
+        return mu
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self.routing(X) @ self.leaf_distributions
+
+
+class NeuralDecisionForest:
+    """A small forest of differentiable decision trees.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes.
+    n_trees:
+        Number of trees; predictions average their class distributions.
+    depth:
+        Depth of every tree (``2**depth`` leaves).
+    epochs, batch_size, learning_rate:
+        Gradient-descent settings for the decision-node parameters; leaf
+        distributions use the multiplicative update of the original paper
+        after every epoch.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        n_trees: int = 4,
+        depth: int = 4,
+        epochs: int = 15,
+        batch_size: int = 128,
+        learning_rate: float = 0.1,
+        seed: SeedLike = 0,
+    ) -> None:
+        if n_classes <= 1:
+            raise ValueError("n_classes must be at least 2")
+        if n_trees <= 0 or depth <= 0:
+            raise ValueError("n_trees and depth must be positive")
+        if depth > 10:
+            raise ValueError("depth above 10 would require more than 1024 leaves per tree")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.n_classes = n_classes
+        self.n_trees = n_trees
+        self.depth = depth
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.trees_: List[_SoftTree] = []
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "NeuralDecisionForest":
+        X_bits = check_binary_matrix(X, "X")
+        y = check_labels(y, self.n_classes, "y")
+        X_float = 2.0 * X_bits.astype(np.float64) - 1.0  # centre the binary features
+        rng = as_rng(self.seed)
+        n, n_features = X_float.shape
+        one_hot = np.zeros((n, self.n_classes))
+        one_hot[np.arange(n), y] = 1.0
+
+        self.trees_ = [
+            _SoftTree(n_features, self.n_classes, self.depth, rng) for _ in range(self.n_trees)
+        ]
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                self._gradient_step(X_float[idx], one_hot[idx])
+            self._update_leaves(X_float, one_hot)
+        return self
+
+    def _gradient_step(self, X: np.ndarray, one_hot: np.ndarray) -> None:
+        """One SGD step on the decision-node parameters of every tree."""
+        batch = X.shape[0]
+        for tree in self.trees_:
+            d = _sigmoid(X @ tree.W + tree.b)
+            mu = np.ones((batch, tree.n_leaves))
+            for leaf, path in enumerate(tree.paths):
+                for node, go_right in path:
+                    mu[:, leaf] *= d[:, node] if go_right else (1.0 - d[:, node])
+            probs = mu @ tree.leaf_distributions
+            probs = np.clip(probs, 1e-9, None)
+            # dL/dP for cross entropy with the tree's own prediction
+            dL_dP = -one_hot / probs / batch
+            dL_dmu = dL_dP @ tree.leaf_distributions.T  # (batch, n_leaves)
+            # gradient w.r.t. the routing probabilities d
+            dL_dd = np.zeros_like(d)
+            for leaf, path in enumerate(tree.paths):
+                for node, go_right in path:
+                    denom = d[:, node] if go_right else (1.0 - d[:, node])
+                    denom = np.clip(denom, 1e-9, None)
+                    contribution = dL_dmu[:, leaf] * mu[:, leaf] / denom
+                    dL_dd[:, node] += contribution if go_right else -contribution
+            dL_dz = dL_dd * d * (1.0 - d)
+            tree.W -= self.learning_rate * (X.T @ dL_dz)
+            tree.b -= self.learning_rate * dL_dz.sum(axis=0)
+
+    def _update_leaves(self, X: np.ndarray, one_hot: np.ndarray) -> None:
+        """Multiplicative leaf-distribution update (Kontschieder et al., eq. 11)."""
+        for tree in self.trees_:
+            mu = tree.routing(X)
+            probs = np.clip(mu @ tree.leaf_distributions, 1e-9, None)
+            # responsibility of leaf l for sample i and class c
+            weights = one_hot / probs  # (n, C)
+            new_pi = tree.leaf_distributions * (mu.T @ weights)  # (L, C)
+            totals = new_pi.sum(axis=1, keepdims=True)
+            tree.leaf_distributions = np.where(
+                totals > 0, new_pi / np.where(totals > 0, totals, 1.0), 1.0 / self.n_classes
+            )
+
+    # -------------------------------------------------------------- predict
+    def _check_fitted(self) -> None:
+        if not self.trees_:
+            raise RuntimeError("this forest has not been fitted yet")
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities averaged over the forest."""
+        self._check_fitted()
+        X_bits = check_binary_matrix(X, "X")
+        X_float = 2.0 * X_bits.astype(np.float64) - 1.0
+        probs = np.zeros((X_float.shape[0], self.n_classes))
+        for tree in self.trees_:
+            probs += tree.predict_proba(X_float)
+        return probs / self.n_trees
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        y = check_labels(y, self.n_classes, "y")
+        return accuracy(y, self.predict(X))

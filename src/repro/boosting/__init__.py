@@ -1,0 +1,5 @@
+"""Boosting substrate: discrete AdaBoost over generic weak learners."""
+
+from repro.boosting.adaboost import AdaBoost, BoostingRound
+
+__all__ = ["AdaBoost", "BoostingRound"]

@@ -1,0 +1,154 @@
+"""Discrete AdaBoost (AdaBoost.M1) over binary weak learners.
+
+The RINC-1 module groups ``P`` level-wise decision trees with AdaBoost and the
+hierarchical RINC-L construction applies AdaBoost again across sub-groups;
+both use this implementation.  Weak learners must expose
+``fit(X, y, sample_weight)`` and ``predict(X) -> {0, 1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.utils.validation import (
+    check_binary_vector,
+    check_consistent_lengths,
+)
+
+
+@dataclass
+class BoostingRound:
+    """One round of boosting: the trained weak learner and its vote weight."""
+
+    learner: object
+    alpha: float
+    weighted_error: float
+
+
+class AdaBoost:
+    """Discrete AdaBoost ensemble of binary classifiers.
+
+    Parameters
+    ----------
+    weak_learner_factory:
+        Callable returning a fresh, unfitted weak learner for round ``t``
+        (the round index is passed as the only argument).
+    n_rounds:
+        Number of boosting rounds (the paper uses ``P`` — one weak classifier
+        per LUT input of the MAT module).
+    epsilon:
+        Numerical floor applied to the weighted error when computing alphas,
+        so perfect weak learners get a large-but-finite weight.
+
+    Attributes
+    ----------
+    rounds_:
+        The trained :class:`BoostingRound` records, in training order.
+    """
+
+    def __init__(
+        self,
+        weak_learner_factory: Callable[[int], object],
+        n_rounds: int,
+        epsilon: float = 1e-10,
+    ) -> None:
+        if n_rounds <= 0:
+            raise ValueError("n_rounds must be positive")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.weak_learner_factory = weak_learner_factory
+        self.n_rounds = n_rounds
+        self.epsilon = epsilon
+        self.rounds_: List[BoostingRound] = []
+
+    # ------------------------------------------------------------------ fit
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "AdaBoost":
+        """Train ``n_rounds`` weak learners on progressively reweighted data."""
+        y = check_binary_vector(y, "y")
+        check_consistent_lengths(X=X, y=y)
+        n_samples = y.shape[0]
+        if n_samples == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if sample_weight is None:
+            weights = np.full(n_samples, 1.0 / n_samples)
+        else:
+            weights = np.asarray(sample_weight, dtype=np.float64)
+            if weights.shape != (n_samples,):
+                raise ValueError("sample_weight must have shape (n_samples,)")
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError("sample weights must be non-negative and not all zero")
+            weights = weights / weights.sum()
+
+        y_signed = 2.0 * y - 1.0
+        self.rounds_ = []
+        for round_index in range(self.n_rounds):
+            learner = self.weak_learner_factory(round_index)
+            learner.fit(X, y, sample_weight=weights)
+            pred = np.asarray(learner.predict(X))
+            incorrect = (pred != y).astype(np.float64)
+            error = float(np.dot(weights, incorrect))
+            # A weak learner no better than chance contributes nothing; keep
+            # it with zero weight so the ensemble structure (P learners per
+            # MAT module) stays intact for the hardware mapping.
+            if error >= 0.5:
+                self.rounds_.append(BoostingRound(learner, 0.0, error))
+                continue
+            clipped = min(max(error, self.epsilon), 1.0 - self.epsilon)
+            alpha = 0.5 * np.log((1.0 - clipped) / clipped)
+            self.rounds_.append(BoostingRound(learner, float(alpha), error))
+            pred_signed = 2.0 * pred - 1.0
+            weights = weights * np.exp(-alpha * y_signed * pred_signed)
+            total = weights.sum()
+            if total <= 0:
+                break
+            weights = weights / total
+        return self
+
+    # -------------------------------------------------------------- predict
+    def _check_fitted(self) -> None:
+        if not self.rounds_:
+            raise RuntimeError("this ensemble has not been fitted yet")
+
+    @property
+    def alphas_(self) -> np.ndarray:
+        """Vote weights of the trained rounds."""
+        self._check_fitted()
+        return np.array([r.alpha for r in self.rounds_], dtype=np.float64)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Weighted sum of ±1 weak-learner votes."""
+        self._check_fitted()
+        score = np.zeros(np.asarray(X).shape[0], dtype=np.float64)
+        for record in self.rounds_:
+            pred_signed = 2.0 * np.asarray(record.learner.predict(X)) - 1.0
+            score += record.alpha * pred_signed
+        return score
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Thresholded ensemble prediction in {0, 1} (ties resolve to 1)."""
+        return (self.decision_function(X) >= 0).astype(np.uint8)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Unweighted accuracy on (X, y)."""
+        y = check_binary_vector(y, "y")
+        return float(np.mean(self.predict(X) == y))
+
+    def staged_scores(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Accuracy after each boosting round (useful for diagnostics)."""
+        self._check_fitted()
+        y = check_binary_vector(y, "y")
+        score = np.zeros(np.asarray(X).shape[0], dtype=np.float64)
+        accuracies = np.empty(len(self.rounds_), dtype=np.float64)
+        for i, record in enumerate(self.rounds_):
+            pred_signed = 2.0 * np.asarray(record.learner.predict(X)) - 1.0
+            score += record.alpha * pred_signed
+            accuracies[i] = float(np.mean((score >= 0).astype(np.uint8) == y))
+        return accuracies

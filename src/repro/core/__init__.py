@@ -1,0 +1,42 @@
+"""The PoET-BiN core: RINC modules, MAT units, the sparse output layer and
+the complete classifier + training workflow (the paper's primary contribution).
+"""
+
+from repro.core.lut import LUT
+from repro.core.mat import MATModule
+from repro.core.netlist import LUTNetlist, NetlistNode
+from repro.core.output_layer import SparseQuantizedOutputLayer
+from repro.core.poetbin import PoETBiNClassifier
+from repro.core.rinc import RINCClassifier
+from repro.core.rinc0 import RINC0
+from repro.core.serialization import (
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+from repro.core.workflow import (
+    ClassifierSpec,
+    PipelineAccuracies,
+    PoETBiNWorkflow,
+    WorkflowResult,
+)
+
+__all__ = [
+    "ClassifierSpec",
+    "LUT",
+    "LUTNetlist",
+    "MATModule",
+    "NetlistNode",
+    "PipelineAccuracies",
+    "PoETBiNClassifier",
+    "PoETBiNWorkflow",
+    "RINC0",
+    "RINCClassifier",
+    "SparseQuantizedOutputLayer",
+    "WorkflowResult",
+    "load_netlist",
+    "netlist_from_dict",
+    "netlist_to_dict",
+    "save_netlist",
+]

@@ -1,0 +1,68 @@
+"""Helpers to harvest binary features and intermediate-layer targets.
+
+The RINC modules are trained as *students* that emulate individual binary
+neurons of the teacher network's intermediate layer (Fig. 4/5 of the paper).
+These helpers extract the two binary matrices that training needs from a
+trained :class:`~repro.nn.model.Sequential` teacher:
+
+* the binary *feature* vector produced after the feature extractor's binary
+  sigmoid (the RINC inputs), and
+* the binary *intermediate-layer* activations (the RINC per-neuron targets).
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+import numpy as np
+
+from repro.nn.layers.activations import BinarySigmoid
+from repro.nn.layers.base import Layer
+from repro.nn.model import Sequential
+
+
+def find_layer_indices(model: Sequential, layer_type: Type[Layer]) -> List[int]:
+    """Indices of every layer of ``layer_type`` in the model, in order."""
+    return [i for i, layer in enumerate(model.layers) if isinstance(layer, layer_type)]
+
+
+def binary_activations(
+    model: Sequential, X: np.ndarray, layer_index: int, batch_size: int = 256
+) -> np.ndarray:
+    """Binary (0/1, uint8) activations of ``model.layers[layer_index]``.
+
+    Raises if the requested layer does not produce strictly binary values —
+    catching the common mistake of pointing at a pre-activation layer.
+    """
+    activations = model.activations_at(X, layer_index, batch_size=batch_size)
+    activations = activations.reshape(activations.shape[0], -1)
+    unique = np.unique(activations)
+    if not np.all(np.isin(unique, (0.0, 1.0))):
+        raise ValueError(
+            f"layer {layer_index} does not produce binary activations "
+            f"(found values {unique[:5]}...); point at a BinarySigmoid output"
+        )
+    return activations.astype(np.uint8)
+
+
+def extract_binary_features(
+    model: Sequential, X: np.ndarray, batch_size: int = 256
+) -> np.ndarray:
+    """Binary feature vector = output of the *first* BinarySigmoid layer."""
+    indices = find_layer_indices(model, BinarySigmoid)
+    if not indices:
+        raise ValueError("model has no BinarySigmoid layer to take features from")
+    return binary_activations(model, X, indices[0], batch_size=batch_size)
+
+
+def extract_intermediate_targets(
+    model: Sequential, X: np.ndarray, batch_size: int = 256
+) -> np.ndarray:
+    """Intermediate-layer bits = output of the *last* BinarySigmoid layer."""
+    indices = find_layer_indices(model, BinarySigmoid)
+    if len(indices) < 2:
+        raise ValueError(
+            "model needs two BinarySigmoid layers (feature + intermediate); "
+            f"found {len(indices)}"
+        )
+    return binary_activations(model, X, indices[-1], batch_size=batch_size)

@@ -1,0 +1,98 @@
+"""Look-Up Table representation.
+
+A LUT is the fundamental hardware primitive PoET-BiN targets: ``P`` binary
+inputs, one binary output, with the full truth table stored explicitly.  Every
+trained RINC-0 tree and every MAT module reduces to exactly one LUT, which is
+what makes the architecture power-efficient — inference is pure table lookup
+with no multiplications, additions or weight fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.bitops import binary_to_index, enumerate_binary_inputs
+from repro.utils.validation import check_binary_matrix
+
+
+@dataclass
+class LUT:
+    """An explicit truth table over a subset of binary inputs.
+
+    Attributes
+    ----------
+    input_indices:
+        Which columns of the presented binary input vector feed this LUT
+        (level order: the first index is the most significant address bit).
+    table:
+        Output bit for every address, length ``2 ** len(input_indices)``.
+    name:
+        Optional identifier used in netlists and generated VHDL.
+    """
+
+    input_indices: np.ndarray
+    table: np.ndarray
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.input_indices = np.asarray(self.input_indices, dtype=np.int64)
+        self.table = np.asarray(self.table, dtype=np.uint8)
+        if self.input_indices.ndim != 1:
+            raise ValueError("input_indices must be 1-D")
+        if np.any(self.input_indices < 0):
+            raise ValueError("input_indices must be non-negative")
+        if len(np.unique(self.input_indices)) != len(self.input_indices):
+            raise ValueError("input_indices must be distinct")
+        expected = 1 << len(self.input_indices)
+        if self.table.shape != (expected,):
+            raise ValueError(
+                f"table must have {expected} entries for {len(self.input_indices)} "
+                f"inputs, got shape {self.table.shape}"
+            )
+        if self.table.size and not np.all((self.table == 0) | (self.table == 1)):
+            raise ValueError("table entries must be 0/1")
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of LUT inputs (the paper's ``P``)."""
+        return int(len(self.input_indices))
+
+    def evaluate(self, X_bits: np.ndarray) -> np.ndarray:
+        """Look up the output for each row of the full binary input matrix."""
+        X_bits = check_binary_matrix(X_bits, "X_bits")
+        if self.n_inputs and X_bits.shape[1] <= int(self.input_indices.max()):
+            raise ValueError(
+                f"input matrix has {X_bits.shape[1]} columns but the LUT reads "
+                f"index {int(self.input_indices.max())}"
+            )
+        addresses = binary_to_index(X_bits[:, self.input_indices])
+        return self.table[addresses]
+
+    def evaluate_local(self, bits: np.ndarray) -> np.ndarray:
+        """Look up outputs when ``bits`` columns are already the LUT's inputs."""
+        bits = check_binary_matrix(bits, "bits")
+        if bits.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input columns, got {bits.shape[1]}"
+            )
+        return self.table[binary_to_index(bits)]
+
+    def truth_table(self) -> np.ndarray:
+        """Return the full (inputs, output) truth table as a 2-D array."""
+        inputs = enumerate_binary_inputs(self.n_inputs)
+        return np.column_stack([inputs, self.table])
+
+    @classmethod
+    def from_function(cls, input_indices: np.ndarray, func, name: str = "") -> "LUT":
+        """Build a LUT by evaluating ``func`` on every input combination.
+
+        ``func`` receives the enumerated local input matrix of shape
+        ``(2**P, P)`` and must return the corresponding binary outputs.
+        """
+        input_indices = np.asarray(input_indices, dtype=np.int64)
+        combos = enumerate_binary_inputs(len(input_indices))
+        outputs = np.asarray(func(combos)).astype(np.uint8).ravel()
+        return cls(input_indices=input_indices, table=outputs, name=name)

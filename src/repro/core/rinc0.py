@@ -1,0 +1,74 @@
+"""RINC-0: the single-LUT binary neuron (a level-wise decision tree).
+
+RINC-0 is the base case of the hierarchical RINC construction: one level-wise
+decision tree whose ``P`` selected features become the LUT inputs and whose
+leaf labels become the LUT truth table.  The class below is a thin adapter
+around :class:`~repro.trees.level_tree.LevelWiseDecisionTree` that exposes the
+weak-learner protocol required by AdaBoost plus the LUT/netlist view used by
+the hardware backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.lut import LUT
+from repro.trees.level_tree import LevelWiseDecisionTree
+
+
+class RINC0:
+    """A binary neuron implemented as exactly one ``P``-input LUT.
+
+    Parameters
+    ----------
+    n_inputs:
+        LUT input width ``P`` (the paper uses 6 or 8).
+    excluded_features:
+        Optional feature indices the tree must not select.
+    """
+
+    def __init__(
+        self, n_inputs: int, excluded_features: Optional[Sequence[int]] = None
+    ) -> None:
+        self.n_inputs = n_inputs
+        self.tree = LevelWiseDecisionTree(
+            n_inputs=n_inputs, excluded_features=excluded_features
+        )
+
+    # weak-learner protocol -------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "RINC0":
+        self.tree.fit(X, y, sample_weight=sample_weight)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.tree.predict(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return self.tree.score(X, y)
+
+    # hardware view ---------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self.tree.feature_indices_ is not None
+
+    @property
+    def feature_indices(self) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("this RINC-0 module has not been fitted yet")
+        return self.tree.feature_indices_
+
+    def to_lut(self, name: str = "") -> LUT:
+        """The single LUT this module occupies."""
+        features, table = self.tree.to_lut()
+        return LUT(input_indices=features, table=table, name=name)
+
+    def lut_count(self) -> int:
+        """Number of LUTs required (always one, by construction)."""
+        return 1

@@ -1,0 +1,85 @@
+"""Serialization of trained LUT netlists.
+
+A deployed PoET-BiN classifier is fully described by its LUT netlist (plus the
+quantised output-layer weights); persisting that netlist lets the training
+pipeline and the hardware-generation flow run as separate steps — train once,
+then regenerate VHDL / memory images / reports from the saved artefact.  The
+format is plain JSON so the artefact stays inspectable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.netlist import LUTNetlist
+
+FORMAT_VERSION = 1
+
+
+def netlist_to_dict(netlist: LUTNetlist) -> dict:
+    """Convert a netlist to a JSON-serialisable dictionary."""
+    nodes = []
+    for node in netlist.nodes:
+        metadata = {}
+        for key, value in node.metadata.items():
+            if isinstance(value, np.ndarray):
+                metadata[key] = value.tolist()
+            else:
+                metadata[key] = value
+        nodes.append(
+            {
+                "name": node.name,
+                "kind": node.kind,
+                "inputs": list(node.input_signals),
+                "table": node.table.astype(int).tolist(),
+                "metadata": metadata,
+            }
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "n_primary_inputs": netlist.n_primary_inputs,
+        "nodes": nodes,
+        "outputs": list(netlist.output_signals),
+    }
+
+
+def netlist_from_dict(payload: dict) -> LUTNetlist:
+    """Rebuild a netlist from :func:`netlist_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported netlist format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    netlist = LUTNetlist(n_primary_inputs=int(payload["n_primary_inputs"]))
+    for node in payload["nodes"]:
+        metadata = dict(node.get("metadata", {}))
+        if "weights" in metadata:
+            metadata["weights"] = np.asarray(metadata["weights"], dtype=np.float64)
+        netlist.add_node(
+            name=node["name"],
+            kind=node["kind"],
+            input_signals=list(node["inputs"]),
+            table=np.asarray(node["table"], dtype=np.uint8),
+            metadata=metadata,
+        )
+    for signal in payload.get("outputs", []):
+        netlist.mark_output(signal)
+    return netlist
+
+
+def save_netlist(netlist: LUTNetlist, path: Union[str, Path]) -> Path:
+    """Write the netlist to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(netlist_to_dict(netlist), indent=2))
+    return path
+
+
+def load_netlist(path: Union[str, Path]) -> LUTNetlist:
+    """Read a netlist previously written by :func:`save_netlist`."""
+    payload = json.loads(Path(path).read_text())
+    return netlist_from_dict(payload)

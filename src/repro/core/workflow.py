@@ -1,0 +1,324 @@
+"""The A1 -> A2 -> A3 -> A4 training workflow of Fig. 5.
+
+The paper trains four networks per dataset:
+
+* **A1 — vanilla network**: full-precision feature extractor + fully connected
+  classifier.
+* **A2 — binary feature representation network**: the activation after the
+  last feature-extractor layer is replaced by a binary sigmoid so the
+  classifier consumes strictly binary features.
+* **A3 — teacher network**: an *intermediate layer* of ``nc x P`` neurons with
+  binary sigmoid activation is inserted after the last hidden layer; its bits
+  are the targets the RINC modules will emulate.
+* **A4 — PoET-BiN**: the classifier portion of the teacher is replaced by one
+  RINC-L module per intermediate neuron plus the sparsely connected, ``q``-bit
+  quantised output layer, which is retrained on the RINC outputs.
+
+:class:`PoETBiNWorkflow` runs those four stages on any
+:class:`~repro.datasets.base.DataBundle` and reports the four accuracies the
+paper lists in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.intermediate import (
+    extract_binary_features,
+    extract_intermediate_targets,
+)
+from repro.core.poetbin import PoETBiNClassifier
+from repro.datasets.base import DataBundle
+from repro.nn.layers.activations import BinarySigmoid, ReLU
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.sparse import BlockSparseDense
+from repro.nn.losses import SquaredHingeLoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.schedulers import ExponentialDecay
+from repro.nn.trainer import Trainer
+from repro.utils.metrics import accuracy
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class ClassifierSpec:
+    """Hyper-parameters of the classifier portion (what PoET-BiN replaces)."""
+
+    n_classes: int
+    hidden_sizes: Tuple[int, ...]
+    lut_inputs: int = 8  # the paper's P
+    rinc_levels: int = 2  # the paper's L
+    rinc_branching: Optional[Tuple[int, ...]] = None
+    output_bits: int = 8  # the paper's q
+    intermediate_per_class: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_classes <= 1:
+            raise ValueError("n_classes must be at least 2")
+        if not self.hidden_sizes:
+            raise ValueError("at least one hidden layer is required")
+        if any(h <= 0 for h in self.hidden_sizes):
+            raise ValueError("hidden sizes must be positive")
+
+    @property
+    def n_intermediate(self) -> int:
+        per_class = (
+            self.lut_inputs
+            if self.intermediate_per_class is None
+            else self.intermediate_per_class
+        )
+        return self.n_classes * per_class
+
+
+@dataclass
+class PipelineAccuracies:
+    """Test accuracies of the four pipeline stages (Table 2 columns A1-A4)."""
+
+    vanilla: float
+    binary_features: float
+    teacher: float
+    poetbin: float
+
+    def as_row(self) -> List[float]:
+        return [self.vanilla, self.binary_features, self.teacher, self.poetbin]
+
+
+@dataclass
+class WorkflowResult:
+    """Everything the experiments need from one pipeline run."""
+
+    accuracies: PipelineAccuracies
+    poetbin: PoETBiNClassifier
+    teacher: Sequential
+    features_train: np.ndarray
+    features_test: np.ndarray
+    intermediate_train: np.ndarray
+    y_train: np.ndarray
+    y_test: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_binary_features(self) -> int:
+        return int(self.features_train.shape[1])
+
+
+class PoETBiNWorkflow:
+    """Runs the four-stage training pipeline on a dataset.
+
+    Parameters
+    ----------
+    feature_extractor_factory:
+        Callable returning a *fresh* list of layers mapping the raw input to a
+        2-D feature matrix of width ``feature_dim``.  The factory must NOT add
+        the final activation — the workflow appends ReLU for the vanilla
+        network and a binary sigmoid for the binarised variants (this mirrors
+        the paper's "replace the ReLU after the last convolutional layer").
+    feature_dim:
+        Width of the feature extractor output.
+    spec:
+        The classifier hyper-parameters.
+    epochs, batch_size, learning_rate, lr_decay:
+        Training settings shared by the three network stages.
+    """
+
+    def __init__(
+        self,
+        feature_extractor_factory: Callable[[], Sequence[Layer]],
+        feature_dim: int,
+        spec: ClassifierSpec,
+        epochs: int = 12,
+        batch_size: int = 64,
+        learning_rate: float = 0.01,
+        lr_decay: float = 0.95,
+        output_epochs: int = 40,
+        seed: SeedLike = 0,
+        verbose: bool = False,
+    ) -> None:
+        if feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.feature_extractor_factory = feature_extractor_factory
+        self.feature_dim = feature_dim
+        self.spec = spec
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.lr_decay = lr_decay
+        self.output_epochs = output_epochs
+        self.seed = seed
+        self.verbose = verbose
+        self._rng = as_rng(seed)
+
+    # ------------------------------------------------------------ networks
+    def _classifier_layers(self, include_intermediate: bool) -> List[Layer]:
+        """Hidden layers (+ optional intermediate layer) + output layer."""
+        layers: List[Layer] = []
+        in_dim = self.feature_dim
+        seed_gen = self._rng
+        for width in self.spec.hidden_sizes:
+            layers.append(Dense(in_dim, width, seed=int(seed_gen.integers(2**31))))
+            layers.append(ReLU())
+            in_dim = width
+        if include_intermediate:
+            layers.append(
+                Dense(in_dim, self.spec.n_intermediate, seed=int(seed_gen.integers(2**31)))
+            )
+            layers.append(BatchNorm(self.spec.n_intermediate))
+            layers.append(BinarySigmoid())
+            # The teacher's read-out is block-sparse (Fig. 4): class j reads
+            # only its own block of intermediate bits, so the intermediate
+            # layer is trained to make that block informative about class j —
+            # the property the final sparse quantised output layer relies on.
+            per_class = self.spec.n_intermediate // self.spec.n_classes
+            layers.append(
+                BlockSparseDense(
+                    self.spec.n_classes, per_class, seed=int(seed_gen.integers(2**31))
+                )
+            )
+            return layers
+        layers.append(Dense(in_dim, self.spec.n_classes, seed=int(seed_gen.integers(2**31))))
+        return layers
+
+    def build_network(self, variant: str) -> Sequential:
+        """Build the ``"vanilla"``, ``"binary"`` or ``"teacher"`` network.
+
+        All three variants normalise the feature-extractor output with batch
+        normalisation (as the paper's architectures do); the binarised
+        variants follow it with the binary sigmoid so that the 0-threshold
+        splits the feature distribution rather than clipping it.
+        """
+        feature_layers = list(self.feature_extractor_factory())
+        head: List[Layer] = [BatchNorm(self.feature_dim)]
+        if variant == "vanilla":
+            head.append(ReLU())
+            head += self._classifier_layers(include_intermediate=False)
+        elif variant == "binary":
+            head.append(BinarySigmoid())
+            head += self._classifier_layers(include_intermediate=False)
+        elif variant == "teacher":
+            head.append(BinarySigmoid())
+            head += self._classifier_layers(include_intermediate=True)
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+        return Sequential(feature_layers + head)
+
+    @staticmethod
+    def transfer_common_parameters(source: Sequential, target: Sequential) -> int:
+        """Copy parameters layer-by-layer until the architectures diverge.
+
+        The paper starts every stage from the previously trained network (a
+        pretrained full-precision CNN is the base architecture); this helper
+        implements that warm start: leading layers with matching types and
+        parameter shapes are copied, and the first mismatch stops the
+        transfer.  Returns the number of layers copied.
+        """
+        copied = 0
+        for src_layer, dst_layer in zip(source.layers, target.layers):
+            if type(src_layer) is not type(dst_layer):
+                break
+            if set(src_layer.params) != set(dst_layer.params):
+                break
+            if any(
+                src_layer.params[name].shape != dst_layer.params[name].shape
+                for name in src_layer.params
+            ):
+                break
+            for name, value in src_layer.params.items():
+                dst_layer.params[name] = value.copy()
+            if isinstance(src_layer, BatchNorm):
+                dst_layer.running_mean = src_layer.running_mean.copy()
+                dst_layer.running_var = src_layer.running_var.copy()
+            copied += 1
+        return copied
+
+    def _train_network(
+        self, model: Sequential, X: np.ndarray, y: np.ndarray
+    ) -> Trainer:
+        trainer = Trainer(
+            model,
+            SquaredHingeLoss(),
+            Adam(model.layers, learning_rate=self.learning_rate),
+            schedule=ExponentialDecay(self.learning_rate, self.lr_decay),
+            seed=int(self._rng.integers(2**31)),
+        )
+        trainer.fit(
+            X,
+            y,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            verbose=self.verbose,
+        )
+        return trainer
+
+    # ----------------------------------------------------------------- run
+    def run(self, data: DataBundle) -> WorkflowResult:
+        """Execute A1 -> A4 and collect the Table 2 accuracies."""
+        X_train, y_train = data.X_train, data.y_train
+        X_test, y_test = data.X_test, data.y_test
+
+        stage_accuracies = {}
+        teacher: Optional[Sequential] = None
+        previous: Optional[Sequential] = None
+        for variant in ("vanilla", "binary", "teacher"):
+            model = self.build_network(variant)
+            if previous is not None:
+                # warm start from the previous stage, as in the paper's
+                # pretrained-base-architecture workflow
+                self.transfer_common_parameters(previous, model)
+            trainer = self._train_network(model, X_train, y_train)
+            stage_accuracies[variant] = trainer.evaluate(X_test, y_test)
+            if self.verbose:  # pragma: no cover - logging only
+                print(f"[{variant}] test accuracy = {stage_accuracies[variant]:.4f}")
+            previous = model
+            if variant == "teacher":
+                teacher = model
+
+        assert teacher is not None
+        features_train = extract_binary_features(teacher, X_train)
+        features_test = extract_binary_features(teacher, X_test)
+        intermediate_train = extract_intermediate_targets(teacher, X_train)
+
+        poetbin = PoETBiNClassifier(
+            n_classes=self.spec.n_classes,
+            n_inputs=self.spec.lut_inputs,
+            n_levels=self.spec.rinc_levels,
+            branching=self.spec.rinc_branching,
+            intermediate_per_class=self.spec.intermediate_per_class,
+            output_bits=self.spec.output_bits,
+            output_epochs=self.output_epochs,
+            seed=int(self._rng.integers(2**31)),
+            verbose=self.verbose,
+        )
+        poetbin.fit(features_train, intermediate_train, y_train)
+        poetbin_accuracy = accuracy(y_test, poetbin.predict(features_test))
+        if self.verbose:  # pragma: no cover - logging only
+            print(f"[poetbin] test accuracy = {poetbin_accuracy:.4f}")
+
+        accuracies = PipelineAccuracies(
+            vanilla=stage_accuracies["vanilla"],
+            binary_features=stage_accuracies["binary"],
+            teacher=stage_accuracies["teacher"],
+            poetbin=poetbin_accuracy,
+        )
+        return WorkflowResult(
+            accuracies=accuracies,
+            poetbin=poetbin,
+            teacher=teacher,
+            features_train=features_train,
+            features_test=features_test,
+            intermediate_train=intermediate_train,
+            y_train=y_train,
+            y_test=y_test,
+            metadata={
+                "dataset": data.metadata.get("name", "unknown"),
+                "spec": self.spec,
+                "epochs": self.epochs,
+            },
+        )

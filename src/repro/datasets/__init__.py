@@ -1,0 +1,38 @@
+"""Dataset generators.
+
+The original paper evaluates on MNIST, CIFAR-10 and SVHN.  Those datasets are
+not available in this offline environment, so this package provides
+procedurally generated stand-ins with the same tensor shapes and number of
+classes, plus pure binary-feature classification tasks used to unit-test and
+benchmark the RINC machinery in isolation.  The substitution rationale is
+documented in DESIGN.md.
+"""
+
+from repro.datasets.base import DataBundle, ImageDataset
+from repro.datasets.binary_features import (
+    make_binary_intermediate_task,
+    make_binary_parity_task,
+    make_binary_teacher_task,
+    make_correlated_binary_task,
+)
+from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+from repro.datasets.splits import stratified_split, train_val_test_split
+from repro.datasets.synthetic_digits import make_synthetic_mnist
+from repro.datasets.synthetic_objects import make_synthetic_cifar10
+from repro.datasets.synthetic_svhn import make_synthetic_svhn
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "DataBundle",
+    "ImageDataset",
+    "load_dataset",
+    "make_binary_intermediate_task",
+    "make_binary_parity_task",
+    "make_binary_teacher_task",
+    "make_correlated_binary_task",
+    "make_synthetic_cifar10",
+    "make_synthetic_mnist",
+    "make_synthetic_svhn",
+    "stratified_split",
+    "train_val_test_split",
+]

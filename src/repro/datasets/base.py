@@ -1,0 +1,85 @@
+"""Dataset containers shared by all generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import check_consistent_lengths, check_labels
+
+
+@dataclass
+class DataBundle:
+    """A generic (features, labels) pair with train/test views.
+
+    Attributes
+    ----------
+    X_train, y_train, X_test, y_test:
+        Feature matrices and integer label vectors.
+    n_classes:
+        Number of distinct classes.
+    metadata:
+        Free-form description of how the data was generated.
+    """
+
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_consistent_lengths(X_train=self.X_train, y_train=self.y_train)
+        check_consistent_lengths(X_test=self.X_test, y_test=self.y_test)
+        self.y_train = check_labels(self.y_train, self.n_classes, "y_train")
+        self.y_test = check_labels(self.y_test, self.n_classes, "y_test")
+
+    @property
+    def n_train(self) -> int:
+        return int(self.X_train.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        return int(self.X_test.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(np.prod(self.X_train.shape[1:]))
+
+    def describe(self) -> str:
+        """Single-line description used in logs and example scripts."""
+        return (
+            f"{self.metadata.get('name', 'dataset')}: "
+            f"{self.n_train} train / {self.n_test} test, "
+            f"feature shape {tuple(self.X_train.shape[1:])}, "
+            f"{self.n_classes} classes"
+        )
+
+
+@dataclass
+class ImageDataset(DataBundle):
+    """A :class:`DataBundle` whose features are image tensors (N, H, W, C)."""
+
+    image_shape: tuple = (0, 0, 0)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.X_train.ndim != 4:
+            raise ValueError(
+                f"image data must have shape (N, H, W, C), got {self.X_train.shape}"
+            )
+        self.image_shape = tuple(self.X_train.shape[1:])
+
+    def flattened(self) -> DataBundle:
+        """Return a flattened copy (N, H*W*C) for use with dense models."""
+        return DataBundle(
+            X_train=self.X_train.reshape(self.n_train, -1),
+            y_train=self.y_train,
+            X_test=self.X_test.reshape(self.n_test, -1),
+            y_test=self.y_test,
+            n_classes=self.n_classes,
+            metadata={**self.metadata, "flattened": True},
+        )

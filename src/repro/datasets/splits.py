@@ -1,0 +1,67 @@
+"""Dataset splitting helpers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_consistent_lengths
+
+
+def stratified_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split (X, y) preserving per-class proportions.
+
+    Returns ``(X_train, y_train, X_test, y_test)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    check_consistent_lengths(X=X, y=y)
+    rng = as_rng(seed)
+    test_idx: list[np.ndarray] = []
+    train_idx: list[np.ndarray] = []
+    for cls in np.unique(y):
+        cls_idx = np.flatnonzero(y == cls)
+        rng.shuffle(cls_idx)
+        n_test = max(1, int(round(len(cls_idx) * test_fraction)))
+        if n_test >= len(cls_idx):
+            n_test = len(cls_idx) - 1
+        test_idx.append(cls_idx[:n_test])
+        train_idx.append(cls_idx[n_test:])
+    train = np.concatenate(train_idx)
+    test = np.concatenate(test_idx)
+    rng.shuffle(train)
+    rng.shuffle(test)
+    return X[train], y[train], X[test], y[test]
+
+
+def train_val_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    val_fraction: float = 0.1,
+    test_fraction: float = 0.2,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, ...]:
+    """Three-way random split returning train/val/test arrays."""
+    if val_fraction < 0 or test_fraction < 0 or val_fraction + test_fraction >= 1.0:
+        raise ValueError("val_fraction + test_fraction must be < 1 and non-negative")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    check_consistent_lengths(X=X, y=y)
+    rng = as_rng(seed)
+    n = X.shape[0]
+    order = rng.permutation(n)
+    n_test = int(round(n * test_fraction))
+    n_val = int(round(n * val_fraction))
+    test = order[:n_test]
+    val = order[n_test : n_test + n_val]
+    train = order[n_test + n_val :]
+    return X[train], y[train], X[val], y[val], X[test], y[test]

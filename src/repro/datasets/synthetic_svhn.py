@@ -1,0 +1,55 @@
+"""SVHN stand-in: colour digits over cluttered backgrounds, 32x32x3, 10 classes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets._glyphs import render_digit
+from repro.datasets.base import ImageDataset
+from repro.utils.rng import SeedLike, as_rng
+
+
+def make_synthetic_svhn(
+    n_train: int = 4000,
+    n_test: int = 1000,
+    image_size: int = 32,
+    noise: float = 0.15,
+    seed: SeedLike = 0,
+) -> ImageDataset:
+    """Generate an SVHN-like dataset: digit glyphs on noisy colour backgrounds.
+
+    Compared with the MNIST stand-in, samples have non-zero backgrounds,
+    random per-channel tinting and occasional clutter rectangles, mimicking
+    the harder street-view setting of SVHN.
+    """
+    if n_train <= 0 or n_test <= 0:
+        raise ValueError("n_train and n_test must be positive")
+    rng = as_rng(seed)
+    n_total = n_train + n_test
+    labels = rng.integers(0, 10, size=n_total)
+    images = np.empty((n_total, image_size, image_size, 3), dtype=np.float32)
+    for i, digit in enumerate(labels):
+        gray = render_digit(
+            int(digit),
+            rng,
+            canvas_size=image_size,
+            noise=noise,
+            background=rng.uniform(0.15, 0.45),
+            clutter=0.5,
+        )
+        tint = rng.uniform(0.6, 1.0, size=3)
+        for c in range(3):
+            images[i, :, :, c] = np.clip(gray * tint[c], 0.0, 1.0)
+    return ImageDataset(
+        X_train=images[:n_train],
+        y_train=labels[:n_train].astype(np.int64),
+        X_test=images[n_train:],
+        y_test=labels[n_train:].astype(np.int64),
+        n_classes=10,
+        metadata={
+            "name": "synthetic-svhn",
+            "paper_dataset": "SVHN",
+            "image_size": image_size,
+            "noise": noise,
+        },
+    )

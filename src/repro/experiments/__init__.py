@@ -1,0 +1,47 @@
+"""Per-table reproduction harness.
+
+Each ``tableN_*`` module regenerates one table of the paper's evaluation
+section; :mod:`repro.experiments.runner` chains them and
+:mod:`repro.experiments.reporting` renders the results as text/markdown
+tables.  Figures 1-5 of the paper are architecture schematics without measured
+data, so the tables are the complete set of reproducible artefacts (the Fig. 5
+workflow itself is exercised end-to-end by the Table 2 experiment).
+"""
+
+from repro.experiments.architectures import (
+    ARCHITECTURES,
+    ArchitectureSpec,
+    get_architecture,
+    reduced_experiment_settings,
+)
+from repro.experiments.table2_accuracy import Table2Row, run_table2
+from repro.experiments.table3_power import Table3Row, run_table3
+from repro.experiments.table4_operations import run_table4
+from repro.experiments.table5_opcounts import run_table5
+from repro.experiments.table6_energy import Table6Row, run_table6
+from repro.experiments.table7_resources import Table7Row, run_table7
+from repro.experiments.ablations import (
+    run_hidden_layer_ablation,
+    run_lut_width_ablation,
+    run_quantisation_ablation,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchitectureSpec",
+    "Table2Row",
+    "Table3Row",
+    "Table6Row",
+    "Table7Row",
+    "get_architecture",
+    "reduced_experiment_settings",
+    "run_hidden_layer_ablation",
+    "run_lut_width_ablation",
+    "run_quantisation_ablation",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+]

@@ -1,0 +1,203 @@
+"""Ablation experiments discussed in the paper's text.
+
+* **Output-layer quantisation** (§3): the paper reports that q=4 loses
+  noticeable accuracy, q=8 is near-lossless and q=16 doubles the LUT cost for
+  no gain — :func:`run_quantisation_ablation` sweeps q.
+* **Hidden-layer RINC variant** (§4.1): instead of emulating the intermediate
+  layer, one RINC module per *hidden* neuron lifts MNIST accuracy at a much
+  larger resource cost — :func:`run_hidden_layer_ablation` contrasts both at
+  reduced scale.
+* **LUT width P** (§2.2.1 notes the accuracy/resource trade-off of choosing
+  P) — :func:`run_lut_width_ablation` sweeps P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.output_layer import SparseQuantizedOutputLayer
+from repro.core.poetbin import PoETBiNClassifier
+from repro.core.rinc import RINCClassifier
+from repro.core.workflow import WorkflowResult
+from repro.datasets.binary_features import make_binary_intermediate_task
+from repro.utils.metrics import accuracy
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class AblationRow:
+    """Generic (setting, accuracy, LUTs) ablation record."""
+
+    setting: str
+    accuracy_percent: float
+    luts: int
+
+    def as_cells(self) -> List[object]:
+        return [self.setting, round(self.accuracy_percent, 2), self.luts]
+
+
+ABLATION_HEADERS = ["Setting", "accuracy (%)", "LUTs"]
+
+
+def run_quantisation_ablation(
+    result: WorkflowResult,
+    bit_widths: Sequence[int] = (4, 8, 16),
+    seed: int = 0,
+) -> List[AblationRow]:
+    """Retrain the sparse output layer at several quantisation widths ``q``.
+
+    Reuses the RINC modules of an existing workflow result so only the output
+    layer changes between settings, isolating the effect of ``q`` exactly as
+    the paper describes.
+    """
+    poetbin = result.poetbin
+    bits_train = poetbin.predict_intermediate(result.features_train)
+    bits_test = poetbin.predict_intermediate(result.features_test)
+    rinc_luts = sum(m.lut_count() for m in poetbin.rinc_modules_)
+    rows: List[AblationRow] = []
+    for q in bit_widths:
+        layer = SparseQuantizedOutputLayer(
+            n_classes=poetbin.n_classes,
+            fan_in=poetbin.intermediate_per_class,
+            n_bits=q,
+            epochs=poetbin.output_epochs,
+            seed=seed,
+        ).fit(bits_train, result.y_train)
+        acc = accuracy(result.y_test, layer.predict(bits_test)) * 100
+        rows.append(
+            AblationRow(
+                setting=f"q={q}",
+                accuracy_percent=acc,
+                luts=rinc_luts + layer.lut_count(),
+            )
+        )
+    return rows
+
+
+def _synthetic_student_task(seed: int, n_train: int, n_test: int, n_features: int, n_classes: int):
+    """Binary features + labels for the structural ablations (no CNN needed)."""
+    data = make_binary_intermediate_task(
+        n_train=n_train,
+        n_test=n_test,
+        n_features=n_features,
+        n_classes=n_classes,
+        n_hidden=24,
+        n_active=10,
+        seed=seed,
+    )
+    return data
+
+
+def _threshold_targets(X: np.ndarray, n_targets: int, seed: int) -> np.ndarray:
+    """Binary targets from random sparse threshold neurons over X (a stand-in
+    for the teacher's intermediate / hidden activations)."""
+    rng = as_rng(seed)
+    n, n_features = X.shape
+    targets = np.empty((n, n_targets), dtype=np.uint8)
+    for j in range(n_targets):
+        support = rng.choice(n_features, size=min(8, n_features), replace=False)
+        w = rng.normal(size=len(support))
+        b = w.sum() / 2
+        targets[:, j] = (X[:, support] @ w - b >= 0).astype(np.uint8)
+    return targets
+
+
+def run_hidden_layer_ablation(
+    n_classes: int = 5,
+    intermediate_per_class: int = 3,
+    hidden_neurons: int = 30,
+    seed: int = 0,
+    fast: bool = True,
+) -> List[AblationRow]:
+    """Contrast "RINC per intermediate neuron" with "RINC per hidden neuron".
+
+    The §4.1 MNIST discussion: emulating every hidden neuron (512 RINC
+    modules) recovers accuracy at a large LUT cost.  At reduced scale this
+    compares ``nc x P`` intermediate modules against ``hidden_neurons``
+    modules feeding a dense read-out.
+    """
+    n_train, n_test = (600, 200) if fast else (2000, 500)
+    data = _synthetic_student_task(seed, n_train, n_test, n_features=96, n_classes=n_classes)
+    rows: List[AblationRow] = []
+
+    # Variant A: standard PoET-BiN (RINC per intermediate neuron).
+    intermediate = _threshold_targets(
+        np.vstack([data.X_train, data.X_test]), n_classes * intermediate_per_class, seed
+    )
+    inter_train, inter_test = intermediate[: data.n_train], intermediate[data.n_train :]
+    standard = PoETBiNClassifier(
+        n_classes=n_classes,
+        n_inputs=5,
+        n_levels=1,
+        intermediate_per_class=intermediate_per_class,
+        output_epochs=10,
+        seed=seed,
+    ).fit(data.X_train, inter_train, data.y_train)
+    rows.append(
+        AblationRow(
+            setting=f"intermediate ({n_classes * intermediate_per_class} RINC modules)",
+            accuracy_percent=standard.score(data.X_test, data.y_test) * 100,
+            luts=standard.lut_count(),
+        )
+    )
+
+    # Variant B: one RINC module per hidden neuron + dense read-out retrained
+    # on the emulated hidden bits (the paper's 512-module MNIST variant).
+    hidden_targets = _threshold_targets(
+        np.vstack([data.X_train, data.X_test]), hidden_neurons, seed + 1
+    )
+    hidden_train, hidden_test = hidden_targets[: data.n_train], hidden_targets[data.n_train :]
+    modules = []
+    for j in range(hidden_neurons):
+        module = RINCClassifier(n_inputs=5, n_levels=1).fit(data.X_train, hidden_train[:, j])
+        modules.append(module)
+    emulated_train = np.column_stack([m.predict(data.X_train) for m in modules])
+    emulated_test = np.column_stack([m.predict(data.X_test) for m in modules])
+    # dense (non-sparse) read-out over all emulated hidden bits
+    from repro.nn import Adam, Dense, Sequential, SquaredHingeLoss, Trainer
+
+    read_out = Sequential([Dense(hidden_neurons, n_classes, seed=seed)])
+    trainer = Trainer(
+        read_out, SquaredHingeLoss(), Adam(read_out.layers, learning_rate=0.02), seed=seed
+    )
+    trainer.fit(emulated_train.astype(np.float64), data.y_train, epochs=30, batch_size=64)
+    acc = accuracy(data.y_test, read_out.predict(emulated_test.astype(np.float64))) * 100
+    rows.append(
+        AblationRow(
+            setting=f"hidden ({hidden_neurons} RINC modules + dense read-out)",
+            accuracy_percent=acc,
+            luts=sum(m.lut_count() for m in modules) + hidden_neurons * 8,
+        )
+    )
+    return rows
+
+
+def run_lut_width_ablation(
+    widths: Sequence[int] = (4, 6, 8),
+    seed: int = 0,
+    fast: bool = True,
+) -> List[AblationRow]:
+    """Sweep the LUT input width P of a single RINC-1 module on a binary task."""
+    from repro.datasets.binary_features import make_binary_teacher_task
+
+    n_train, n_test = (1200, 400) if fast else (4000, 1000)
+    data = make_binary_teacher_task(
+        n_train=n_train, n_test=n_test, n_features=128, n_active=24, seed=seed
+    )
+    rows: List[AblationRow] = []
+    for width in widths:
+        module = RINCClassifier(n_inputs=width, n_levels=1).fit(data.X_train, data.y_train)
+        from repro.hardware.lut_decompose import luts6_required
+
+        physical = module.lut_count() * luts6_required(width)
+        rows.append(
+            AblationRow(
+                setting=f"P={width}",
+                accuracy_percent=module.score(data.X_test, data.y_test) * 100,
+                luts=physical,
+            )
+        )
+    return rows

@@ -1,0 +1,253 @@
+"""Architecture registry — Table 1 of the paper, plus reduced offline settings.
+
+For every dataset the registry records:
+
+* the *paper-scale* architecture (feature extractor symbol, classifier layer
+  widths, LUT width ``P``, number of decision trees, clock frequency, reported
+  LUT count and latency) used by the analytical experiments (Tables 3-7), and
+* a *reduced* configuration (smaller synthetic dataset, small convolutional
+  feature extractor, fewer trees) used whenever something actually has to be
+  trained offline (Table 2 and the ablations).  The reduction preserves every
+  structural property of the pipeline — binary features, an intermediate layer
+  of ``nc x intermediate_per_class`` bits, RINC-2 modules, the sparse
+  quantised output layer — only the widths shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.workflow import ClassifierSpec
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.pooling import MaxPool2D
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """Numbers the paper reports for one dataset (used for comparison only)."""
+
+    accuracy_vanilla: float
+    accuracy_binary: float
+    accuracy_teacher: float
+    accuracy_poetbin: float
+    accuracy_binarynet: float
+    accuracy_polybinn: float
+    accuracy_ndf: float
+    dynamic_power_w: float
+    static_power_w: float
+    total_power_w: float
+    luts: int
+    latency_ns: float
+    clock_hz: float
+    poetbin_energy_j: float
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """One row of Table 1 plus the derived quantities other tables need."""
+
+    symbol: str
+    dataset: str
+    feature_extractor: str
+    classifier_layers: Tuple[int, ...]  # feature width, hidden widths..., classes
+    lut_inputs: int  # P
+    rinc_levels: int  # L
+    n_decision_trees: int  # trees per RINC-L module
+    n_classes: int
+    output_bits: int
+    paper: PaperReference
+
+    @property
+    def n_intermediate_neurons(self) -> int:
+        """Paper intermediate layer width: nc x P."""
+        return self.n_classes * self.lut_inputs
+
+    @property
+    def rinc_branching(self) -> Tuple[int, ...]:
+        """Per-level boosting widths whose product is ``n_decision_trees``."""
+        inner = self.lut_inputs
+        outer = self.n_decision_trees // inner
+        if outer * inner != self.n_decision_trees:
+            raise ValueError(
+                f"{self.symbol}: {self.n_decision_trees} trees does not factor "
+                f"as outer x {inner}"
+            )
+        return (outer, inner)
+
+    def paper_rinc_luts(self) -> int:
+        """Logical LUTs of one RINC module at paper scale (trees + MAT units)."""
+        outer, inner = self.rinc_branching
+        return outer * (inner + 1) + 1
+
+    def paper_classifier_luts(self) -> int:
+        """Logical LUTs of the full classifier: all modules + output layer."""
+        return (
+            self.n_intermediate_neurons * self.paper_rinc_luts()
+            + self.n_classes * self.output_bits
+        )
+
+
+_PAPER_MNIST = PaperReference(
+    accuracy_vanilla=99.20, accuracy_binary=99.06, accuracy_teacher=98.93,
+    accuracy_poetbin=98.15, accuracy_binarynet=98.97, accuracy_polybinn=97.52,
+    accuracy_ndf=99.42, dynamic_power_w=0.468, static_power_w=0.045,
+    total_power_w=0.513, luts=11899, latency_ns=9.11, clock_hz=62.5e6,
+    poetbin_energy_j=8.2e-9,
+)
+_PAPER_CIFAR = PaperReference(
+    accuracy_vanilla=91.02, accuracy_binary=89.88, accuracy_teacher=89.10,
+    accuracy_poetbin=92.64, accuracy_binarynet=89.76, accuracy_polybinn=91.58,
+    accuracy_ndf=90.46, dynamic_power_w=0.300, static_power_w=0.041,
+    total_power_w=0.341, luts=9650, latency_ns=9.48, clock_hz=62.5e6,
+    poetbin_energy_j=5.4e-9,
+)
+_PAPER_SVHN = PaperReference(
+    accuracy_vanilla=97.36, accuracy_binary=96.98, accuracy_teacher=96.22,
+    accuracy_poetbin=95.13, accuracy_binarynet=95.06, accuracy_polybinn=94.97,
+    accuracy_ndf=95.20, dynamic_power_w=0.374, static_power_w=0.043,
+    total_power_w=0.417, luts=2660, latency_ns=5.85, clock_hz=100e6,
+    poetbin_energy_j=4.1e-9,
+)
+
+#: Table 1 of the paper (M1 / C1 / S1), keyed by dataset name.
+ARCHITECTURES: Dict[str, ArchitectureSpec] = {
+    "mnist": ArchitectureSpec(
+        symbol="M1",
+        dataset="mnist",
+        feature_extractor="LeNet-FE",
+        classifier_layers=(512, 512, 10),
+        lut_inputs=8,
+        rinc_levels=2,
+        n_decision_trees=32,
+        n_classes=10,
+        output_bits=8,
+        paper=_PAPER_MNIST,
+    ),
+    "cifar10": ArchitectureSpec(
+        symbol="C1",
+        dataset="cifar10",
+        feature_extractor="VGG11-FE",
+        classifier_layers=(512, 4096, 4096, 10),
+        lut_inputs=8,
+        rinc_levels=2,
+        n_decision_trees=40,
+        n_classes=10,
+        output_bits=8,
+        paper=_PAPER_CIFAR,
+    ),
+    "svhn": ArchitectureSpec(
+        symbol="S1",
+        dataset="svhn",
+        feature_extractor="VGG11-FE",
+        classifier_layers=(512, 2048, 2048, 10),
+        lut_inputs=6,
+        rinc_levels=2,
+        n_decision_trees=36,
+        n_classes=10,
+        output_bits=8,
+        paper=_PAPER_SVHN,
+    ),
+}
+
+
+def get_architecture(name: str) -> ArchitectureSpec:
+    """Look up the Table 1 entry for a dataset name (``mnist``/``cifar10``/``svhn``)."""
+    key = name.lower().replace("-", "")
+    if key not in ARCHITECTURES:
+        known = ", ".join(sorted(ARCHITECTURES))
+        raise KeyError(f"unknown architecture {name!r}; known: {known}")
+    return ARCHITECTURES[key]
+
+
+@dataclass
+class ReducedSettings:
+    """Everything needed to actually train a scaled-down pipeline offline."""
+
+    dataset_kwargs: Dict[str, object]
+    feature_extractor_factory: Callable[[], List[Layer]]
+    feature_dim: int
+    spec: ClassifierSpec
+    epochs: int
+    batch_size: int
+    learning_rate: float
+    output_epochs: int
+    baseline_hidden_sizes: Tuple[int, ...] = (64,)
+    baseline_epochs: int = 15
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+def _mnist_feature_extractor(seed: int = 0) -> Callable[[], List[Layer]]:
+    def factory() -> List[Layer]:
+        return [
+            Conv2D(1, 8, kernel_size=5, stride=2, seed=seed),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(8 * 6 * 6, 128, seed=seed + 1),
+        ]
+
+    return factory
+
+
+def _rgb_feature_extractor(seed: int = 0) -> Callable[[], List[Layer]]:
+    def factory() -> List[Layer]:
+        return [
+            Conv2D(3, 8, kernel_size=5, stride=2, seed=seed),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(8 * 7 * 7, 128, seed=seed + 1),
+        ]
+
+    return factory
+
+
+def reduced_experiment_settings(
+    name: str,
+    n_train: int = 2500,
+    n_test: int = 600,
+    seed: int = 0,
+    fast: bool = False,
+) -> ReducedSettings:
+    """Scaled-down training settings for a dataset, structure-preserving.
+
+    ``fast=True`` shrinks everything further (used by unit tests and quick
+    benchmark smoke runs); the default sizes are what EXPERIMENTS.md reports.
+    """
+    arch = get_architecture(name)
+    if fast:
+        n_train, n_test = min(n_train, 800), min(n_test, 200)
+    if arch.dataset == "mnist":
+        factory = _mnist_feature_extractor(seed)
+    else:
+        factory = _rgb_feature_extractor(seed)
+    # Reduced RINC settings: keep L=2 and the dataset's relative tree budget,
+    # but with P=6 and fewer intermediate neurons per class.
+    branching = (2, 6) if fast else (3, 6)
+    spec = ClassifierSpec(
+        n_classes=arch.n_classes,
+        hidden_sizes=(128,),
+        lut_inputs=6,
+        rinc_levels=2,
+        rinc_branching=branching,
+        output_bits=arch.output_bits,
+        intermediate_per_class=3 if fast else 4,
+    )
+    return ReducedSettings(
+        dataset_kwargs={"n_train": n_train, "n_test": n_test, "seed": seed},
+        feature_extractor_factory=factory,
+        feature_dim=128,
+        spec=spec,
+        epochs=4 if fast else 8,
+        batch_size=64,
+        learning_rate=0.01,
+        output_epochs=15 if fast else 30,
+        baseline_hidden_sizes=(64,),
+        baseline_epochs=8 if fast else 15,
+        metadata={"architecture": arch.symbol, "fast": fast, "seed": seed},
+    )

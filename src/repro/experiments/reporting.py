@@ -1,0 +1,26 @@
+"""Rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.utils.tables import format_table, render_markdown_table
+
+
+def rows_to_table(headers: Sequence[str], rows: Iterable, markdown: bool = False) -> str:
+    """Render experiment rows (dataclasses with ``as_cells`` or plain lists)."""
+    cells: List[List[object]] = []
+    for row in rows:
+        if hasattr(row, "as_cells"):
+            cells.append(row.as_cells())
+        else:
+            cells.append(list(row))
+    renderer = render_markdown_table if markdown else format_table
+    return renderer(headers, cells)
+
+
+def print_section(title: str, body: str) -> str:
+    """Format a titled section (returned as well as printed for reuse)."""
+    text = f"\n=== {title} ===\n{body}"
+    print(text)
+    return text

@@ -1,0 +1,31 @@
+"""Table 5 — multiply / add counts of the classifier portion of each network."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.architectures import get_architecture
+from repro.hardware.power_model import count_classifier_operations
+
+TABLE5_HEADERS = ["Operation", "MNIST", "CIFAR-10", "SVHN"]
+
+#: the operation counts the paper lists, for direct comparison
+PAPER_TABLE5 = {
+    "mnist": 267_264,
+    "cifar10": 18_915_328,
+    "svhn": 5_263_360,
+}
+
+
+def run_table5(datasets: Sequence[str] = ("mnist", "cifar10", "svhn")) -> List[List[object]]:
+    """Regenerate Table 5 from the Table 1 classifier layer widths."""
+    additions = ["Addition"]
+    multiplications = ["Multiplication"]
+    paper_row = ["Paper (each)"]
+    for name in datasets:
+        arch = get_architecture(name)
+        counts = count_classifier_operations(arch.classifier_layers)
+        additions.append(counts.additions)
+        multiplications.append(counts.multiplications)
+        paper_row.append(PAPER_TABLE5.get(name, "-"))
+    return [additions, multiplications, paper_row]

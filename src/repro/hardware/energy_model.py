@@ -1,0 +1,102 @@
+"""Per-inference energy comparison — Table 6 of the paper.
+
+For each dataset architecture the paper compares the classifier-portion energy
+of: a full-precision (float) network, 32-bit and 16-bit quantised networks, a
+1-bit (BinaryNet-style) network, and PoET-BiN.  All non-PoET-BiN estimates are
+operation counts x per-operation compute power x clock period; PoET-BiN is the
+design's total power x clock period (single-cycle inference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.hardware.power_model import (
+    DEFAULT_CLOCK_PERIOD_S,
+    BinaryNeuronPowerModel,
+    PoETBiNPowerModel,
+    classifier_energy_per_inference,
+    count_classifier_operations,
+)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy per inference (J) of each technique, one Table 6 column."""
+
+    vanilla_float: float
+    quant_1bit: float
+    quant_16bit: float
+    quant_32bit: float
+    poetbin: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "vanilla": self.vanilla_float,
+            "1-bit quant": self.quant_1bit,
+            "16-bit quant": self.quant_16bit,
+            "32-bit quant": self.quant_32bit,
+            "poet-bin": self.poetbin,
+        }
+
+    def reduction_vs(self, technique: str) -> float:
+        """Energy reduction factor of PoET-BiN relative to ``technique``."""
+        value = self.as_dict()[technique]
+        if self.poetbin <= 0:
+            raise ValueError("PoET-BiN energy must be positive")
+        return value / self.poetbin
+
+
+@dataclass
+class EnergyModel:
+    """Combines the arithmetic, binary-neuron and LUT power models."""
+
+    binary_model: BinaryNeuronPowerModel = None
+    poetbin_model: PoETBiNPowerModel = None
+    clock_period_s: float = DEFAULT_CLOCK_PERIOD_S
+
+    def __post_init__(self) -> None:
+        if self.binary_model is None:
+            self.binary_model = BinaryNeuronPowerModel()
+        if self.poetbin_model is None:
+            self.poetbin_model = PoETBiNPowerModel()
+        if self.clock_period_s <= 0:
+            raise ValueError("clock_period_s must be positive")
+
+    def classifier_energies(self, layer_sizes: Sequence[int]) -> Dict[str, float]:
+        """Energies of the arithmetic and binary variants for one architecture."""
+        counts = count_classifier_operations(layer_sizes)
+        return {
+            "vanilla": classifier_energy_per_inference(
+                counts, "float", self.clock_period_s
+            ),
+            "16-bit quant": classifier_energy_per_inference(
+                counts, "16", self.clock_period_s
+            ),
+            "32-bit quant": classifier_energy_per_inference(
+                counts, "32", self.clock_period_s
+            ),
+            "1-bit quant": self.binary_model.classifier_energy_per_inference(
+                layer_sizes, self.clock_period_s
+            ),
+        }
+
+    def breakdown(
+        self,
+        layer_sizes: Sequence[int],
+        poetbin_luts: int,
+        poetbin_clock_hz: float,
+    ) -> EnergyBreakdown:
+        """Full Table 6 column for one dataset architecture."""
+        energies = self.classifier_energies(layer_sizes)
+        poetbin_energy = self.poetbin_model.energy_per_inference(
+            poetbin_luts, poetbin_clock_hz
+        )
+        return EnergyBreakdown(
+            vanilla_float=energies["vanilla"],
+            quant_1bit=energies["1-bit quant"],
+            quant_16bit=energies["16-bit quant"],
+            quant_32bit=energies["32-bit quant"],
+            poetbin=poetbin_energy,
+        )

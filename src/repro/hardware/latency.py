@@ -1,0 +1,85 @@
+"""Critical-path latency model — the latency column of Table 7.
+
+PoET-BiN inference is a single combinational pass: the critical path is a
+chain of physical LUTs (tree LUT, then one MAT LUT per hierarchy level, then
+the output-layer LUT), each contributing a LUT propagation delay plus a net
+routing delay.  Designs with ``P`` larger than the physical LUT width pay an
+extra mux level per logical LUT, which is why the paper's P=8 designs (MNIST,
+CIFAR-10) are slower than the P=6 SVHN design and run at 62.5 MHz instead of
+100 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.netlist import LUTNetlist
+from repro.hardware.lut_decompose import decompose_netlist
+
+
+@dataclass
+class LatencyModel:
+    """Per-stage delay coefficients (seconds), roughly Spartan-6 class.
+
+    Attributes
+    ----------
+    lut_delay_s:
+        Propagation delay through one physical LUT.
+    net_delay_s:
+        Average routing delay between consecutive LUT stages.
+    io_delay_s:
+        Fixed input/output and clock-to-out overhead.
+    """
+
+    lut_delay_s: float = 0.6e-9
+    net_delay_s: float = 0.8e-9
+    io_delay_s: float = 1.0e-9
+
+    def path_latency(self, n_stages: int) -> float:
+        """Latency (s) of a combinational path with ``n_stages`` physical LUTs."""
+        if n_stages < 0:
+            raise ValueError("n_stages must be non-negative")
+        if n_stages == 0:
+            return self.io_delay_s
+        return (
+            self.io_delay_s
+            + n_stages * self.lut_delay_s
+            + (n_stages - 1) * self.net_delay_s
+        )
+
+    def netlist_latency(
+        self,
+        netlist: LUTNetlist,
+        physical_lut_inputs: int = 6,
+        include_output_layer: bool = True,
+    ) -> float:
+        """Critical-path latency of a netlist after decomposition to 6-input LUTs.
+
+        ``include_output_layer`` adds one more LUT stage for the quantised
+        sparse output layer that follows the RINC modules.
+        """
+        physical = decompose_netlist(netlist, max_inputs=physical_lut_inputs)
+        depth = physical.logic_depth()
+        if include_output_layer:
+            depth += 1
+        return self.path_latency(depth)
+
+    def max_clock_hz(self, latency_s: float) -> float:
+        """Highest single-cycle clock frequency for a given critical path."""
+        if latency_s <= 0:
+            raise ValueError("latency_s must be positive")
+        return 1.0 / latency_s
+
+    def supported_clock_hz(self, latency_s: float, candidates=(100e6, 62.5e6, 50e6, 25e6)) -> float:
+        """Largest of the candidate clock frequencies the path can meet.
+
+        The paper uses 100 MHz for the P=6 design and 62.5 MHz for the P=8
+        designs; this helper picks the same way from a candidate list.
+        """
+        max_hz = self.max_clock_hz(latency_s)
+        feasible = [hz for hz in candidates if hz <= max_hz]
+        if not feasible:
+            return float(min(candidates))
+        return float(max(feasible))

@@ -1,0 +1,102 @@
+"""Decomposition of wide LUTs into 6-input physical LUTs.
+
+Xilinx devices provide 6-input LUTs plus dedicated F7/F8 multiplexers.  A
+7-input function therefore occupies two 6-input LUTs (plus a free F7 mux) and
+an 8-input function occupies four (plus free F7/F8 muxes) — which is why the
+paper's P=8 designs for MNIST/CIFAR-10 use four physical LUTs per logical LUT
+and run at a lower clock.  This module provides both the closed-form count and
+an actual functional Shannon decomposition that can be simulated and verified.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.lut import LUT
+from repro.core.netlist import LUTNetlist
+
+
+def luts6_required(n_inputs: int, max_inputs: int = 6) -> int:
+    """Number of ``max_inputs``-input physical LUTs for one ``n_inputs`` LUT.
+
+    Dedicated mux resources (F7/F8) are treated as free, matching the Xilinx
+    counting the paper uses ("each 8-input LUT requires four 6-input LUTs").
+    """
+    if n_inputs <= 0:
+        raise ValueError("n_inputs must be positive")
+    if max_inputs <= 1:
+        raise ValueError("max_inputs must be at least 2")
+    if n_inputs <= max_inputs:
+        return 1
+    return 2 ** (n_inputs - max_inputs)
+
+
+def decompose_lut(lut: LUT, max_inputs: int = 6) -> Tuple[List[LUT], List[dict]]:
+    """Shannon-decompose ``lut`` into cofactor LUTs plus mux selections.
+
+    Returns ``(cofactor_luts, muxes)`` where each cofactor LUT has at most
+    ``max_inputs`` inputs and each mux record describes how two signals are
+    selected by one of the removed (most significant) inputs.  The original
+    function equals the final mux output; :func:`decompose_netlist` uses this
+    to build an equivalent 6-input netlist that can be simulated.
+    """
+    if max_inputs < 2:
+        raise ValueError("max_inputs must be at least 2")
+    if lut.n_inputs <= max_inputs:
+        return [lut], []
+
+    # Split on the most significant input: table = [f0 | f1] halves.
+    half = lut.table.size // 2
+    msb_index = int(lut.input_indices[0])
+    rest_indices = lut.input_indices[1:]
+    f0 = LUT(input_indices=rest_indices, table=lut.table[:half], name=f"{lut.name}_c0")
+    f1 = LUT(input_indices=rest_indices, table=lut.table[half:], name=f"{lut.name}_c1")
+    luts0, muxes0 = decompose_lut(f0, max_inputs)
+    luts1, muxes1 = decompose_lut(f1, max_inputs)
+    mux = {
+        "select_input": msb_index,
+        "when_zero": f0.name if not muxes0 else muxes0[-1]["name"],
+        "when_one": f1.name if not muxes1 else muxes1[-1]["name"],
+        "name": f"{lut.name}_mux",
+    }
+    return luts0 + luts1, muxes0 + muxes1 + [mux]
+
+
+def decompose_netlist(netlist: LUTNetlist, max_inputs: int = 6) -> LUTNetlist:
+    """Rebuild ``netlist`` so no node exceeds ``max_inputs`` inputs.
+
+    Wide nodes are Shannon-decomposed; the resulting mux nodes are represented
+    as 3-input LUTs (select, a, b) with kind ``"mux"`` so that resource models
+    can choose whether to count them (generic FPGA) or not (Xilinx dedicated
+    F7/F8 muxes).
+    """
+    result = LUTNetlist(n_primary_inputs=netlist.n_primary_inputs)
+    # address bits are (select, a, b): select=0 -> a, select=1 -> b
+    mux_table = np.array([0, 0, 1, 1, 0, 1, 0, 1], dtype=np.uint8)
+
+    for node in netlist.nodes:
+        if node.n_inputs <= max_inputs:
+            result.add_node(node.name, node.kind, node.input_signals, node.table, node.metadata)
+            continue
+        # recursively split on the most significant input signal
+        def split(name: str, signals: List[str], table: np.ndarray) -> str:
+            if len(signals) <= max_inputs:
+                return result.add_node(name, node.kind, signals, table, dict(node.metadata))
+            half = table.size // 2
+            low = split(f"{name}_c0", signals[1:], table[:half])
+            high = split(f"{name}_c1", signals[1:], table[half:])
+            return result.add_node(
+                f"{name}_mux" if name != node.name else name,
+                "mux",
+                [signals[0], low, high],
+                mux_table,
+                {"decomposed_from": node.name},
+            )
+
+        split(node.name, list(node.input_signals), node.table)
+
+    for signal in netlist.output_signals:
+        result.mark_output(signal)
+    return result

@@ -1,0 +1,80 @@
+"""Memory-image export of a LUT netlist.
+
+§2.1.1 of the paper notes that the RINC-0 tables are "not limited to LUTs
+alone — the approach can also be implemented in memory blocks", i.e. the
+pre-computed truth tables can be stored in block RAM / ROM with the selected
+feature bits forming the address.  This module emits that representation:
+
+* a per-node memory image (one word per address, LSB = LUT output), and
+* standard ``$readmemh`` / ``$readmemb``-style initialisation file contents,
+
+so the same trained classifier can target LUT fabric (via the VHDL generator)
+or embedded memory blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.netlist import LUTNetlist, NetlistNode
+
+
+@dataclass(frozen=True)
+class MemoryImage:
+    """The memory view of one LUT node."""
+
+    name: str
+    address_bits: int
+    words: np.ndarray  # one 0/1 word per address
+
+    @property
+    def depth(self) -> int:
+        return int(self.words.size)
+
+    def as_binary_lines(self) -> List[str]:
+        """``$readmemb`` file contents: one bit per line, address 0 first."""
+        return [str(int(bit)) for bit in self.words]
+
+    def as_hex_lines(self, word_bits: int = 1) -> List[str]:
+        """``$readmemh`` file contents with ``word_bits`` packed per word."""
+        if word_bits < 1:
+            raise ValueError("word_bits must be at least 1")
+        width = (word_bits + 3) // 4
+        return [f"{int(bit):0{width}x}" for bit in self.words]
+
+
+def node_memory_image(node: NetlistNode) -> MemoryImage:
+    """Memory image of one netlist node."""
+    return MemoryImage(name=node.name, address_bits=node.n_inputs, words=node.table.copy())
+
+
+def netlist_memory_images(netlist: LUTNetlist) -> Dict[str, MemoryImage]:
+    """Memory images of every node, keyed by node name."""
+    return {node.name: node_memory_image(node) for node in netlist.nodes}
+
+
+def total_memory_bits(netlist: LUTNetlist) -> int:
+    """Total ROM bits needed to hold every truth table of the netlist.
+
+    This is the quantity the paper's §2.1.1 sizing argument refers to (a
+    30-input table would already need a gigabit); for the LUT-sized nodes the
+    RINC construction produces it stays tiny.
+    """
+    return int(sum(node.table.size for node in netlist.nodes))
+
+
+def write_memory_files(netlist: LUTNetlist, directory) -> List[str]:
+    """Write one ``.mem`` file per node into ``directory``; returns the paths."""
+    from pathlib import Path
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, image in netlist_memory_images(netlist).items():
+        path = directory / f"{name}.mem"
+        path.write_text("\n".join(image.as_binary_lines()) + "\n")
+        paths.append(str(path))
+    return paths

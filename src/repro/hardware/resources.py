@@ -1,0 +1,146 @@
+"""Resource (LUT count) modelling and synthesizer-style pruning — Table 7.
+
+Two effects determine the physical LUT count of a PoET-BiN design:
+
+* **decomposition**: logical LUTs wider than the device's 6 inputs are split
+  into several physical LUTs (``P = 8`` costs four 6-input LUTs each);
+* **pruning**: MAT inputs whose AdaBoost weight is too small to ever flip the
+  thresholded decision are dead logic; the synthesizer removes them together
+  with the sub-tree that feeds them (the paper observes ~36% of the CIFAR-10
+  LUTs removed this way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.core.mat import MATModule
+from repro.core.netlist import LUTNetlist, is_primary_input
+from repro.hardware.lut_decompose import luts6_required
+
+
+@dataclass
+class ResourceReport:
+    """LUT resource summary of one netlist / design."""
+
+    logical_luts: int
+    physical_luts: int
+    luts_by_kind: Dict[str, int]
+    pruned_luts: int
+    output_layer_luts: int
+
+    @property
+    def total_physical_luts(self) -> int:
+        """Physical LUTs including the quantised output layer."""
+        return self.physical_luts + self.output_layer_luts
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of logical LUTs removed by pruning."""
+        before = self.logical_luts + self.pruned_luts
+        return self.pruned_luts / before if before else 0.0
+
+
+def output_layer_luts(n_classes: int, n_bits: int) -> int:
+    """LUTs of the sparse quantised output layer: ``q`` per output neuron."""
+    if n_classes <= 0 or n_bits <= 0:
+        raise ValueError("n_classes and n_bits must be positive")
+    return n_classes * n_bits
+
+
+def prune_netlist(netlist: LUTNetlist, tolerance: float = 1e-12) -> LUTNetlist:
+    """Remove MAT inputs that cannot affect the output, then dead logic.
+
+    A MAT node whose metadata carries its AdaBoost weights is re-examined: any
+    input whose weight never changes the thresholded decision is disconnected
+    (the MAT LUT is rebuilt over the surviving inputs).  Nodes whose output is
+    no longer read by anything — recursively — are dropped, reproducing what
+    the Xilinx synthesizer does to low-weight decision trees (§4.3).
+    """
+    # First pass: rebuild MAT nodes over their effective inputs only.
+    rebuilt: Dict[str, tuple] = {}
+    for node in netlist.nodes:
+        if node.kind == "mat" and "weights" in node.metadata:
+            weights = np.asarray(node.metadata["weights"], dtype=np.float64)
+            threshold = float(node.metadata.get("threshold", 0.0))
+            mat = MATModule(weights=weights, threshold=threshold)
+            keep = mat.effective_inputs(tolerance=tolerance)
+            if len(keep) == 0:
+                # constant output: keep a single input so the node stays a LUT
+                keep = np.array([int(np.argmax(np.abs(weights)))])
+            if len(keep) < node.n_inputs:
+                sub_mat = MATModule(weights=weights[keep], threshold=threshold)
+                sub_lut = sub_mat.to_lut()
+                signals = [node.input_signals[i] for i in keep]
+                rebuilt[node.name] = (signals, sub_lut.table, weights[keep])
+            else:
+                rebuilt[node.name] = (
+                    list(node.input_signals),
+                    node.table,
+                    weights,
+                )
+        else:
+            rebuilt[node.name] = (list(node.input_signals), node.table, None)
+
+    # Second pass: keep only nodes reachable from the declared outputs.
+    reachable: Set[str] = set()
+    stack = [sig for sig in netlist.output_signals if not is_primary_input(sig)]
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        signals, _, _ = rebuilt[name]
+        stack.extend(sig for sig in signals if not is_primary_input(sig))
+
+    pruned = LUTNetlist(n_primary_inputs=netlist.n_primary_inputs)
+    for node in netlist.nodes:
+        if node.name not in reachable and netlist.output_signals:
+            continue
+        signals, table, weights = rebuilt[node.name]
+        metadata = dict(node.metadata)
+        if weights is not None:
+            metadata["weights"] = weights
+        pruned.add_node(node.name, node.kind, signals, table, metadata)
+    for sig in netlist.output_signals:
+        pruned.mark_output(sig)
+    return pruned
+
+
+def resource_report(
+    netlist: LUTNetlist,
+    physical_lut_inputs: int = 6,
+    prune: bool = True,
+    n_classes: Optional[int] = None,
+    output_bits: int = 8,
+    prune_tolerance: float = 1e-12,
+) -> ResourceReport:
+    """Full Table 7-style resource report for a netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The RINC netlist (typically ``PoETBiNClassifier.to_netlist()``).
+    physical_lut_inputs:
+        Input width of the device's physical LUTs (6 for the paper's target).
+    prune:
+        Whether to apply synthesizer-style pruning first.
+    n_classes, output_bits:
+        When given, the quantised output layer (``q`` LUTs per class) is added
+        to the report.
+    """
+    original_count = netlist.n_luts
+    work = prune_netlist(netlist, tolerance=prune_tolerance) if prune else netlist
+    logical = work.n_luts
+    physical = sum(luts6_required(node.n_inputs, physical_lut_inputs) for node in work.nodes)
+    out_luts = output_layer_luts(n_classes, output_bits) if n_classes else 0
+    return ResourceReport(
+        logical_luts=logical,
+        physical_luts=physical,
+        luts_by_kind=work.count_by_kind(),
+        pruned_luts=original_count - logical,
+        output_layer_luts=out_luts,
+    )

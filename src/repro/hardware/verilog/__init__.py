@@ -1,0 +1,11 @@
+"""Verilog code generation from trained LUT netlists.
+
+A second HDL backend alongside :mod:`repro.hardware.vhdl`, for flows that
+prefer Verilog.  Both backends consume the same netlist and embed the same
+truth tables, so either output realises the identical boolean function.
+"""
+
+from repro.hardware.verilog.codegen import generate_verilog
+from repro.hardware.verilog.testbench import generate_verilog_testbench
+
+__all__ = ["generate_verilog", "generate_verilog_testbench"]

@@ -1,0 +1,6 @@
+"""VHDL code generation from trained LUT netlists."""
+
+from repro.hardware.vhdl.codegen import generate_vhdl
+from repro.hardware.vhdl.testbench import generate_testbench
+
+__all__ = ["generate_testbench", "generate_vhdl"]

@@ -1,0 +1,62 @@
+"""A small NumPy neural-network framework.
+
+This substrate replaces the PyTorch training pipeline of the original paper:
+it provides the layers, losses and optimizers needed to train the *vanilla*
+and *teacher* networks of Fig. 5 (dense/conv feature extractors, ReLU and
+binary-sigmoid activations, batch normalisation, squared hinge loss, Adam with
+exponential learning-rate decay) as well as the binarised layers used by the
+BinaryNet baseline.
+"""
+
+from repro.nn.initializers import glorot_uniform, he_normal, zeros_init
+from repro.nn.layers import (
+    BatchNorm,
+    BinaryDense,
+    BinarySigmoid,
+    BlockSparseDense,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    HardTanh,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sign,
+)
+from repro.nn.losses import CrossEntropyLoss, Loss, SquaredHingeLoss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.schedulers import ConstantSchedule, ExponentialDecay, StepDecay
+from repro.nn.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Adam",
+    "BatchNorm",
+    "BinaryDense",
+    "BinarySigmoid",
+    "BlockSparseDense",
+    "ConstantSchedule",
+    "Conv2D",
+    "CrossEntropyLoss",
+    "Dense",
+    "Dropout",
+    "ExponentialDecay",
+    "Flatten",
+    "HardTanh",
+    "Layer",
+    "Loss",
+    "MaxPool2D",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sign",
+    "SquaredHingeLoss",
+    "StepDecay",
+    "Trainer",
+    "TrainingHistory",
+    "glorot_uniform",
+    "he_normal",
+    "zeros_init",
+]

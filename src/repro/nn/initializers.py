@@ -1,0 +1,29 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def he_normal(shape: tuple, fan_in: int, rng: SeedLike = None) -> np.ndarray:
+    """He (Kaiming) normal initialisation, appropriate for ReLU layers."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    gen = as_rng(rng)
+    return gen.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(np.float64)
+
+
+def glorot_uniform(shape: tuple, fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """Glorot (Xavier) uniform initialisation, appropriate for sigmoid/tanh layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    gen = as_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return gen.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def zeros_init(shape: tuple) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,28 @@
+"""Neural-network layers."""
+
+from repro.nn.layers.activations import BinarySigmoid, HardTanh, ReLU, Sign
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm
+from repro.nn.layers.binary import BinaryDense
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.pooling import MaxPool2D
+from repro.nn.layers.sparse import BlockSparseDense
+
+__all__ = [
+    "BatchNorm",
+    "BinaryDense",
+    "BinarySigmoid",
+    "BlockSparseDense",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "HardTanh",
+    "Layer",
+    "MaxPool2D",
+    "ReLU",
+    "Sign",
+]

@@ -1,0 +1,100 @@
+"""Activation layers, including the binary sigmoid used by the teacher network.
+
+The *binary sigmoid* (Kwan, 1992) outputs hard 0/1 values; its gradient is
+approximated with the straight-through estimator of a piecewise-linear
+sigmoid, which is what makes the teacher network of the paper trainable while
+producing strictly binary features for the RINC modules.  ``Sign`` is the ±1
+variant used by the BinaryNet baseline (Courbariaux et al., 2016).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class HardTanh(Layer):
+    """Hard tanh: identity on [-1, 1], clipped outside."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = np.abs(x) <= 1.0
+        return np.clip(x, -1.0, 1.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class BinarySigmoid(Layer):
+    """Hard 0/1 activation with a straight-through gradient.
+
+    Forward: ``y = 1 if x >= 0 else 0``.
+    Backward: gradient of the clipped linear sigmoid ``clip(x/2 + 0.5, 0, 1)``,
+    i.e. ``dy/dx = 0.5`` inside ``|x| <= 1`` and 0 outside (the straight-through
+    estimator).  This matches the "simple sigmoid-like activation suitable for
+    digital hardware" the paper cites for its binary feature representation.
+    """
+
+    def __init__(self, slope: float = 0.5) -> None:
+        super().__init__()
+        if slope <= 0:
+            raise ValueError("slope must be positive")
+        self.slope = slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = np.abs(x * self.slope) <= 0.5
+        return (x >= 0).astype(np.float64)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output * self.slope, 0.0)
+
+
+class Sign(Layer):
+    """±1 activation with straight-through gradient (BinaryNet style).
+
+    Forward: ``y = +1 if x >= 0 else -1``.
+    Backward: identity inside ``|x| <= 1``, zero outside.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = np.abs(x) <= 1.0
+        return np.where(x >= 0, 1.0, -1.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, 0.0)

@@ -1,0 +1,42 @@
+"""Layer base class.
+
+Layers follow a simple explicit-backward protocol: ``forward`` caches whatever
+it needs, ``backward`` receives the gradient of the loss with respect to the
+layer output and returns the gradient with respect to the layer input, while
+accumulating parameter gradients into :attr:`grads`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    @property
+    def n_parameters(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` and return the input gradient."""
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        for name, value in self.params.items():
+            self.grads[name] = np.zeros_like(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(params={self.n_parameters})"

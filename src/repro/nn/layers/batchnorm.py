@@ -1,0 +1,65 @@
+"""Batch normalisation over the feature axis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class BatchNorm(Layer):
+    """Batch normalisation for 2-D ``(n, features)`` inputs.
+
+    4-D convolutional maps should be flattened per-channel by the caller (the
+    feature extractors in this reproduction apply BatchNorm after Flatten or
+    on dense layers, which is sufficient for the classifier-portion study).
+    """
+
+    def __init__(self, n_features: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        self.n_features = n_features
+        self.momentum = momentum
+        self.eps = eps
+        self.params["gamma"] = np.ones(n_features, dtype=np.float64)
+        self.params["beta"] = np.zeros(n_features, dtype=np.float64)
+        self.zero_grads()
+        self.running_mean = np.zeros(n_features, dtype=np.float64)
+        self.running_var = np.ones(n_features, dtype=np.float64)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected input of shape (n, {self.n_features}), got {x.shape}"
+            )
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean) / std
+        self._cache = (x_hat, std)
+        return self.params["gamma"] * x_hat + self.params["beta"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, std = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        n = grad_output.shape[0]
+        self.grads["gamma"] = np.sum(grad_output * x_hat, axis=0)
+        self.grads["beta"] = np.sum(grad_output, axis=0)
+        dx_hat = grad_output * self.params["gamma"]
+        # Standard batch-norm backward pass (training statistics).
+        return (
+            dx_hat - dx_hat.mean(axis=0) - x_hat * np.mean(dx_hat * x_hat, axis=0)
+        ) / std

@@ -1,0 +1,107 @@
+"""Binarised dense layer (BinaryNet style).
+
+``BinaryDense`` keeps real-valued shadow weights but uses their sign during
+the forward pass; gradients flow to the shadow weights via the straight-through
+estimator.  Combined with the :class:`~repro.nn.layers.activations.Sign`
+activation it reproduces the classifier portion of BinaryNet (Courbariaux et
+al., 2016), the strongest quantised baseline in Table 2 / Table 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, zeros_init
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike
+
+
+class BinaryDense(Layer):
+    """Affine layer whose weights are binarised to ±1 in the forward pass."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = use_bias
+        self.params["W"] = glorot_uniform(
+            (in_features, out_features), in_features, out_features, seed
+        )
+        if use_bias:
+            self.params["b"] = zeros_init((out_features,))
+        self.zero_grads()
+        self._input: np.ndarray | None = None
+        self._binary_W: np.ndarray | None = None
+
+    @staticmethod
+    def binarize(weights: np.ndarray) -> np.ndarray:
+        """Deterministic binarisation: sign with 0 mapped to +1."""
+        return np.where(weights >= 0, 1.0, -1.0)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (n, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        self._binary_W = self.binarize(self.params["W"])
+        out = x @ self._binary_W
+        if self.use_bias:
+            out = out + self.params["b"]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None or self._binary_W is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        # Straight-through estimator: gradient w.r.t. the binary weight is
+        # passed to the shadow weight, clipped to |w| <= 1 to stop saturated
+        # weights from growing without bound.
+        raw_grad = self._input.T @ grad_output
+        self.grads["W"] = np.where(np.abs(self.params["W"]) <= 1.0, raw_grad, 0.0)
+        if self.use_bias:
+            self.grads["b"] = grad_output.sum(axis=0)
+        return grad_output @ self._binary_W.T
+
+    def clip_weights(self) -> None:
+        """Clip shadow weights to [-1, 1] (called by the trainer after updates)."""
+        np.clip(self.params["W"], -1.0, 1.0, out=self.params["W"])
+
+
+def xnor_popcount_matmul(x_bits: np.ndarray, w_bits: np.ndarray) -> np.ndarray:
+    """Integer-only inference path of a binary neuron bank.
+
+    Parameters
+    ----------
+    x_bits:
+        Activations in {0, 1}, shape ``(n, in_features)`` — 1 encodes +1 and 0
+        encodes -1.
+    w_bits:
+        Weights in {0, 1}, shape ``(in_features, out_features)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The equivalent ±1 dot products computed via XNOR + popcount:
+        ``2 * popcount(xnor(x, w)) - in_features``.
+    """
+    x_bits = np.asarray(x_bits, dtype=np.int64)
+    w_bits = np.asarray(w_bits, dtype=np.int64)
+    if x_bits.shape[1] != w_bits.shape[0]:
+        raise ValueError("inner dimensions do not match")
+    if not np.all((x_bits == 0) | (x_bits == 1)) or not np.all((w_bits == 0) | (w_bits == 1)):
+        raise ValueError("inputs must be 0/1 encoded")
+    n_in = x_bits.shape[1]
+    # xnor(a, b) = 1 - (a ^ b); summing over the inner axis gives the popcount.
+    # Using matrix algebra: popcount = x·w + (1-x)·(1-w)
+    matches = x_bits @ w_bits + (1 - x_bits) @ (1 - w_bits)
+    return 2 * matches - n_in

@@ -1,0 +1,135 @@
+"""2-D convolution implemented with im2col.
+
+The feature extractors of the paper (LeNet for MNIST, VGG-11 for CIFAR-10 and
+SVHN) are convolutional; this layer provides the NumPy equivalent.  Inputs use
+channels-last layout ``(n, height, width, channels)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, zeros_init
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Extract sliding patches of ``x`` as rows.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(n * out_h * out_w, kernel * kernel * channels)``.
+    """
+    n, h, w, c = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("kernel larger than padded input")
+    # Gather patches with stride tricks, then reshape into a 2-D matrix.
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, out_h, out_w, kernel, kernel, c),
+        strides=(
+            strides[0],
+            strides[1] * stride,
+            strides[2] * stride,
+            strides[1],
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = windows.reshape(n * out_h * out_w, kernel * kernel * c)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to image layout (inverse of im2col)."""
+    n, h, w, c = input_shape
+    padded = np.zeros((n, h + 2 * padding, w + 2 * padding, c), dtype=cols.dtype)
+    windows = cols.reshape(n, out_h, out_w, kernel, kernel, c)
+    for ky in range(kernel):
+        for kx in range(kernel):
+            padded[
+                :, ky : ky + out_h * stride : stride, kx : kx + out_w * stride : stride, :
+            ] += windows[:, :, :, ky, kx, :]
+    if padding > 0:
+        return padded[:, padding:-padding, padding:-padding, :]
+    return padded
+
+
+class Conv2D(Layer):
+    """2-D convolution with square kernels, channels-last layout."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        use_bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("in_channels, out_channels, kernel_size, stride must be positive")
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.use_bias = use_bias
+        fan_in = kernel_size * kernel_size * in_channels
+        self.params["W"] = he_normal((fan_in, out_channels), fan_in, seed)
+        if use_bias:
+            self.params["b"] = zeros_init((out_channels,))
+        self.zero_grads()
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[3] != self.in_channels:
+            raise ValueError(
+                f"expected input of shape (n, h, w, {self.in_channels}), got {x.shape}"
+            )
+        cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
+        out = cols @ self.params["W"]
+        if self.use_bias:
+            out = out + self.params["b"]
+        self._cache = (x.shape, cols, out_h, out_w)
+        return out.reshape(x.shape[0], out_h, out_w, self.out_channels)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, cols, out_h, out_w = self._cache
+        grad = np.asarray(grad_output, dtype=np.float64).reshape(-1, self.out_channels)
+        self.grads["W"] = cols.T @ grad
+        if self.use_bias:
+            self.grads["b"] = grad.sum(axis=0)
+        grad_cols = grad @ self.params["W"].T
+        return col2im(
+            grad_cols,
+            input_shape,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            out_h,
+            out_w,
+        )

@@ -1,0 +1,63 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, zeros_init
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    use_bias:
+        Whether to add a learned bias.
+    seed:
+        Seed for the weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = use_bias
+        self.params["W"] = he_normal((in_features, out_features), in_features, seed)
+        if use_bias:
+            self.params["b"] = zeros_init((out_features,))
+        self.zero_grads()
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (n, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        out = x @ self.params["W"]
+        if self.use_bias:
+            out = out + self.params["b"]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        self.grads["W"] = self._input.T @ grad_output
+        if self.use_bias:
+            self.grads["b"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["W"].T

@@ -1,0 +1,39 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_probability
+
+
+class Dropout(Layer):
+    """Randomly zero a fraction ``rate`` of activations during training.
+
+    Uses inverted dropout (surviving activations are scaled by ``1/(1-rate)``)
+    so inference requires no rescaling.
+    """
+
+    def __init__(self, rate: float = 0.5, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.rate = check_probability(rate, "rate")
+        if self.rate >= 1.0:
+            raise ValueError("rate must be < 1")
+        self._rng = as_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return np.asarray(grad_output, dtype=np.float64)
+        return grad_output * self._mask

@@ -1,0 +1,25 @@
+"""Flatten layer: collapse all non-batch axes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Reshape ``(n, ...)`` inputs to ``(n, prod(...))``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x)
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output).reshape(self._input_shape)

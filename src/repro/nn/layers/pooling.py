@@ -1,0 +1,55 @@
+"""Max pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling over ``pool_size`` x ``pool_size`` windows.
+
+    Inputs whose spatial size is not a multiple of ``pool_size`` are truncated
+    at the bottom/right edge, matching the default behaviour of most
+    frameworks with ``floor`` output sizing.
+    """
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise ValueError(f"expected (n, h, w, c) input, got shape {x.shape}")
+        n, h, w, c = x.shape
+        p = self.pool_size
+        out_h, out_w = h // p, w // p
+        if out_h == 0 or out_w == 0:
+            raise ValueError("input smaller than pooling window")
+        trimmed = x[:, : out_h * p, : out_w * p, :]
+        windows = trimmed.reshape(n, out_h, p, out_w, p, c)
+        out = windows.max(axis=(2, 4))
+        # Cache the argmax mask to route gradients (ties share the gradient).
+        mask = windows == out[:, :, np.newaxis, :, np.newaxis, :]
+        self._cache = (x.shape, mask, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, mask, out_h, out_w = self._cache
+        n, h, w, c = input_shape
+        p = self.pool_size
+        grad = np.asarray(grad_output, dtype=np.float64)
+        counts = mask.sum(axis=(2, 4), keepdims=True)
+        spread = mask * (grad[:, :, np.newaxis, :, np.newaxis, :] / counts)
+        grad_input = np.zeros(input_shape, dtype=np.float64)
+        grad_input[:, : out_h * p, : out_w * p, :] = spread.reshape(
+            n, out_h * p, out_w * p, c
+        )
+        return grad_input

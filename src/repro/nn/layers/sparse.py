@@ -1,0 +1,61 @@
+"""Block-sparse dense layer.
+
+The paper's output layer is *sparsely connected*: output neuron ``j`` reads
+only the ``fan_in`` intermediate bits of its own block (Fig. 4).  For that
+wiring to be effective, the teacher network must already be trained with the
+same connectivity — otherwise the intermediate layer has no reason to make
+block ``j`` informative about class ``j``.  ``BlockSparseDense`` implements
+the masked affine layer used for that purpose: structurally a ``Dense`` layer
+whose weight matrix is constrained to a block-diagonal sparsity pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.dense import Dense
+from repro.utils.rng import SeedLike
+
+
+class BlockSparseDense(Dense):
+    """Affine layer where output ``j`` reads only inputs ``j*fan_in..(j+1)*fan_in``.
+
+    Parameters
+    ----------
+    n_outputs:
+        Number of output neurons (classes).
+    fan_in:
+        Number of consecutive inputs each output neuron reads.  The layer's
+        input width is ``n_outputs * fan_in``.
+    """
+
+    def __init__(self, n_outputs: int, fan_in: int, use_bias: bool = True, seed: SeedLike = None) -> None:
+        if n_outputs <= 0 or fan_in <= 0:
+            raise ValueError("n_outputs and fan_in must be positive")
+        super().__init__(n_outputs * fan_in, n_outputs, use_bias=use_bias, seed=seed)
+        self.fan_in = fan_in
+        mask = np.zeros((self.in_features, self.out_features), dtype=np.float64)
+        for out_index in range(n_outputs):
+            mask[out_index * fan_in : (out_index + 1) * fan_in, out_index] = 1.0
+        self._mask = mask
+        self.params["W"] *= mask
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # keep the weights on the sparsity pattern even if an optimizer nudged
+        # masked entries through numerical noise
+        self.params["W"] *= self._mask
+        return super().forward(x, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_input = super().backward(grad_output)
+        self.grads["W"] *= self._mask
+        return grad_input
+
+    def block_weights(self) -> np.ndarray:
+        """Per-output dense weights of shape ``(n_outputs, fan_in)``."""
+        return np.array(
+            [
+                self.params["W"][j * self.fan_in : (j + 1) * self.fan_in, j]
+                for j in range(self.out_features)
+            ]
+        )

@@ -1,0 +1,70 @@
+"""Loss functions.
+
+The paper trains its vanilla and teacher networks with the squared hinge loss
+(Rosasco et al., 2004), which is what :class:`SquaredHingeLoss` implements;
+:class:`CrossEntropyLoss` is provided for the NDF baseline and for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_labels
+
+
+class Loss:
+    """Base class: ``forward`` returns (loss value, gradient w.r.t. scores)."""
+
+    def forward(self, scores: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    def __call__(self, scores: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        return self.forward(scores, labels)
+
+
+def one_hot_signed(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Encode labels as ±1 one-vs-all targets (the squared-hinge convention)."""
+    labels = check_labels(labels, n_classes)
+    targets = -np.ones((labels.shape[0], n_classes), dtype=np.float64)
+    targets[np.arange(labels.shape[0]), labels] = 1.0
+    return targets
+
+
+class SquaredHingeLoss(Loss):
+    """Multi-class squared hinge loss over ±1 one-vs-all targets.
+
+    ``L = mean_i mean_c max(0, 1 - t_ic * s_ic)^2`` where ``t`` is the signed
+    one-hot target and ``s`` the raw network score.
+    """
+
+    def forward(self, scores: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 2:
+            raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+        targets = one_hot_signed(labels, scores.shape[1])
+        margins = np.maximum(0.0, 1.0 - targets * scores)
+        n = scores.shape[0]
+        loss = float(np.sum(margins**2) / n)
+        grad = (-2.0 * targets * margins) / n
+        return loss, grad
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over integer class labels."""
+
+    def forward(self, scores: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 2:
+            raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+        labels = check_labels(labels, scores.shape[1])
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        n = scores.shape[0]
+        log_likelihood = -np.log(probs[np.arange(n), labels] + 1e-12)
+        loss = float(log_likelihood.mean())
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        return loss, grad / n

@@ -1,0 +1,97 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Sequential:
+    """A linear stack of layers with explicit forward/backward passes.
+
+    The model exposes ``predict_scores`` (raw outputs), ``predict`` (argmax
+    class labels) and ``activations_at`` (the output of an intermediate layer,
+    used to harvest binary features / intermediate-layer targets for the RINC
+    training stage).
+    """
+
+    def __init__(self, layers: Iterable[Layer]) -> None:
+        self.layers: List[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential requires at least one layer")
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(layer.n_parameters for layer in self.layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict_scores(self, x: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Raw output scores, optionally computed in mini-batches."""
+        if batch_size is None:
+            return self.forward(x, training=False)
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size], training=False))
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, x: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Predicted class labels (argmax over scores)."""
+        return np.argmax(self.predict_scores(x, batch_size=batch_size), axis=1)
+
+    def activations_at(
+        self, x: np.ndarray, layer_index: int, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Output of ``self.layers[layer_index]`` for input ``x`` (inference mode)."""
+        if not -len(self.layers) <= layer_index < len(self.layers):
+            raise IndexError(f"layer_index {layer_index} out of range")
+        if layer_index < 0:
+            layer_index += len(self.layers)
+
+        def _run(batch: np.ndarray) -> np.ndarray:
+            out = batch
+            for layer in self.layers[: layer_index + 1]:
+                out = layer.forward(out, training=False)
+            return out
+
+        if batch_size is None:
+            return _run(x)
+        return np.concatenate(
+            [_run(x[s : s + batch_size]) for s in range(0, x.shape[0], batch_size)], axis=0
+        )
+
+    def get_parameters(self) -> List[dict]:
+        """Deep copy of all layer parameters (for checkpointing in tests)."""
+        return [
+            {name: value.copy() for name, value in layer.params.items()}
+            for layer in self.layers
+        ]
+
+    def set_parameters(self, parameters: List[dict]) -> None:
+        """Restore parameters captured by :meth:`get_parameters`."""
+        if len(parameters) != len(self.layers):
+            raise ValueError("parameter list length does not match layer count")
+        for layer, saved in zip(self.layers, parameters):
+            if set(saved) != set(layer.params):
+                raise ValueError("parameter names do not match layer parameters")
+            for name, value in saved.items():
+                if layer.params[name].shape != value.shape:
+                    raise ValueError(f"shape mismatch for parameter {name!r}")
+                layer.params[name] = value.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential([{inner}])"

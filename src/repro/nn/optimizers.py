@@ -1,0 +1,94 @@
+"""Gradient-based optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Optimizer:
+    """Base optimizer over a list of layers."""
+
+    def __init__(self, layers: Iterable[Layer], learning_rate: float = 1e-3) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.layers: List[Layer] = [layer for layer in layers if layer.params]
+        self.learning_rate = learning_rate
+
+    def step(self) -> None:
+        """Apply one update using the gradients stored on each layer."""
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        layers: Iterable[Layer],
+        learning_rate: float = 1e-2,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(layers, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        self.momentum = momentum
+        self._velocity: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in self.layers
+        ]
+
+    def step(self) -> None:
+        for layer, velocity in zip(self.layers, self._velocity):
+            for name, value in layer.params.items():
+                grad = layer.grads[name]
+                velocity[name] = self.momentum * velocity[name] - self.learning_rate * grad
+                value += velocity[name]
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015), as used by the paper."""
+
+    def __init__(
+        self,
+        layers: Iterable[Layer],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(layers, learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must lie in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._t = 0
+        self._m: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in self.layers
+        ]
+        self._v: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in self.layers
+        ]
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for layer, m_state, v_state in zip(self.layers, self._m, self._v):
+            for name, value in layer.params.items():
+                grad = layer.grads[name]
+                m_state[name] = self.beta1 * m_state[name] + (1 - self.beta1) * grad
+                v_state[name] = self.beta2 * v_state[name] + (1 - self.beta2) * grad**2
+                m_hat = m_state[name] / bias1
+                v_hat = v_state[name] / bias2
+                value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

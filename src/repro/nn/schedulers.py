@@ -1,0 +1,55 @@
+"""Learning-rate schedules.
+
+The paper uses an exponentially decreasing learning rate; the schedules here
+return the learning rate for a given epoch and are applied by the trainer
+before each epoch.
+"""
+
+from __future__ import annotations
+
+
+class ConstantSchedule:
+    """Always return the base learning rate."""
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.base_lr = base_lr
+
+    def learning_rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.base_lr
+
+
+class ExponentialDecay(ConstantSchedule):
+    """``lr = base_lr * decay**epoch`` (the schedule used by the paper)."""
+
+    def __init__(self, base_lr: float, decay: float = 0.95) -> None:
+        super().__init__(base_lr)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must lie in (0, 1]")
+        self.decay = decay
+
+    def learning_rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.base_lr * self.decay**epoch
+
+
+class StepDecay(ConstantSchedule):
+    """Divide the learning rate by ``factor`` every ``step_size`` epochs."""
+
+    def __init__(self, base_lr: float, step_size: int = 10, factor: float = 10.0) -> None:
+        super().__init__(base_lr)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if factor <= 1.0:
+            raise ValueError("factor must exceed 1")
+        self.step_size = step_size
+        self.factor = factor
+
+    def learning_rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.base_lr / self.factor ** (epoch // self.step_size)

@@ -1,0 +1,126 @@
+"""Mini-batch trainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layers.binary import BinaryDense
+from repro.nn.losses import Loss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Optimizer
+from repro.nn.schedulers import ConstantSchedule
+from repro.utils.metrics import accuracy
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_consistent_lengths
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.train_loss)
+
+    def best_val_accuracy(self) -> float:
+        if not self.val_accuracy:
+            raise ValueError("no validation accuracy recorded")
+        return max(self.val_accuracy)
+
+
+class Trainer:
+    """Trains a :class:`Sequential` model with mini-batch gradient descent.
+
+    Parameters
+    ----------
+    model, loss, optimizer:
+        The model, loss function and optimizer to use.
+    schedule:
+        Optional learning-rate schedule; when provided the optimizer's
+        learning rate is set from it at the start of every epoch.
+    clip_binary_weights:
+        When True, shadow weights of :class:`BinaryDense` layers are clipped
+        to [-1, 1] after each update (the BinaryNet training recipe).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: Loss,
+        optimizer: Optimizer,
+        schedule: Optional[ConstantSchedule] = None,
+        clip_binary_weights: bool = False,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.clip_binary_weights = clip_binary_weights
+        self._rng = as_rng(seed)
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 64,
+        X_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` epochs and return the training history."""
+        X = np.asarray(X)
+        y = np.asarray(y)
+        check_consistent_lengths(X=X, y=y)
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        history = TrainingHistory()
+        n = X.shape[0]
+        for epoch in range(epochs):
+            if self.schedule is not None:
+                self.optimizer.learning_rate = self.schedule.learning_rate(epoch)
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                scores = self.model.forward(X[idx], training=True)
+                batch_loss, grad = self.loss(scores, y[idx])
+                self.optimizer.zero_grads()
+                self.model.backward(grad)
+                self.optimizer.step()
+                if self.clip_binary_weights:
+                    for layer in self.model.layers:
+                        if isinstance(layer, BinaryDense):
+                            layer.clip_weights()
+                epoch_loss += batch_loss
+                n_batches += 1
+            history.train_loss.append(epoch_loss / max(1, n_batches))
+            history.learning_rates.append(self.optimizer.learning_rate)
+            history.train_accuracy.append(accuracy(y, self.model.predict(X, batch_size=256)))
+            if X_val is not None and y_val is not None:
+                history.val_accuracy.append(
+                    accuracy(y_val, self.model.predict(X_val, batch_size=256))
+                )
+            if verbose:  # pragma: no cover - logging only
+                msg = (
+                    f"epoch {epoch + 1}/{epochs}: loss={history.train_loss[-1]:.4f} "
+                    f"train_acc={history.train_accuracy[-1]:.4f}"
+                )
+                if history.val_accuracy:
+                    msg += f" val_acc={history.val_accuracy[-1]:.4f}"
+                print(msg)
+        return history
+
+    def evaluate(self, X: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        """Accuracy of the current model on (X, y)."""
+        return accuracy(y, self.model.predict(X, batch_size=batch_size))

@@ -1,0 +1,24 @@
+"""Decision-tree substrates.
+
+* :mod:`repro.trees.entropy` — weighted entropy / information-gain helpers.
+* :mod:`repro.trees.classic_tree` — a conventional node-wise greedy decision
+  tree (the "off-the-shelf" style of tree used by the POLYBiNN baseline).
+* :mod:`repro.trees.level_tree` — the paper's modified *level-wise* decision
+  tree (Algorithm 1), the building block of the RINC-0 module.
+"""
+
+from repro.trees.classic_tree import ClassicDecisionTree
+from repro.trees.entropy import (
+    binary_entropy,
+    entropy_from_counts,
+    weighted_label_entropy,
+)
+from repro.trees.level_tree import LevelWiseDecisionTree
+
+__all__ = [
+    "ClassicDecisionTree",
+    "LevelWiseDecisionTree",
+    "binary_entropy",
+    "entropy_from_counts",
+    "weighted_label_entropy",
+]

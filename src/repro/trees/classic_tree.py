@@ -1,0 +1,168 @@
+"""Conventional node-wise greedy decision tree over binary features.
+
+This is the "off-the-shelf" style of decision tree the paper contrasts with
+its level-wise variant: each node picks its own best feature, growth is
+bounded by ``max_depth`` and/or ``max_nodes``, and different branches may use
+different features (so the tree does *not* map to a single LUT).  It is used
+by the POLYBiNN baseline and as the reference point for the RINC-0 capacity
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.trees.entropy import entropy_from_counts
+from repro.utils.validation import (
+    check_binary_matrix,
+    check_binary_vector,
+    check_consistent_lengths,
+)
+
+
+@dataclass
+class _Node:
+    """One node of the fitted tree."""
+
+    prediction: int
+    feature: int = -1  # -1 marks a leaf
+    left: Optional["_Node"] = None  # feature == 0 branch
+    right: Optional["_Node"] = None  # feature == 1 branch
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class ClassicDecisionTree:
+    """Greedy entropy-minimising binary decision tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    max_nodes:
+        Optional cap on the total number of internal nodes.
+    min_samples_split:
+        Minimum weighted fraction of samples required to split a node.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        max_nodes: Optional[int] = None,
+        min_samples_split: float = 1e-9,
+    ) -> None:
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        if max_nodes is not None and max_nodes <= 0:
+            raise ValueError("max_nodes must be positive when given")
+        self.max_depth = max_depth
+        self.max_nodes = max_nodes
+        self.min_samples_split = min_samples_split
+        self.root_: Optional[_Node] = None
+        self.n_internal_nodes_ = 0
+        self.depth_ = 0
+
+    # ------------------------------------------------------------------ fit
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "ClassicDecisionTree":
+        X = check_binary_matrix(X, "X")
+        y = check_binary_vector(y, "y")
+        check_consistent_lengths(X=X, y=y)
+        n_samples = X.shape[0]
+        if n_samples == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if sample_weight is None:
+            weights = np.full(n_samples, 1.0 / n_samples)
+        else:
+            weights = np.asarray(sample_weight, dtype=np.float64)
+            if weights.shape != (n_samples,):
+                raise ValueError("sample_weight must have shape (n_samples,)")
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError("sample weights must be non-negative and not all zero")
+        self.n_internal_nodes_ = 0
+        self.depth_ = 0
+        self.root_ = self._build(X, y.astype(np.int64), weights, depth=0)
+        return self
+
+    def _majority(self, y: np.ndarray, weights: np.ndarray) -> int:
+        w1 = float(weights[y == 1].sum())
+        w0 = float(weights[y == 0].sum())
+        return 1 if w0 <= w1 else 0
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, weights: np.ndarray, depth: int
+    ) -> _Node:
+        prediction = self._majority(y, weights)
+        self.depth_ = max(self.depth_, depth)
+        total = weights.sum()
+        if (
+            depth >= self.max_depth
+            or total <= self.min_samples_split
+            or len(np.unique(y)) < 2
+            or (self.max_nodes is not None and self.n_internal_nodes_ >= self.max_nodes)
+        ):
+            return _Node(prediction=prediction)
+
+        # choose the feature whose split minimises weighted entropy
+        best_feature = -1
+        best_entropy = np.inf
+        for feat in range(X.shape[1]):
+            bits = X[:, feat].astype(np.int64)
+            counts = np.bincount(bits * 2 + y, weights=weights, minlength=4).reshape(2, 2)
+            branch_totals = counts.sum(axis=1)
+            entropy = float(np.dot(branch_totals, entropy_from_counts(counts)))
+            if entropy < best_entropy - 1e-15:
+                best_entropy = entropy
+                best_feature = feat
+        if best_feature < 0:
+            return _Node(prediction=prediction)
+
+        mask = X[:, best_feature] == 1
+        if mask.all() or (~mask).all():
+            return _Node(prediction=prediction)
+
+        self.n_internal_nodes_ += 1
+        node = _Node(prediction=prediction, feature=best_feature)
+        node.left = self._build(X[~mask], y[~mask], weights[~mask], depth + 1)
+        node.right = self._build(X[mask], y[mask], weights[mask], depth + 1)
+        return node
+
+    # -------------------------------------------------------------- predict
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.root_ is None:
+            raise RuntimeError("this tree has not been fitted yet")
+        X = check_binary_matrix(X, "X")
+        out = np.empty(X.shape[0], dtype=np.uint8)
+        for i in range(X.shape[0]):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.right if X[i, node.feature] == 1 else node.left
+            out[i] = node.prediction
+        return out
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Unweighted accuracy on (X, y)."""
+        y = check_binary_vector(y, "y")
+        return float(np.mean(self.predict(X) == y))
+
+    def count_distinct_features(self) -> int:
+        """Number of distinct features referenced anywhere in the tree."""
+        if self.root_ is None:
+            raise RuntimeError("this tree has not been fitted yet")
+        features: set[int] = set()
+        stack = [self.root_]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                features.add(node.feature)
+                stack.extend([node.left, node.right])
+        return len(features)

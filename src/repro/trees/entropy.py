@@ -1,0 +1,60 @@
+"""Entropy helpers for decision-tree training.
+
+All entropies are base-2 (bits) and accept non-negative *weights* rather than
+counts, because the boosted trees of the RINC architecture are trained on
+AdaBoost-reweighted samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def binary_entropy(p: np.ndarray) -> np.ndarray:
+    """Entropy of a Bernoulli(p) variable, elementwise, in bits.
+
+    ``p`` values of exactly 0 or 1 give zero entropy (the ``0 log 0 = 0``
+    convention).
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    out = np.zeros_like(p)
+    interior = (p > 0) & (p < 1)
+    pi = p[interior]
+    out[interior] = -(pi * np.log2(pi) + (1 - pi) * np.log2(1 - pi))
+    return out
+
+
+def entropy_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Entropy (bits) of distributions given as rows of non-negative weights.
+
+    Parameters
+    ----------
+    counts:
+        Array of shape ``(..., n_classes)``.  Rows that sum to zero (empty
+        nodes) have zero entropy.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    totals = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        probs = np.where(totals > 0, counts / np.where(totals > 0, totals, 1.0), 0.0)
+        log_terms = np.where(probs > 0, probs * np.log2(probs), 0.0)
+    return -log_terms.sum(axis=-1)
+
+
+def weighted_label_entropy(y: np.ndarray, sample_weight: np.ndarray) -> float:
+    """Weighted entropy (bits) of a binary label vector."""
+    y = np.asarray(y)
+    w = np.asarray(sample_weight, dtype=np.float64)
+    if y.shape != w.shape:
+        raise ValueError("y and sample_weight must have the same shape")
+    if np.any(w < 0):
+        raise ValueError("sample weights must be non-negative")
+    total = w.sum()
+    if total == 0:
+        return 0.0
+    w1 = float(w[y == 1].sum())
+    return float(binary_entropy(np.array(w1 / total)))

@@ -1,0 +1,77 @@
+"""Classification metrics used by experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import check_consistent_lengths
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions equal to the reference labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_consistent_lengths(y_true=y_true, y_pred=y_pred)
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Complement of :func:`accuracy`."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def binary_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Accuracy for 0/1 targets; validates that inputs really are binary."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    for name, arr in (("y_true", y_true), ("y_pred", y_pred)):
+        uniq = np.unique(arr)
+        if not np.all(np.isin(uniq, (0, 1))):
+            raise ValueError(f"{name} must only contain 0/1 values, got {uniq}")
+    return accuracy(y_true, y_pred)
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class ``i`` predicted ``j``."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    check_consistent_lengths(y_true=y_true, y_pred=y_pred)
+    if y_true.size and (y_true.min() < 0 or y_pred.min() < 0):
+        raise ValueError("labels must be non-negative integers")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=-1), y_pred.max(initial=-1))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def classification_report(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> Dict[str, np.ndarray | float]:
+    """Per-class precision/recall/F1 plus overall accuracy.
+
+    Returns a dictionary with keys ``precision``, ``recall``, ``f1`` (arrays of
+    length ``n_classes``) and ``accuracy`` (float).  Classes with no support or
+    no predictions get a score of 0 rather than NaN.
+    """
+    cm = confusion_matrix(y_true, y_pred, n_classes=n_classes)
+    true_pos = np.diag(cm).astype(np.float64)
+    pred_counts = cm.sum(axis=0).astype(np.float64)
+    true_counts = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(pred_counts > 0, true_pos / pred_counts, 0.0)
+        recall = np.where(true_counts > 0, true_pos / true_counts, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return {
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+        "accuracy": accuracy(y_true, y_pred),
+    }

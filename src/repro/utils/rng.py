@@ -1,0 +1,48 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts a ``seed`` argument that may
+be ``None``, an integer, or an existing :class:`numpy.random.Generator`.  The
+helpers here normalise that argument so components never share hidden global
+state and experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic generator, or
+        an existing :class:`numpy.random.Generator` which is returned as-is.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int or numpy Generator, got {type(seed)!r}")
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``count`` independent generators.
+
+    Used when a composite model (e.g. a hierarchical RINC classifier) trains
+    several stochastic sub-components and each must be independently seeded.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = as_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,20 @@
+"""Shared multiclass binary-feature task for baseline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_binary_intermediate_task
+
+
+@pytest.fixture(scope="package")
+def multiclass_task():
+    return make_binary_intermediate_task(
+        n_train=1500,
+        n_test=400,
+        n_features=96,
+        n_classes=5,
+        n_hidden=24,
+        n_active=10,
+        seed=17,
+    )

@@ -1,0 +1,71 @@
+"""Tests for the BinaryNet baseline classifier."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BinaryNetClassifier
+from repro.nn.layers.binary import BinaryDense
+
+
+class TestTraining:
+    def test_learns_multiclass_task(self, multiclass_task):
+        data = multiclass_task
+        clf = BinaryNetClassifier(
+            n_classes=5, hidden_sizes=(64,), epochs=15, seed=0
+        ).fit(data.X_train, data.y_train)
+        assert clf.score(data.X_test, data.y_test) > 0.5
+
+    def test_shadow_weights_clipped(self, multiclass_task):
+        data = multiclass_task
+        clf = BinaryNetClassifier(
+            n_classes=5, hidden_sizes=(32,), epochs=3, seed=0
+        ).fit(data.X_train, data.y_train)
+        for layer in clf.model_.layers:
+            if isinstance(layer, BinaryDense):
+                assert np.all(np.abs(layer.params["W"]) <= 1.0 + 1e-12)
+
+    def test_prediction_labels_in_range(self, multiclass_task):
+        data = multiclass_task
+        clf = BinaryNetClassifier(
+            n_classes=5, hidden_sizes=(32,), epochs=2, seed=0
+        ).fit(data.X_train, data.y_train)
+        preds = clf.predict(data.X_test)
+        assert preds.min() >= 0 and preds.max() < 5
+
+    def test_layer_sizes_for_energy_model(self, multiclass_task):
+        data = multiclass_task
+        clf = BinaryNetClassifier(
+            n_classes=5, hidden_sizes=(64, 32), epochs=2, seed=0
+        ).fit(data.X_train, data.y_train)
+        assert clf.binary_neuron_layer_sizes() == [96, 64, 32, 5]
+
+
+class TestXnorPopcountPath:
+    def test_matches_float_inference(self, multiclass_task):
+        """The integer-only XNOR/popcount path reproduces the float predictions."""
+        data = multiclass_task
+        clf = BinaryNetClassifier(
+            n_classes=5, hidden_sizes=(48,), epochs=4, seed=1
+        ).fit(data.X_train, data.y_train)
+        labels_int, hidden_bits = clf.predict_with_xnor_popcount(data.X_test)
+        np.testing.assert_array_equal(labels_int, clf.predict(data.X_test))
+        assert set(np.unique(hidden_bits)) <= {0, 1}
+
+
+class TestValidation:
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            BinaryNetClassifier(n_classes=1)
+        with pytest.raises(ValueError):
+            BinaryNetClassifier(n_classes=3, hidden_sizes=())
+        with pytest.raises(ValueError):
+            BinaryNetClassifier(n_classes=3, epochs=0)
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            BinaryNetClassifier(n_classes=3).predict(np.zeros((2, 4), dtype=np.uint8))
+
+    def test_non_binary_features_rejected(self, multiclass_task):
+        clf = BinaryNetClassifier(n_classes=5, epochs=1)
+        with pytest.raises(ValueError):
+            clf.fit(multiclass_task.X_train.astype(float) + 0.5, multiclass_task.y_train)

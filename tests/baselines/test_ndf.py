@@ -1,0 +1,68 @@
+"""Tests for the Neural Decision Forest baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NeuralDecisionForest
+
+
+class TestRouting:
+    def test_leaf_probabilities_sum_to_one(self, multiclass_task):
+        data = multiclass_task
+        forest = NeuralDecisionForest(n_classes=5, n_trees=2, depth=3, epochs=1, seed=0)
+        forest.fit(data.X_train[:200], data.y_train[:200])
+        mu = forest.trees_[0].routing(
+            2.0 * data.X_test[:50].astype(np.float64) - 1.0
+        )
+        np.testing.assert_allclose(mu.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_leaf_distributions_are_distributions(self, multiclass_task):
+        data = multiclass_task
+        forest = NeuralDecisionForest(n_classes=5, n_trees=2, depth=3, epochs=2, seed=0)
+        forest.fit(data.X_train[:300], data.y_train[:300])
+        for tree in forest.trees_:
+            np.testing.assert_allclose(tree.leaf_distributions.sum(axis=1), 1.0, atol=1e-9)
+            assert np.all(tree.leaf_distributions >= 0)
+
+    def test_predict_proba_normalised(self, multiclass_task):
+        data = multiclass_task
+        forest = NeuralDecisionForest(n_classes=5, n_trees=2, depth=3, epochs=1, seed=0)
+        forest.fit(data.X_train[:200], data.y_train[:200])
+        probs = forest.predict_proba(data.X_test[:30])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-6)
+
+
+class TestTraining:
+    def test_learns_multiclass_task(self, multiclass_task):
+        data = multiclass_task
+        forest = NeuralDecisionForest(
+            n_classes=5, n_trees=3, depth=4, epochs=8, learning_rate=0.2, seed=0
+        ).fit(data.X_train, data.y_train)
+        assert forest.score(data.X_test, data.y_test) > 0.45
+
+    def test_training_improves_over_initialisation(self, multiclass_task):
+        data = multiclass_task
+        untrained = NeuralDecisionForest(n_classes=5, n_trees=2, depth=3, epochs=1, seed=0)
+        untrained.fit(data.X_train[:50], data.y_train[:50])  # barely trained
+        trained = NeuralDecisionForest(
+            n_classes=5, n_trees=2, depth=3, epochs=8, learning_rate=0.2, seed=0
+        ).fit(data.X_train, data.y_train)
+        assert trained.score(data.X_test, data.y_test) >= untrained.score(
+            data.X_test, data.y_test
+        )
+
+
+class TestValidation:
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            NeuralDecisionForest(n_classes=1)
+        with pytest.raises(ValueError):
+            NeuralDecisionForest(n_classes=3, n_trees=0)
+        with pytest.raises(ValueError):
+            NeuralDecisionForest(n_classes=3, depth=12)
+        with pytest.raises(ValueError):
+            NeuralDecisionForest(n_classes=3, epochs=0)
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            NeuralDecisionForest(n_classes=3).predict(np.zeros((2, 4), dtype=np.uint8))

@@ -1,0 +1,61 @@
+"""Tests for the POLYBiNN-style decision-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import POLYBiNNClassifier
+
+
+class TestTraining:
+    def test_learns_multiclass_task(self, multiclass_task):
+        data = multiclass_task
+        clf = POLYBiNNClassifier(
+            n_classes=5, n_trees_per_class=4, max_depth=5, seed=0
+        ).fit(data.X_train, data.y_train)
+        assert clf.score(data.X_test, data.y_test) > 0.4
+
+    def test_decision_scores_shape(self, multiclass_task):
+        data = multiclass_task
+        clf = POLYBiNNClassifier(n_classes=5, n_trees_per_class=2, max_depth=4).fit(
+            data.X_train, data.y_train
+        )
+        scores = clf.decision_scores(data.X_test[:20])
+        assert scores.shape == (20, 5)
+
+    def test_total_trees(self, multiclass_task):
+        data = multiclass_task
+        clf = POLYBiNNClassifier(n_classes=5, n_trees_per_class=3, max_depth=4).fit(
+            data.X_train, data.y_train
+        )
+        assert clf.total_trees() == 15
+
+    def test_trees_use_many_distinct_features(self, multiclass_task):
+        """Off-the-shelf trees touch more distinct features than their depth.
+
+        This is the structural difference the paper points out versus the
+        level-wise RINC-0 trees (which use exactly P distinct features).
+        """
+        data = multiclass_task
+        clf = POLYBiNNClassifier(n_classes=5, n_trees_per_class=2, max_depth=5).fit(
+            data.X_train, data.y_train
+        )
+        assert clf.max_distinct_features_per_tree() > 5
+
+
+class TestValidation:
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            POLYBiNNClassifier(n_classes=1)
+        with pytest.raises(ValueError):
+            POLYBiNNClassifier(n_classes=3, n_trees_per_class=0)
+        with pytest.raises(ValueError):
+            POLYBiNNClassifier(n_classes=3, max_depth=0)
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            POLYBiNNClassifier(n_classes=3).predict(np.zeros((2, 4), dtype=np.uint8))
+
+    def test_labels_out_of_range_rejected(self, multiclass_task):
+        clf = POLYBiNNClassifier(n_classes=3)
+        with pytest.raises(ValueError):
+            clf.fit(multiclass_task.X_train, multiclass_task.y_train)  # labels go to 4

@@ -1,0 +1,128 @@
+"""Tests for the discrete AdaBoost implementation."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import AdaBoost
+from repro.datasets import make_binary_parity_task, make_binary_teacher_task
+from repro.trees import LevelWiseDecisionTree
+
+
+def _stump_factory(_round_index):
+    return LevelWiseDecisionTree(n_inputs=1)
+
+
+def _tree_factory(n_inputs):
+    def factory(_round_index):
+        return LevelWiseDecisionTree(n_inputs=n_inputs)
+
+    return factory
+
+
+class TestFit:
+    def test_number_of_rounds(self):
+        data = make_binary_teacher_task(n_train=300, n_test=50, n_features=32, seed=0)
+        booster = AdaBoost(_stump_factory, n_rounds=5).fit(data.X_train, data.y_train)
+        assert len(booster.rounds_) == 5
+        assert booster.alphas_.shape == (5,)
+
+    def test_boosting_beats_single_stump(self):
+        data = make_binary_teacher_task(
+            n_train=1200, n_test=400, n_features=48, n_active=12, seed=1
+        )
+        stump = LevelWiseDecisionTree(n_inputs=1).fit(data.X_train, data.y_train)
+        booster = AdaBoost(_stump_factory, n_rounds=12).fit(data.X_train, data.y_train)
+        assert booster.score(data.X_test, data.y_test) > stump.score(data.X_test, data.y_test)
+
+    def test_boosting_aggregates_majority_vote_task(self):
+        """Boosted small trees approach the majority-vote labels that need many features."""
+        from repro.datasets import make_correlated_binary_task
+
+        data = make_correlated_binary_task(
+            n_train=2500, n_test=500, n_blocks=9, block_size=4, flip_prob=0.05, seed=2
+        )
+        single = LevelWiseDecisionTree(n_inputs=3).fit(data.X_train, data.y_train)
+        booster = AdaBoost(_tree_factory(3), n_rounds=10).fit(data.X_train, data.y_train)
+        assert booster.score(data.X_test, data.y_test) >= 0.8
+        assert (
+            booster.score(data.X_test, data.y_test)
+            >= single.score(data.X_test, data.y_test) - 1e-9
+        )
+
+    def test_greedy_trees_cannot_solve_parity(self):
+        """Documented limitation: greedy entropy selection misses pure-XOR bits.
+
+        Neither a single level-wise tree nor its boosted ensemble can find the
+        parity support because each parity bit has zero marginal information
+        gain; this mirrors the behaviour of the paper's greedy Algorithm 1.
+        """
+        data = make_binary_parity_task(
+            n_train=1500, n_test=300, n_features=16, parity_bits=2, seed=2
+        )
+        booster = AdaBoost(_tree_factory(2), n_rounds=8).fit(data.X_train, data.y_train)
+        assert booster.score(data.X_test, data.y_test) < 0.75
+
+    def test_alphas_positive_for_better_than_chance(self):
+        data = make_binary_teacher_task(n_train=400, n_test=50, n_features=32, seed=3)
+        booster = AdaBoost(_tree_factory(3), n_rounds=4).fit(data.X_train, data.y_train)
+        assert np.all(booster.alphas_ >= 0)
+        assert booster.alphas_[0] > 0
+
+    def test_perfect_learner_gets_finite_alpha(self, rng):
+        X = (rng.random((200, 8)) < 0.5).astype(np.uint8)
+        y = X[:, 0].astype(np.int64)  # a 1-input tree is perfect
+        booster = AdaBoost(_stump_factory, n_rounds=3).fit(X, y)
+        assert np.isfinite(booster.alphas_).all()
+        assert booster.score(X, y) == 1.0
+
+    def test_initial_sample_weights_respected(self, rng):
+        n = 800
+        X = (rng.random((n, 8)) < 0.5).astype(np.uint8)
+        y = np.concatenate([X[: n // 2, 0], X[n // 2 :, 5]]).astype(np.int64)
+        w = np.concatenate([np.full(n // 2, 1.0), np.full(n // 2, 1e-9)])
+        booster = AdaBoost(_stump_factory, n_rounds=1).fit(X, y, sample_weight=w)
+        assert booster.rounds_[0].learner.feature_indices_[0] == 0
+
+    def test_staged_scores_monotone_tail(self):
+        data = make_binary_teacher_task(n_train=800, n_test=100, n_features=32, seed=4)
+        booster = AdaBoost(_tree_factory(2), n_rounds=6).fit(data.X_train, data.y_train)
+        staged = booster.staged_scores(data.X_train, data.y_train)
+        assert staged.shape == (6,)
+        assert staged[-1] >= staged[0] - 0.05
+
+
+class TestValidation:
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            AdaBoost(_stump_factory, n_rounds=0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            AdaBoost(_stump_factory, n_rounds=2, epsilon=0.0)
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            AdaBoost(_stump_factory, n_rounds=2).predict(np.zeros((1, 4), dtype=np.uint8))
+
+    def test_bad_sample_weights(self, rng):
+        X = (rng.random((20, 4)) < 0.5).astype(np.uint8)
+        y = (rng.random(20) < 0.5).astype(np.int64)
+        with pytest.raises(ValueError):
+            AdaBoost(_stump_factory, n_rounds=2).fit(X, y, sample_weight=np.ones(3))
+
+    def test_non_binary_labels_rejected(self, rng):
+        X = (rng.random((20, 4)) < 0.5).astype(np.uint8)
+        with pytest.raises(ValueError):
+            AdaBoost(_stump_factory, n_rounds=2).fit(X, np.full(20, 2))
+
+
+class TestWeakLearnerAtChance:
+    def test_chance_learner_gets_zero_alpha(self, rng):
+        """Labels independent of features: weak learners stay at chance."""
+        X = (rng.random((500, 6)) < 0.5).astype(np.uint8)
+        y = (rng.random(500) < 0.5).astype(np.int64)
+        booster = AdaBoost(_stump_factory, n_rounds=4).fit(X, y)
+        # at least the structure is preserved even when learning is impossible
+        assert len(booster.rounds_) == 4
+        preds = booster.predict(X)
+        assert set(np.unique(preds)) <= {0, 1}

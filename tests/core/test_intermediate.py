@@ -1,0 +1,75 @@
+"""Tests for the intermediate-layer extraction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.intermediate import (
+    binary_activations,
+    extract_binary_features,
+    extract_intermediate_targets,
+    find_layer_indices,
+)
+from repro.nn import BinarySigmoid, Dense, ReLU, Sequential
+
+
+@pytest.fixture
+def teacher_like_model():
+    return Sequential(
+        [
+            Dense(10, 16, seed=0),
+            BinarySigmoid(),  # binary features
+            Dense(16, 8, seed=1),
+            ReLU(),
+            Dense(8, 6, seed=2),
+            BinarySigmoid(),  # intermediate layer
+            Dense(6, 3, seed=3),
+        ]
+    )
+
+
+class TestFindLayerIndices:
+    def test_finds_both_binary_sigmoids(self, teacher_like_model):
+        assert find_layer_indices(teacher_like_model, BinarySigmoid) == [1, 5]
+
+    def test_empty_when_absent(self, teacher_like_model):
+        from repro.nn import Dropout
+
+        assert find_layer_indices(teacher_like_model, Dropout) == []
+
+
+class TestBinaryActivations:
+    def test_returns_uint8_binary(self, teacher_like_model, rng):
+        X = rng.normal(size=(20, 10))
+        acts = binary_activations(teacher_like_model, X, 1)
+        assert acts.dtype == np.uint8
+        assert set(np.unique(acts)) <= {0, 1}
+
+    def test_rejects_non_binary_layer(self, teacher_like_model, rng):
+        X = rng.normal(size=(5, 10))
+        with pytest.raises(ValueError):
+            binary_activations(teacher_like_model, X, 0)
+
+
+class TestExtractors:
+    def test_features_and_targets_shapes(self, teacher_like_model, rng):
+        X = rng.normal(size=(30, 10))
+        features = extract_binary_features(teacher_like_model, X)
+        targets = extract_intermediate_targets(teacher_like_model, X)
+        assert features.shape == (30, 16)
+        assert targets.shape == (30, 6)
+
+    def test_features_require_binary_sigmoid(self, rng):
+        model = Sequential([Dense(4, 3, seed=0), ReLU()])
+        with pytest.raises(ValueError):
+            extract_binary_features(model, rng.normal(size=(5, 4)))
+
+    def test_targets_require_two_binary_layers(self, rng):
+        model = Sequential([Dense(4, 3, seed=0), BinarySigmoid(), Dense(3, 2, seed=1)])
+        with pytest.raises(ValueError):
+            extract_intermediate_targets(model, rng.normal(size=(5, 4)))
+
+    def test_batched_extraction_consistent(self, teacher_like_model, rng):
+        X = rng.normal(size=(50, 10))
+        full = extract_binary_features(teacher_like_model, X, batch_size=256)
+        small = extract_binary_features(teacher_like_model, X, batch_size=7)
+        np.testing.assert_array_equal(full, small)

@@ -1,0 +1,129 @@
+"""Tests for the LUT netlist container."""
+
+import numpy as np
+import pytest
+
+from repro.core import LUTNetlist
+from repro.core.netlist import is_primary_input, primary_input, primary_input_index
+
+
+class TestSignalNames:
+    def test_round_trip(self):
+        assert primary_input_index(primary_input(17)) == 17
+
+    def test_is_primary_input(self):
+        assert is_primary_input("in3")
+        assert not is_primary_input("node_1")
+        assert not is_primary_input("input")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            primary_input(-1)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            primary_input_index("foo")
+
+
+def _xor_netlist():
+    """Small two-level netlist: out = (in0 XOR in1) AND in2."""
+    netlist = LUTNetlist(n_primary_inputs=3)
+    netlist.add_node("xor01", "rinc0", ["in0", "in1"], np.array([0, 1, 1, 0]))
+    netlist.add_node("and2", "mat", ["xor01", "in2"], np.array([0, 0, 0, 1]))
+    netlist.mark_output("and2")
+    return netlist
+
+
+class TestBuilding:
+    def test_duplicate_name_rejected(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node("a", "rinc0", ["in0"], np.array([0, 1]))
+        with pytest.raises(ValueError):
+            netlist.add_node("a", "rinc0", ["in1"], np.array([0, 1]))
+
+    def test_unknown_signal_rejected(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        with pytest.raises(ValueError):
+            netlist.add_node("a", "mat", ["ghost"], np.array([0, 1]))
+
+    def test_primary_input_out_of_range(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        with pytest.raises(ValueError):
+            netlist.add_node("a", "rinc0", ["in5"], np.array([0, 1]))
+
+    def test_table_size_validated(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        with pytest.raises(ValueError):
+            netlist.add_node("a", "rinc0", ["in0", "in1"], np.array([0, 1]))
+
+    def test_duplicate_input_signals_rejected(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        with pytest.raises(ValueError):
+            netlist.add_node("a", "rinc0", ["in0", "in0"], np.array([0, 1, 1, 0]))
+
+    def test_mark_unknown_output_rejected(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        with pytest.raises(ValueError):
+            netlist.mark_output("nope")
+
+    def test_invalid_primary_input_count(self):
+        with pytest.raises(ValueError):
+            LUTNetlist(n_primary_inputs=0)
+
+    def test_get_node(self):
+        netlist = _xor_netlist()
+        assert netlist.get_node("xor01").kind == "rinc0"
+        with pytest.raises(KeyError):
+            netlist.get_node("missing")
+
+
+class TestEvaluation:
+    def test_evaluate_known_function(self):
+        netlist = _xor_netlist()
+        X = np.array(
+            [[0, 0, 1], [0, 1, 1], [1, 0, 0], [1, 1, 1]], dtype=np.uint8
+        )
+        out = netlist.evaluate_outputs(X)
+        np.testing.assert_array_equal(out[:, 0], [0, 1, 0, 0])
+
+    def test_wrong_input_width_rejected(self):
+        netlist = _xor_netlist()
+        with pytest.raises(ValueError):
+            netlist.evaluate(np.zeros((2, 5), dtype=np.uint8))
+
+    def test_no_outputs_declared(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node("a", "rinc0", ["in0"], np.array([0, 1]))
+        with pytest.raises(RuntimeError):
+            netlist.evaluate_outputs(np.zeros((1, 2), dtype=np.uint8))
+
+    def test_primary_input_as_output(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node("a", "rinc0", ["in0"], np.array([0, 1]))
+        netlist.mark_output("in1")
+        X = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        np.testing.assert_array_equal(netlist.evaluate_outputs(X)[:, 0], [1, 0])
+
+
+class TestStatistics:
+    def test_n_luts_and_kinds(self):
+        netlist = _xor_netlist()
+        assert netlist.n_luts == 2
+        assert netlist.count_by_kind() == {"rinc0": 1, "mat": 1}
+
+    def test_used_primary_inputs(self):
+        netlist = _xor_netlist()
+        np.testing.assert_array_equal(netlist.used_primary_inputs(), [0, 1, 2])
+
+    def test_logic_depth(self):
+        netlist = _xor_netlist()
+        assert netlist.logic_depth() == 2
+
+    def test_logic_depth_single_level(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node("a", "rinc0", ["in0", "in1"], np.array([0, 1, 1, 0]))
+        netlist.mark_output("a")
+        assert netlist.logic_depth() == 1
+
+    def test_logic_depth_empty(self):
+        assert LUTNetlist(n_primary_inputs=1).logic_depth() == 0

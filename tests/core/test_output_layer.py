@@ -1,0 +1,105 @@
+"""Tests for the sparse quantised output layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseQuantizedOutputLayer
+from repro.core.output_layer import quantize_symmetric
+
+
+class TestQuantizeSymmetric:
+    def test_preserves_zero(self):
+        np.testing.assert_array_equal(quantize_symmetric(np.zeros(4), 8), np.zeros(4))
+
+    def test_max_value_preserved(self):
+        values = np.array([-2.0, 1.0, 2.0])
+        quantised = quantize_symmetric(values, 8)
+        assert quantised.max() == pytest.approx(2.0)
+
+    def test_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        for bits in (4, 8, 16):
+            quantised = quantize_symmetric(values, bits)
+            step = np.abs(values).max() / (2 ** (bits - 1) - 1)
+            assert np.max(np.abs(values - quantised)) <= step / 2 + 1e-12
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=200)
+        err4 = np.abs(values - quantize_symmetric(values, 4)).max()
+        err8 = np.abs(values - quantize_symmetric(values, 8)).max()
+        err16 = np.abs(values - quantize_symmetric(values, 16)).max()
+        assert err16 <= err8 <= err4
+
+    def test_rejects_single_bit(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(3), 1)
+
+
+def _make_intermediate_task(rng, n=600, n_classes=4, fan_in=5):
+    """Intermediate bits where block j being mostly-on indicates class j."""
+    y = rng.integers(0, n_classes, size=n)
+    bits = (rng.random((n, n_classes * fan_in)) < 0.15).astype(np.uint8)
+    for cls in range(n_classes):
+        mask = y == cls
+        block = (rng.random((mask.sum(), fan_in)) < 0.85).astype(np.uint8)
+        bits[np.ix_(mask, np.arange(cls * fan_in, (cls + 1) * fan_in))] = block
+    return bits, y
+
+
+class TestSparseOutputLayer:
+    def test_learns_block_structure(self, rng):
+        bits, y = _make_intermediate_task(rng)
+        layer = SparseQuantizedOutputLayer(n_classes=4, fan_in=5, epochs=20, seed=0)
+        layer.fit(bits, y)
+        assert layer.score(bits, y) > 0.9
+
+    def test_prediction_shape_and_range(self, rng):
+        bits, y = _make_intermediate_task(rng, n=200)
+        layer = SparseQuantizedOutputLayer(n_classes=4, fan_in=5, epochs=5, seed=0).fit(bits, y)
+        preds = layer.predict(bits)
+        assert preds.shape == (200,)
+        assert preds.min() >= 0 and preds.max() < 4
+
+    def test_weights_are_sparse_blocks(self, rng):
+        bits, y = _make_intermediate_task(rng, n=300)
+        layer = SparseQuantizedOutputLayer(n_classes=4, fan_in=5, epochs=5, seed=0).fit(bits, y)
+        assert layer.weights_.shape == (4, 5)
+
+    def test_lut_count(self, rng):
+        bits, y = _make_intermediate_task(rng, n=200)
+        layer = SparseQuantizedOutputLayer(
+            n_classes=4, fan_in=5, n_bits=8, epochs=3, seed=0
+        ).fit(bits, y)
+        assert layer.lut_count() == 8 * 4
+
+    def test_quantisation_error_smaller_with_more_bits(self, rng):
+        bits, y = _make_intermediate_task(rng, n=400)
+        errors = {}
+        for n_bits in (4, 8):
+            layer = SparseQuantizedOutputLayer(
+                n_classes=4, fan_in=5, n_bits=n_bits, epochs=10, seed=0
+            ).fit(bits, y)
+            errors[n_bits] = layer.quantisation_error()
+        assert errors[8] <= errors[4]
+
+    def test_wrong_input_width_rejected(self, rng):
+        layer = SparseQuantizedOutputLayer(n_classes=3, fan_in=4)
+        with pytest.raises(ValueError):
+            layer.fit(np.zeros((10, 5), dtype=np.uint8), np.zeros(10, dtype=int))
+
+    def test_unfitted_predict_rejected(self):
+        layer = SparseQuantizedOutputLayer(n_classes=3, fan_in=4)
+        with pytest.raises(RuntimeError):
+            layer.predict(np.zeros((2, 12), dtype=np.uint8))
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            SparseQuantizedOutputLayer(n_classes=1, fan_in=4)
+        with pytest.raises(ValueError):
+            SparseQuantizedOutputLayer(n_classes=3, fan_in=0)
+        with pytest.raises(ValueError):
+            SparseQuantizedOutputLayer(n_classes=3, fan_in=4, n_bits=1)
+        with pytest.raises(ValueError):
+            SparseQuantizedOutputLayer(n_classes=3, fan_in=4, epochs=0)

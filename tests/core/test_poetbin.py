@@ -1,0 +1,164 @@
+"""Tests for the complete PoET-BiN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import PoETBiNClassifier
+from repro.core.rinc import RINCClassifier
+from repro.datasets import make_binary_intermediate_task
+from repro.utils.rng import as_rng
+
+
+def _make_student_task(seed=0, n=900, n_features=64, n_classes=3, per_class=4):
+    """Synthetic binary features + intermediate-bit targets + labels.
+
+    The intermediate bits are noisy functions of small feature subsets and the
+    label is derived from the per-class bit blocks, mimicking the role of the
+    teacher network.
+    """
+    rng = as_rng(seed)
+    X = (rng.random((n, n_features)) < 0.5).astype(np.uint8)
+    n_intermediate = n_classes * per_class
+    targets = np.empty((n, n_intermediate), dtype=np.uint8)
+    for j in range(n_intermediate):
+        support = rng.choice(n_features, size=6, replace=False)
+        weights = rng.normal(size=6)
+        bias = weights.sum() / 2
+        targets[:, j] = (X[:, support] @ weights - bias >= 0).astype(np.uint8)
+    block_scores = targets.reshape(n, n_classes, per_class).sum(axis=2).astype(np.float64)
+    block_scores += rng.normal(scale=0.1, size=block_scores.shape)
+    y = np.argmax(block_scores, axis=1).astype(np.int64)
+    return X, targets, y
+
+
+@pytest.fixture(scope="module")
+def student_task():
+    return _make_student_task()
+
+
+class TestFitPredict:
+    def test_end_to_end_accuracy(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(
+            n_classes=3,
+            n_inputs=5,
+            n_levels=1,
+            intermediate_per_class=4,
+            output_epochs=15,
+            seed=0,
+        )
+        clf.fit(X[:700], targets[:700], y[:700])
+        assert clf.score(X[700:], y[700:]) > 0.6
+
+    def test_intermediate_predictions_binary(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(
+            n_classes=3, n_inputs=4, n_levels=1, intermediate_per_class=4,
+            output_epochs=5, seed=0,
+        ).fit(X[:400], targets[:400], y[:400])
+        bits = clf.predict_intermediate(X[400:500])
+        assert bits.shape == (100, 12)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_emulation_accuracy_above_chance(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(
+            n_classes=3, n_inputs=5, n_levels=1, intermediate_per_class=4,
+            output_epochs=5, seed=0,
+        ).fit(X[:700], targets[:700], y[:700])
+        emulation = clf.emulation_accuracy(X[700:], targets[700:])
+        assert emulation.shape == (12,)
+        assert emulation.mean() > 0.6
+
+    def test_number_of_rinc_modules(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(
+            n_classes=3, n_inputs=4, n_levels=0, intermediate_per_class=4,
+            output_epochs=3, seed=0,
+        ).fit(X[:300], targets[:300], y[:300])
+        assert len(clf.rinc_modules_) == 12
+        assert clf.n_intermediate == 12
+
+
+class TestValidation:
+    def test_wrong_target_width(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(n_classes=3, n_inputs=4, intermediate_per_class=4)
+        with pytest.raises(ValueError):
+            clf.fit(X, targets[:, :5], y)
+
+    def test_mismatched_lengths(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(n_classes=3, n_inputs=4, intermediate_per_class=4)
+        with pytest.raises(ValueError):
+            clf.fit(X[:10], targets[:20], y[:20])
+
+    def test_unfitted_predict(self):
+        clf = PoETBiNClassifier(n_classes=3, n_inputs=4)
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((2, 16), dtype=np.uint8))
+
+    def test_invalid_n_classes(self):
+        with pytest.raises(ValueError):
+            PoETBiNClassifier(n_classes=1)
+
+    def test_invalid_intermediate_per_class(self):
+        with pytest.raises(ValueError):
+            PoETBiNClassifier(n_classes=3, intermediate_per_class=0)
+
+
+class TestHardwareView:
+    def test_lut_count_formula(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(
+            n_classes=3, n_inputs=4, n_levels=1, intermediate_per_class=4,
+            output_bits=8, output_epochs=3, seed=0,
+        ).fit(X[:300], targets[:300], y[:300])
+        per_module = RINCClassifier.full_lut_count(4, 1)  # 5 LUTs
+        expected = 12 * per_module + 8 * 3
+        assert clf.lut_count() == expected
+
+    def test_netlist_reproduces_intermediate_bits(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(
+            n_classes=3, n_inputs=4, n_levels=1, intermediate_per_class=4,
+            output_epochs=3, seed=0,
+        ).fit(X[:300], targets[:300], y[:300])
+        netlist = clf.to_netlist()
+        hardware_bits = netlist.evaluate_outputs(X[300:400])
+        np.testing.assert_array_equal(hardware_bits, clf.predict_intermediate(X[300:400]))
+
+    def test_netlist_output_count(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(
+            n_classes=3, n_inputs=4, n_levels=0, intermediate_per_class=4,
+            output_epochs=3, seed=0,
+        ).fit(X[:200], targets[:200], y[:200])
+        netlist = clf.to_netlist()
+        assert len(netlist.output_signals) == 12
+
+
+class TestOnGeneratedMulticlassTask:
+    def test_beats_chance_on_intermediate_task(self):
+        data = make_binary_intermediate_task(
+            n_train=800, n_test=200, n_features=64, n_classes=5, n_hidden=20,
+            n_active=10, seed=3,
+        )
+        # use the hidden generative bits themselves as intermediate targets by
+        # training a quick PoET-BiN whose targets are random projections of X
+        rng = as_rng(0)
+        per_class = 3
+        n_intermediate = 5 * per_class
+        targets = np.empty((data.n_train, n_intermediate), dtype=np.uint8)
+        test_targets = np.empty((data.n_test, n_intermediate), dtype=np.uint8)
+        for j in range(n_intermediate):
+            support = rng.choice(64, size=8, replace=False)
+            w = rng.normal(size=8)
+            b = w.sum() / 2
+            targets[:, j] = (data.X_train[:, support] @ w - b >= 0).astype(np.uint8)
+            test_targets[:, j] = (data.X_test[:, support] @ w - b >= 0).astype(np.uint8)
+        clf = PoETBiNClassifier(
+            n_classes=5, n_inputs=5, n_levels=1, intermediate_per_class=per_class,
+            output_epochs=10, seed=0,
+        ).fit(data.X_train, targets, data.y_train)
+        assert clf.score(data.X_test, data.y_test) > 1.0 / 5

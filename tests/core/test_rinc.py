@@ -1,0 +1,187 @@
+"""Tests for RINC-0 and the hierarchical RINC-L classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import RINC0, RINCClassifier
+from repro.datasets import make_binary_teacher_task
+
+
+@pytest.fixture(scope="module")
+def teacher_task():
+    return make_binary_teacher_task(
+        n_train=1500, n_test=400, n_features=96, n_active=20, seed=11
+    )
+
+
+class TestRINC0:
+    def test_fit_predict(self, teacher_task):
+        module = RINC0(n_inputs=6).fit(teacher_task.X_train, teacher_task.y_train)
+        preds = module.predict(teacher_task.X_test)
+        assert set(np.unique(preds)) <= {0, 1}
+        assert module.score(teacher_task.X_test, teacher_task.y_test) > 0.55
+
+    def test_lut_count_is_one(self, teacher_task):
+        module = RINC0(n_inputs=4).fit(teacher_task.X_train, teacher_task.y_train)
+        assert module.lut_count() == 1
+
+    def test_to_lut_matches_predictions(self, teacher_task):
+        module = RINC0(n_inputs=5).fit(teacher_task.X_train, teacher_task.y_train)
+        lut = module.to_lut(name="m")
+        np.testing.assert_array_equal(
+            lut.evaluate(teacher_task.X_test), module.predict(teacher_task.X_test)
+        )
+
+    def test_unfitted_access(self):
+        module = RINC0(n_inputs=4)
+        assert not module.is_fitted
+        with pytest.raises(RuntimeError):
+            _ = module.feature_indices
+
+
+class TestRINCConstruction:
+    def test_default_branching(self):
+        module = RINCClassifier(n_inputs=6, n_levels=2)
+        assert module.branching == (6, 6)
+
+    def test_custom_branching(self):
+        module = RINCClassifier(n_inputs=8, n_levels=2, branching=[4, 8])
+        assert module.branching == (4, 8)
+
+    def test_invalid_branching_length(self):
+        with pytest.raises(ValueError):
+            RINCClassifier(n_inputs=6, n_levels=2, branching=[6])
+
+    def test_branching_exceeding_lut_width(self):
+        with pytest.raises(ValueError):
+            RINCClassifier(n_inputs=4, n_levels=1, branching=[5])
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            RINCClassifier(n_inputs=4, n_levels=-1)
+
+    def test_max_input_bits(self):
+        assert RINCClassifier(n_inputs=8, n_levels=2, branching=[4, 8]).max_input_bits() == 256
+        assert RINCClassifier(n_inputs=6, n_levels=2).max_input_bits() == 216
+
+
+class TestRINCTraining:
+    def test_rinc1_improves_over_rinc0(self, teacher_task):
+        rinc0 = RINCClassifier(n_inputs=6, n_levels=0).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        rinc1 = RINCClassifier(n_inputs=6, n_levels=1).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        assert rinc1.score(teacher_task.X_test, teacher_task.y_test) >= rinc0.score(
+            teacher_task.X_test, teacher_task.y_test
+        ) - 0.02
+
+    def test_rinc2_accuracy_reasonable(self, teacher_task):
+        rinc2 = RINCClassifier(n_inputs=6, n_levels=2, branching=[3, 6]).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        assert rinc2.score(teacher_task.X_test, teacher_task.y_test) > 0.7
+
+    def test_predictions_binary(self, teacher_task):
+        rinc = RINCClassifier(n_inputs=5, n_levels=1).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        assert set(np.unique(rinc.predict(teacher_task.X_test))) <= {0, 1}
+
+    def test_level0_equivalent_to_rinc0(self, teacher_task):
+        level0 = RINCClassifier(n_inputs=6, n_levels=0).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        rinc0 = RINC0(n_inputs=6).fit(teacher_task.X_train, teacher_task.y_train)
+        np.testing.assert_array_equal(
+            level0.predict(teacher_task.X_test), rinc0.predict(teacher_task.X_test)
+        )
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(RuntimeError):
+            RINCClassifier(n_inputs=4, n_levels=1).predict(np.zeros((1, 8), dtype=np.uint8))
+
+    def test_selected_features_within_range(self, teacher_task):
+        rinc = RINCClassifier(n_inputs=6, n_levels=1, branching=[3]).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        features = rinc.selected_features()
+        assert features.min() >= 0
+        assert features.max() < teacher_task.X_train.shape[1]
+
+
+class TestLutCounting:
+    def test_full_formula_matches_paper_example(self):
+        # §4.3: a RINC-2 with P=6 needs 43 LUTs
+        assert RINCClassifier.full_lut_count(6, 2) == 43
+        # a RINC-1 with P=6 needs 7 LUTs
+        assert RINCClassifier.full_lut_count(6, 1) == 7
+        # a RINC-0 is a single LUT
+        assert RINCClassifier.full_lut_count(6, 0) == 1
+
+    def test_fitted_count_matches_formula_with_full_branching(self, teacher_task):
+        rinc = RINCClassifier(n_inputs=4, n_levels=2).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        assert rinc.lut_count() == RINCClassifier.full_lut_count(4, 2)
+
+    def test_reduced_branching_count(self, teacher_task):
+        rinc = RINCClassifier(n_inputs=6, n_levels=2, branching=[3, 6]).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        # 3 subgroups of (6 trees + 1 MAT) + 1 outer MAT = 3*7 + 1 = 22
+        assert rinc.lut_count() == 22
+
+    def test_lut_count_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RINCClassifier(n_inputs=4, n_levels=1).lut_count()
+
+
+class TestNetlistExport:
+    def test_netlist_matches_python_predictions(self, teacher_task):
+        rinc = RINCClassifier(n_inputs=5, n_levels=2, branching=[3, 4]).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        netlist, signal = rinc.to_netlist(
+            n_primary_inputs=teacher_task.X_train.shape[1]
+        )
+        netlist.mark_output(signal)
+        hardware = netlist.evaluate_outputs(teacher_task.X_test)[:, 0]
+        np.testing.assert_array_equal(hardware, rinc.predict(teacher_task.X_test))
+
+    def test_netlist_lut_count_matches(self, teacher_task):
+        rinc = RINCClassifier(n_inputs=4, n_levels=1).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        netlist, _ = rinc.to_netlist(n_primary_inputs=teacher_task.X_train.shape[1])
+        assert netlist.n_luts == rinc.lut_count()
+
+    def test_netlist_depth_equals_levels_plus_one(self, teacher_task):
+        rinc = RINCClassifier(n_inputs=4, n_levels=2, branching=[2, 3]).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        netlist, signal = rinc.to_netlist(
+            n_primary_inputs=teacher_task.X_train.shape[1]
+        )
+        netlist.mark_output(signal)
+        assert netlist.logic_depth() == 3  # tree -> inner MAT -> outer MAT
+
+    def test_netlist_requires_primary_inputs_when_new(self, teacher_task):
+        rinc = RINCClassifier(n_inputs=4, n_levels=0).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        with pytest.raises(ValueError):
+            rinc.to_netlist()
+
+    def test_mat_nodes_carry_weights(self, teacher_task):
+        rinc = RINCClassifier(n_inputs=4, n_levels=1).fit(
+            teacher_task.X_train, teacher_task.y_train
+        )
+        netlist, signal = rinc.to_netlist(
+            n_primary_inputs=teacher_task.X_train.shape[1]
+        )
+        mat_node = netlist.get_node(signal)
+        assert mat_node.kind == "mat"
+        assert "weights" in mat_node.metadata
+        assert len(mat_node.metadata["weights"]) == 4

@@ -1,0 +1,117 @@
+"""Integration test: the full A1 -> A4 workflow on a small synthetic dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClassifierSpec, PoETBiNWorkflow
+from repro.core.workflow import PipelineAccuracies
+from repro.datasets import make_synthetic_mnist
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+
+
+def _small_feature_extractor_factory(seed=0):
+    """Tiny LeNet-style extractor for 28x28x1 inputs -> 64 features."""
+
+    def factory():
+        return [
+            Conv2D(1, 4, kernel_size=5, stride=2, seed=seed),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(4 * 6 * 6, 64, seed=seed + 1),
+        ]
+
+    return factory
+
+
+@pytest.fixture(scope="module")
+def workflow_result():
+    data = make_synthetic_mnist(n_train=700, n_test=200, seed=0)
+    spec = ClassifierSpec(
+        n_classes=10,
+        hidden_sizes=(64,),
+        lut_inputs=4,
+        rinc_levels=1,
+        rinc_branching=(3,),
+        output_bits=8,
+        intermediate_per_class=3,
+    )
+    workflow = PoETBiNWorkflow(
+        feature_extractor_factory=_small_feature_extractor_factory(),
+        feature_dim=64,
+        spec=spec,
+        epochs=6,
+        batch_size=64,
+        learning_rate=0.01,
+        output_epochs=15,
+        seed=0,
+    )
+    return workflow.run(data)
+
+
+class TestWorkflowRun:
+    def test_accuracies_recorded(self, workflow_result):
+        acc = workflow_result.accuracies
+        assert isinstance(acc, PipelineAccuracies)
+        assert len(acc.as_row()) == 4
+        for value in acc.as_row():
+            assert 0.0 <= value <= 1.0
+
+    def test_vanilla_learns_something(self, workflow_result):
+        # 10-class task, chance is 0.1; the tiny network must beat it clearly
+        assert workflow_result.accuracies.vanilla > 0.3
+
+    def test_poetbin_tracks_teacher(self, workflow_result):
+        """A4 stays within a reasonable band of A3 (paper: within ~2 points)."""
+        gap = workflow_result.accuracies.teacher - workflow_result.accuracies.poetbin
+        assert gap < 0.3
+
+    def test_binary_features_are_binary(self, workflow_result):
+        assert set(np.unique(workflow_result.features_train)) <= {0, 1}
+        assert workflow_result.features_train.shape[1] == 64
+
+    def test_intermediate_targets_width(self, workflow_result):
+        assert workflow_result.intermediate_train.shape[1] == 10 * 3
+
+    def test_poetbin_lut_count_positive(self, workflow_result):
+        assert workflow_result.poetbin.lut_count() > 0
+
+    def test_metadata_mentions_dataset(self, workflow_result):
+        assert workflow_result.metadata["dataset"] == "synthetic-mnist"
+
+
+class TestSpecValidation:
+    def test_invalid_hidden_sizes(self):
+        with pytest.raises(ValueError):
+            ClassifierSpec(n_classes=10, hidden_sizes=())
+        with pytest.raises(ValueError):
+            ClassifierSpec(n_classes=10, hidden_sizes=(0,))
+
+    def test_invalid_classes(self):
+        with pytest.raises(ValueError):
+            ClassifierSpec(n_classes=1, hidden_sizes=(8,))
+
+    def test_intermediate_default_uses_p(self):
+        spec = ClassifierSpec(n_classes=10, hidden_sizes=(32,), lut_inputs=6)
+        assert spec.n_intermediate == 60
+
+    def test_workflow_invalid_variant(self):
+        spec = ClassifierSpec(n_classes=3, hidden_sizes=(8,), lut_inputs=4)
+        workflow = PoETBiNWorkflow(
+            feature_extractor_factory=lambda: [Dense(4, 8, seed=0)],
+            feature_dim=8,
+            spec=spec,
+        )
+        with pytest.raises(ValueError):
+            workflow.build_network("quantum")
+
+    def test_workflow_invalid_args(self):
+        spec = ClassifierSpec(n_classes=3, hidden_sizes=(8,), lut_inputs=4)
+        with pytest.raises(ValueError):
+            PoETBiNWorkflow(
+                feature_extractor_factory=lambda: [], feature_dim=0, spec=spec
+            )
+        with pytest.raises(ValueError):
+            PoETBiNWorkflow(
+                feature_extractor_factory=lambda: [], feature_dim=8, spec=spec, epochs=0
+            )

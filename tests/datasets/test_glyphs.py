@@ -1,0 +1,51 @@
+"""Tests for the procedural glyph renderer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets._glyphs import glyph_bitmap, render_digit
+
+
+class TestGlyphBitmap:
+    @pytest.mark.parametrize("digit", range(10))
+    def test_all_digits_render(self, digit):
+        bitmap = glyph_bitmap(digit)
+        assert bitmap.shape == (16, 10)
+        assert bitmap.max() == 1.0
+
+    def test_digits_are_distinct(self):
+        bitmaps = [glyph_bitmap(d).tobytes() for d in range(10)]
+        assert len(set(bitmaps)) == 10
+
+    def test_one_has_fewest_pixels(self):
+        areas = {d: glyph_bitmap(d).sum() for d in range(10)}
+        assert min(areas, key=areas.get) == 1
+
+    def test_eight_has_most_pixels(self):
+        areas = {d: glyph_bitmap(d).sum() for d in range(10)}
+        assert max(areas, key=areas.get) == 8
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ValueError):
+            glyph_bitmap(10)
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            glyph_bitmap(0, height=3, width=3)
+
+
+class TestRenderDigit:
+    def test_shape_and_range(self, rng):
+        img = render_digit(3, rng, canvas_size=28)
+        assert img.shape == (28, 28)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_noise_changes_samples(self, rng):
+        a = render_digit(5, rng)
+        b = render_digit(5, rng)
+        assert not np.array_equal(a, b)
+
+    def test_background_raises_mean(self, rng):
+        dark = render_digit(1, np.random.default_rng(0), background=0.0)
+        bright = render_digit(1, np.random.default_rng(0), background=0.4)
+        assert bright.mean() > dark.mean()

@@ -1,0 +1,106 @@
+"""Tests for the synthetic image dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    load_dataset,
+    make_synthetic_cifar10,
+    make_synthetic_mnist,
+    make_synthetic_svhn,
+)
+from repro.datasets.registry import DATASET_BUILDERS
+
+
+class TestSyntheticMnist:
+    def test_shapes(self):
+        data = make_synthetic_mnist(n_train=50, n_test=20, seed=0)
+        assert data.X_train.shape == (50, 28, 28, 1)
+        assert data.X_test.shape == (20, 28, 28, 1)
+        assert data.n_classes == 10
+
+    def test_value_range(self):
+        data = make_synthetic_mnist(n_train=30, n_test=10, seed=0)
+        assert data.X_train.min() >= 0.0
+        assert data.X_train.max() <= 1.0
+
+    def test_reproducible(self):
+        a = make_synthetic_mnist(n_train=20, n_test=5, seed=3)
+        b = make_synthetic_mnist(n_train=20, n_test=5, seed=3)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_mnist(n_train=20, n_test=5, seed=1)
+        b = make_synthetic_mnist(n_train=20, n_test=5, seed=2)
+        assert not np.array_equal(a.X_train, b.X_train)
+
+    def test_flattened_view(self):
+        data = make_synthetic_mnist(n_train=10, n_test=5, seed=0)
+        flat = data.flattened()
+        assert flat.X_train.shape == (10, 28 * 28)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            make_synthetic_mnist(n_train=0, n_test=5)
+
+
+class TestSyntheticCifar10:
+    def test_shapes(self):
+        data = make_synthetic_cifar10(n_train=40, n_test=10, seed=0)
+        assert data.X_train.shape == (40, 32, 32, 3)
+        assert data.n_classes == 10
+
+    def test_classes_use_colour(self):
+        data = make_synthetic_cifar10(n_train=300, n_test=10, seed=0)
+        means = []
+        for cls in (0, 2):
+            mask = data.y_train == cls
+            if mask.sum() > 0:
+                means.append(data.X_train[mask].mean(axis=(0, 1, 2)))
+        assert len(means) == 2
+        assert not np.allclose(means[0], means[1], atol=0.05)
+
+    def test_reproducible(self):
+        a = make_synthetic_cifar10(n_train=15, n_test=5, seed=7)
+        b = make_synthetic_cifar10(n_train=15, n_test=5, seed=7)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+
+class TestSyntheticSvhn:
+    def test_shapes(self):
+        data = make_synthetic_svhn(n_train=40, n_test=10, seed=0)
+        assert data.X_train.shape == (40, 32, 32, 3)
+        assert data.n_classes == 10
+
+    def test_backgrounds_nonzero(self):
+        data = make_synthetic_svhn(n_train=50, n_test=10, seed=0)
+        mnist = make_synthetic_mnist(n_train=50, n_test=10, seed=0)
+        assert data.X_train.mean() > mnist.X_train.mean()
+
+    def test_reproducible(self):
+        a = make_synthetic_svhn(n_train=15, n_test=5, seed=4)
+        b = make_synthetic_svhn(n_train=15, n_test=5, seed=4)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["mnist", "cifar10", "svhn", "CIFAR-10"])
+    def test_known_names(self, name):
+        data = load_dataset(name, n_train=10, n_test=5, seed=0)
+        assert data.n_train == 10
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_registry_covers_paper_datasets(self):
+        assert set(DATASET_BUILDERS) == {"mnist", "cifar10", "svhn"}
+
+
+class TestDescribe:
+    def test_describe_mentions_name_and_sizes(self):
+        data = make_synthetic_mnist(n_train=12, n_test=6, seed=0)
+        text = data.describe()
+        assert "synthetic-mnist" in text
+        assert "12" in text and "6" in text

@@ -1,0 +1,56 @@
+"""Tests for dataset splitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import stratified_split, train_val_test_split
+
+
+class TestStratifiedSplit:
+    def test_preserves_class_ratio(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = np.repeat([0, 1, 2], 100)
+        X_tr, y_tr, X_te, y_te = stratified_split(X, y, test_fraction=0.2, seed=0)
+        for cls in (0, 1, 2):
+            assert np.sum(y_te == cls) == 20
+            assert np.sum(y_tr == cls) == 80
+
+    def test_no_overlap_and_complete(self, rng):
+        X = np.arange(100).reshape(100, 1)
+        y = np.repeat([0, 1], 50)
+        X_tr, y_tr, X_te, y_te = stratified_split(X, y, test_fraction=0.3, seed=1)
+        combined = np.sort(np.concatenate([X_tr[:, 0], X_te[:, 0]]))
+        np.testing.assert_array_equal(combined, np.arange(100))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            stratified_split(np.zeros((10, 1)), np.zeros(10, dtype=int), test_fraction=1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            stratified_split(np.zeros((10, 1)), np.zeros(5, dtype=int))
+
+
+class TestTrainValTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, size=100)
+        X_tr, y_tr, X_val, y_val, X_te, y_te = train_val_test_split(
+            X, y, val_fraction=0.1, test_fraction=0.2, seed=0
+        )
+        assert len(X_te) == 20
+        assert len(X_val) == 10
+        assert len(X_tr) == 70
+
+    def test_partition_complete(self, rng):
+        X = np.arange(50).reshape(50, 1)
+        y = np.zeros(50, dtype=int)
+        parts = train_val_test_split(X, y, val_fraction=0.2, test_fraction=0.2, seed=3)
+        all_vals = np.sort(np.concatenate([parts[0][:, 0], parts[2][:, 0], parts[4][:, 0]]))
+        np.testing.assert_array_equal(all_vals, np.arange(50))
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(
+                np.zeros((10, 1)), np.zeros(10, dtype=int), val_fraction=0.6, test_fraction=0.6
+            )

@@ -1,0 +1,88 @@
+"""Tests for the Table 1 architecture registry."""
+
+import pytest
+
+from repro.experiments import ARCHITECTURES, get_architecture, reduced_experiment_settings
+
+
+class TestRegistry:
+    def test_three_architectures(self):
+        assert set(ARCHITECTURES) == {"mnist", "cifar10", "svhn"}
+
+    def test_symbols(self):
+        assert get_architecture("mnist").symbol == "M1"
+        assert get_architecture("cifar10").symbol == "C1"
+        assert get_architecture("svhn").symbol == "S1"
+
+    def test_lookup_normalises_names(self):
+        assert get_architecture("CIFAR-10").symbol == "C1"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_architecture("imagenet")
+
+    def test_classifier_layers_match_table1(self):
+        assert get_architecture("mnist").classifier_layers == (512, 512, 10)
+        assert get_architecture("cifar10").classifier_layers == (512, 4096, 4096, 10)
+        assert get_architecture("svhn").classifier_layers == (512, 2048, 2048, 10)
+
+    def test_lut_inputs_match_paper(self):
+        assert get_architecture("mnist").lut_inputs == 8
+        assert get_architecture("svhn").lut_inputs == 6
+
+    def test_tree_counts_match_paper(self):
+        assert get_architecture("mnist").n_decision_trees == 32
+        assert get_architecture("cifar10").n_decision_trees == 40
+        assert get_architecture("svhn").n_decision_trees == 36
+
+
+class TestDerivedQuantities:
+    def test_branching_factorisation(self):
+        assert get_architecture("mnist").rinc_branching == (4, 8)
+        assert get_architecture("cifar10").rinc_branching == (5, 8)
+        assert get_architecture("svhn").rinc_branching == (6, 6)
+
+    def test_intermediate_width(self):
+        assert get_architecture("mnist").n_intermediate_neurons == 80
+        assert get_architecture("svhn").n_intermediate_neurons == 60
+
+    def test_svhn_classifier_luts_match_section_4_3(self):
+        """The §4.3 manual count: 43 LUTs per RINC-2, 2660 total for SVHN."""
+        arch = get_architecture("svhn")
+        assert arch.paper_rinc_luts() == 43
+        assert arch.paper_classifier_luts() == 2660
+
+    def test_paper_reference_energy_consistency(self):
+        """Paper energy = paper power x clock period for each dataset."""
+        for arch in ARCHITECTURES.values():
+            period = 1.0 / arch.paper.clock_hz
+            assert arch.paper.total_power_w * period == pytest.approx(
+                arch.paper.poetbin_energy_j, rel=0.05
+            )
+
+
+class TestReducedSettings:
+    def test_settings_build(self):
+        settings = reduced_experiment_settings("mnist", fast=True)
+        assert settings.feature_dim == 128
+        assert settings.spec.n_classes == 10
+        layers = settings.feature_extractor_factory()
+        assert len(layers) == 5
+
+    def test_fast_shrinks_sizes(self):
+        fast = reduced_experiment_settings("svhn", fast=True)
+        full = reduced_experiment_settings("svhn", fast=False)
+        assert fast.dataset_kwargs["n_train"] < full.dataset_kwargs["n_train"]
+        assert fast.epochs < full.epochs
+
+    def test_feature_extractor_output_dims(self):
+        """The declared feature_dim matches what the layers actually produce."""
+        import numpy as np
+
+        for name, shape in (("mnist", (2, 28, 28, 1)), ("cifar10", (2, 32, 32, 3))):
+            settings = reduced_experiment_settings(name, fast=True)
+            layers = settings.feature_extractor_factory()
+            x = np.random.default_rng(0).normal(size=shape)
+            for layer in layers:
+                x = layer.forward(x)
+            assert x.shape == (2, settings.feature_dim)

@@ -1,0 +1,99 @@
+"""Slower integration tests: Table 2 and the ablations at the smallest scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_table2
+from repro.experiments.ablations import (
+    run_hidden_layer_ablation,
+    run_lut_width_ablation,
+    run_quantisation_ablation,
+)
+from repro.experiments.table2_accuracy import TABLE2_HEADERS
+
+
+@pytest.fixture(scope="module")
+def table2_mnist_row():
+    rows = run_table2(datasets=("mnist",), seed=0, fast=True, n_train=600, n_test=200)
+    return rows[0]
+
+
+class TestTable2Smoke:
+    def test_row_structure(self, table2_mnist_row):
+        row = table2_mnist_row
+        assert row.architecture == "M1"
+        assert len(row.as_cells()) == len(TABLE2_HEADERS)
+
+    def test_accuracies_are_percentages(self, table2_mnist_row):
+        row = table2_mnist_row
+        for value in (row.vanilla, row.binary_features, row.teacher, row.poetbin):
+            assert 0.0 <= value <= 100.0
+
+    def test_vanilla_beats_chance(self, table2_mnist_row):
+        assert table2_mnist_row.vanilla > 20.0  # chance is 10%
+
+    def test_baselines_computed(self, table2_mnist_row):
+        row = table2_mnist_row
+        assert not np.isnan(row.binarynet)
+        assert not np.isnan(row.polybinn)
+        assert not np.isnan(row.ndf)
+
+    def test_poetbin_within_band_of_teacher(self, table2_mnist_row):
+        """A4 tracks A3 (the paper sees gaps of a few points either way)."""
+        row = table2_mnist_row
+        assert row.poetbin > row.teacher - 35.0
+
+
+class TestAblations:
+    def test_lut_width_ablation_rows(self):
+        rows = run_lut_width_ablation(widths=(4, 6), seed=0, fast=True)
+        assert [row.setting for row in rows] == ["P=4", "P=6"]
+        # wider LUTs never cost fewer physical LUTs
+        assert rows[1].luts >= rows[0].luts
+        for row in rows:
+            assert 40.0 < row.accuracy_percent <= 100.0
+
+    def test_hidden_layer_ablation_structure(self):
+        rows = run_hidden_layer_ablation(
+            n_classes=4, intermediate_per_class=2, hidden_neurons=12, seed=0, fast=True
+        )
+        assert len(rows) == 2
+        # the hidden-neuron variant uses more LUTs (the paper's §4.1 point)
+        assert rows[1].luts > 0
+        for row in rows:
+            assert 0.0 <= row.accuracy_percent <= 100.0
+
+    def test_quantisation_ablation_reuses_workflow(self, table2_mnist_row):
+        # build a tiny workflow result directly rather than re-running Table 2
+        from repro.core import ClassifierSpec, PoETBiNWorkflow
+        from repro.datasets import make_synthetic_mnist
+        from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+
+        data = make_synthetic_mnist(n_train=400, n_test=150, seed=1)
+        spec = ClassifierSpec(
+            n_classes=10,
+            hidden_sizes=(48,),
+            lut_inputs=4,
+            rinc_levels=1,
+            rinc_branching=(2,),
+            intermediate_per_class=2,
+        )
+        workflow = PoETBiNWorkflow(
+            feature_extractor_factory=lambda: [
+                Conv2D(1, 4, kernel_size=5, stride=2, seed=0),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(4 * 6 * 6, 48, seed=1),
+            ],
+            feature_dim=48,
+            spec=spec,
+            epochs=3,
+            output_epochs=8,
+            seed=0,
+        )
+        result = workflow.run(data)
+        rows = run_quantisation_ablation(result, bit_widths=(4, 8), seed=0)
+        assert [row.setting for row in rows] == ["q=4", "q=8"]
+        # more precision never uses fewer LUTs
+        assert rows[1].luts > rows[0].luts

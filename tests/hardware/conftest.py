@@ -1,0 +1,40 @@
+"""Shared fixtures for hardware tests: small trained RINC netlists."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RINCClassifier
+from repro.datasets import make_binary_teacher_task
+
+
+@pytest.fixture(scope="package")
+def small_teacher_task():
+    return make_binary_teacher_task(
+        n_train=1200, n_test=300, n_features=80, n_active=16, seed=21
+    )
+
+
+@pytest.fixture(scope="package")
+def rinc2_netlist(small_teacher_task):
+    """A trained RINC-2 (P=4, branching 3x4) flattened to a netlist."""
+    data = small_teacher_task
+    rinc = RINCClassifier(n_inputs=4, n_levels=2, branching=[3, 4]).fit(
+        data.X_train, data.y_train
+    )
+    netlist, signal = rinc.to_netlist(n_primary_inputs=data.X_train.shape[1])
+    netlist.mark_output(signal)
+    return netlist
+
+
+@pytest.fixture(scope="package")
+def wide_rinc_netlist(small_teacher_task):
+    """A RINC-1 with 8-input LUTs (wider than the physical 6-input LUTs)."""
+    data = small_teacher_task
+    rinc = RINCClassifier(n_inputs=8, n_levels=1, branching=[4]).fit(
+        data.X_train, data.y_train
+    )
+    netlist, signal = rinc.to_netlist(n_primary_inputs=data.X_train.shape[1])
+    netlist.mark_output(signal)
+    return netlist

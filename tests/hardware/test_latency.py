@@ -1,0 +1,60 @@
+"""Tests for the latency model."""
+
+import pytest
+
+from repro.hardware import LatencyModel
+
+
+class TestPathLatency:
+    def test_monotone_in_stages(self):
+        model = LatencyModel()
+        latencies = [model.path_latency(n) for n in range(1, 8)]
+        assert all(a < b for a, b in zip(latencies, latencies[1:]))
+
+    def test_zero_stages_is_io_only(self):
+        model = LatencyModel(io_delay_s=2e-9)
+        assert model.path_latency(0) == pytest.approx(2e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel().path_latency(-1)
+
+    def test_nanosecond_regime_for_paper_depths(self):
+        """Depths of 4-7 physical LUT levels land in the paper's 5-10 ns range."""
+        model = LatencyModel()
+        assert 3e-9 < model.path_latency(4) < 12e-9
+        assert 3e-9 < model.path_latency(7) < 15e-9
+
+
+class TestNetlistLatency:
+    def test_p8_slower_than_p4(self, rinc2_netlist, wide_rinc_netlist):
+        """Wider logical LUTs lengthen the physical critical path (P=8 vs P=6)."""
+        model = LatencyModel()
+        narrow = model.netlist_latency(rinc2_netlist)
+        wide = model.netlist_latency(wide_rinc_netlist)
+        assert wide > narrow * 0.99  # wide netlist pays the mux levels
+
+    def test_output_layer_adds_delay(self, rinc2_netlist):
+        model = LatencyModel()
+        with_output = model.netlist_latency(rinc2_netlist, include_output_layer=True)
+        without = model.netlist_latency(rinc2_netlist, include_output_layer=False)
+        assert with_output > without
+
+
+class TestClockSelection:
+    def test_max_clock(self):
+        model = LatencyModel()
+        assert model.max_clock_hz(10e-9) == pytest.approx(1e8)
+
+    def test_supported_clock_picks_highest_feasible(self):
+        model = LatencyModel()
+        assert model.supported_clock_hz(8e-9) == pytest.approx(100e6)
+        assert model.supported_clock_hz(12e-9) == pytest.approx(62.5e6)
+
+    def test_supported_clock_falls_back_to_slowest(self):
+        model = LatencyModel()
+        assert model.supported_clock_hz(1.0) == pytest.approx(25e6)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            LatencyModel().max_clock_hz(0.0)

@@ -1,0 +1,63 @@
+"""Tests for the memory-image export."""
+
+import numpy as np
+import pytest
+
+from repro.core import LUTNetlist
+from repro.hardware import (
+    netlist_memory_images,
+    total_memory_bits,
+    write_memory_files,
+)
+from repro.hardware.memory_image import node_memory_image
+
+
+def _netlist():
+    netlist = LUTNetlist(n_primary_inputs=3)
+    netlist.add_node("xor", "rinc0", ["in0", "in1"], np.array([0, 1, 1, 0]))
+    netlist.add_node("and3", "mat", ["xor", "in2"], np.array([0, 0, 0, 1]))
+    netlist.mark_output("and3")
+    return netlist
+
+
+class TestMemoryImage:
+    def test_words_match_table(self):
+        netlist = _netlist()
+        image = node_memory_image(netlist.get_node("xor"))
+        np.testing.assert_array_equal(image.words, [0, 1, 1, 0])
+        assert image.depth == 4
+        assert image.address_bits == 2
+
+    def test_binary_lines(self):
+        image = node_memory_image(_netlist().get_node("xor"))
+        assert image.as_binary_lines() == ["0", "1", "1", "0"]
+
+    def test_hex_lines(self):
+        image = node_memory_image(_netlist().get_node("and3"))
+        assert image.as_hex_lines() == ["0", "0", "0", "1"]
+
+    def test_hex_invalid_width(self):
+        image = node_memory_image(_netlist().get_node("xor"))
+        with pytest.raises(ValueError):
+            image.as_hex_lines(word_bits=0)
+
+
+class TestNetlistExport:
+    def test_images_for_every_node(self):
+        images = netlist_memory_images(_netlist())
+        assert set(images) == {"xor", "and3"}
+
+    def test_total_memory_bits(self):
+        assert total_memory_bits(_netlist()) == 8
+
+    def test_paper_sizing_example(self):
+        """§2.1.1: a single 30-input table would need 2^30 bits (a gigabit)."""
+        assert 2**30 == 1_073_741_824  # the quantity the paper's argument refers to
+        # whereas a full RINC-2 with P=6 needs only 43 x 64 bits
+        assert 43 * 64 == 2752
+
+    def test_write_memory_files(self, tmp_path):
+        paths = write_memory_files(_netlist(), tmp_path)
+        assert len(paths) == 2
+        content = (tmp_path / "xor.mem").read_text().splitlines()
+        assert content == ["0", "1", "1", "0"]

@@ -1,0 +1,193 @@
+"""Tests for the power and energy models (Tables 4, 5, 6 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    SPARTAN6_OPERATIONS,
+    BinaryNeuronPowerModel,
+    EnergyModel,
+    PoETBiNPowerModel,
+    count_classifier_operations,
+)
+from repro.hardware.power_model import (
+    DEFAULT_CLOCK_PERIOD_S,
+    classifier_energy_per_inference,
+)
+
+# the paper's classifier-portion layer widths (input features -> ... -> classes)
+MNIST_LAYERS = [512, 512, 10]
+CIFAR_LAYERS = [512, 4096, 4096, 10]
+SVHN_LAYERS = [512, 2048, 2048, 10]
+
+
+class TestOperationLibrary:
+    def test_table4_totals(self):
+        # total column of Table 4 is the sum of the components
+        assert SPARTAN6_OPERATIONS["mult16"].total == pytest.approx(0.058)
+        assert SPARTAN6_OPERATIONS["add16"].total == pytest.approx(0.062)
+        assert SPARTAN6_OPERATIONS["mult32"].total == pytest.approx(0.076)
+        assert SPARTAN6_OPERATIONS["add32"].total == pytest.approx(0.088)
+        assert SPARTAN6_OPERATIONS["mult_float"].total == pytest.approx(0.099)
+        assert SPARTAN6_OPERATIONS["add_float"].total == pytest.approx(0.083)
+
+    def test_compute_power_is_logic_plus_signal(self):
+        op = SPARTAN6_OPERATIONS["mult_float"]
+        assert op.compute == pytest.approx(op.logic + op.signal)
+
+    def test_float_ops_cost_more_than_fixed(self):
+        assert (
+            SPARTAN6_OPERATIONS["mult_float"].compute
+            > SPARTAN6_OPERATIONS["mult32"].compute
+            >= SPARTAN6_OPERATIONS["mult16"].compute
+        )
+
+
+class TestOperationCounts:
+    def test_table5_mnist(self):
+        counts = count_classifier_operations(MNIST_LAYERS)
+        assert counts.multiplications == 267_264
+        assert counts.additions == 267_264
+
+    def test_table5_cifar(self):
+        counts = count_classifier_operations(CIFAR_LAYERS)
+        assert counts.multiplications == 18_915_328
+
+    def test_table5_svhn(self):
+        counts = count_classifier_operations(SVHN_LAYERS)
+        assert counts.multiplications == 5_263_360
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            count_classifier_operations([512])
+        with pytest.raises(ValueError):
+            count_classifier_operations([512, 0, 10])
+
+
+class TestClassifierEnergy:
+    def test_vanilla_mnist_matches_table6_order(self):
+        counts = count_classifier_operations(MNIST_LAYERS)
+        energy = classifier_energy_per_inference(counts, "float")
+        # paper: 8.0e-5 J
+        assert energy == pytest.approx(8.0e-5, rel=0.1)
+
+    def test_32bit_mnist(self):
+        counts = count_classifier_operations(MNIST_LAYERS)
+        energy = classifier_energy_per_inference(counts, "32")
+        assert energy == pytest.approx(1.7e-5, rel=0.1)
+
+    def test_16bit_mnist(self):
+        counts = count_classifier_operations(MNIST_LAYERS)
+        energy = classifier_energy_per_inference(counts, "16")
+        assert energy == pytest.approx(8.5e-6, rel=0.1)
+
+    def test_vanilla_cifar(self):
+        counts = count_classifier_operations(CIFAR_LAYERS)
+        energy = classifier_energy_per_inference(counts, "float")
+        assert energy == pytest.approx(5.7e-3, rel=0.1)
+
+    def test_precision_ordering(self):
+        counts = count_classifier_operations(SVHN_LAYERS)
+        e_float = classifier_energy_per_inference(counts, "float")
+        e32 = classifier_energy_per_inference(counts, "32")
+        e16 = classifier_energy_per_inference(counts, "16")
+        assert e_float > e32 > e16
+
+    def test_invalid_precision(self):
+        counts = count_classifier_operations(MNIST_LAYERS)
+        with pytest.raises(ValueError):
+            classifier_energy_per_inference(counts, "8")
+
+
+class TestBinaryNeuronModel:
+    def test_paper_mnist_neuron_power(self):
+        model = BinaryNeuronPowerModel()
+        # 522 neurons of 512 inputs at 26 mW -> 13.572 W (§4.2)
+        power = model.classifier_power(MNIST_LAYERS)
+        assert power == pytest.approx(13.572, rel=0.01)
+
+    def test_paper_mnist_energy(self):
+        model = BinaryNeuronPowerModel()
+        energy = model.classifier_energy_per_inference(MNIST_LAYERS)
+        assert energy == pytest.approx(2.1e-7, rel=0.05)
+
+    def test_power_scales_with_fan_in(self):
+        model = BinaryNeuronPowerModel()
+        assert model.neuron_power(1024) == pytest.approx(2 * model.neuron_power(512))
+
+    def test_invalid_fan_in(self):
+        with pytest.raises(ValueError):
+            BinaryNeuronPowerModel().neuron_power(0)
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            BinaryNeuronPowerModel().classifier_power([10])
+
+
+class TestPoETBiNPowerModel:
+    def test_energy_in_nanojoule_regime(self):
+        model = PoETBiNPowerModel()
+        for n_luts, clock in ((11899, 62.5e6), (9650, 62.5e6), (2660, 100e6)):
+            energy = model.energy_per_inference(n_luts, clock)
+            assert 1e-10 < energy < 1e-7
+
+    def test_power_report_fields(self):
+        report = PoETBiNPowerModel().power_report(2660, 100e6)
+        assert report["total_w"] == pytest.approx(
+            report["dynamic_w"] + report["static_w"]
+        )
+        assert 0.01 < report["total_w"] < 2.0
+
+    def test_dynamic_power_scales_with_luts(self):
+        model = PoETBiNPowerModel()
+        assert model.dynamic_power(10000, 62.5e6) > model.dynamic_power(1000, 62.5e6)
+
+    def test_invalid_args(self):
+        model = PoETBiNPowerModel()
+        with pytest.raises(ValueError):
+            model.dynamic_power(0, 62.5e6)
+        with pytest.raises(ValueError):
+            model.dynamic_power(100, 0)
+        with pytest.raises(ValueError):
+            model.static_power(0)
+
+
+class TestEnergyModel:
+    def test_table6_ordering_all_datasets(self):
+        """PoET-BiN << 1-bit << 16-bit < 32-bit < float, on every architecture."""
+        model = EnergyModel()
+        for layers, luts, clock in (
+            (MNIST_LAYERS, 11899, 62.5e6),
+            (CIFAR_LAYERS, 9650, 62.5e6),
+            (SVHN_LAYERS, 2660, 100e6),
+        ):
+            breakdown = model.breakdown(layers, luts, clock)
+            assert breakdown.poetbin < breakdown.quant_1bit
+            assert breakdown.quant_1bit < breakdown.quant_16bit
+            assert breakdown.quant_16bit < breakdown.quant_32bit
+            assert breakdown.quant_32bit < breakdown.vanilla_float
+
+    def test_mnist_reduction_factors(self):
+        """Orders of magnitude of the paper's §4.2 claims are preserved."""
+        breakdown = EnergyModel().breakdown(MNIST_LAYERS, 11899, 62.5e6)
+        assert breakdown.reduction_vs("vanilla") > 1e3
+        assert breakdown.reduction_vs("1-bit quant") > 2
+
+    def test_cifar_reduction_factors(self):
+        breakdown = EnergyModel().breakdown(CIFAR_LAYERS, 9650, 62.5e6)
+        assert breakdown.reduction_vs("vanilla") > 1e5
+        assert breakdown.reduction_vs("1-bit quant") > 1e2
+
+    def test_as_dict_keys(self):
+        breakdown = EnergyModel().breakdown(MNIST_LAYERS, 1000, 62.5e6)
+        assert set(breakdown.as_dict()) == {
+            "vanilla",
+            "1-bit quant",
+            "16-bit quant",
+            "32-bit quant",
+            "poet-bin",
+        }
+
+    def test_invalid_clock_period(self):
+        with pytest.raises(ValueError):
+            EnergyModel(clock_period_s=0.0)

@@ -1,0 +1,145 @@
+"""Tests for the resource model and synthesizer-style pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core import LUTNetlist, MATModule, RINCClassifier
+from repro.hardware import prune_netlist, resource_report
+from repro.hardware.resources import output_layer_luts
+
+
+class TestOutputLayerLuts:
+    def test_paper_value(self):
+        # 10 classes x 8 bits = 80 LUTs (§4.3)
+        assert output_layer_luts(10, 8) == 80
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            output_layer_luts(0, 8)
+
+
+class TestPaperLutCounts:
+    def test_svhn_manual_calculation(self):
+        """Reproduce the §4.3 arithmetic: 43 LUTs per RINC-2, 2660 total."""
+        per_module = RINCClassifier.full_lut_count(6, 2)
+        assert per_module == 43
+        total = per_module * 60 + output_layer_luts(10, 8)
+        assert total == 2660
+
+
+_TREE_TABLES = [
+    np.array([0, 1, 1, 0]),
+    np.array([0, 0, 0, 1]),
+    np.array([0, 1, 0, 1]),
+    np.array([1, 0, 0, 1]),
+]
+
+
+def _netlist_with_weak_mat(weights):
+    """2-input trees feeding one MAT whose metadata carries the given weights."""
+    weights = np.asarray(weights, dtype=float)
+    netlist = LUTNetlist(n_primary_inputs=2 * len(weights))
+    tree_names = []
+    for idx in range(len(weights)):
+        name = f"t{idx}"
+        netlist.add_node(
+            name,
+            "rinc0",
+            [f"in{2 * idx}", f"in{2 * idx + 1}"],
+            _TREE_TABLES[idx % len(_TREE_TABLES)],
+        )
+        tree_names.append(name)
+    mat = MATModule(weights=weights)
+    netlist.add_node(
+        "mat",
+        "mat",
+        tree_names,
+        mat.to_lut().table,
+        {"weights": weights, "threshold": 0.0},
+    )
+    netlist.mark_output("mat")
+    return netlist
+
+
+class TestPruneNetlist:
+    def test_no_pruning_with_balanced_weights(self):
+        netlist = _netlist_with_weak_mat([1.0, 1.0, 1.0])
+        pruned = prune_netlist(netlist)
+        assert pruned.n_luts == netlist.n_luts
+
+    def test_dominant_weight_prunes_all_others(self):
+        # a weight of 2.0 outvotes the other two regardless of their outputs,
+        # so both of their trees are dead logic
+        netlist = _netlist_with_weak_mat([2.0, 1.0, 1e-9])
+        pruned = prune_netlist(netlist)
+        assert pruned.n_luts == 2  # surviving tree + MAT
+        remaining = [node.name for node in pruned.nodes]
+        assert "t1" not in remaining and "t2" not in remaining
+
+    def test_negligible_weight_tree_removed(self):
+        # weights 1.0/1.0/0.9 all interact, only the 1e-9 tree is dead logic
+        netlist = _netlist_with_weak_mat([1.0, 1.0, 0.9, 1e-9])
+        pruned = prune_netlist(netlist)
+        assert pruned.n_luts == netlist.n_luts - 1
+        assert "t3" not in [node.name for node in pruned.nodes]
+
+    @pytest.mark.parametrize(
+        "weights", [[2.0, 1.0, 1e-9], [1.0, 1.0, 0.9, 1e-9], [1.0, 1.0, 1.0]]
+    )
+    def test_pruned_netlist_equivalent(self, weights):
+        netlist = _netlist_with_weak_mat(weights)
+        pruned = prune_netlist(netlist)
+        from repro.utils.bitops import enumerate_binary_inputs
+
+        X = enumerate_binary_inputs(netlist.n_primary_inputs)
+        np.testing.assert_array_equal(
+            netlist.evaluate_outputs(X), pruned.evaluate_outputs(X)
+        )
+
+    def test_unreferenced_node_removed(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node("used", "rinc0", ["in0"], np.array([0, 1]))
+        netlist.add_node("dead", "rinc0", ["in1"], np.array([0, 1]))
+        netlist.mark_output("used")
+        pruned = prune_netlist(netlist)
+        assert [node.name for node in pruned.nodes] == ["used"]
+
+    def test_trained_rinc_netlist_survives_pruning(self, rinc2_netlist, small_teacher_task):
+        pruned = prune_netlist(rinc2_netlist)
+        X = small_teacher_task.X_test
+        np.testing.assert_array_equal(
+            rinc2_netlist.evaluate_outputs(X), pruned.evaluate_outputs(X)
+        )
+        assert pruned.n_luts <= rinc2_netlist.n_luts
+
+
+class TestResourceReport:
+    def test_report_fields(self, rinc2_netlist):
+        report = resource_report(rinc2_netlist, n_classes=10, output_bits=8)
+        assert report.logical_luts > 0
+        assert report.physical_luts >= report.logical_luts
+        assert report.output_layer_luts == 80
+        assert report.total_physical_luts == report.physical_luts + 80
+        assert 0.0 <= report.pruned_fraction <= 1.0
+
+    def test_wide_luts_cost_more_physical(self, wide_rinc_netlist):
+        report = resource_report(wide_rinc_netlist, prune=False)
+        # the four 8-input tree LUTs cost four physical LUTs each; the 4-input
+        # MAT LUT still fits in one
+        assert report.luts_by_kind == {"rinc0": 4, "mat": 1}
+        assert report.physical_luts == 4 * 4 + 1
+
+    def test_narrow_luts_one_to_one(self, rinc2_netlist):
+        report = resource_report(rinc2_netlist, prune=False)
+        assert report.physical_luts == report.logical_luts
+
+    def test_pruning_reported(self):
+        netlist = _netlist_with_weak_mat([1.0, 1.0, 0.9, 1e-9])
+        report = resource_report(netlist)
+        assert report.pruned_luts == 1
+        assert report.pruned_fraction == pytest.approx(1 / 5)
+
+    def test_kind_counts(self, rinc2_netlist):
+        report = resource_report(rinc2_netlist, prune=False)
+        assert report.luts_by_kind["rinc0"] == 12  # 3 subgroups x 4 trees
+        assert report.luts_by_kind["mat"] == 4  # 3 inner + 1 outer

@@ -1,0 +1,71 @@
+"""Numerical gradient checking helpers for layer tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+def numerical_gradient(
+    func: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func(x)
+        flat[i] = original - eps
+        minus = func(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_layer_input_gradient(
+    layer: Layer, x: np.ndarray, rtol: float = 1e-4, atol: float = 1e-6
+) -> None:
+    """Assert that layer.backward matches the numerical input gradient.
+
+    The scalar objective is ``sum(forward(x) * R)`` for a fixed random
+    projection ``R``, whose analytic input gradient is ``backward(R)``.
+    """
+    rng = np.random.default_rng(0)
+    out = layer.forward(x.copy(), training=True)
+    projection = rng.normal(size=out.shape)
+
+    def objective(arr: np.ndarray) -> float:
+        return float(np.sum(layer.forward(arr, training=True) * projection))
+
+    # Re-run forward on the original input so cached state matches x before backward.
+    layer.forward(x.copy(), training=True)
+    analytic = layer.backward(projection)
+    numeric = numerical_gradient(objective, x.copy().astype(np.float64))
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_layer_param_gradients(
+    layer: Layer, x: np.ndarray, rtol: float = 1e-4, atol: float = 1e-6
+) -> None:
+    """Assert that accumulated parameter gradients match numerical gradients."""
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, training=True)
+    projection = rng.normal(size=out.shape)
+    layer.zero_grads()
+    layer.forward(x, training=True)
+    layer.backward(projection)
+    analytic = {name: grad.copy() for name, grad in layer.grads.items()}
+
+    for name in layer.params:
+        def objective(arr: np.ndarray, _name: str = name) -> float:
+            return float(np.sum(layer.forward(x, training=True) * projection))
+
+        numeric = numerical_gradient(objective, layer.params[name])
+        np.testing.assert_allclose(
+            analytic[name], numeric, rtol=rtol, atol=atol, err_msg=f"parameter {name!r}"
+        )

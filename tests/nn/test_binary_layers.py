@@ -1,0 +1,92 @@
+"""Tests for BinaryDense and the XNOR/popcount inference path."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, BinaryDense, Dense, ReLU, Sequential, Sign, SquaredHingeLoss, Trainer
+from repro.nn.layers.binary import xnor_popcount_matmul
+
+
+class TestBinaryDense:
+    def test_forward_uses_binarised_weights(self, rng):
+        layer = BinaryDense(4, 3, use_bias=False, seed=0)
+        x = rng.normal(size=(5, 4))
+        out = layer.forward(x)
+        expected = x @ np.where(layer.params["W"] >= 0, 1.0, -1.0)
+        np.testing.assert_allclose(out, expected)
+
+    def test_binarize_maps_zero_to_plus_one(self):
+        np.testing.assert_array_equal(
+            BinaryDense.binarize(np.array([-0.5, 0.0, 0.5])), [-1.0, 1.0, 1.0]
+        )
+
+    def test_gradient_blocked_for_saturated_weights(self, rng):
+        layer = BinaryDense(3, 2, use_bias=False, seed=0)
+        layer.params["W"][0, 0] = 2.0  # saturated shadow weight
+        x = rng.normal(size=(4, 3))
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        assert layer.grads["W"][0, 0] == 0.0
+
+    def test_clip_weights(self):
+        layer = BinaryDense(3, 2, seed=0)
+        layer.params["W"][:] = 5.0
+        layer.clip_weights()
+        assert layer.params["W"].max() <= 1.0
+
+    def test_invalid_shapes(self, rng):
+        layer = BinaryDense(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(3, 5)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            BinaryDense(3, 2, seed=0).backward(np.zeros((1, 2)))
+
+    def test_binary_network_learns(self, rng):
+        """A BinaryNet-style classifier trains on a simple separable task."""
+        n = 300
+        X = rng.normal(size=(n, 8))
+        y = (X[:, 0] + X[:, 1] > 0).astype(np.int64)
+        model = Sequential(
+            [Dense(8, 32, seed=0), ReLU(), BinaryDense(32, 16, seed=1), Sign(), Dense(16, 2, seed=2)]
+        )
+        trainer = Trainer(
+            model,
+            SquaredHingeLoss(),
+            Adam(model.layers, learning_rate=0.01),
+            clip_binary_weights=True,
+            seed=0,
+        )
+        trainer.fit(X, y, epochs=20, batch_size=32)
+        assert trainer.evaluate(X, y) > 0.85
+        # shadow weights stay clipped
+        assert np.all(np.abs(model.layers[2].params["W"]) <= 1.0)
+
+
+class TestXnorPopcount:
+    def test_matches_pm1_dot_product(self, rng):
+        x_bits = (rng.random((10, 16)) < 0.5).astype(np.int64)
+        w_bits = (rng.random((16, 4)) < 0.5).astype(np.int64)
+        result = xnor_popcount_matmul(x_bits, w_bits)
+        x_pm = 2 * x_bits - 1
+        w_pm = 2 * w_bits - 1
+        np.testing.assert_array_equal(result, x_pm @ w_pm)
+
+    def test_all_match_gives_n(self):
+        x = np.ones((1, 8), dtype=np.int64)
+        w = np.ones((8, 1), dtype=np.int64)
+        assert xnor_popcount_matmul(x, w)[0, 0] == 8
+
+    def test_all_mismatch_gives_minus_n(self):
+        x = np.ones((1, 8), dtype=np.int64)
+        w = np.zeros((8, 1), dtype=np.int64)
+        assert xnor_popcount_matmul(x, w)[0, 0] == -8
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            xnor_popcount_matmul(np.array([[2]]), np.array([[1]]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            xnor_popcount_matmul(np.ones((2, 3), dtype=int), np.ones((4, 1), dtype=int))

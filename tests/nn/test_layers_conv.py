@@ -1,0 +1,137 @@
+"""Tests for Conv2D, MaxPool2D and BatchNorm."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm, Conv2D, MaxPool2D
+from repro.nn.layers.conv import col2im, im2col
+from tests.nn.gradcheck import check_layer_input_gradient, check_layer_param_gradients
+
+
+class TestIm2Col:
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(2, 5, 5, 3))
+        cols, out_h, out_w = im2col(x, kernel=3, stride=1, padding=0)
+        assert (out_h, out_w) == (3, 3)
+        assert cols.shape == (2 * 9, 27)
+
+    def test_padding_increases_output(self, rng):
+        x = rng.normal(size=(1, 4, 4, 1))
+        _, out_h, _ = im2col(x, kernel=3, stride=1, padding=1)
+        assert out_h == 4
+
+    def test_known_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        cols, out_h, out_w = im2col(x, kernel=2, stride=2, padding=0)
+        assert (out_h, out_w) == (2, 2)
+        np.testing.assert_array_equal(cols[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(cols[3], [10, 11, 14, 15])
+
+    def test_kernel_too_large(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(1, 2, 2, 1)), kernel=5, stride=1, padding=0)
+
+    def test_col2im_adjoint_property(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.normal(size=(2, 6, 6, 2))
+        cols, out_h, out_w = im2col(x, kernel=3, stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = col2im(y, x.shape, kernel=3, stride=1, padding=1, out_h=out_h, out_w=out_w)
+        rhs = float(np.sum(x * back))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        layer = Conv2D(3, 8, kernel_size=3, padding=1, seed=0)
+        out = layer.forward(rng.normal(size=(2, 8, 8, 3)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_stride_reduces_size(self, rng):
+        layer = Conv2D(1, 2, kernel_size=3, stride=2, seed=0)
+        out = layer.forward(rng.normal(size=(1, 9, 9, 1)))
+        assert out.shape == (1, 4, 4, 2)
+
+    def test_input_gradient(self, rng):
+        layer = Conv2D(2, 3, kernel_size=3, padding=1, seed=0)
+        check_layer_input_gradient(layer, rng.normal(size=(2, 4, 4, 2)))
+
+    def test_param_gradients(self, rng):
+        layer = Conv2D(1, 2, kernel_size=2, seed=0)
+        check_layer_param_gradients(layer, rng.normal(size=(2, 4, 4, 1)))
+
+    def test_wrong_channels_rejected(self, rng):
+        layer = Conv2D(3, 4, seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 5, 5, 2)))
+
+    def test_matches_manual_convolution(self, rng):
+        layer = Conv2D(1, 1, kernel_size=2, use_bias=False, seed=0)
+        x = rng.normal(size=(1, 3, 3, 1))
+        out = layer.forward(x)
+        w = layer.params["W"].reshape(2, 2)
+        expected = np.zeros((2, 2))
+        for i in range(2):
+            for j in range(2):
+                expected[i, j] = np.sum(x[0, i : i + 2, j : j + 2, 0] * w)
+        np.testing.assert_allclose(out[0, :, :, 0], expected)
+
+
+class TestMaxPool2D:
+    def test_output_shape(self, rng):
+        layer = MaxPool2D(2)
+        out = layer.forward(rng.normal(size=(2, 8, 8, 3)))
+        assert out.shape == (2, 4, 4, 3)
+
+    def test_values(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_gradient(self, rng):
+        layer = MaxPool2D(2)
+        # distinct values avoid ties so the numerical gradient is well defined
+        x = rng.permutation(32).astype(np.float64).reshape(1, 4, 4, 2)
+        check_layer_input_gradient(layer, x)
+
+    def test_truncates_odd_sizes(self, rng):
+        layer = MaxPool2D(2)
+        out = layer.forward(rng.normal(size=(1, 5, 5, 1)))
+        assert out.shape == (1, 2, 2, 1)
+
+    def test_too_small_input_rejected(self, rng):
+        layer = MaxPool2D(4)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 2, 2, 1)))
+
+
+class TestBatchNorm:
+    def test_normalises_batch(self, rng):
+        layer = BatchNorm(6)
+        x = rng.normal(loc=3.0, scale=2.0, size=(100, 6))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_used_in_inference(self, rng):
+        layer = BatchNorm(4, momentum=0.0)
+        x = rng.normal(loc=1.0, size=(50, 4))
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        assert np.abs(out.mean()) < 0.5
+
+    def test_input_gradient(self, rng):
+        layer = BatchNorm(3)
+        check_layer_input_gradient(layer, rng.normal(size=(6, 3)), rtol=1e-3, atol=1e-5)
+
+    def test_param_gradients(self, rng):
+        layer = BatchNorm(3)
+        check_layer_param_gradients(layer, rng.normal(size=(5, 3)), rtol=1e-3, atol=1e-5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BatchNorm(0)
+        with pytest.raises(ValueError):
+            BatchNorm(3, momentum=1.5)

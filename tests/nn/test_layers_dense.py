@@ -1,0 +1,155 @@
+"""Tests for Dense, Flatten, Dropout and activation layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BinarySigmoid, Dense, Dropout, Flatten, HardTanh, ReLU, Sign
+from tests.nn.gradcheck import check_layer_input_gradient, check_layer_param_gradients
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(8, 4, seed=0)
+        out = layer.forward(rng.normal(size=(5, 8)))
+        assert out.shape == (5, 4)
+
+    def test_input_gradient(self, rng):
+        layer = Dense(6, 3, seed=0)
+        check_layer_input_gradient(layer, rng.normal(size=(4, 6)))
+
+    def test_param_gradients(self, rng):
+        layer = Dense(5, 3, seed=0)
+        check_layer_param_gradients(layer, rng.normal(size=(4, 5)))
+
+    def test_no_bias(self, rng):
+        layer = Dense(4, 2, use_bias=False, seed=0)
+        assert "b" not in layer.params
+        check_layer_param_gradients(layer, rng.normal(size=(3, 4)))
+
+    def test_wrong_input_shape_rejected(self, rng):
+        layer = Dense(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(3, 5)))
+
+    def test_backward_before_forward_rejected(self):
+        layer = Dense(4, 2, seed=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_n_parameters(self):
+        layer = Dense(4, 3, seed=0)
+        assert layer.n_parameters == 4 * 3 + 3
+
+
+class TestReLU:
+    def test_forward_values(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.5]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.5]])
+
+    def test_gradient(self, rng):
+        layer = ReLU()
+        x = rng.normal(size=(4, 6)) + 0.05  # keep away from the kink
+        check_layer_input_gradient(layer, x)
+
+
+class TestHardTanh:
+    def test_forward_clipping(self):
+        layer = HardTanh()
+        out = layer.forward(np.array([[-2.0, 0.3, 2.0]]))
+        np.testing.assert_array_equal(out, [[-1.0, 0.3, 1.0]])
+
+    def test_gradient_inside_region(self, rng):
+        layer = HardTanh()
+        x = rng.uniform(-0.9, 0.9, size=(3, 5))
+        check_layer_input_gradient(layer, x)
+
+    def test_gradient_blocked_outside(self):
+        layer = HardTanh()
+        layer.forward(np.array([[2.0, -2.0]]))
+        grad = layer.backward(np.array([[1.0, 1.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 0.0]])
+
+
+class TestBinarySigmoid:
+    def test_output_is_binary(self, rng):
+        layer = BinarySigmoid()
+        out = layer.forward(rng.normal(size=(10, 7)))
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_threshold_at_zero(self):
+        layer = BinarySigmoid()
+        out = layer.forward(np.array([[-0.1, 0.0, 0.1]]))
+        np.testing.assert_array_equal(out, [[0.0, 1.0, 1.0]])
+
+    def test_straight_through_gradient(self):
+        layer = BinarySigmoid(slope=0.5)
+        layer.forward(np.array([[0.5, 5.0]]))
+        grad = layer.backward(np.array([[1.0, 1.0]]))
+        np.testing.assert_array_equal(grad, [[0.5, 0.0]])
+
+    def test_invalid_slope(self):
+        with pytest.raises(ValueError):
+            BinarySigmoid(slope=0.0)
+
+
+class TestSign:
+    def test_output_is_pm1(self, rng):
+        layer = Sign()
+        out = layer.forward(rng.normal(size=(6, 4)))
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_straight_through_gradient(self):
+        layer = Sign()
+        layer.forward(np.array([[0.5, 3.0]]))
+        grad = layer.backward(np.array([[1.0, 1.0]]))
+        np.testing.assert_array_equal(grad, [[1.0, 0.0]])
+
+
+class TestFlatten:
+    def test_round_trip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 4, 4, 2))
+        out = layer.forward(x)
+        assert out.shape == (3, 32)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_gradient(self, rng):
+        layer = Flatten()
+        check_layer_input_gradient(layer, rng.normal(size=(2, 3, 3, 1)))
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(rate=0.5, seed=0)
+        x = rng.normal(size=(5, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_fraction(self):
+        layer = Dropout(rate=0.5, seed=0)
+        x = np.ones((200, 50))
+        out = layer.forward(x, training=True)
+        dropped = np.mean(out == 0)
+        assert 0.4 < dropped < 0.6
+
+    def test_scaling_preserves_expectation(self):
+        layer = Dropout(rate=0.3, seed=1)
+        x = np.ones((500, 40))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(rate=0.5, seed=2)
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(rate=1.0)

@@ -1,0 +1,74 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss, SquaredHingeLoss, one_hot_signed
+from tests.nn.gradcheck import numerical_gradient
+
+
+class TestOneHotSigned:
+    def test_values(self):
+        targets = one_hot_signed(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(targets, [[1, -1, -1], [-1, -1, 1]])
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            one_hot_signed(np.array([3]), 3)
+
+
+class TestSquaredHingeLoss:
+    def test_zero_loss_with_large_margins(self):
+        loss = SquaredHingeLoss()
+        scores = np.array([[5.0, -5.0], [-5.0, 5.0]])
+        value, grad = loss(scores, np.array([0, 1]))
+        assert value == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_known_value(self):
+        loss = SquaredHingeLoss()
+        scores = np.array([[0.0, 0.0]])
+        value, _ = loss(scores, np.array([0]))
+        # both margins are max(0, 1-0)^2 = 1, summed = 2
+        assert value == pytest.approx(2.0)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = SquaredHingeLoss()
+        scores = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        _, grad = loss(scores, labels)
+        numeric = numerical_gradient(lambda s: loss(s, labels)[0], scores.copy())
+        np.testing.assert_allclose(grad, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_rejects_1d_scores(self):
+        with pytest.raises(ValueError):
+            SquaredHingeLoss()(np.zeros(3), np.zeros(3, dtype=int))
+
+
+class TestCrossEntropyLoss:
+    def test_perfect_prediction_low_loss(self):
+        loss = CrossEntropyLoss()
+        scores = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        value, _ = loss(scores, np.array([0, 1]))
+        assert value < 1e-6
+
+    def test_uniform_prediction_loss(self):
+        loss = CrossEntropyLoss()
+        scores = np.zeros((4, 10))
+        value, _ = loss(scores, np.zeros(4, dtype=int))
+        assert value == pytest.approx(np.log(10), rel=1e-6)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = CrossEntropyLoss()
+        scores = rng.normal(size=(4, 3))
+        labels = rng.integers(0, 3, size=4)
+        _, grad = loss(scores, labels)
+        numeric = numerical_gradient(lambda s: loss(s, labels)[0], scores.copy())
+        np.testing.assert_allclose(grad, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = CrossEntropyLoss()
+        scores = rng.normal(size=(6, 5))
+        labels = rng.integers(0, 5, size=6)
+        _, grad = loss(scores, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)

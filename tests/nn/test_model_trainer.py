@@ -1,0 +1,139 @@
+"""Integration tests: Sequential model + Trainer learn simple tasks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BinarySigmoid,
+    CrossEntropyLoss,
+    Dense,
+    ExponentialDecay,
+    ReLU,
+    Sequential,
+    SquaredHingeLoss,
+    Trainer,
+)
+
+
+def _make_blobs(rng, n_per_class=100, n_classes=3, n_features=4, spread=0.4):
+    centers = rng.normal(scale=2.0, size=(n_classes, n_features))
+    X = np.concatenate(
+        [centers[c] + rng.normal(scale=spread, size=(n_per_class, n_features)) for c in range(n_classes)]
+    )
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+class TestSequential:
+    def test_forward_shape(self, rng):
+        model = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 3, seed=1)])
+        assert model.forward(rng.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_predict_batched_matches_full(self, rng):
+        model = Sequential([Dense(4, 6, seed=0), ReLU(), Dense(6, 2, seed=1)])
+        X = rng.normal(size=(25, 4))
+        np.testing.assert_allclose(
+            model.predict_scores(X), model.predict_scores(X, batch_size=7)
+        )
+
+    def test_activations_at_intermediate_layer(self, rng):
+        model = Sequential([Dense(4, 6, seed=0), BinarySigmoid(), Dense(6, 2, seed=1)])
+        X = rng.normal(size=(10, 4))
+        acts = model.activations_at(X, 1)
+        assert acts.shape == (10, 6)
+        assert set(np.unique(acts)) <= {0.0, 1.0}
+
+    def test_activations_at_negative_index(self, rng):
+        model = Sequential([Dense(4, 6, seed=0), ReLU()])
+        X = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(model.activations_at(X, -1), model.forward(X))
+
+    def test_activations_at_out_of_range(self, rng):
+        model = Sequential([Dense(4, 6, seed=0)])
+        with pytest.raises(IndexError):
+            model.activations_at(rng.normal(size=(2, 4)), 5)
+
+    def test_get_set_parameters_round_trip(self, rng):
+        model = Sequential([Dense(4, 3, seed=0)])
+        saved = model.get_parameters()
+        X = rng.normal(size=(5, 4))
+        before = model.forward(X)
+        model.layers[0].params["W"] += 1.0
+        assert not np.allclose(model.forward(X), before)
+        model.set_parameters(saved)
+        np.testing.assert_allclose(model.forward(X), before)
+
+    def test_set_parameters_validates_shapes(self):
+        model = Sequential([Dense(4, 3, seed=0)])
+        bad = [{"W": np.zeros((2, 2)), "b": np.zeros(3)}]
+        with pytest.raises(ValueError):
+            model.set_parameters(bad)
+
+    def test_n_parameters(self):
+        model = Sequential([Dense(4, 3, seed=0), ReLU(), Dense(3, 2, seed=0)])
+        assert model.n_parameters == (4 * 3 + 3) + (3 * 2 + 2)
+
+
+class TestTrainer:
+    def test_learns_blobs_with_hinge_loss(self, rng):
+        X, y = _make_blobs(rng)
+        model = Sequential([Dense(4, 16, seed=0), ReLU(), Dense(16, 3, seed=1)])
+        trainer = Trainer(
+            model,
+            SquaredHingeLoss(),
+            Adam(model.layers, learning_rate=0.01),
+            schedule=ExponentialDecay(0.01, 0.97),
+            seed=0,
+        )
+        history = trainer.fit(X, y, epochs=15, batch_size=32)
+        assert history.n_epochs == 15
+        assert trainer.evaluate(X, y) > 0.9
+
+    def test_learns_with_cross_entropy(self, rng):
+        X, y = _make_blobs(rng, n_per_class=60)
+        model = Sequential([Dense(4, 12, seed=0), ReLU(), Dense(12, 3, seed=1)])
+        trainer = Trainer(model, CrossEntropyLoss(), Adam(model.layers, learning_rate=0.01), seed=0)
+        trainer.fit(X, y, epochs=15, batch_size=32)
+        assert trainer.evaluate(X, y) > 0.9
+
+    def test_validation_curve_recorded(self, rng):
+        X, y = _make_blobs(rng, n_per_class=50)
+        model = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 3, seed=1)])
+        trainer = Trainer(model, SquaredHingeLoss(), Adam(model.layers), seed=0)
+        history = trainer.fit(X, y, epochs=3, batch_size=16, X_val=X[:30], y_val=y[:30])
+        assert len(history.val_accuracy) == 3
+        assert history.best_val_accuracy() >= max(history.val_accuracy) - 1e-12
+
+    def test_loss_decreases(self, rng):
+        X, y = _make_blobs(rng, n_per_class=60)
+        model = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 3, seed=1)])
+        trainer = Trainer(model, SquaredHingeLoss(), Adam(model.layers, learning_rate=0.01), seed=0)
+        history = trainer.fit(X, y, epochs=10, batch_size=32)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_schedule_applied(self, rng):
+        X, y = _make_blobs(rng, n_per_class=20)
+        model = Sequential([Dense(4, 4, seed=0), ReLU(), Dense(4, 3, seed=1)])
+        schedule = ExponentialDecay(0.01, 0.5)
+        trainer = Trainer(model, SquaredHingeLoss(), Adam(model.layers), schedule=schedule, seed=0)
+        history = trainer.fit(X, y, epochs=3, batch_size=16)
+        np.testing.assert_allclose(history.learning_rates, [0.01, 0.005, 0.0025])
+
+    def test_invalid_epochs(self, rng):
+        X, y = _make_blobs(rng, n_per_class=10)
+        model = Sequential([Dense(4, 3, seed=0)])
+        trainer = Trainer(model, SquaredHingeLoss(), Adam(model.layers), seed=0)
+        with pytest.raises(ValueError):
+            trainer.fit(X, y, epochs=0)
+
+    def test_empty_history_best_val_rejected(self):
+        from repro.nn.trainer import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().best_val_accuracy()

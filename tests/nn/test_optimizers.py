@@ -1,0 +1,95 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, ConstantSchedule, Dense, ExponentialDecay, StepDecay
+
+
+def _quadratic_step(layer, optimizer, target):
+    """One gradient step of ||W - target||^2 / 2."""
+    layer.grads["W"] = layer.params["W"] - target
+    layer.grads["b"] = np.zeros_like(layer.params["b"])
+    optimizer.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        layer = Dense(3, 2, seed=0)
+        target = np.full((3, 2), 0.5)
+        opt = SGD([layer], learning_rate=0.2)
+        for _ in range(200):
+            _quadratic_step(layer, opt, target)
+        np.testing.assert_allclose(layer.params["W"], target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        def distance_after(momentum, steps=20):
+            layer = Dense(3, 2, seed=0)
+            target = np.full((3, 2), 0.5)
+            opt = SGD([layer], learning_rate=0.01, momentum=momentum)
+            for _ in range(steps):
+                _quadratic_step(layer, opt, target)
+            return np.linalg.norm(layer.params["W"] - target)
+
+        assert distance_after(0.9) < distance_after(0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Dense(2, 2, seed=0)], momentum=1.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Dense(2, 2, seed=0)], learning_rate=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        layer = Dense(3, 2, seed=0)
+        target = np.full((3, 2), -0.25)
+        opt = Adam([layer], learning_rate=0.05)
+        for _ in range(500):
+            _quadratic_step(layer, opt, target)
+        np.testing.assert_allclose(layer.params["W"], target, atol=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Dense(2, 2, seed=0)], beta1=1.0)
+
+    def test_skips_parameterless_layers(self):
+        from repro.nn import ReLU
+
+        opt = Adam([ReLU(), Dense(2, 2, seed=0)])
+        assert len(opt.layers) == 1
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule.learning_rate(0) == 0.1
+        assert schedule.learning_rate(50) == 0.1
+
+    def test_exponential_decay(self):
+        schedule = ExponentialDecay(1.0, decay=0.5)
+        assert schedule.learning_rate(0) == 1.0
+        assert schedule.learning_rate(2) == pytest.approx(0.25)
+
+    def test_exponential_is_monotone(self):
+        schedule = ExponentialDecay(0.01, decay=0.9)
+        rates = [schedule.learning_rate(e) for e in range(10)]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_step_decay(self):
+        schedule = StepDecay(1.0, step_size=10, factor=10.0)
+        assert schedule.learning_rate(9) == 1.0
+        assert schedule.learning_rate(10) == pytest.approx(0.1)
+        assert schedule.learning_rate(25) == pytest.approx(0.01)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, decay=0.0)
+        with pytest.raises(ValueError):
+            StepDecay(1.0, step_size=0)
+        with pytest.raises(ValueError):
+            ConstantSchedule(-1.0)
+        with pytest.raises(ValueError):
+            ConstantSchedule(1.0).learning_rate(-1)

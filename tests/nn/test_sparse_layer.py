@@ -1,0 +1,76 @@
+"""Tests for the block-sparse dense layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, BlockSparseDense, Sequential, SquaredHingeLoss, Trainer
+from tests.nn.gradcheck import check_layer_input_gradient
+
+
+class TestStructure:
+    def test_input_width(self):
+        layer = BlockSparseDense(n_outputs=4, fan_in=3, seed=0)
+        assert layer.in_features == 12
+        assert layer.out_features == 4
+
+    def test_off_block_weights_are_zero(self):
+        layer = BlockSparseDense(n_outputs=3, fan_in=2, seed=0)
+        W = layer.params["W"]
+        assert W[0, 1] == 0.0 and W[0, 2] == 0.0
+        assert W[2, 0] == 0.0
+        assert W[0, 0] != 0.0 or W[1, 0] != 0.0
+
+    def test_block_weights_shape(self):
+        layer = BlockSparseDense(n_outputs=5, fan_in=4, seed=0)
+        assert layer.block_weights().shape == (5, 4)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BlockSparseDense(n_outputs=0, fan_in=3)
+        with pytest.raises(ValueError):
+            BlockSparseDense(n_outputs=3, fan_in=0)
+
+
+class TestBehaviour:
+    def test_output_depends_only_on_own_block(self, rng):
+        layer = BlockSparseDense(n_outputs=3, fan_in=4, seed=0)
+        x = rng.normal(size=(5, 12))
+        base = layer.forward(x)
+        perturbed = x.copy()
+        perturbed[:, 4:8] += 10.0  # block of output 1
+        out = layer.forward(perturbed)
+        np.testing.assert_allclose(out[:, 0], base[:, 0])
+        np.testing.assert_allclose(out[:, 2], base[:, 2])
+        assert not np.allclose(out[:, 1], base[:, 1])
+
+    def test_gradients_respect_mask(self, rng):
+        layer = BlockSparseDense(n_outputs=3, fan_in=2, seed=0)
+        x = rng.normal(size=(4, 6))
+        layer.forward(x, training=True)
+        layer.backward(rng.normal(size=(4, 3)))
+        np.testing.assert_array_equal(layer.grads["W"] * (1 - layer._mask), 0.0)
+
+    def test_input_gradient(self, rng):
+        layer = BlockSparseDense(n_outputs=2, fan_in=3, seed=0)
+        check_layer_input_gradient(layer, rng.normal(size=(4, 6)))
+
+    def test_training_keeps_sparsity(self, rng):
+        layer = BlockSparseDense(n_outputs=3, fan_in=4, seed=0)
+        model = Sequential([layer])
+        X = rng.normal(size=(120, 12))
+        y = rng.integers(0, 3, size=120)
+        trainer = Trainer(model, SquaredHingeLoss(), Adam(model.layers, learning_rate=0.05), seed=0)
+        trainer.fit(X, y, epochs=5, batch_size=32)
+        np.testing.assert_array_equal(layer.params["W"] * (1 - layer._mask), 0.0)
+
+    def test_learns_block_aligned_task(self, rng):
+        """Each class is indicated by the sum of its own input block."""
+        n, n_classes, fan_in = 400, 4, 3
+        X = rng.normal(size=(n, n_classes * fan_in))
+        block_sums = X.reshape(n, n_classes, fan_in).sum(axis=2)
+        y = np.argmax(block_sums, axis=1)
+        layer = BlockSparseDense(n_outputs=n_classes, fan_in=fan_in, seed=0)
+        model = Sequential([layer])
+        trainer = Trainer(model, SquaredHingeLoss(), Adam(model.layers, learning_rate=0.05), seed=0)
+        trainer.fit(X, y, epochs=20, batch_size=32)
+        assert trainer.evaluate(X, y) > 0.9

@@ -1,0 +1,96 @@
+"""Tests for the conventional node-wise decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_binary_teacher_task
+from repro.trees import ClassicDecisionTree, LevelWiseDecisionTree
+
+
+class TestFit:
+    def test_learns_single_feature(self, rng):
+        X = (rng.random((200, 10)) < 0.5).astype(np.uint8)
+        y = X[:, 4].astype(np.int64)
+        tree = ClassicDecisionTree(max_depth=3).fit(X, y)
+        assert tree.score(X, y) == 1.0
+        assert tree.depth_ >= 1
+
+    def test_learns_and_of_two_features(self, rng):
+        X = (rng.random((400, 8)) < 0.5).astype(np.uint8)
+        y = (X[:, 1] & X[:, 6]).astype(np.int64)
+        tree = ClassicDecisionTree(max_depth=4).fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_depth_limit_respected(self, rng):
+        data = make_binary_teacher_task(n_train=500, n_test=100, n_features=32, seed=0)
+        tree = ClassicDecisionTree(max_depth=3).fit(data.X_train, data.y_train)
+        assert tree.depth_ <= 3
+
+    def test_max_nodes_limit(self, rng):
+        data = make_binary_teacher_task(n_train=500, n_test=100, n_features=32, seed=0)
+        tree = ClassicDecisionTree(max_depth=10, max_nodes=5).fit(data.X_train, data.y_train)
+        assert tree.n_internal_nodes_ <= 5 + 2  # children created at the limit boundary
+
+    def test_sample_weights_respected(self, rng):
+        n = 600
+        X = (rng.random((n, 6)) < 0.5).astype(np.uint8)
+        y = np.concatenate([X[: n // 2, 0], X[n // 2 :, 3]]).astype(np.int64)
+        w = np.concatenate([np.full(n // 2, 1.0), np.full(n // 2, 1e-9)])
+        tree = ClassicDecisionTree(max_depth=1).fit(X, y, sample_weight=w)
+        assert tree.root_.feature == 0
+
+    def test_pure_labels_give_leaf(self):
+        X = np.array([[0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        y = np.ones(3, dtype=np.int64)
+        tree = ClassicDecisionTree(max_depth=3).fit(X, y)
+        assert tree.root_.is_leaf
+        assert tree.predict(X).tolist() == [1, 1, 1]
+
+
+class TestValidation:
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            ClassicDecisionTree(max_depth=0)
+
+    def test_invalid_max_nodes(self):
+        with pytest.raises(ValueError):
+            ClassicDecisionTree(max_nodes=0)
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            ClassicDecisionTree().predict(np.zeros((1, 3), dtype=np.uint8))
+
+    def test_unfitted_count_features(self):
+        with pytest.raises(RuntimeError):
+            ClassicDecisionTree().count_distinct_features()
+
+    def test_bad_weights(self, rng):
+        X = (rng.random((10, 4)) < 0.5).astype(np.uint8)
+        y = (rng.random(10) < 0.5).astype(np.int64)
+        with pytest.raises(ValueError):
+            ClassicDecisionTree().fit(X, y, sample_weight=np.ones(3))
+
+
+class TestComparisonWithLevelWise:
+    def test_classic_tree_may_use_more_distinct_features_per_capacity(self):
+        """A depth-P classic tree may touch more than P distinct features.
+
+        This is the paper's motivation for the level-wise variant: a classic
+        tree of the same depth does not map onto a single P-input LUT.
+        """
+        data = make_binary_teacher_task(
+            n_train=2000, n_test=200, n_features=64, n_active=24, seed=5
+        )
+        depth = 4
+        classic = ClassicDecisionTree(max_depth=depth).fit(data.X_train, data.y_train)
+        level = LevelWiseDecisionTree(n_inputs=depth).fit(data.X_train, data.y_train)
+        assert len(level.feature_indices_) == depth
+        assert classic.count_distinct_features() >= depth
+
+    def test_level_tree_competitive_on_teacher_task(self):
+        data = make_binary_teacher_task(
+            n_train=1500, n_test=400, n_features=48, n_active=10, seed=7
+        )
+        classic = ClassicDecisionTree(max_depth=5).fit(data.X_train, data.y_train)
+        level = LevelWiseDecisionTree(n_inputs=5).fit(data.X_train, data.y_train)
+        assert level.score(data.X_test, data.y_test) >= classic.score(data.X_test, data.y_test) - 0.08

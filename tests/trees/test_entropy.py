@@ -1,0 +1,82 @@
+"""Tests for entropy helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.entropy import binary_entropy, entropy_from_counts, weighted_label_entropy
+
+
+class TestBinaryEntropy:
+    def test_extremes_are_zero(self):
+        np.testing.assert_array_equal(binary_entropy(np.array([0.0, 1.0])), [0.0, 0.0])
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(np.array(0.5)) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p = np.array([0.1, 0.3, 0.45])
+        np.testing.assert_allclose(binary_entropy(p), binary_entropy(1 - p))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            binary_entropy(np.array([1.5]))
+
+
+class TestEntropyFromCounts:
+    def test_pure_node_zero(self):
+        assert entropy_from_counts(np.array([10.0, 0.0])) == 0.0
+
+    def test_balanced_node_one_bit(self):
+        assert entropy_from_counts(np.array([5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_empty_node_zero(self):
+        assert entropy_from_counts(np.array([0.0, 0.0])) == 0.0
+
+    def test_batched_rows(self):
+        counts = np.array([[1.0, 1.0], [2.0, 0.0], [0.0, 0.0]])
+        np.testing.assert_allclose(entropy_from_counts(counts), [1.0, 0.0, 0.0])
+
+    def test_multiclass_uniform(self):
+        assert entropy_from_counts(np.ones(8)) == pytest.approx(3.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            entropy_from_counts(np.array([-1.0, 2.0]))
+
+
+class TestWeightedLabelEntropy:
+    def test_matches_unweighted(self):
+        y = np.array([0, 0, 1, 1])
+        w = np.full(4, 0.25)
+        assert weighted_label_entropy(y, w) == pytest.approx(1.0)
+
+    def test_weights_shift_distribution(self):
+        y = np.array([0, 1])
+        w = np.array([0.9, 0.1])
+        assert weighted_label_entropy(y, w) < 1.0
+
+    def test_zero_weights(self):
+        assert weighted_label_entropy(np.array([0, 1]), np.array([0.0, 0.0])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_label_entropy(np.array([0, 1]), np.array([1.0]))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_label_entropy(np.array([0, 1]), np.array([-1.0, 1.0]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    counts=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=2, max_size=6
+    )
+)
+def test_entropy_bounds_property(counts):
+    """Entropy is always within [0, log2(n_classes)]."""
+    arr = np.array(counts)
+    value = entropy_from_counts(arr)
+    assert 0.0 <= value <= np.log2(len(counts)) + 1e-9

@@ -1,0 +1,172 @@
+"""Tests for the level-wise decision tree (Algorithm 1 / RINC-0 trainer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_binary_teacher_task
+from repro.trees import LevelWiseDecisionTree
+from repro.utils.bitops import binary_to_index
+
+
+class TestFitBasics:
+    def test_selects_exactly_p_distinct_features(self):
+        data = make_binary_teacher_task(n_train=500, n_test=100, n_features=64, seed=0)
+        tree = LevelWiseDecisionTree(n_inputs=6).fit(data.X_train, data.y_train)
+        assert len(tree.feature_indices_) == 6
+        assert len(set(tree.feature_indices_.tolist())) == 6
+
+    def test_table_size(self):
+        data = make_binary_teacher_task(n_train=200, n_test=50, n_features=32, seed=1)
+        tree = LevelWiseDecisionTree(n_inputs=5).fit(data.X_train, data.y_train)
+        assert tree.table_.shape == (32,)
+        assert set(np.unique(tree.table_)) <= {0, 1}
+
+    def test_single_informative_feature_found(self, rng):
+        X = (rng.random((400, 20)) < 0.5).astype(np.uint8)
+        y = X[:, 7].astype(np.int64)  # label equals feature 7
+        tree = LevelWiseDecisionTree(n_inputs=3).fit(X, y)
+        assert 7 in tree.feature_indices_
+        assert tree.score(X, y) == 1.0
+
+    def test_first_level_gets_most_informative_feature(self, rng):
+        X = (rng.random((600, 10)) < 0.5).astype(np.uint8)
+        noise = (rng.random(600) < 0.1).astype(np.uint8)
+        y = (X[:, 3] ^ noise).astype(np.int64)  # feature 3 is 90% predictive
+        tree = LevelWiseDecisionTree(n_inputs=2).fit(X, y)
+        assert tree.feature_indices_[0] == 3
+
+    def test_excluded_features_not_selected(self, rng):
+        X = (rng.random((300, 12)) < 0.5).astype(np.uint8)
+        y = X[:, 2].astype(np.int64)
+        tree = LevelWiseDecisionTree(n_inputs=3, excluded_features=[2]).fit(X, y)
+        assert 2 not in tree.feature_indices_
+
+    def test_learns_xor_of_two_features(self, rng):
+        """Level-wise trees represent XOR exactly when both bits are selected."""
+        X = (rng.random((800, 16)) < 0.5).astype(np.uint8)
+        y = (X[:, 1] ^ X[:, 4]).astype(np.int64)
+        tree = LevelWiseDecisionTree(n_inputs=4).fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_sample_weights_change_selection(self, rng):
+        """Upweighting a subset makes its predictive feature win."""
+        n = 1000
+        X = (rng.random((n, 8)) < 0.5).astype(np.uint8)
+        # feature 0 predicts the first half, feature 5 predicts the second half
+        y = np.concatenate([X[: n // 2, 0], X[n // 2 :, 5]]).astype(np.int64)
+        w_first = np.concatenate([np.full(n // 2, 1.0), np.full(n // 2, 1e-6)])
+        w_second = np.concatenate([np.full(n // 2, 1e-6), np.full(n // 2, 1.0)])
+        tree_first = LevelWiseDecisionTree(n_inputs=1).fit(X, y, sample_weight=w_first)
+        tree_second = LevelWiseDecisionTree(n_inputs=1).fit(X, y, sample_weight=w_second)
+        assert tree_first.feature_indices_[0] == 0
+        assert tree_second.feature_indices_[0] == 5
+
+
+class TestPredict:
+    def test_decision_path_matches_selected_bits(self, rng):
+        X = (rng.random((100, 10)) < 0.5).astype(np.uint8)
+        y = (rng.random(100) < 0.5).astype(np.int64)
+        tree = LevelWiseDecisionTree(n_inputs=3).fit(X, y)
+        path = tree.decision_path(X)
+        expected = binary_to_index(X[:, tree.feature_indices_])
+        np.testing.assert_array_equal(path, expected)
+
+    def test_prediction_is_table_lookup(self, rng):
+        X = (rng.random((50, 8)) < 0.5).astype(np.uint8)
+        y = (rng.random(50) < 0.5).astype(np.int64)
+        tree = LevelWiseDecisionTree(n_inputs=4).fit(X, y)
+        np.testing.assert_array_equal(tree.predict(X), tree.table_[tree.decision_path(X)])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LevelWiseDecisionTree(n_inputs=3).predict(np.zeros((1, 8), dtype=np.uint8))
+
+    def test_too_few_columns_rejected(self, rng):
+        X = (rng.random((40, 10)) < 0.5).astype(np.uint8)
+        y = (rng.random(40) < 0.5).astype(np.int64)
+        tree = LevelWiseDecisionTree(n_inputs=3).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(X[:, :2])
+
+    def test_to_lut_round_trip(self, rng):
+        X = (rng.random((60, 12)) < 0.5).astype(np.uint8)
+        y = (rng.random(60) < 0.5).astype(np.int64)
+        tree = LevelWiseDecisionTree(n_inputs=4).fit(X, y)
+        features, table = tree.to_lut()
+        np.testing.assert_array_equal(features, tree.feature_indices_)
+        np.testing.assert_array_equal(table, tree.table_)
+        # returned arrays are copies
+        table[0] ^= 1
+        assert table[0] != tree.table_[0]
+
+
+class TestValidation:
+    def test_invalid_n_inputs(self):
+        with pytest.raises(ValueError):
+            LevelWiseDecisionTree(n_inputs=0)
+        with pytest.raises(ValueError):
+            LevelWiseDecisionTree(n_inputs=20)
+
+    def test_non_binary_features_rejected(self):
+        with pytest.raises(ValueError):
+            LevelWiseDecisionTree(n_inputs=2).fit(np.array([[0, 2]]), np.array([1]))
+
+    def test_too_few_features(self, rng):
+        X = (rng.random((20, 3)) < 0.5).astype(np.uint8)
+        y = (rng.random(20) < 0.5).astype(np.int64)
+        with pytest.raises(ValueError):
+            LevelWiseDecisionTree(n_inputs=5).fit(X, y)
+
+    def test_bad_sample_weight_shape(self, rng):
+        X = (rng.random((20, 8)) < 0.5).astype(np.uint8)
+        y = (rng.random(20) < 0.5).astype(np.int64)
+        with pytest.raises(ValueError):
+            LevelWiseDecisionTree(n_inputs=2).fit(X, y, sample_weight=np.ones(5))
+
+    def test_zero_weights_rejected(self, rng):
+        X = (rng.random((20, 8)) < 0.5).astype(np.uint8)
+        y = (rng.random(20) < 0.5).astype(np.int64)
+        with pytest.raises(ValueError):
+            LevelWiseDecisionTree(n_inputs=2).fit(X, y, sample_weight=np.zeros(20))
+
+    def test_excluded_out_of_range(self, rng):
+        X = (rng.random((20, 8)) < 0.5).astype(np.uint8)
+        y = (rng.random(20) < 0.5).astype(np.int64)
+        with pytest.raises(ValueError):
+            LevelWiseDecisionTree(n_inputs=2, excluded_features=[99]).fit(X, y)
+
+
+class TestAgainstTrainingAccuracy:
+    def test_better_than_chance_on_teacher_task(self):
+        data = make_binary_teacher_task(n_train=1500, n_test=400, n_features=64, n_active=12, seed=3)
+        tree = LevelWiseDecisionTree(n_inputs=6).fit(data.X_train, data.y_train)
+        assert tree.score(data.X_test, data.y_test) > 0.6
+
+    def test_training_accuracy_not_below_majority_class(self, rng):
+        X = (rng.random((500, 16)) < 0.5).astype(np.uint8)
+        y = (rng.random(500) < 0.3).astype(np.int64)
+        tree = LevelWiseDecisionTree(n_inputs=4).fit(X, y)
+        majority = max(y.mean(), 1 - y.mean())
+        assert tree.score(X, y) >= majority - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_inputs=st.integers(min_value=1, max_value=5),
+)
+def test_level_tree_invariants_property(seed, n_inputs):
+    """Fitted trees always expose P distinct in-range features and a 2^P table."""
+    rng = np.random.default_rng(seed)
+    n_features = 12
+    X = (rng.random((200, n_features)) < 0.5).astype(np.uint8)
+    y = (rng.random(200) < 0.5).astype(np.int64)
+    tree = LevelWiseDecisionTree(n_inputs=n_inputs).fit(X, y)
+    assert len(tree.feature_indices_) == n_inputs
+    assert len(np.unique(tree.feature_indices_)) == n_inputs
+    assert np.all((tree.feature_indices_ >= 0) & (tree.feature_indices_ < n_features))
+    assert tree.table_.shape == (2**n_inputs,)
+    preds = tree.predict(X)
+    assert set(np.unique(preds)) <= {0, 1}

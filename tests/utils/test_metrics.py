@@ -1,0 +1,80 @@
+"""Tests for repro.utils.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.utils.metrics import (
+    accuracy,
+    binary_accuracy,
+    classification_report,
+    confusion_matrix,
+    error_rate,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 1, 0, 1]), np.array([0, 1, 1, 0])) == 0.5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_error_rate_complement(self):
+        y_true = np.array([0, 1, 1, 0])
+        y_pred = np.array([0, 0, 1, 0])
+        assert accuracy(y_true, y_pred) + error_rate(y_true, y_pred) == pytest.approx(1.0)
+
+
+class TestBinaryAccuracy:
+    def test_accepts_binary(self):
+        assert binary_accuracy(np.array([0, 1]), np.array([1, 1])) == 0.5
+
+    def test_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            binary_accuracy(np.array([0, 2]), np.array([0, 1]))
+
+
+class TestConfusionMatrix:
+    def test_values(self):
+        cm = confusion_matrix(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]))
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_explicit_n_classes(self):
+        cm = confusion_matrix(np.array([0]), np.array([0]), n_classes=4)
+        assert cm.shape == (4, 4)
+
+    def test_row_sums_equal_class_counts(self, rng):
+        y_true = rng.integers(0, 5, size=200)
+        y_pred = rng.integers(0, 5, size=200)
+        cm = confusion_matrix(y_true, y_pred, n_classes=5)
+        np.testing.assert_array_equal(cm.sum(axis=1), np.bincount(y_true, minlength=5))
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([-1, 0]), np.array([0, 0]))
+
+
+class TestClassificationReport:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        report = classification_report(y, y)
+        np.testing.assert_allclose(report["precision"], 1.0)
+        np.testing.assert_allclose(report["recall"], 1.0)
+        np.testing.assert_allclose(report["f1"], 1.0)
+        assert report["accuracy"] == 1.0
+
+    def test_missing_class_gets_zero(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 0, 0])
+        report = classification_report(y_true, y_pred)
+        assert report["recall"][1] == 0.0
+        assert report["precision"][1] == 0.0
+        assert report["f1"][1] == 0.0

@@ -1,0 +1,62 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, size=10)
+        b = as_rng(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9, size=8)
+        b = as_rng(2).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_rng(gen) is gen
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed_accepted(self):
+        gen = as_rng(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        rngs = spawn_rngs(0, 5)
+        assert len(rngs) == 5
+
+    def test_children_are_independent(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [g.integers(0, 10**9, size=4) for g in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(0, 100, size=3) for g in spawn_rngs(9, 2)]
+        b = [g.integers(0, 100, size=3) for g in spawn_rngs(9, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,38 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table, render_markdown_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in text and "b" in text
+        assert "1" in text and "4" in text
+
+    def test_alignment_consistent(self):
+        text = format_table(["col", "x"], [["value", 1]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456789e-9]])
+        assert "e-09" in text or "1.23e-09" in text
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = render_markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("|")
+        assert set(lines[1].replace("|", "")) <= {"-"}
+        assert len(lines) == 3
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a"], [[1, 2]])

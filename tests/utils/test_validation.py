@@ -1,0 +1,84 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_binary_matrix,
+    check_binary_vector,
+    check_consistent_lengths,
+    check_labels,
+    check_probability,
+)
+
+
+class TestConsistentLengths:
+    def test_passes_when_equal(self):
+        check_consistent_lengths(a=np.zeros(3), b=np.ones((3, 2)))
+
+    def test_raises_when_different(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_consistent_lengths(a=np.zeros(3), b=np.zeros(4))
+
+
+class TestBinaryMatrix:
+    def test_valid(self):
+        out = check_binary_matrix(np.array([[0, 1], [1, 0]]))
+        assert out.dtype == np.uint8
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            check_binary_matrix(np.array([[0, 2]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_binary_matrix(np.array([0, 1]))
+
+    def test_empty_ok(self):
+        assert check_binary_matrix(np.zeros((0, 5))).shape == (0, 5)
+
+
+class TestBinaryVector:
+    def test_valid(self):
+        out = check_binary_vector(np.array([0, 1, 1]))
+        assert out.dtype == np.uint8
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            check_binary_vector(np.zeros((2, 2)))
+
+    def test_rejects_values(self):
+        with pytest.raises(ValueError):
+            check_binary_vector(np.array([0, 1, 3]))
+
+
+class TestLabels:
+    def test_valid(self):
+        out = check_labels(np.array([0, 1, 2]), 3)
+        assert out.dtype == np.int64
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([0, 3]), 3)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([0.5, 1.0]), 2)
+
+    def test_accepts_integer_valued_floats(self):
+        out = check_labels(np.array([0.0, 1.0]), 2)
+        np.testing.assert_array_equal(out, [0, 1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_labels(np.zeros((2, 2)), 2)
+
+
+class TestProbability:
+    def test_valid(self):
+        assert check_probability(0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value)
