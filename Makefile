@@ -1,0 +1,14 @@
+# Contributor entry points.  Both targets mirror exactly what CI runs.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test bench-smoke
+
+# Tier-1 verification: the full test suite (includes benchmarks/).
+test:
+	$(PYTEST) -x -q
+
+# Quick benchmark smoke: the bit-packed engine throughput comparison,
+# including its >=10x acceptance gate against the naive simulator.
+bench-smoke:
+	$(PYTEST) benchmarks/test_engine_throughput.py -q

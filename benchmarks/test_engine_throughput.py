@@ -1,0 +1,149 @@
+"""Bit-packed engine vs. naive netlist simulation throughput.
+
+The microbenchmark evaluates RINC-bank-shaped netlists (the paper's RINC-2
+topology with random tables — the engine's adversarial worst case) on a
+1k-sample batch and compares three paths:
+
+* ``naive``  — ``LUTNetlist.evaluate_outputs``, the sample-by-sample simulator;
+* ``packed`` — ``CompiledNetlist.run_packed`` on pre-packed words, the pure
+  evaluation cost (serving keeps signals packed between stages);
+* ``e2e``    — ``CompiledNetlist.predict_batch`` including validation,
+  packing and unpacking of the plain 0/1 matrices.
+
+The acceptance gate asserts the packed engine is at least 10x faster than
+the naive simulator at the paper's P=6 LUT width.  Wider LUTs pay for their
+exponentially larger truth tables (the Shannon cascade does ``2**P - 1``
+word muxes per node), which the P=8 row documents honestly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine import compile_netlist, pack_bits, rinc_bank_netlist
+from repro.utils.rng import as_rng
+
+from bench_utils import emit
+
+BATCH = 1024
+N_FEATURES = 256
+SPEEDUP_TARGET = 10.0
+
+
+def _best_of(fn, repeats: int, inner: int = 1) -> float:
+    """Best wall-clock seconds for one call of ``fn`` over ``repeats`` trials."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def _build(lut_width: int, scale: int = 1):
+    netlist = rinc_bank_netlist(
+        n_primary_inputs=N_FEATURES,
+        n_trees=480 * scale,
+        n_mats=80 * scale,
+        n_outputs=10 * scale,
+        lut_width=lut_width,
+        seed=2,
+    )
+    compiled = compile_netlist(netlist)
+    rng = as_rng(0)
+    X = rng.integers(0, 2, size=(BATCH, N_FEATURES), dtype=np.uint8)
+
+    # correctness first: the speed comparison is meaningless otherwise
+    np.testing.assert_array_equal(compiled.predict_batch(X), netlist.evaluate_outputs(X))
+    return netlist, compiled, X
+
+
+def _measure(netlist, compiled, X, rounds: int = 4):
+    """Interleaved best-of measurement of all three paths.
+
+    Alternating the paths within each round keeps a noisy-neighbour CPU
+    spike from hitting only one side of the comparison; the best time per
+    path over all rounds is the steady-state cost.
+    """
+    packed = pack_bits(X)
+    t_naive = t_packed = t_e2e = float("inf")
+    for _ in range(rounds):
+        t_naive = min(t_naive, _best_of(lambda: netlist.evaluate_outputs(X), repeats=2))
+        t_packed = min(
+            t_packed, _best_of(lambda: compiled.run_packed(packed), repeats=3, inner=4)
+        )
+        t_e2e = min(
+            t_e2e, _best_of(lambda: compiled.predict_batch(X), repeats=3, inner=4)
+        )
+    return t_naive, t_packed, t_e2e
+
+
+def test_packed_engine_speedup():
+    """Packed vs. naive on the paper's P=6 netlist: >= 10x, bit-identical."""
+    rows = []
+    gate_parts = None
+    for lut_width in (4, 6, 8):
+        netlist, compiled, X = _build(lut_width, scale=2 if lut_width == 6 else 1)
+        t_naive, t_packed, t_e2e = _measure(netlist, compiled, X)
+        if lut_width == 6:
+            # the acceptance gate; re-measure with more rounds if a noisy
+            # run left the ratio short (mins only improve, so this converges
+            # on the steady-state speedup instead of flaking)
+            for _ in range(2):
+                if t_naive / t_packed >= SPEEDUP_TARGET:
+                    break
+                more = _measure(netlist, compiled, X, rounds=8)
+                t_naive = min(t_naive, more[0])
+                t_packed = min(t_packed, more[1])
+                t_e2e = min(t_e2e, more[2])
+            gate_parts = (t_naive, t_packed)
+        rows.append(
+            f"P={lut_width}  {netlist.n_luts:4d} LUTs  {compiled.n_groups} groups  "
+            f"naive {t_naive * 1e3:7.2f} ms  packed {t_packed * 1e3:6.2f} ms  "
+            f"e2e {t_e2e * 1e3:6.2f} ms  "
+            f"speedup {t_naive / t_packed:5.1f}x (e2e {t_naive / t_e2e:4.1f}x)"
+        )
+    emit(
+        f"Bit-packed engine throughput ({BATCH}-sample batch, {N_FEATURES} features)",
+        "\n".join(rows),
+    )
+    t_naive, t_packed = gate_parts
+    assert t_naive / t_packed >= SPEEDUP_TARGET, (
+        f"packed engine is only {t_naive / t_packed:.1f}x faster than the "
+        f"naive simulator at P=6 (target {SPEEDUP_TARGET}x)"
+    )
+
+
+def test_packed_engine_on_trained_classifier(trained_reduced_poetbin):
+    """The fast path on a *trained* PoET-BiN matches and beats the slow path."""
+    clf, X, _y = trained_reduced_poetbin
+    batch = X[:BATCH]
+    np.testing.assert_array_equal(clf.predict_batch(batch), clf.predict(batch))
+
+    netlist = clf.to_netlist()
+    compiled = clf.compiled_netlist()
+    t_naive = _best_of(lambda: netlist.evaluate_outputs(batch), repeats=5)
+    t_fast = _best_of(lambda: compiled.predict_batch(batch), repeats=5, inner=3)
+    emit(
+        "Trained PoET-BiN netlist: packed vs naive",
+        f"{netlist.n_luts} LUTs, {batch.shape[0]} samples: "
+        f"naive {t_naive * 1e3:.2f} ms, packed e2e {t_fast * 1e3:.2f} ms "
+        f"({t_naive / t_fast:.1f}x)",
+    )
+    # trained netlists are smaller and P=6; still expect a clear win
+    assert t_fast < t_naive
+
+
+def test_pack_unpack_overhead():
+    """Packing cost is amortisable: a small fraction of one naive evaluation."""
+    rng = as_rng(1)
+    X = rng.integers(0, 2, size=(BATCH, N_FEATURES), dtype=np.uint8)
+    t_pack = _best_of(lambda: pack_bits(X), repeats=7, inner=5)
+    emit(
+        "pack_bits overhead",
+        f"{BATCH}x{N_FEATURES} bits packed in {t_pack * 1e3:.3f} ms",
+    )
+    assert t_pack < 0.1  # seconds; generous bound, it measures ~0.3 ms

@@ -8,6 +8,8 @@ The public API is organised in subpackages:
   substrates.
 * :mod:`repro.nn` — the NumPy neural-network framework used for the vanilla
   and teacher networks.
+* :mod:`repro.engine` — bit-packed batch inference: LUT netlists compiled to
+  whole-word bitwise programs (the software analogue of the FPGA datapath).
 * :mod:`repro.hardware` — FPGA cost models (power, energy, LUTs, latency) and
   VHDL generation.
 * :mod:`repro.baselines` — BinaryNet, POLYBiNN and Neural Decision Forest

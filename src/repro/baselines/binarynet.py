@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.batching import BatchedPredictorMixin
 from repro.nn.layers.base import Layer
 from repro.nn.layers.binary import BinaryDense, xnor_popcount_matmul
 from repro.nn.layers.activations import Sign
@@ -28,7 +29,7 @@ from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_binary_matrix, check_labels
 
 
-class BinaryNetClassifier:
+class BinaryNetClassifier(BatchedPredictorMixin):
     """Binary-weight, binary-activation MLP over binary features.
 
     Parameters

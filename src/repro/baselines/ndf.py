@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.engine.batching import BatchedPredictorMixin
 from repro.utils.metrics import accuracy
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_binary_matrix, check_labels
@@ -63,7 +64,7 @@ class _SoftTree:
         return self.routing(X) @ self.leaf_distributions
 
 
-class NeuralDecisionForest:
+class NeuralDecisionForest(BatchedPredictorMixin):
     """A small forest of differentiable decision trees.
 
     Parameters

@@ -14,12 +14,13 @@ from typing import List, Optional
 import numpy as np
 
 from repro.boosting.adaboost import AdaBoost
+from repro.engine.batching import BatchedPredictorMixin
 from repro.trees.classic_tree import ClassicDecisionTree
 from repro.utils.metrics import accuracy
 from repro.utils.validation import check_binary_matrix, check_labels
 
 
-class POLYBiNNClassifier:
+class POLYBiNNClassifier(BatchedPredictorMixin):
     """One-vs-all ensembles of conventional (node-wise) decision trees.
 
     Parameters

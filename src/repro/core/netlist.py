@@ -26,7 +26,13 @@ def primary_input(index: int) -> str:
 
 
 def is_primary_input(signal: str) -> bool:
-    """True when ``signal`` names a primary input."""
+    """True when ``signal`` is spelled like a primary input (``in<digits>``).
+
+    This is a purely *syntactic* check on the reserved namespace.  Whether a
+    signal actually is a primary input of a given netlist depends on that
+    netlist's width: use :meth:`LUTNetlist.is_primary_input`, which checks the
+    name against ``netlist.inputs``, whenever a netlist is at hand.
+    """
     return signal.startswith("in") and signal[2:].isdigit()
 
 
@@ -80,6 +86,26 @@ class LUTNetlist:
         self.output_signals: List[str] = []
         self._names: set[str] = set()
 
+    # ------------------------------------------------------------ namespace
+    @property
+    def inputs(self) -> List[str]:
+        """Names of this netlist's primary inputs (``in0`` .. ``in<n-1>``)."""
+        return [primary_input(i) for i in range(self.n_primary_inputs)]
+
+    def is_primary_input(self, signal: str) -> bool:
+        """True when ``signal`` names one of *this* netlist's primary inputs.
+
+        Unlike the module-level syntactic check, this resolves against the
+        declared inputs: ``in12`` is not a primary input of a 4-input netlist
+        (it may legitimately be a node name), and node names can never shadow
+        a real primary input because the in-range ``in<i>`` namespace is
+        reserved by :meth:`add_node`.
+        """
+        return (
+            is_primary_input(signal)
+            and primary_input_index(signal) < self.n_primary_inputs
+        )
+
     # ------------------------------------------------------------- building
     def add_node(
         self,
@@ -92,13 +118,18 @@ class LUTNetlist:
         """Append a node; all of its inputs must already exist."""
         if name in self._names:
             raise ValueError(f"duplicate node name {name!r}")
+        if self.is_primary_input(name):
+            raise ValueError(
+                f"node name {name!r} is reserved for a primary input; "
+                f"names in0..in{self.n_primary_inputs - 1} cannot be reused"
+            )
         input_signals = list(input_signals)
         for signal in input_signals:
+            if self.is_primary_input(signal) or signal in self._names:
+                continue
             if is_primary_input(signal):
-                if primary_input_index(signal) >= self.n_primary_inputs:
-                    raise ValueError(f"primary input {signal!r} out of range")
-            elif signal not in self._names:
-                raise ValueError(f"node {name!r} reads unknown signal {signal!r}")
+                raise ValueError(f"primary input {signal!r} out of range")
+            raise ValueError(f"node {name!r} reads unknown signal {signal!r}")
         node = NetlistNode(
             name=name,
             kind=kind,
@@ -112,7 +143,7 @@ class LUTNetlist:
 
     def mark_output(self, signal: str) -> None:
         """Declare ``signal`` as one of the netlist outputs."""
-        if signal not in self._names and not is_primary_input(signal):
+        if signal not in self._names and not self.is_primary_input(signal):
             raise ValueError(f"unknown signal {signal!r}")
         self.output_signals.append(signal)
 
@@ -139,18 +170,30 @@ class LUTNetlist:
             primary_input_index(sig)
             for node in self.nodes
             for sig in node.input_signals
-            if is_primary_input(sig)
+            if self.is_primary_input(sig)
         }
         return np.array(sorted(used), dtype=np.int64)
 
+    def node_levels(self) -> Dict[str, int]:
+        """Level of every node: longest LUT chain from the primary inputs.
+
+        Primary inputs sit at level 0; a node's level is one more than its
+        deepest input.  Nodes at one level depend only on strictly earlier
+        levels, which both :meth:`logic_depth` and the compiled engine's
+        scheduler rely on.
+        """
+        level: Dict[str, int] = {}
+        for node in self.nodes:
+            input_levels = [
+                0 if self.is_primary_input(sig) else level[sig]
+                for sig in node.input_signals
+            ]
+            level[node.name] = (max(input_levels) if input_levels else 0) + 1
+        return level
+
     def logic_depth(self) -> int:
         """Longest LUT chain from any primary input to any output signal."""
-        depth: Dict[str, int] = {}
-        for node in self.nodes:
-            input_depths = [
-                0 if is_primary_input(sig) else depth[sig] for sig in node.input_signals
-            ]
-            depth[node.name] = (max(input_depths) if input_depths else 0) + 1
+        depth = self.node_levels()
         if not depth:
             return 0
         if self.output_signals:
@@ -170,7 +213,7 @@ class LUTNetlist:
         signals: Dict[str, np.ndarray] = {}
 
         def resolve(signal: str) -> np.ndarray:
-            if is_primary_input(signal):
+            if self.is_primary_input(signal):
                 return X_bits[:, primary_input_index(signal)]
             return signals[signal]
 
@@ -187,7 +230,7 @@ class LUTNetlist:
         X_bits = check_binary_matrix(X_bits, "X_bits")
         columns = []
         for sig in self.output_signals:
-            if is_primary_input(sig):
+            if self.is_primary_input(sig):
                 columns.append(X_bits[:, primary_input_index(sig)])
             else:
                 columns.append(signals[sig])

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine.batching import BatchedPredictorMixin
 from repro.nn.layers.dense import Dense
 from repro.nn.losses import SquaredHingeLoss
 from repro.nn.model import Sequential
@@ -40,7 +41,7 @@ def quantize_symmetric(values: np.ndarray, n_bits: int) -> np.ndarray:
     return np.round(values / scale) * scale
 
 
-class SparseQuantizedOutputLayer:
+class SparseQuantizedOutputLayer(BatchedPredictorMixin):
     """Multiclass read-out over RINC outputs with per-neuron sparse fan-in.
 
     Parameters

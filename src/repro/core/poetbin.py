@@ -12,11 +12,14 @@ paper's student/teacher recipe:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.netlist import LUTNetlist
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.compiled_netlist import CompiledNetlist
 from repro.core.output_layer import SparseQuantizedOutputLayer
 from repro.core.rinc import RINCClassifier
 from repro.utils.metrics import accuracy
@@ -77,6 +80,7 @@ class PoETBiNClassifier:
         self.rinc_modules_: List[RINCClassifier] = []
         self.output_layer_: Optional[SparseQuantizedOutputLayer] = None
         self.n_features_: Optional[int] = None
+        self._compiled_: Optional["CompiledNetlist"] = None
 
     @property
     def n_intermediate(self) -> int:
@@ -116,6 +120,7 @@ class PoETBiNClassifier:
         if X_features.shape[0] != intermediate_targets.shape[0]:
             raise ValueError("X_features and intermediate_targets length mismatch")
         self.n_features_ = X_features.shape[1]
+        self._compiled_ = None  # invalidate before mutating the RINC bank
 
         self.rinc_modules_ = []
         for neuron in range(self.n_intermediate):
@@ -158,9 +163,48 @@ class PoETBiNClassifier:
         return np.column_stack([m.predict(X_features) for m in self.rinc_modules_])
 
     def predict(self, X_features: np.ndarray) -> np.ndarray:
-        """Predicted class labels."""
+        """Predicted class labels (module-by-module reference path)."""
         self._check_fitted()
         return self.output_layer_.predict(self.predict_intermediate(X_features))
+
+    def compiled_netlist(self) -> "CompiledNetlist":
+        """The bit-packed engine for this classifier, compiled on first use."""
+        self._check_fitted()
+        if self._compiled_ is None:
+            from repro.engine import compile_netlist
+
+            self._compiled_ = compile_netlist(self.to_netlist())
+        return self._compiled_
+
+    def predict_intermediate_batch(
+        self, X_features: np.ndarray, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Intermediate bits via the bit-packed engine; matches
+        :meth:`predict_intermediate` bit for bit."""
+        from repro.engine import predict_in_batches
+
+        compiled = self.compiled_netlist()
+        X_features = check_binary_matrix(X_features, "X_features")
+        return predict_in_batches(compiled.predict_batch, X_features, batch_size)
+
+    def predict_batch(
+        self, X_features: np.ndarray, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Predicted class labels via the bit-packed fast path.
+
+        Produces exactly the same labels as :meth:`predict`: the RINC bank is
+        evaluated by the compiled netlist on packed words and only the tiny
+        sparse read-out runs in arithmetic.
+        """
+        from repro.engine import predict_in_batches
+
+        compiled = self.compiled_netlist()
+        X_features = check_binary_matrix(X_features, "X_features")
+
+        def predict_chunk(chunk: np.ndarray) -> np.ndarray:
+            return self.output_layer_.predict(compiled.predict_batch(chunk))
+
+        return predict_in_batches(predict_chunk, X_features, batch_size)
 
     def score(self, X_features: np.ndarray, y: np.ndarray) -> float:
         """Multiclass accuracy."""

@@ -17,9 +17,12 @@ expresses.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.compiled_netlist import CompiledNetlist
 
 from repro.boosting.adaboost import AdaBoost
 from repro.core.lut import LUT
@@ -81,6 +84,7 @@ class RINCClassifier:
         self.children_: List[object] = []
         self.mat_: Optional[MATModule] = None
         self._leaf: Optional[RINC0] = None
+        self._compiled_: Optional[Tuple[int, "CompiledNetlist"]] = None
 
     # ------------------------------------------------------------------ fit
     def fit(
@@ -90,6 +94,7 @@ class RINCClassifier:
         sample_weight: Optional[np.ndarray] = None,
     ) -> "RINCClassifier":
         """Train with hierarchical AdaBoost (Algorithm 2)."""
+        self._compiled_ = None  # netlist changes with refitting
         if self.n_levels == 0:
             self._leaf = RINC0(self.n_inputs).fit(X, y, sample_weight=sample_weight)
             self.children_ = [self._leaf]
@@ -136,6 +141,28 @@ class RINCClassifier:
         if self.n_levels == 0:
             return self._leaf.predict(X)
         return self.mat_.evaluate(self.child_outputs(X))
+
+    def predict_batch(
+        self, X: np.ndarray, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Binary prediction via the bit-packed engine; matches :meth:`predict`.
+
+        The module's netlist is compiled on first use and cached per feature
+        width (the netlist reads primary inputs, so its shape depends on the
+        width of ``X``).
+        """
+        from repro.engine import compile_netlist, predict_in_batches
+        from repro.utils.validation import check_binary_matrix
+
+        self._check_fitted()
+        X = check_binary_matrix(X, "X")
+        n_features = X.shape[1]
+        if self._compiled_ is None or self._compiled_[0] != n_features:
+            netlist, signal = self.to_netlist(n_primary_inputs=n_features)
+            netlist.mark_output(signal)
+            self._compiled_ = (n_features, compile_netlist(netlist))
+        compiled = self._compiled_[1]
+        return predict_in_batches(compiled.predict_batch, X, batch_size)[:, 0]
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Unweighted accuracy on (X, y)."""

@@ -1,0 +1,71 @@
+"""``repro.engine`` — bit-packed batch inference for LUT netlists.
+
+PoET-BiN's selling point is that inference is *pure LUT lookups*: no
+multiplies, no adds, just boolean logic.  The FPGA exploits that by
+evaluating every LUT in parallel fabric; this package is the software
+analogue, exploiting the 64-bit CPU word instead.  A binary signal packed as
+one bit per sample turns every LUT evaluation into a handful of bitwise
+word instructions that process 64 samples at once.
+
+Architecture
+============
+
+``bitpack``
+    Packs an ``(n_samples, n_signals)`` 0/1 matrix into an
+    ``(n_signals, ceil(n/64))`` matrix of ``uint64`` words (samples along
+    the bit axis, little-endian within a word) and back.  Round-trips exactly
+    for ragged, empty and single-sample batches.
+
+``compiled_netlist``
+    Compiles a :class:`~repro.core.netlist.LUTNetlist` into a
+    :class:`~repro.engine.compiled_netlist.CompiledNetlist`: a
+    topologically-ordered program with slot-allocated signal storage (slots
+    are recycled after a signal's last use) whose steps each evaluate *all*
+    same-width LUTs of a netlist level at once.  A LUT is applied to packed
+    words by iterated Shannon expansion — the truth table, materialised as
+    all-zero/all-one words, is halved once per address bit with the bitwise
+    mux ``f = f0 ^ ((f0 ^ f1) & x)`` — a cascade of ``P`` in-place vector
+    steps, cache-blocked so the working set stays L2-resident.  Results are
+    bit-identical to ``LUTNetlist.evaluate_outputs``.
+
+``batching``
+    The shared ``predict_batch(X, batch_size=None)`` entry point.
+    :class:`~repro.engine.batching.BatchedPredictorMixin` gives any
+    vectorised ``predict`` a chunked batched counterpart; the PoET-BiN and
+    RINC classifiers override it with the compiled fast path.
+
+``random_netlists``
+    Adversarially random LUT DAGs used by the equivalence property tests and
+    the throughput benchmarks.
+
+Usage
+=====
+
+>>> from repro.engine import compile_netlist
+>>> compiled = compile_netlist(classifier.to_netlist())
+>>> bits = compiled.predict_batch(X_bits)          # == netlist.evaluate_outputs(X_bits)
+
+or simply ``classifier.predict_batch(X_bits)``, which compiles and caches
+the engine on first use.
+
+Follow-on work (see ROADMAP.md): multi-core sharding of packed batches and
+fusing single-fanout LUT chains into wider tables before compilation.
+"""
+
+from repro.engine.batching import BatchedPredictorMixin, predict_in_batches
+from repro.engine.bitpack import WORD_BITS, n_words, pack_bits, unpack_bits
+from repro.engine.compiled_netlist import CompiledNetlist, compile_netlist
+from repro.engine.random_netlists import random_netlist, rinc_bank_netlist
+
+__all__ = [
+    "BatchedPredictorMixin",
+    "CompiledNetlist",
+    "WORD_BITS",
+    "compile_netlist",
+    "n_words",
+    "pack_bits",
+    "predict_in_batches",
+    "random_netlist",
+    "rinc_bank_netlist",
+    "unpack_bits",
+]

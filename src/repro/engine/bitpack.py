@@ -1,0 +1,100 @@
+"""Bit-packing of binary sample batches into machine words.
+
+The bit-packed layout is the software analogue of the FPGA datapath: one
+``uint64`` word holds the value of one binary *signal* for 64 *samples*, so a
+single bitwise CPU instruction evaluates that signal for a whole word of
+samples at once.  A batch of ``n`` samples over ``F`` signals therefore
+becomes an ``(F, ceil(n / 64))`` matrix of words — signals along the rows,
+samples along the bit axis.
+
+Bit order is little-endian within a word: sample ``s`` lives at bit
+``s % 64`` of word ``s // 64``.  Words are padded with zero bits past the
+last sample; consumers that invert signals may leave garbage in the padding,
+which :func:`unpack_bits` discards by truncating to the requested sample
+count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of samples carried by one packed word.
+WORD_BITS = 64
+
+#: dtype of a packed word, with explicit byte order so that the byte-level
+#: (de)packing below is platform independent.
+_WORD_DTYPE = np.dtype("<u8")
+
+
+def n_words(n_samples: int) -> int:
+    """Number of ``uint64`` words needed to hold ``n_samples`` bits."""
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+    return (n_samples + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a binary sample matrix into words, samples along the bit axis.
+
+    Parameters
+    ----------
+    bits:
+        Array of shape ``(n_samples, n_signals)`` containing 0/1 values.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of shape ``(n_signals, n_words(n_samples))`` where
+        bit ``s % 64`` of word ``[f, s // 64]`` is ``bits[s, f]``.
+    """
+    arr = np.asarray(bits)
+    if arr.ndim != 2:
+        raise ValueError(f"bits must be 2-D, got shape {arr.shape}")
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bits must contain only 0/1 values")
+    arr = arr.astype(np.uint8, copy=False)
+    samples, signals = arr.shape
+    words = n_words(samples)
+    # packbits is much faster along a contiguous axis, so pay for one byte
+    # transpose copy up front and pack each signal's samples contiguously.
+    transposed = np.ascontiguousarray(arr.T)
+    packed_bytes = np.packbits(transposed, axis=1, bitorder="little")
+    padded = np.zeros((signals, words * (WORD_BITS // 8)), dtype=np.uint8)
+    padded[:, : packed_bytes.shape[1]] = packed_bytes
+    return padded.view(_WORD_DTYPE).astype(np.uint64, copy=False)
+
+
+def unpack_bits(packed: np.ndarray, n_samples: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`, truncated to ``n_samples`` rows.
+
+    Parameters
+    ----------
+    packed:
+        ``uint64`` array of shape ``(n_signals, n_words)``.
+    n_samples:
+        Number of samples to recover; must fit in the packed words.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` matrix of shape ``(n_samples, n_signals)``.
+    """
+    arr = np.asarray(packed, dtype=np.uint64)
+    if arr.ndim != 2:
+        raise ValueError(f"packed must be 2-D, got shape {arr.shape}")
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+    signals, words = arr.shape
+    if n_samples > words * WORD_BITS:
+        raise ValueError(
+            f"packed data holds {words * WORD_BITS} bits per signal, "
+            f"cannot recover {n_samples} samples"
+        )
+    as_bytes = np.ascontiguousarray(arr.astype(_WORD_DTYPE, copy=False)).view(np.uint8)
+    as_bytes = as_bytes.reshape(signals, words * (WORD_BITS // 8))
+    # Transpose the byte matrix first so the expansion to bits lands directly
+    # in (samples, signals) layout instead of needing a bit-matrix transpose.
+    unpacked = np.unpackbits(
+        np.ascontiguousarray(as_bytes.T), axis=0, bitorder="little"
+    )
+    return unpacked[:n_samples]

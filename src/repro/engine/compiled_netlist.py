@@ -1,0 +1,292 @@
+"""Compile a :class:`~repro.core.netlist.LUTNetlist` into a bit-parallel program.
+
+The naive simulator walks the netlist node by node and looks every sample up
+in the truth table individually.  Here the netlist is compiled once into a
+topologically-ordered program that evaluates each LUT across *all* packed
+samples with whole-word bitwise operations:
+
+* every signal is assigned a **slot** in a ``(n_slots, n_words)`` word
+  matrix; slots are freed after a signal's last use and reused by later
+  nodes, so the working set stays proportional to the live signal count, not
+  the netlist size;
+* nodes are scheduled level by level and **grouped by LUT arity**, so one
+  vectorised step evaluates every same-width LUT of a level at once;
+* each group is evaluated by iterated **Shannon expansion**: the truth
+  tables, materialised as all-zero/all-one words, are halved ``P`` times by
+  the mux identity ``f = f0 ^ ((f0 ^ f1) & x)`` on the address bit ``x`` —
+  pure AND/XOR word ops, no arithmetic, exactly like the hardware mux tree.
+
+Padding bits past the last sample hold unspecified values during evaluation
+(constants and inverted signals set them); they are discarded when results
+are unpacked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.netlist import LUTNetlist, primary_input_index
+from repro.engine.bitpack import pack_bits, unpack_bits
+from repro.utils.validation import check_binary_matrix
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: target size of the in-place mux working set; roughly half a typical L2,
+#: found empirically (a working set past L2 roughly halves throughput)
+_MUX_SCRATCH_BYTES = 1 << 18
+
+
+@dataclass(frozen=True)
+class _Group:
+    """One vectorised evaluation step: all same-arity LUTs of one level."""
+
+    arity: int
+    input_slots: np.ndarray  # (n_nodes, arity) int64
+    output_slots: np.ndarray  # (n_nodes,) int64
+    table_words: np.ndarray  # (n_nodes, 2**arity, 1) uint64, 0 or all-ones
+
+    @property
+    def n_nodes(self) -> int:
+        return self.output_slots.shape[0]
+
+
+class CompiledNetlist:
+    """A LUT netlist compiled for bit-packed batch evaluation.
+
+    Build one with :func:`compile_netlist` (or :meth:`from_netlist`); the
+    compiled program is reusable across batches of any size.  Evaluation
+    reuses an internal scratch working set (sized for the most recent batch
+    word count), so a ``CompiledNetlist`` instance is **not thread-safe**;
+    share the netlist and compile one instance per worker instead.
+
+    Attributes
+    ----------
+    n_primary_inputs:
+        Width of the binary feature vector the program reads.
+    n_outputs:
+        Number of declared netlist outputs.
+    n_slots:
+        Height of the word matrix the program runs in (peak live signals).
+    n_groups:
+        Number of vectorised evaluation steps.
+    """
+
+    def __init__(
+        self,
+        n_primary_inputs: int,
+        groups: List[_Group],
+        output_slots: np.ndarray,
+        n_slots: int,
+        n_nodes: int,
+    ) -> None:
+        self.n_primary_inputs = n_primary_inputs
+        self._groups = groups
+        self._output_slots = output_slots
+        self.n_slots = n_slots
+        self.n_nodes = n_nodes
+        # reusable working set for the most recent packed word count;
+        # repeated batches of the same size skip every large allocation
+        self._scratch: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        self._max_group_nodes = max((g.n_nodes for g in groups), default=0)
+        self._max_group_half = max(
+            ((1 << g.arity) >> 1 for g in groups), default=0
+        )
+
+    # ---------------------------------------------------------- compilation
+    @classmethod
+    def from_netlist(cls, netlist: LUTNetlist) -> "CompiledNetlist":
+        """Compile ``netlist`` into a slot-allocated, level-grouped program."""
+        if not netlist.output_signals:
+            raise ValueError("netlist must declare at least one output signal")
+
+        # All of a node's producers live in strictly earlier levels, so
+        # levels can be evaluated in order and grouped freely within
+        # themselves.
+        level = netlist.node_levels()
+
+        # Last level at which each signal is read; outputs are read "after
+        # the last level", so their slots are never recycled.
+        n_levels = max(level.values()) if level else 0
+        last_use: Dict[str, int] = {}
+        for node in netlist.nodes:
+            for sig in node.input_signals:
+                last_use[sig] = max(last_use.get(sig, -1), level[node.name])
+        for sig in netlist.output_signals:
+            last_use[sig] = n_levels + 1
+
+        # Slot allocation: primary inputs take slots 0..F-1 up front, node
+        # outputs draw from a free list refilled as signals die.
+        slot_of: Dict[str, int] = {
+            name: index for index, name in enumerate(netlist.inputs)
+        }
+        free: List[int] = []
+        next_slot = netlist.n_primary_inputs
+        expiring: Dict[int, List[str]] = {}
+        for sig, last in last_use.items():
+            expiring.setdefault(last, []).append(sig)
+        # Inputs nobody reads can be freed immediately after level 0.
+        for name in netlist.inputs:
+            if name not in last_use:
+                expiring.setdefault(0, []).append(name)
+
+        by_level: Dict[int, List] = {}
+        for node in netlist.nodes:
+            by_level.setdefault(level[node.name], []).append(node)
+
+        groups: List[_Group] = []
+        for lvl in range(1, n_levels + 1):
+            # Recycle only slots whose last read happened in an *earlier*
+            # level: groups within one level run sequentially, so a slot
+            # still read by a later group of this level must not be reused
+            # by an earlier group's scatter.
+            for sig in expiring.get(lvl - 1, []):
+                free.append(slot_of[sig])
+            by_arity: Dict[int, List] = {}
+            for node in by_level[lvl]:
+                by_arity.setdefault(node.n_inputs, []).append(node)
+            for arity in sorted(by_arity):
+                nodes = by_arity[arity]
+                input_slots = np.empty((len(nodes), arity), dtype=np.int64)
+                output_slots = np.empty(len(nodes), dtype=np.int64)
+                table_words = np.empty((len(nodes), 1 << arity, 1), dtype=np.uint64)
+                for row, node in enumerate(nodes):
+                    for col, sig in enumerate(node.input_signals):
+                        if netlist.is_primary_input(sig):
+                            input_slots[row, col] = primary_input_index(sig)
+                        else:
+                            input_slots[row, col] = slot_of[sig]
+                    if free:
+                        slot = free.pop()
+                    else:
+                        slot = next_slot
+                        next_slot += 1
+                    slot_of[node.name] = slot
+                    output_slots[row] = slot
+                    table_words[row, :, 0] = np.where(
+                        node.table.astype(bool), _ALL_ONES, np.uint64(0)
+                    )
+                groups.append(
+                    _Group(
+                        arity=arity,
+                        input_slots=input_slots,
+                        output_slots=output_slots,
+                        table_words=table_words,
+                    )
+                )
+
+        output_slots = np.array(
+            [slot_of[sig] for sig in netlist.output_signals], dtype=np.int64
+        )
+        return cls(
+            n_primary_inputs=netlist.n_primary_inputs,
+            groups=groups,
+            output_slots=output_slots,
+            n_slots=next_slot,
+            n_nodes=netlist.n_luts,
+        )
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def n_outputs(self) -> int:
+        return self._output_slots.shape[0]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledNetlist({self.n_nodes} LUTs, {self.n_groups} groups, "
+            f"{self.n_slots} slots, {self.n_primary_inputs} inputs, "
+            f"{self.n_outputs} outputs)"
+        )
+
+    # ------------------------------------------------------------ evaluation
+    def run_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Evaluate on packed inputs; returns packed output words.
+
+        ``packed_inputs`` must have shape ``(n_primary_inputs, n_words)`` as
+        produced by :func:`~repro.engine.bitpack.pack_bits`.  Bits past the
+        batch's last sample are unspecified in the returned words.
+        """
+        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        if packed_inputs.ndim != 2 or packed_inputs.shape[0] != self.n_primary_inputs:
+            raise ValueError(
+                f"packed_inputs must have shape ({self.n_primary_inputs}, n_words), "
+                f"got {packed_inputs.shape}"
+            )
+        words = packed_inputs.shape[1]
+        if self._scratch is None or self._scratch[0] != words:
+            state = np.empty((self.n_slots, words), dtype=np.uint64)
+            chunk_half = max(self._max_group_half, 1)
+            # Cache-block the mux cascade: the buffer is halved P times in
+            # place, so keeping one chunk of nodes resident in L2 through
+            # the whole cascade matters more than vector length.
+            chunk_nodes = max(1, _MUX_SCRATCH_BYTES // (chunk_half * words * 8 or 1))
+            chunk_nodes = min(chunk_nodes, max(self._max_group_nodes, 1))
+            mux = np.empty((chunk_nodes, chunk_half, words), dtype=np.uint64)
+            self._scratch = (words, state, mux)
+        _, state, mux = self._scratch
+        chunk_nodes = mux.shape[0]
+        state[: self.n_primary_inputs] = packed_inputs
+        for group in self._groups:
+            tables = group.table_words  # (G, 2**arity, 1)
+            if group.arity == 0:
+                state[group.output_slots] = np.broadcast_to(
+                    tables[:, 0], (group.n_nodes, words)
+                )
+                continue
+            for start in range(0, group.n_nodes, chunk_nodes):
+                stop = min(start + chunk_nodes, group.n_nodes)
+                gathered = state[group.input_slots[start:stop]]  # (C, arity, words)
+                # Shannon-expand on the most-significant address bit first
+                # (the node's first input), so both cofactors are contiguous
+                # halves of the shrinking table.  The first mux widens the
+                # narrow table words into the reusable scratch buffer, and
+                # every later mux runs in place on that buffer via
+                #   high ^= low; high &= x; high ^= low == mux(x, low, high)
+                # leaving the result in the upper half, which the next step
+                # halves again.
+                half = tables.shape[1] >> 1
+                x = gathered[:, 0][:, np.newaxis, :]  # (C, 1, words)
+                low = tables[start:stop, :half]
+                high = tables[start:stop, half:]
+                acc = mux[: stop - start, :half]
+                np.bitwise_and(low ^ high, x, out=acc)  # low ^ high is narrow
+                acc ^= low
+                for bit in range(1, group.arity):
+                    half >>= 1
+                    x = gathered[:, bit][:, np.newaxis, :]
+                    low = acc[:, :half]
+                    high = acc[:, half:]
+                    high ^= low
+                    high &= x
+                    high ^= low
+                    acc = high
+                state[group.output_slots[start:stop]] = acc[:, 0]
+        # advanced indexing already yields a fresh array
+        return state[self._output_slots]
+
+    def evaluate_outputs(self, X_bits: np.ndarray) -> np.ndarray:
+        """Bit-exact packed counterpart of ``LUTNetlist.evaluate_outputs``."""
+        X_bits = check_binary_matrix(X_bits, "X_bits")
+        if X_bits.shape[1] != self.n_primary_inputs:
+            raise ValueError(
+                f"expected {self.n_primary_inputs} primary inputs, "
+                f"got {X_bits.shape[1]}"
+            )
+        packed = pack_bits(X_bits)
+        out = self.run_packed(packed)
+        return unpack_bits(out, X_bits.shape[0])
+
+    def predict_batch(self, X_bits: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`evaluate_outputs` (the shared batched entry point)."""
+        return self.evaluate_outputs(X_bits)
+
+
+def compile_netlist(netlist: LUTNetlist) -> CompiledNetlist:
+    """Compile ``netlist`` for bit-packed batch inference."""
+    return CompiledNetlist.from_netlist(netlist)

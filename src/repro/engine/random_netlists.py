@@ -1,0 +1,119 @@
+"""Randomised LUT netlists for equivalence testing and benchmarking.
+
+The generator produces DAGs with the same shape family the RINC bank emits —
+layers of LUT nodes reading primary inputs and earlier nodes — but with
+uniformly random truth tables and wiring, which exercises the compiled
+engine far more adversarially than trained netlists do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.netlist import LUTNetlist, primary_input
+from repro.utils.rng import SeedLike, as_rng
+
+
+def random_netlist(
+    n_primary_inputs: int,
+    n_nodes: int,
+    seed: SeedLike = 0,
+    lut_widths: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    n_outputs: Optional[int] = None,
+) -> LUTNetlist:
+    """Build a random DAG of LUT nodes over ``n_primary_inputs`` feature bits.
+
+    Each node draws a random width ``P`` from ``lut_widths`` and reads ``P``
+    distinct signals chosen among the primary inputs and all earlier nodes,
+    so depth grows naturally with ``n_nodes``.  Output signals are a random
+    sample of ``n_outputs`` node outputs (all nodes when ``None``), with a
+    primary input thrown in occasionally to cover the pass-through case.
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    rng = as_rng(seed)
+    netlist = LUTNetlist(n_primary_inputs=n_primary_inputs)
+    signals = [primary_input(i) for i in range(n_primary_inputs)]
+    node_signals = []
+    for index in range(n_nodes):
+        width = int(rng.choice(list(lut_widths)))
+        width = min(width, len(signals))
+        chosen = rng.choice(len(signals), size=width, replace=False)
+        table = rng.integers(0, 2, size=1 << width, dtype=np.uint8)
+        name = netlist.add_node(
+            name=f"lut{index}",
+            kind="rinc0" if index % 3 else "mat",
+            input_signals=[signals[i] for i in chosen],
+            table=table,
+        )
+        signals.append(name)
+        node_signals.append(name)
+
+    if n_outputs is None:
+        outputs = list(node_signals)
+    else:
+        if not 1 <= n_outputs <= len(node_signals):
+            raise ValueError(
+                f"n_outputs must lie in [1, {len(node_signals)}], got {n_outputs}"
+            )
+        chosen = rng.choice(len(node_signals), size=n_outputs, replace=False)
+        outputs = [node_signals[i] for i in sorted(chosen)]
+    for sig in outputs:
+        netlist.mark_output(sig)
+    if n_outputs is None and rng.random() < 0.5:
+        netlist.mark_output(primary_input(int(rng.integers(n_primary_inputs))))
+    return netlist
+
+
+def rinc_bank_netlist(
+    n_primary_inputs: int,
+    n_trees: int,
+    n_mats: int,
+    n_outputs: int,
+    lut_width: int = 6,
+    seed: SeedLike = 0,
+) -> LUTNetlist:
+    """A netlist with the exact shape the trained RINC bank emits.
+
+    Three levels, as in the paper's RINC-2 configuration: ``n_trees`` RINC-0
+    tree LUTs reading primary inputs, ``n_mats`` first-level MAT LUTs reading
+    trees, and ``n_outputs`` output MAT LUTs reading first-level MATs — but
+    with uniformly random truth tables and wiring, which is the adversarial
+    worst case for the compiled engine (trained tables are more regular).
+    """
+    if min(n_trees, n_mats, n_outputs) <= 0:
+        raise ValueError("n_trees, n_mats and n_outputs must be positive")
+    if not 1 <= lut_width <= min(n_primary_inputs, n_trees, n_mats):
+        raise ValueError("lut_width must fit every level's fan-in")
+    rng = as_rng(seed)
+
+    def table() -> np.ndarray:
+        return rng.integers(0, 2, size=1 << lut_width, dtype=np.uint8)
+
+    netlist = LUTNetlist(n_primary_inputs=n_primary_inputs)
+    trees = []
+    for index in range(n_trees):
+        chosen = rng.choice(n_primary_inputs, size=lut_width, replace=False)
+        trees.append(
+            netlist.add_node(
+                f"t{index}", "rinc0", [primary_input(int(i)) for i in chosen], table()
+            )
+        )
+    mats = []
+    for index in range(n_mats):
+        chosen = rng.choice(n_trees, size=lut_width, replace=False)
+        mats.append(
+            netlist.add_node(
+                f"m{index}", "mat", [trees[i] for i in chosen], table()
+            )
+        )
+    for index in range(n_outputs):
+        chosen = rng.choice(n_mats, size=lut_width, replace=False)
+        netlist.mark_output(
+            netlist.add_node(
+                f"o{index}", "mat", [mats[i] for i in chosen], table()
+            )
+        )
+    return netlist

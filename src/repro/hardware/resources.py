@@ -18,7 +18,7 @@ from typing import Dict, Optional, Set
 import numpy as np
 
 from repro.core.mat import MATModule
-from repro.core.netlist import LUTNetlist, is_primary_input
+from repro.core.netlist import LUTNetlist
 from repro.hardware.lut_decompose import luts6_required
 
 
@@ -87,14 +87,14 @@ def prune_netlist(netlist: LUTNetlist, tolerance: float = 1e-12) -> LUTNetlist:
 
     # Second pass: keep only nodes reachable from the declared outputs.
     reachable: Set[str] = set()
-    stack = [sig for sig in netlist.output_signals if not is_primary_input(sig)]
+    stack = [sig for sig in netlist.output_signals if not netlist.is_primary_input(sig)]
     while stack:
         name = stack.pop()
         if name in reachable:
             continue
         reachable.add(name)
         signals, _, _ = rebuilt[name]
-        stack.extend(sig for sig in signals if not is_primary_input(sig))
+        stack.extend(sig for sig in signals if not netlist.is_primary_input(sig))
 
     pruned = LUTNetlist(n_primary_inputs=netlist.n_primary_inputs)
     for node in netlist.nodes:

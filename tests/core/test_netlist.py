@@ -25,6 +25,55 @@ class TestSignalNames:
             primary_input_index("foo")
 
 
+class TestReservedNamespace:
+    """Regression: node names must not shadow primary inputs (and vice versa)."""
+
+    def test_inputs_property(self):
+        netlist = LUTNetlist(n_primary_inputs=3)
+        assert netlist.inputs == ["in0", "in1", "in2"]
+
+    def test_instance_detection_is_range_aware(self):
+        netlist = LUTNetlist(n_primary_inputs=4)
+        assert netlist.is_primary_input("in0")
+        assert netlist.is_primary_input("in3")
+        assert not netlist.is_primary_input("in4")  # syntactically valid, not declared
+        assert not netlist.is_primary_input("node_1")
+
+    def test_in_range_node_name_rejected(self):
+        netlist = LUTNetlist(n_primary_inputs=4)
+        with pytest.raises(ValueError, match="reserved"):
+            netlist.add_node("in3", "rinc0", ["in0"], np.array([0, 1]))
+
+    def test_out_of_range_in_name_is_a_legal_node(self):
+        """A node named like ``in12`` beyond the input range is a plain node
+        and must resolve to its own value, not to a primary input."""
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node("in12", "rinc0", ["in0"], np.array([1, 0]))  # NOT in0
+        netlist.add_node("reader", "mat", ["in12"], np.array([0, 1]))
+        netlist.mark_output("reader")
+        X = np.array([[0, 0], [1, 0]], dtype=np.uint8)
+        # reader == in12 == NOT in0
+        np.testing.assert_array_equal(netlist.evaluate_outputs(X)[:, 0], [1, 0])
+
+    def test_out_of_range_in_name_as_output(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node("in7", "rinc0", ["in1"], np.array([1, 0]))
+        netlist.mark_output("in7")
+        X = np.array([[0, 0], [0, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(netlist.evaluate_outputs(X)[:, 0], [1, 0])
+
+    def test_out_of_range_reference_still_rejected(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        with pytest.raises(ValueError, match="out of range"):
+            netlist.add_node("a", "rinc0", ["in5"], np.array([0, 1]))
+
+    def test_node_named_like_input_excluded_from_used_inputs(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node("in9", "rinc0", ["in0"], np.array([0, 1]))
+        netlist.add_node("b", "mat", ["in9", "in1"], np.array([0, 0, 0, 1]))
+        np.testing.assert_array_equal(netlist.used_primary_inputs(), [0, 1])
+
+
 def _xor_netlist():
     """Small two-level netlist: out = (in0 XOR in1) AND in2."""
     netlist = LUTNetlist(n_primary_inputs=3)

@@ -1,0 +1,105 @@
+"""Round-trip and layout tests for the uint64 bit packer."""
+
+import numpy as np
+import pytest
+
+from repro.engine import WORD_BITS, n_words, pack_bits, unpack_bits
+
+
+class TestNWords:
+    def test_exact_multiples(self):
+        assert n_words(0) == 0
+        assert n_words(64) == 1
+        assert n_words(128) == 2
+
+    def test_ragged(self):
+        assert n_words(1) == 1
+        assert n_words(63) == 1
+        assert n_words(65) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            n_words(-1)
+
+
+class TestLayout:
+    def test_word_bits_is_64(self):
+        assert WORD_BITS == 64
+
+    def test_shape(self):
+        packed = pack_bits(np.zeros((130, 5), dtype=np.uint8))
+        assert packed.shape == (5, 3)
+        assert packed.dtype == np.uint64
+
+    def test_sample_bit_position(self):
+        """Sample s lands at bit s % 64 of word s // 64 (little-endian)."""
+        bits = np.zeros((70, 2), dtype=np.uint8)
+        bits[3, 0] = 1
+        bits[65, 1] = 1
+        packed = pack_bits(bits)
+        assert packed[0, 0] == np.uint64(1) << np.uint64(3)
+        assert packed[0, 1] == 0
+        assert packed[1, 0] == 0
+        assert packed[1, 1] == np.uint64(1) << np.uint64(1)
+
+    def test_padding_bits_are_zero(self):
+        packed = pack_bits(np.ones((3, 1), dtype=np.uint8))
+        assert packed[0, 0] == np.uint64(0b111)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n_samples", [1, 2, 63, 64, 65, 100, 128, 200])
+    @pytest.mark.parametrize("n_signals", [1, 3, 17])
+    def test_random_matrices(self, rng, n_samples, n_signals):
+        bits = rng.integers(0, 2, size=(n_samples, n_signals), dtype=np.uint8)
+        restored = unpack_bits(pack_bits(bits), n_samples)
+        assert restored.dtype == np.uint8
+        np.testing.assert_array_equal(restored, bits)
+
+    def test_empty_batch(self):
+        bits = np.zeros((0, 4), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (4, 0)
+        np.testing.assert_array_equal(unpack_bits(packed, 0), bits)
+
+    def test_no_signals(self):
+        bits = np.zeros((10, 0), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (0, 1)
+        np.testing.assert_array_equal(unpack_bits(packed, 10), bits)
+
+    def test_single_sample(self, rng):
+        bits = rng.integers(0, 2, size=(1, 9), dtype=np.uint8)
+        np.testing.assert_array_equal(unpack_bits(pack_bits(bits), 1), bits)
+
+    def test_truncating_unpack(self, rng):
+        """Unpacking fewer samples than packed drops the tail."""
+        bits = rng.integers(0, 2, size=(100, 3), dtype=np.uint8)
+        np.testing.assert_array_equal(unpack_bits(pack_bits(bits), 40), bits[:40])
+
+    def test_non_uint8_input(self):
+        bits = [[0, 1], [1, 0], [1, 1]]
+        np.testing.assert_array_equal(unpack_bits(pack_bits(bits), 3), bits)
+
+
+class TestValidation:
+    def test_pack_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([[0, 2]]))
+
+    def test_pack_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([0, 1]))
+
+    def test_unpack_rejects_1d(self):
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros(3, dtype=np.uint64), 1)
+
+    def test_unpack_rejects_overflow(self):
+        packed = pack_bits(np.zeros((64, 2), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            unpack_bits(packed, 65)
+
+    def test_unpack_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros((2, 1), dtype=np.uint64), -1)

@@ -1,0 +1,142 @@
+"""Property-based equivalence: the packed engine vs. the naive simulator.
+
+The compiled engine must be *bit-identical* to ``LUTNetlist.evaluate_outputs``
+on arbitrary netlists, and the classifiers' ``predict_batch`` fast paths must
+reproduce their slow paths exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PoETBiNClassifier, RINCClassifier
+from repro.engine import compile_netlist, random_netlist
+from repro.utils.rng import as_rng
+
+
+class TestRandomNetlistEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_dags(self, seed):
+        """Random widths P in {2..8}, random depth, random batch size."""
+        rng = as_rng(1000 + seed)
+        n_primary = int(rng.integers(4, 48))
+        n_nodes = int(rng.integers(1, 150))
+        netlist = random_netlist(
+            n_primary, n_nodes, seed=seed, lut_widths=(2, 3, 4, 5, 6, 7, 8)
+        )
+        compiled = compile_netlist(netlist)
+        n_samples = int(rng.integers(1, 300))
+        X = rng.integers(0, 2, size=(n_samples, n_primary), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            compiled.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7, 8])
+    def test_single_width(self, rng, width):
+        netlist = random_netlist(16, 40, seed=width, lut_widths=(width,))
+        compiled = compile_netlist(netlist)
+        X = rng.integers(0, 2, size=(129, 16), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            compiled.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    @pytest.mark.parametrize("n_samples", [1, 63, 64, 65, 200])
+    def test_ragged_batches(self, rng, n_samples):
+        netlist = random_netlist(12, 30, seed=3)
+        compiled = compile_netlist(netlist)
+        X = rng.integers(0, 2, size=(n_samples, 12), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            compiled.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    def test_deep_chain(self, rng):
+        """A deliberately deep DAG exercises many levels and slot reuse."""
+        netlist = random_netlist(6, 120, seed=9, lut_widths=(2, 3))
+        compiled = compile_netlist(netlist)
+        assert compiled.n_groups >= 10
+        X = rng.integers(0, 2, size=(150, 6), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            compiled.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    def test_exhaustive_small_netlist(self):
+        """All 2**10 input combinations of a small netlist, checked exactly."""
+        netlist = random_netlist(10, 25, seed=4)
+        compiled = compile_netlist(netlist)
+        X = np.array(
+            [[(i >> b) & 1 for b in range(10)] for i in range(1024)], dtype=np.uint8
+        )
+        np.testing.assert_array_equal(
+            compiled.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+
+def _train_small_poetbin(seed=0):
+    rng = as_rng(seed)
+    n, n_features, n_classes, per_class = 400, 48, 3, 2
+    X = (rng.random((n, n_features)) < 0.5).astype(np.uint8)
+    n_intermediate = n_classes * per_class
+    targets = np.empty((n, n_intermediate), dtype=np.uint8)
+    for j in range(n_intermediate):
+        support = rng.choice(n_features, size=5, replace=False)
+        w = rng.normal(size=5)
+        targets[:, j] = (X[:, support] @ w - w.sum() / 2 >= 0).astype(np.uint8)
+    block = targets.reshape(n, n_classes, per_class).sum(axis=2).astype(float)
+    y = np.argmax(block + rng.normal(scale=0.05, size=block.shape), axis=1)
+    clf = PoETBiNClassifier(
+        n_classes=n_classes,
+        n_inputs=4,
+        n_levels=1,
+        branching=(3,),
+        intermediate_per_class=per_class,
+        output_epochs=3,
+        seed=0,
+    ).fit(X, targets, y)
+    return clf, X, targets, y
+
+
+class TestClassifierFastPaths:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        return _train_small_poetbin()
+
+    def test_poetbin_predict_batch_matches_predict(self, trained):
+        clf, X, _targets, _y = trained
+        np.testing.assert_array_equal(clf.predict_batch(X), clf.predict(X))
+
+    def test_poetbin_chunked_matches(self, trained):
+        clf, X, _targets, _y = trained
+        np.testing.assert_array_equal(
+            clf.predict_batch(X, batch_size=64), clf.predict(X)
+        )
+
+    def test_poetbin_intermediate_batch_matches(self, trained):
+        clf, X, _targets, _y = trained
+        np.testing.assert_array_equal(
+            clf.predict_intermediate_batch(X), clf.predict_intermediate(X)
+        )
+
+    def test_poetbin_engine_is_cached(self, trained):
+        clf, _X, _targets, _y = trained
+        assert clf.compiled_netlist() is clf.compiled_netlist()
+
+    def test_rinc_predict_batch_matches_predict(self, trained):
+        clf, X, targets, _y = trained
+        module = RINCClassifier(n_inputs=4, n_levels=1, branching=(2,))
+        module.fit(X, targets[:, 0])
+        np.testing.assert_array_equal(module.predict_batch(X), module.predict(X))
+        np.testing.assert_array_equal(
+            module.predict_batch(X, batch_size=33), module.predict(X)
+        )
+
+    def test_output_layer_predict_batch(self, trained):
+        clf, X, _targets, _y = trained
+        bits = clf.predict_intermediate(X)
+        np.testing.assert_array_equal(
+            clf.output_layer_.predict_batch(bits, batch_size=50),
+            clf.output_layer_.predict(bits),
+        )
+
+    def test_unfitted_rejected(self):
+        clf = PoETBiNClassifier(n_classes=2, n_inputs=4)
+        with pytest.raises(RuntimeError):
+            clf.predict_batch(np.zeros((1, 4), dtype=np.uint8))

@@ -1,0 +1,77 @@
+"""Golden-file regression tests for the HDL generators.
+
+Engine-driven netlist refactors must not silently change the emitted HDL:
+the generators' output for a small fixed netlist is committed under
+``tests/hardware/golden/`` and compared verbatim.  If a change to the emitted
+text is *intentional*, regenerate the fixtures with::
+
+    PYTHONPATH=src python tests/hardware/test_golden_codegen.py --regenerate
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core import LUTNetlist
+from repro.hardware import generate_verilog, generate_vhdl
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def golden_netlist() -> LUTNetlist:
+    """Small fixed netlist covering every codegen feature.
+
+    Includes multiple LUT widths, both node kinds, a multi-level path, a
+    name needing sanitisation, and a primary input declared as an output.
+    """
+    netlist = LUTNetlist(n_primary_inputs=4)
+    netlist.add_node("t0", "rinc0", ["in0", "in1"], np.array([0, 1, 1, 0]))
+    netlist.add_node("t1", "rinc0", ["in2", "in3", "in0"], np.arange(8) % 2)
+    netlist.add_node(
+        "N2-mat.out", "mat", ["t0", "t1", "in1"], np.array([0, 0, 0, 1, 0, 1, 1, 1])
+    )
+    netlist.add_node("stage2", "rinc0", ["N2-mat.out"], np.array([0, 1]))
+    netlist.mark_output("stage2")
+    netlist.mark_output("in3")
+    return netlist
+
+
+def _check(generated: str, filename: str) -> None:
+    golden_path = GOLDEN_DIR / filename
+    expected = golden_path.read_text()
+    assert generated == expected, (
+        f"{filename} drifted from the committed golden file.\n"
+        f"If the change is intentional, regenerate with:\n"
+        f"  PYTHONPATH=src python {__file__} --regenerate"
+    )
+
+
+def test_verilog_matches_golden():
+    _check(generate_verilog(golden_netlist(), module_name="golden_dut"), "golden_dut.v")
+
+
+def test_vhdl_matches_golden():
+    _check(generate_vhdl(golden_netlist(), entity_name="golden_dut"), "golden_dut.vhd")
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    netlist = golden_netlist()
+    (GOLDEN_DIR / "golden_dut.v").write_text(
+        generate_verilog(netlist, module_name="golden_dut")
+    )
+    (GOLDEN_DIR / "golden_dut.vhd").write_text(
+        generate_vhdl(netlist, entity_name="golden_dut")
+    )
+    print(f"regenerated golden files in {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
