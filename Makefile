@@ -1,14 +1,18 @@
-# Contributor entry points.  Both targets mirror exactly what CI runs.
+# Contributor entry points.  All targets mirror exactly what CI runs.
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench-smoke
+.PHONY: test bench-smoke check
 
 # Tier-1 verification: the full test suite (includes benchmarks/).
 test:
 	$(PYTEST) -x -q
 
-# Quick benchmark smoke: the bit-packed engine throughput comparison,
-# including its >=10x acceptance gate against the naive simulator.
+# Quick benchmark smoke: the bit-packed engine throughput comparisons,
+# including the >=10x packed-vs-naive gate, the compiler-pipeline gates
+# (chain fusion, P=8 fabric decomposition) and the sharding scaling gate.
 bench-smoke:
 	$(PYTEST) benchmarks/test_engine_throughput.py -q
+
+# CI-style composite: tier-1 tests plus the perf gates in one invocation.
+check: test bench-smoke

@@ -14,6 +14,17 @@ The acceptance gate asserts the packed engine is at least 10x faster than
 the naive simulator at the paper's P=6 LUT width.  Wider LUTs pay for their
 exponentially larger truth tables (the Shannon cascade does ``2**P - 1``
 word muxes per node), which the P=8 row documents honestly.
+
+The compiler-pipeline benchmarks compare the raw PR-1 lowering
+(``passes=()``) against the optimising pipeline: chain fusion on
+narrow-LUT netlists, and fold + fuse + fabric decomposition on P=8 banks
+(gate: the pipeline must beat the raw P=8 path).  The sharding smoke test
+runs a 10k-sample batch through :class:`repro.engine.parallel.ShardedEngine`
+and gates a >=1.5x speedup with at least 4 workers.
+
+All gates re-measure with interleaved best-of rounds before failing: mins
+only improve, so a noisy-neighbour CPU spike delays convergence instead of
+flaking the gate.
 """
 
 from __future__ import annotations
@@ -22,7 +33,8 @@ import time
 
 import numpy as np
 
-from repro.engine import compile_netlist, pack_bits, rinc_bank_netlist
+from repro.core.netlist import LUTNetlist
+from repro.engine import ShardedEngine, compile_netlist, pack_bits, rinc_bank_netlist
 from repro.utils.rng import as_rng
 
 from bench_utils import emit
@@ -30,6 +42,9 @@ from bench_utils import emit
 BATCH = 1024
 N_FEATURES = 256
 SPEEDUP_TARGET = 10.0
+PIPELINE_P8_TARGET = 1.1  # optimised pipeline vs raw lowering on a P=8 bank
+FUSION_TARGET = 1.1  # fused vs unfused on a chain-heavy netlist
+SHARDING_TARGET = 1.5  # sharded vs serial, >= 4 workers, 10k samples
 
 
 def _best_of(fn, repeats: int, inner: int = 1) -> float:
@@ -135,6 +150,182 @@ def test_packed_engine_on_trained_classifier(trained_reduced_poetbin):
     )
     # trained netlists are smaller and P=6; still expect a clear win
     assert t_fast < t_naive
+
+
+def _interleaved_best(paths, packed, rounds, inner=3):
+    """Best wall-clock seconds per path, alternated within every round."""
+    best = {name: float("inf") for name in paths}
+    for _ in range(rounds):
+        for name, engine in paths.items():
+            start = time.perf_counter()
+            for _ in range(inner):
+                engine.run_packed(packed)
+            best[name] = min(best[name], (time.perf_counter() - start) / inner)
+    return best
+
+
+def _full_support_table(rng, n_inputs):
+    """A random table that depends on every one of its inputs."""
+    while True:
+        table = rng.integers(0, 2, size=1 << n_inputs, dtype=np.uint8)
+        cube = table.reshape((2,) * n_inputs)
+        if all(
+            not np.array_equal(
+                np.take(cube, 0, axis=axis), np.take(cube, 1, axis=axis)
+            )
+            for axis in range(n_inputs)
+        ):
+            return table
+
+
+def _chain_heavy_netlist(n_chains=64, length=24, seed=3):
+    """Parallel single-fanout chains of narrow LUTs — fusion's best case.
+
+    Each chain is a 3-input head followed by 2-input links that mix the
+    running value with one of the chain's three feature bits, ending in a
+    declared output.  Every table has full support, so constant folding and
+    support reduction cannot sever links, and dead-node pruning cannot help;
+    the only available win is chain fusion folding each chain back onto its
+    3-bit support (``2**3 < 2**3 + 2**2`` at every step of the collapse).
+    """
+    rng = as_rng(seed)
+    netlist = LUTNetlist(n_primary_inputs=N_FEATURES)
+    for chain in range(n_chains):
+        pool = rng.choice(N_FEATURES, size=3, replace=False)
+        pool = [f"in{int(i)}" for i in pool]
+        previous = netlist.add_node(
+            f"c{chain}_head", "rinc0", pool, _full_support_table(rng, 3)
+        )
+        for link in range(length):
+            previous = netlist.add_node(
+                f"c{chain}_{link}",
+                "rinc0",
+                [previous, pool[int(rng.integers(3))]],
+                _full_support_table(rng, 2),
+            )
+        netlist.mark_output(previous)
+    return netlist
+
+
+def test_fused_vs_unfused():
+    """Chain fusion must beat the raw lowering on a chain-heavy netlist."""
+    netlist = _chain_heavy_netlist()
+    unfused = compile_netlist(netlist, passes=())
+    fused = compile_netlist(netlist)
+    X = as_rng(0).integers(0, 2, size=(BATCH, N_FEATURES), dtype=np.uint8)
+    np.testing.assert_array_equal(fused.predict_batch(X), netlist.evaluate_outputs(X))
+    packed = pack_bits(X)
+    paths = {"unfused": unfused, "fused": fused}
+    best = _interleaved_best(paths, packed, rounds=4)
+    for _ in range(3):  # re-measure escalation before failing the gate
+        if best["unfused"] / best["fused"] >= FUSION_TARGET:
+            break
+        more = _interleaved_best(paths, packed, rounds=6)
+        best = {k: min(best[k], more[k]) for k in best}
+    speedup = best["unfused"] / best["fused"]
+    emit(
+        "Chain fusion (64 chains x 1+24 narrow LUTs, 1k-sample batch)",
+        f"unfused {unfused.n_nodes} LUTs / {unfused.n_groups} groups "
+        f"{best['unfused'] * 1e3:6.2f} ms   fused {fused.n_nodes} LUTs / "
+        f"{fused.n_groups} groups {best['fused'] * 1e3:6.2f} ms   "
+        f"speedup {speedup:4.1f}x",
+    )
+    # every chain collapses onto its 3-bit support: one LUT per chain
+    assert fused.n_nodes == 64
+    assert fused.n_groups < unfused.n_groups
+    assert speedup >= FUSION_TARGET, (
+        f"fusion speedup {speedup:.2f}x below the {FUSION_TARGET}x gate"
+    )
+
+
+def test_p8_decomposed_vs_raw():
+    """Pipeline with fabric decomposition must beat the raw P=8 path.
+
+    ``raw`` is the PR-1 one-shot lowering; ``fold+fuse`` isolates the
+    cleanup passes; ``pipeline`` adds decomposition onto the 6-input fabric
+    (with the dedicated mux lowering).  The gate compares the full pipeline
+    against raw — the configuration serving actually uses.
+    """
+    netlist = rinc_bank_netlist(
+        N_FEATURES, n_trees=480, n_mats=80, n_outputs=10, lut_width=8, seed=2
+    )
+    raw = compile_netlist(netlist, passes=())
+    folded = compile_netlist(netlist)
+    pipeline = compile_netlist(netlist, max_lut_inputs=6)
+    X = as_rng(0).integers(0, 2, size=(BATCH, N_FEATURES), dtype=np.uint8)
+    reference = netlist.evaluate_outputs(X)
+    for engine in (raw, folded, pipeline):
+        np.testing.assert_array_equal(engine.predict_batch(X), reference)
+    packed = pack_bits(X)
+    paths = {"raw": raw, "fold+fuse": folded, "pipeline": pipeline}
+    best = _interleaved_best(paths, packed, rounds=4)
+    for _ in range(3):
+        if best["raw"] / best["pipeline"] >= PIPELINE_P8_TARGET:
+            break
+        more = _interleaved_best(paths, packed, rounds=6)
+        best = {k: min(best[k], more[k]) for k in best}
+    emit(
+        f"P=8 compiler pipeline ({netlist.n_luts}-LUT RINC bank, {BATCH}-sample batch)",
+        "\n".join(
+            f"{name:10s} {engine.n_nodes:5d} LUTs  {best[name] * 1e3:6.2f} ms  "
+            f"{best['raw'] / best[name]:4.2f}x vs raw"
+            for name, engine in paths.items()
+        ),
+    )
+    speedup = best["raw"] / best["pipeline"]
+    assert speedup >= PIPELINE_P8_TARGET, (
+        f"decomposed pipeline is only {speedup:.2f}x vs the raw P=8 path "
+        f"(target {PIPELINE_P8_TARGET}x)"
+    )
+
+
+def test_sharding_scaling_smoke():
+    """Sharded predict must be bit-exact and >=1.5x with >=4 workers.
+
+    Uses a serving-sized bank (8x the paper's smallest topology) and a
+    10k-sample batch so each worker's shard carries real work; the word
+    count, not the netlist, is what gets split.  Worker counts beyond the
+    visible core count still help on bursty multi-tenant hosts, so the gate
+    takes the best of 4 and 8 workers.
+    """
+    netlist = rinc_bank_netlist(
+        N_FEATURES, n_trees=3840, n_mats=640, n_outputs=80, lut_width=6, seed=2
+    )
+    n_samples = 10_000
+    X = as_rng(0).integers(0, 2, size=(n_samples, N_FEATURES), dtype=np.uint8)
+    packed = pack_bits(X)
+    serial = compile_netlist(netlist)
+    engines = {}
+    try:
+        for n_workers in (4, 8):
+            engine = ShardedEngine(netlist, n_workers=n_workers, backend="process")
+            np.testing.assert_array_equal(
+                engine.run_packed(packed), serial.run_packed(packed)
+            )
+            engines[f"{n_workers} workers"] = engine
+        paths = {"serial": serial, **engines}
+        best = _interleaved_best(paths, packed, rounds=2, inner=1)
+        sharded_best = lambda b: min(b[k] for k in engines)  # noqa: E731
+        for _ in range(5):
+            if best["serial"] / sharded_best(best) >= SHARDING_TARGET:
+                break
+            more = _interleaved_best(paths, packed, rounds=3, inner=1)
+            best = {k: min(best[k], more[k]) for k in best}
+        emit(
+            f"Sharded serving ({netlist.n_luts}-LUT bank, {n_samples}-sample batch)",
+            "\n".join(
+                f"{name:10s} {best[name] * 1e3:7.2f} ms  "
+                f"{best['serial'] / best[name]:4.2f}x"
+                for name in paths
+            ),
+        )
+        speedup = best["serial"] / sharded_best(best)
+        assert speedup >= SHARDING_TARGET, (
+            f"sharded speedup {speedup:.2f}x below the {SHARDING_TARGET}x gate"
+        )
+    finally:
+        for engine in engines.values():
+            engine.close()
 
 
 def test_pack_unpack_overhead():

@@ -218,6 +218,12 @@ class LUTNetlist:
             return signals[signal]
 
         for node in self.nodes:
+            if not node.input_signals:
+                # zero-input nodes are constants (the fold pass emits them)
+                signals[node.name] = np.full(
+                    X_bits.shape[0], node.table[0], dtype=node.table.dtype
+                )
+                continue
             columns = np.column_stack([resolve(sig) for sig in node.input_signals])
             signals[node.name] = node.table[binary_to_index(columns)]
         return signals

@@ -138,6 +138,22 @@ class SparseQuantizedOutputLayer(BatchedPredictorMixin):
         if self.weights_ is None or self.biases_ is None:
             raise RuntimeError("this output layer has not been fitted yet")
 
+    def _integer_weights(self) -> tuple:
+        """Quantised weights as ``(int_matrix, scale)``; exact by construction.
+
+        Symmetric quantisation maps every weight to ``k * scale`` with
+        integer ``k`` in ``[-(2**(q-1) - 1), 2**(q-1) - 1]`` and the largest
+        magnitude hitting the extreme level exactly, so the scale is
+        recoverable from the stored quantised weights alone — no extra
+        serialised state is needed for the packed path.
+        """
+        levels = 2 ** (self.n_bits - 1) - 1
+        max_abs = float(np.max(np.abs(self.weights_))) if self.weights_.size else 0.0
+        if max_abs == 0.0:
+            return np.zeros_like(self.weights_, dtype=np.int64), 1.0
+        scale = max_abs / levels
+        return np.round(self.weights_ / scale).astype(np.int64), scale
+
     def decision_scores(self, intermediate_bits: np.ndarray) -> np.ndarray:
         """Quantised pre-activations of every output neuron."""
         self._check_fitted()
@@ -155,6 +171,51 @@ class SparseQuantizedOutputLayer(BatchedPredictorMixin):
     def predict(self, intermediate_bits: np.ndarray) -> np.ndarray:
         """Predicted class labels."""
         return np.argmax(self.decision_scores(intermediate_bits), axis=1)
+
+    # ------------------------------------------------------- packed fast path
+    def decision_scores_packed(
+        self, packed_bits: np.ndarray, n_samples: int
+    ) -> np.ndarray:
+        """Decision scores straight from packed intermediate words.
+
+        ``packed_bits`` is the ``(nc * P, n_words)`` ``uint64`` matrix the
+        compiled RINC bank emits (one row per intermediate bit, samples on
+        the bit axis) — exactly ``CompiledNetlist.run_packed``'s output, so
+        serving never unpacks between the RINC bank and the read-out.  Each
+        neuron's quantised weights are integers times a common scale, so its
+        pre-activation is ``scale * (popcount-weighted sum) + bias``,
+        evaluated with bit-sliced word adders
+        (:func:`~repro.engine.bitpack.packed_weighted_sums`); only the few
+        count planes of the result are ever unpacked.
+
+        Matches :meth:`decision_scores` up to float summation order (the
+        weighted sum is exact in integers; the single ``scale`` multiply can
+        differ from the float dot product by rounding ulps).
+        """
+        self._check_fitted()
+        packed = np.asarray(packed_bits, dtype=np.uint64)
+        if packed.ndim != 2 or packed.shape[0] != self.n_inputs:
+            raise ValueError(
+                f"packed_bits must have shape ({self.n_inputs}, n_words), "
+                f"got {packed.shape}"
+            )
+        if n_samples < 0 or n_samples > packed.shape[1] * 64:
+            raise ValueError(
+                f"cannot recover {n_samples} samples from {packed.shape[1]} words"
+            )
+        from repro.engine.bitpack import packed_weighted_sums
+
+        int_weights, scale = self._integer_weights()
+        scores = np.empty((n_samples, self.n_classes), dtype=np.float64)
+        for cls in range(self.n_classes):
+            rows = packed[cls * self.fan_in : (cls + 1) * self.fan_in]
+            sums = packed_weighted_sums(rows, int_weights[cls], n_samples)
+            scores[:, cls] = scale * sums + self.biases_[cls]
+        return scores
+
+    def predict_packed(self, packed_bits: np.ndarray, n_samples: int) -> np.ndarray:
+        """Predicted labels from packed intermediate words (see above)."""
+        return np.argmax(self.decision_scores_packed(packed_bits, n_samples), axis=1)
 
     def score(self, intermediate_bits: np.ndarray, y: np.ndarray) -> float:
         """Accuracy against integer labels."""

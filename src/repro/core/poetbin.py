@@ -20,6 +20,7 @@ from repro.core.netlist import LUTNetlist
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.compiled_netlist import CompiledNetlist
+    from repro.engine.parallel import ShardedEngine
 from repro.core.output_layer import SparseQuantizedOutputLayer
 from repro.core.rinc import RINCClassifier
 from repro.utils.metrics import accuracy
@@ -81,6 +82,7 @@ class PoETBiNClassifier:
         self.output_layer_: Optional[SparseQuantizedOutputLayer] = None
         self.n_features_: Optional[int] = None
         self._compiled_: Optional["CompiledNetlist"] = None
+        self._sharded_: dict = {}  # n_workers -> ShardedEngine
 
     @property
     def n_intermediate(self) -> int:
@@ -120,7 +122,9 @@ class PoETBiNClassifier:
         if X_features.shape[0] != intermediate_targets.shape[0]:
             raise ValueError("X_features and intermediate_targets length mismatch")
         self.n_features_ = X_features.shape[1]
-        self._compiled_ = None  # invalidate before mutating the RINC bank
+        # invalidate cached engines before mutating the RINC bank
+        self._compiled_ = None
+        self._close_sharded()
 
         self.rinc_modules_ = []
         for neuron in range(self.n_intermediate):
@@ -176,33 +180,73 @@ class PoETBiNClassifier:
             self._compiled_ = compile_netlist(self.to_netlist())
         return self._compiled_
 
+    def sharded_engine(self, n_workers: int) -> "ShardedEngine":
+        """A multicore executor for the RINC bank, cached per worker count."""
+        self._check_fitted()
+        engine = self._sharded_.get(n_workers)
+        if engine is None:
+            from repro.engine.parallel import ShardedEngine
+
+            engine = ShardedEngine(self.to_netlist(), n_workers=n_workers)
+            self._sharded_[n_workers] = engine
+        return engine
+
+    def _close_sharded(self) -> None:
+        for engine in self._sharded_.values():
+            engine.close()
+        self._sharded_ = {}
+
+    def _engine(self, n_workers: Optional[int]):
+        if n_workers is None or n_workers <= 1:
+            return self.compiled_netlist()
+        return self.sharded_engine(n_workers)
+
     def predict_intermediate_batch(
-        self, X_features: np.ndarray, batch_size: Optional[int] = None
+        self,
+        X_features: np.ndarray,
+        batch_size: Optional[int] = None,
+        n_workers: Optional[int] = None,
     ) -> np.ndarray:
         """Intermediate bits via the bit-packed engine; matches
-        :meth:`predict_intermediate` bit for bit."""
+        :meth:`predict_intermediate` bit for bit.  ``n_workers`` shards the
+        packed words across a process pool (see
+        :class:`~repro.engine.parallel.ShardedEngine`)."""
         from repro.engine import predict_in_batches
 
-        compiled = self.compiled_netlist()
+        engine = self._engine(n_workers)
         X_features = check_binary_matrix(X_features, "X_features")
-        return predict_in_batches(compiled.predict_batch, X_features, batch_size)
+        return predict_in_batches(engine.predict_batch, X_features, batch_size)
 
     def predict_batch(
-        self, X_features: np.ndarray, batch_size: Optional[int] = None
+        self,
+        X_features: np.ndarray,
+        batch_size: Optional[int] = None,
+        n_workers: Optional[int] = None,
     ) -> np.ndarray:
-        """Predicted class labels via the bit-packed fast path.
+        """Predicted class labels, packed end to end.
 
-        Produces exactly the same labels as :meth:`predict`: the RINC bank is
-        evaluated by the compiled netlist on packed words and only the tiny
-        sparse read-out runs in arithmetic.
+        The whole serving path stays in packed words: the RINC bank is
+        evaluated by the compiled netlist (sharded across ``n_workers``
+        processes when given), and its packed outputs feed the output
+        layer's popcount-based read-out directly — nothing is unpacked
+        between the RINC bank and the final scores.  The intermediate bits
+        are bit-identical to :meth:`predict_intermediate`; labels match
+        :meth:`predict` except in the measure-zero case of two classes
+        whose float scores tie within rounding ulps (the packed read-out
+        sums integers exactly, the float reference accumulates per-weight
+        rounding — see
+        :meth:`~repro.core.output_layer.SparseQuantizedOutputLayer.decision_scores_packed`).
         """
-        from repro.engine import predict_in_batches
+        from repro.engine import pack_bits, predict_in_batches
 
-        compiled = self.compiled_netlist()
+        engine = self._engine(n_workers)
         X_features = check_binary_matrix(X_features, "X_features")
 
         def predict_chunk(chunk: np.ndarray) -> np.ndarray:
-            return self.output_layer_.predict(compiled.predict_batch(chunk))
+            packed_intermediate = engine.run_packed(pack_bits(chunk))
+            return self.output_layer_.predict_packed(
+                packed_intermediate, chunk.shape[0]
+            )
 
         return predict_in_batches(predict_chunk, X_features, batch_size)
 

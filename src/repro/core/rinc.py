@@ -17,12 +17,9 @@ expresses.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.engine.compiled_netlist import CompiledNetlist
 
 from repro.boosting.adaboost import AdaBoost
 from repro.core.lut import LUT
@@ -84,7 +81,10 @@ class RINCClassifier:
         self.children_: List[object] = []
         self.mat_: Optional[MATModule] = None
         self._leaf: Optional[RINC0] = None
-        self._compiled_: Optional[Tuple[int, "CompiledNetlist"]] = None
+        # engines keyed by (n_features, n_workers or None); values are
+        # CompiledNetlist or ShardedEngine, so alternating serial and
+        # sharded serving never rebuilds a pool
+        self._compiled_: dict = {}
 
     # ------------------------------------------------------------------ fit
     def fit(
@@ -94,7 +94,11 @@ class RINCClassifier:
         sample_weight: Optional[np.ndarray] = None,
     ) -> "RINCClassifier":
         """Train with hierarchical AdaBoost (Algorithm 2)."""
-        self._compiled_ = None  # netlist changes with refitting
+        # the netlist changes with refitting: drop every cached engine
+        for engine in self._compiled_.values():
+            if hasattr(engine, "close"):
+                engine.close()
+        self._compiled_ = {}
         if self.n_levels == 0:
             self._leaf = RINC0(self.n_inputs).fit(X, y, sample_weight=sample_weight)
             self.children_ = [self._leaf]
@@ -143,13 +147,18 @@ class RINCClassifier:
         return self.mat_.evaluate(self.child_outputs(X))
 
     def predict_batch(
-        self, X: np.ndarray, batch_size: Optional[int] = None
+        self,
+        X: np.ndarray,
+        batch_size: Optional[int] = None,
+        n_workers: Optional[int] = None,
     ) -> np.ndarray:
         """Binary prediction via the bit-packed engine; matches :meth:`predict`.
 
-        The module's netlist is compiled on first use and cached per feature
-        width (the netlist reads primary inputs, so its shape depends on the
-        width of ``X``).
+        The module's netlist runs through the engine's optimising pass
+        pipeline and is compiled on first use, cached per feature width and
+        worker count (the netlist reads primary inputs, so its shape depends
+        on the width of ``X``).  ``n_workers > 1`` serves the batch through
+        a sharded multicore executor with bit-identical results.
         """
         from repro.engine import compile_netlist, predict_in_batches
         from repro.utils.validation import check_binary_matrix
@@ -157,12 +166,19 @@ class RINCClassifier:
         self._check_fitted()
         X = check_binary_matrix(X, "X")
         n_features = X.shape[1]
-        if self._compiled_ is None or self._compiled_[0] != n_features:
+        key = (n_features, n_workers if n_workers and n_workers > 1 else None)
+        engine = self._compiled_.get(key)
+        if engine is None:
             netlist, signal = self.to_netlist(n_primary_inputs=n_features)
             netlist.mark_output(signal)
-            self._compiled_ = (n_features, compile_netlist(netlist))
-        compiled = self._compiled_[1]
-        return predict_in_batches(compiled.predict_batch, X, batch_size)[:, 0]
+            if key[1] is None:
+                engine = compile_netlist(netlist)
+            else:
+                from repro.engine.parallel import ShardedEngine
+
+                engine = ShardedEngine(netlist, n_workers=key[1])
+            self._compiled_[key] = engine
+        return predict_in_batches(engine.predict_batch, X, batch_size)[:, 0]
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Unweighted accuracy on (X, y)."""

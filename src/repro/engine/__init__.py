@@ -1,4 +1,4 @@
-"""``repro.engine`` — bit-packed batch inference for LUT netlists.
+"""``repro.engine`` — an optimising compiler and parallel runtime for LUT netlists.
 
 PoET-BiN's selling point is that inference is *pure LUT lookups*: no
 multiplies, no adds, just boolean logic.  The FPGA exploits that by
@@ -7,26 +7,61 @@ analogue, exploiting the 64-bit CPU word instead.  A binary signal packed as
 one bit per sample turns every LUT evaluation into a handful of bitwise
 word instructions that process 64 samples at once.
 
-Architecture
-============
+Since PR 3 the engine is structured as a multi-stage compiler plus a
+sharded runtime rather than a one-shot translator.
+
+Compiler
+========
+
+``ir``
+    The engine IR: :class:`~repro.engine.ir.IRGraph`, a mutable,
+    name-indexed, pass-friendly view of a
+    :class:`~repro.core.netlist.LUTNetlist` that round-trips losslessly.
+
+``passes``
+    Ordered, individually testable optimisation passes:
+    :class:`~repro.engine.passes.ConstantFoldPass` (constant propagation,
+    support reduction, dead-node pruning),
+    :class:`~repro.engine.passes.FuseChainsPass` (single-fanout LUT chains
+    fused into wider tables under the packed cost model — fewer levels,
+    fewer Shannon mux steps) and
+    :class:`~repro.engine.passes.DecomposePass` (LUTs wider than the
+    physical fabric split onto max-``P``-input tables plus mux nodes,
+    shared with ``repro.hardware.lut_decompose``).
+    :func:`~repro.engine.passes.default_passes` assembles the default
+    pipeline; :func:`~repro.engine.passes.optimize_netlist` runs it
+    netlist-to-netlist.
+
+``compiled_netlist``
+    Lowering and execution: :func:`compile_netlist(netlist, *, passes=...,
+    max_lut_inputs=...) <repro.engine.compiled_netlist.compile_netlist>`
+    runs the pipeline and lowers to a
+    :class:`~repro.engine.compiled_netlist.CompiledNetlist` — a
+    topologically-ordered program with slot-recycled signal storage whose
+    steps each evaluate all same-width LUTs of a level at once by iterated
+    Shannon expansion (the bitwise mux ``f = f0 ^ ((f0 ^ f1) & x)``),
+    cache-blocked to stay L2-resident; mux-shaped 3-input LUTs lower to a
+    dedicated single-mux step, the software mirror of free F7/F8 muxes.
+    Results are bit-identical to ``LUTNetlist.evaluate_outputs`` under
+    every pipeline configuration.
+
+Runtime
+=======
+
+``parallel``
+    :class:`~repro.engine.parallel.ShardedEngine` fans contiguous word
+    ranges of a packed batch out across a process pool (shared-memory IPC,
+    per-worker compiled programs) or thread pool, with a serial fallback
+    for small batches — packed 64-sample word blocks are independent, so
+    sharded results are bit-identical to serial.
 
 ``bitpack``
     Packs an ``(n_samples, n_signals)`` 0/1 matrix into an
-    ``(n_signals, ceil(n/64))`` matrix of ``uint64`` words (samples along
-    the bit axis, little-endian within a word) and back.  Round-trips exactly
-    for ragged, empty and single-sample batches.
-
-``compiled_netlist``
-    Compiles a :class:`~repro.core.netlist.LUTNetlist` into a
-    :class:`~repro.engine.compiled_netlist.CompiledNetlist`: a
-    topologically-ordered program with slot-allocated signal storage (slots
-    are recycled after a signal's last use) whose steps each evaluate *all*
-    same-width LUTs of a netlist level at once.  A LUT is applied to packed
-    words by iterated Shannon expansion — the truth table, materialised as
-    all-zero/all-one words, is halved once per address bit with the bitwise
-    mux ``f = f0 ^ ((f0 ^ f1) & x)`` — a cascade of ``P`` in-place vector
-    steps, cache-blocked so the working set stays L2-resident.  Results are
-    bit-identical to ``LUTNetlist.evaluate_outputs``.
+    ``(n_signals, ceil(n/64))`` ``uint64`` matrix (samples along the bit
+    axis, little-endian) and back, plus
+    :func:`~repro.engine.bitpack.packed_weighted_sums` — per-sample integer
+    dot products computed with bit-sliced word adders (the popcount path
+    that keeps the quantised output layer packed end to end).
 
 ``batching``
     The shared ``predict_batch(X, batch_size=None)`` entry point.
@@ -42,30 +77,60 @@ Usage
 =====
 
 >>> from repro.engine import compile_netlist
->>> compiled = compile_netlist(classifier.to_netlist())
+>>> compiled = compile_netlist(classifier.to_netlist(), max_lut_inputs=6)
 >>> bits = compiled.predict_batch(X_bits)          # == netlist.evaluate_outputs(X_bits)
 
-or simply ``classifier.predict_batch(X_bits)``, which compiles and caches
-the engine on first use.
-
-Follow-on work (see ROADMAP.md): multi-core sharding of packed batches and
-fusing single-fanout LUT chains into wider tables before compilation.
+or simply ``classifier.predict_batch(X_bits, n_workers=4)``, which compiles,
+caches and shards the engine on first use — and keeps PoET-BiN serving
+packed from the feature bits through the RINC bank into the popcount
+read-out.
 """
 
 from repro.engine.batching import BatchedPredictorMixin, predict_in_batches
-from repro.engine.bitpack import WORD_BITS, n_words, pack_bits, unpack_bits
+from repro.engine.bitpack import (
+    WORD_BITS,
+    n_words,
+    pack_bits,
+    packed_weighted_sums,
+    unpack_bits,
+)
 from repro.engine.compiled_netlist import CompiledNetlist, compile_netlist
+from repro.engine.ir import IRGraph, IRNode
+from repro.engine.parallel import ShardedEngine, shard_bounds
+from repro.engine.passes import (
+    MUX_TABLE,
+    ConstantFoldPass,
+    DecomposePass,
+    FuseChainsPass,
+    Pass,
+    PassManager,
+    default_passes,
+    optimize_netlist,
+)
 from repro.engine.random_netlists import random_netlist, rinc_bank_netlist
 
 __all__ = [
     "BatchedPredictorMixin",
     "CompiledNetlist",
+    "ConstantFoldPass",
+    "DecomposePass",
+    "FuseChainsPass",
+    "IRGraph",
+    "IRNode",
+    "MUX_TABLE",
+    "Pass",
+    "PassManager",
+    "ShardedEngine",
     "WORD_BITS",
     "compile_netlist",
+    "default_passes",
     "n_words",
+    "optimize_netlist",
     "pack_bits",
+    "packed_weighted_sums",
     "predict_in_batches",
     "random_netlist",
     "rinc_bank_netlist",
+    "shard_bounds",
     "unpack_bits",
 ]

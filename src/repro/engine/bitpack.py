@@ -64,6 +64,88 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     return padded.view(_WORD_DTYPE).astype(np.uint64, copy=False)
 
 
+def packed_weighted_sums(
+    packed: np.ndarray, weights: np.ndarray, n_samples: int
+) -> np.ndarray:
+    """Per-sample integer dot product of packed signals with integer weights.
+
+    Computes ``sum_k weights[k] * bit[s, k]`` for every sample ``s`` without
+    unpacking the signals: each weight's binary planes are accumulated into a
+    bit-sliced (vertical) counter with word-wide full adders — the software
+    form of a hardware popcount tree.  Only the few count planes of the
+    result are unpacked at the end, so the cost scales with ``log2(sum
+    |weights|)`` words per sample instead of one byte per signal per sample.
+
+    Parameters
+    ----------
+    packed:
+        ``uint64`` array of shape ``(n_signals, n_words)`` as produced by
+        :func:`pack_bits`.  Padding bits may hold garbage; the corresponding
+        samples are truncated from the result.
+    weights:
+        Integer weights of shape ``(n_signals,)``; any sign.
+    n_samples:
+        Number of samples to recover.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` vector of shape ``(n_samples,)``.
+    """
+    packed = np.asarray(packed, dtype=np.uint64)
+    if packed.ndim != 2:
+        raise ValueError(f"packed must be 2-D, got shape {packed.shape}")
+    weights = np.asarray(weights)
+    if weights.shape != (packed.shape[0],):
+        raise ValueError(
+            f"weights must have shape ({packed.shape[0]},), got {weights.shape}"
+        )
+    if not np.issubdtype(weights.dtype, np.integer):
+        raise ValueError("weights must be integers (quantise first)")
+    total = np.zeros(n_samples, dtype=np.int64)
+    for sign in (1, -1):
+        magnitudes = np.maximum(sign * weights.astype(np.int64), 0)
+        planes = _vertical_accumulate(packed, magnitudes)
+        if not planes:
+            continue
+        counts = unpack_bits(np.stack(planes), n_samples).astype(np.int64)
+        total += sign * (counts @ (np.int64(1) << np.arange(len(planes), dtype=np.int64)))
+    return total
+
+
+def _vertical_accumulate(packed: np.ndarray, magnitudes: np.ndarray) -> list:
+    """Bit-sliced sum ``sum_k magnitudes[k] * row_k``: one word per plane.
+
+    Each set bit ``j`` of a weight adds its signal's word row at plane ``j``
+    of the counter; carries ripple upward through word-wide half adders
+    (``sum = a ^ b``, ``carry = a & b``), exactly like a hardware counter
+    column.
+    """
+    planes: list = []
+    for row, magnitude in zip(packed, magnitudes):
+        magnitude = int(magnitude)
+        plane = 0
+        while magnitude:
+            if magnitude & 1:
+                carry = row
+                level = plane
+                while len(planes) < level:  # counter not yet this tall
+                    planes.append(np.zeros_like(row))
+                while True:
+                    if level == len(planes):
+                        planes.append(carry.copy())
+                        break
+                    carry_out = planes[level] & carry
+                    planes[level] = planes[level] ^ carry
+                    if not carry_out.any():
+                        break
+                    carry = carry_out
+                    level += 1
+            magnitude >>= 1
+            plane += 1
+    return planes
+
+
 def unpack_bits(packed: np.ndarray, n_samples: int) -> np.ndarray:
     """Inverse of :func:`pack_bits`, truncated to ``n_samples`` rows.
 

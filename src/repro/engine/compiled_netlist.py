@@ -1,9 +1,11 @@
-"""Compile a :class:`~repro.core.netlist.LUTNetlist` into a bit-parallel program.
+"""Lower a :class:`~repro.core.netlist.LUTNetlist` into a bit-parallel program.
 
 The naive simulator walks the netlist node by node and looks every sample up
-in the truth table individually.  Here the netlist is compiled once into a
-topologically-ordered program that evaluates each LUT across *all* packed
-samples with whole-word bitwise operations:
+in the truth table individually.  Here the netlist first runs through the
+optimisation pipeline of :mod:`repro.engine.passes` (:func:`compile_netlist`
+drives it) and is then lowered once into a topologically-ordered program
+that evaluates each LUT across *all* packed samples with whole-word bitwise
+operations:
 
 * every signal is assigned a **slot** in a ``(n_slots, n_words)`` word
   matrix; slots are freed after a signal's last use and reused by later
@@ -24,12 +26,13 @@ are unpacked.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.netlist import LUTNetlist, primary_input_index
 from repro.engine.bitpack import pack_bits, unpack_bits
+from repro.engine.passes import MUX_TABLE, optimize_netlist
 from repro.utils.validation import check_binary_matrix
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -47,6 +50,26 @@ class _Group:
     input_slots: np.ndarray  # (n_nodes, arity) int64
     output_slots: np.ndarray  # (n_nodes,) int64
     table_words: np.ndarray  # (n_nodes, 2**arity, 1) uint64, 0 or all-ones
+
+    @property
+    def n_nodes(self) -> int:
+        return self.output_slots.shape[0]
+
+
+@dataclass(frozen=True)
+class _MuxGroup:
+    """One vectorised step evaluating mux-shaped 3-input LUTs of one level.
+
+    Decomposition emits 2:1 muxes with address bits ``(select, a, b)``;
+    instead of the generic 7-step Shannon cascade, each is a single word
+    mux ``out = a ^ ((a ^ b) & select)`` — three bitwise ops, mirroring
+    the FPGA's dedicated (and free) F7/F8 mux resources.  Any 3-input LUT
+    whose table happens to equal :data:`~repro.engine.passes.MUX_TABLE`
+    gets this lowering, whatever produced it.
+    """
+
+    input_slots: np.ndarray  # (n_nodes, 3) int64: select, a, b
+    output_slots: np.ndarray  # (n_nodes,) int64
 
     @property
     def n_nodes(self) -> int:
@@ -77,7 +100,7 @@ class CompiledNetlist:
     def __init__(
         self,
         n_primary_inputs: int,
-        groups: List[_Group],
+        groups: List[object],
         output_slots: np.ndarray,
         n_slots: int,
         n_nodes: int,
@@ -89,16 +112,24 @@ class CompiledNetlist:
         self.n_nodes = n_nodes
         # reusable working set for the most recent packed word count;
         # repeated batches of the same size skip every large allocation
-        self._scratch: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
-        self._max_group_nodes = max((g.n_nodes for g in groups), default=0)
+        self._scratch: Optional[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = None
+        lut_groups = [g for g in groups if isinstance(g, _Group)]
+        self._max_group_nodes = max((g.n_nodes for g in lut_groups), default=0)
         self._max_group_half = max(
-            ((1 << g.arity) >> 1 for g in groups), default=0
+            ((1 << g.arity) >> 1 for g in lut_groups), default=0
+        )
+        self._max_mux_nodes = max(
+            (g.n_nodes for g in groups if isinstance(g, _MuxGroup)), default=0
         )
 
     # ---------------------------------------------------------- compilation
     @classmethod
     def from_netlist(cls, netlist: LUTNetlist) -> "CompiledNetlist":
-        """Compile ``netlist`` into a slot-allocated, level-grouped program."""
+        """Lower ``netlist`` as-is into a slot-allocated, level-grouped program.
+
+        This is the raw lowering with no optimisation passes; use
+        :func:`compile_netlist` to run the pass pipeline first.
+        """
         if not netlist.output_signals:
             raise ValueError("netlist must declare at least one output signal")
 
@@ -136,7 +167,7 @@ class CompiledNetlist:
         for node in netlist.nodes:
             by_level.setdefault(level[node.name], []).append(node)
 
-        groups: List[_Group] = []
+        groups: List[object] = []
         for lvl in range(1, n_levels + 1):
             # Recycle only slots whose last read happened in an *earlier*
             # level: groups within one level run sequentially, so a slot
@@ -145,13 +176,18 @@ class CompiledNetlist:
             for sig in expiring.get(lvl - 1, []):
                 free.append(slot_of[sig])
             by_arity: Dict[int, List] = {}
+            mux_nodes: List = []
             for node in by_level[lvl]:
-                by_arity.setdefault(node.n_inputs, []).append(node)
-            for arity in sorted(by_arity):
-                nodes = by_arity[arity]
+                # mux-shaped 3-input LUTs get the dedicated 3-op lowering
+                if node.n_inputs == 3 and np.array_equal(node.table, MUX_TABLE):
+                    mux_nodes.append(node)
+                else:
+                    by_arity.setdefault(node.n_inputs, []).append(node)
+
+            def assign_slots(nodes, arity):
+                nonlocal next_slot
                 input_slots = np.empty((len(nodes), arity), dtype=np.int64)
                 output_slots = np.empty(len(nodes), dtype=np.int64)
-                table_words = np.empty((len(nodes), 1 << arity, 1), dtype=np.uint64)
                 for row, node in enumerate(nodes):
                     for col, sig in enumerate(node.input_signals):
                         if netlist.is_primary_input(sig):
@@ -165,6 +201,13 @@ class CompiledNetlist:
                         next_slot += 1
                     slot_of[node.name] = slot
                     output_slots[row] = slot
+                return input_slots, output_slots
+
+            for arity in sorted(by_arity):
+                nodes = by_arity[arity]
+                input_slots, output_slots = assign_slots(nodes, arity)
+                table_words = np.empty((len(nodes), 1 << arity, 1), dtype=np.uint64)
+                for row, node in enumerate(nodes):
                     table_words[row, :, 0] = np.where(
                         node.table.astype(bool), _ALL_ONES, np.uint64(0)
                     )
@@ -175,6 +218,11 @@ class CompiledNetlist:
                         output_slots=output_slots,
                         table_words=table_words,
                     )
+                )
+            if mux_nodes:
+                input_slots, output_slots = assign_slots(mux_nodes, 3)
+                groups.append(
+                    _MuxGroup(input_slots=input_slots, output_slots=output_slots)
                 )
 
         output_slots = np.array(
@@ -228,11 +276,23 @@ class CompiledNetlist:
             chunk_nodes = max(1, _MUX_SCRATCH_BYTES // (chunk_half * words * 8 or 1))
             chunk_nodes = min(chunk_nodes, max(self._max_group_nodes, 1))
             mux = np.empty((chunk_nodes, chunk_half, words), dtype=np.uint64)
-            self._scratch = (words, state, mux)
-        _, state, mux = self._scratch
+            mux2 = np.empty((self._max_mux_nodes, words), dtype=np.uint64)
+            self._scratch = (words, state, mux, mux2)
+        _, state, mux, mux2 = self._scratch
         chunk_nodes = mux.shape[0]
         state[: self.n_primary_inputs] = packed_inputs
         for group in self._groups:
+            if isinstance(group, _MuxGroup):
+                # out = a ^ ((a ^ b) & select): one word mux per node, the
+                # software analogue of the hardware's free F7/F8 muxes
+                select = state[group.input_slots[:, 0]]
+                a = state[group.input_slots[:, 1]]
+                scratch = mux2[: group.n_nodes]
+                np.bitwise_xor(a, state[group.input_slots[:, 2]], out=scratch)
+                scratch &= select
+                scratch ^= a
+                state[group.output_slots] = scratch
+                continue
             tables = group.table_words  # (G, 2**arity, 1)
             if group.arity == 0:
                 state[group.output_slots] = np.broadcast_to(
@@ -287,6 +347,32 @@ class CompiledNetlist:
         return self.evaluate_outputs(X_bits)
 
 
-def compile_netlist(netlist: LUTNetlist) -> CompiledNetlist:
-    """Compile ``netlist`` for bit-packed batch inference."""
-    return CompiledNetlist.from_netlist(netlist)
+def compile_netlist(
+    netlist: LUTNetlist,
+    *,
+    passes: Optional[Sequence] = None,
+    max_lut_inputs: Optional[int] = None,
+) -> CompiledNetlist:
+    """Compile ``netlist`` for bit-packed batch inference.
+
+    The netlist first runs through the optimisation pipeline of
+    :mod:`repro.engine.passes` — constant folding and dead-node pruning,
+    single-fanout chain fusion, and (when ``max_lut_inputs`` is given)
+    decomposition onto the physical LUT fabric — then lowers to the
+    slot-allocated, level-grouped program.  Results are bit-identical to
+    ``netlist.evaluate_outputs`` for every pipeline configuration.
+
+    Parameters
+    ----------
+    passes:
+        Explicit pass sequence, ``None`` for the default pipeline, or an
+        empty sequence for the raw unoptimised lowering.
+    max_lut_inputs:
+        Physical fabric width; wide LUTs are Shannon-decomposed onto
+        ``max_lut_inputs``-input tables plus dedicated mux steps.  ``None``
+        (the default) leaves wide LUTs intact.
+    """
+    if not netlist.output_signals:
+        raise ValueError("netlist must declare at least one output signal")
+    optimized = optimize_netlist(netlist, passes=passes, max_lut_inputs=max_lut_inputs)
+    return CompiledNetlist.from_netlist(optimized)

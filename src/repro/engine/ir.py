@@ -1,0 +1,238 @@
+"""Engine IR: a mutable, pass-friendly view of a LUT netlist.
+
+:class:`~repro.core.netlist.LUTNetlist` is an append-only build artefact —
+ideal for classifiers emitting their LUTs, hostile to a compiler that wants
+to fold, fuse, split and delete nodes.  :class:`IRGraph` is the engine's
+intermediate representation: the same DAG-of-LUTs semantics, but with nodes
+held in a name-indexed topological list that passes may freely rewrite, plus
+the analyses passes need (fanout counts, level structure, reachability).
+
+The IR round-trips losslessly: ``IRGraph.from_netlist(n).to_netlist()``
+reproduces the netlist node for node, so every pass can be equivalence-checked
+against ``LUTNetlist.evaluate_outputs`` on the original graph.
+
+Conventions shared with the netlist (and relied on by every pass):
+
+* primary inputs occupy the reserved ``in<i>`` namespace and have no node;
+* a node's first input is the most significant truth-table address bit;
+* node order is topological — every input of a node is a primary input or an
+  earlier node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.netlist import (
+    LUTNetlist,
+    is_primary_input,
+    primary_input_index,
+)
+
+
+@dataclass
+class IRNode:
+    """One LUT node, mutable so passes can rewrite it in place.
+
+    Unlike :class:`~repro.core.netlist.NetlistNode`, the invariants (table
+    size, duplicate inputs) are checked by :meth:`IRGraph.validate` rather
+    than at construction, so a pass may move a node through transiently
+    inconsistent states while rewriting it.
+    """
+
+    name: str
+    kind: str
+    inputs: List[str]
+    table: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    def is_constant(self) -> bool:
+        """True for zero-input nodes (the IR's constant representation)."""
+        return not self.inputs
+
+    def constant_value(self) -> int:
+        if not self.is_constant():
+            raise ValueError(f"node {self.name!r} is not a constant")
+        return int(self.table[0])
+
+
+class IRGraph:
+    """A topologically ordered, name-indexed DAG of :class:`IRNode` LUTs."""
+
+    def __init__(self, n_primary_inputs: int) -> None:
+        if n_primary_inputs <= 0:
+            raise ValueError("n_primary_inputs must be positive")
+        self.n_primary_inputs = n_primary_inputs
+        self._nodes: List[IRNode] = []
+        self._by_name: Dict[str, IRNode] = {}
+        self.outputs: List[str] = []
+
+    # ------------------------------------------------------------ conversion
+    @classmethod
+    def from_netlist(cls, netlist: LUTNetlist) -> "IRGraph":
+        """Build an IR graph from a netlist; tables are copied, not shared."""
+        graph = cls(n_primary_inputs=netlist.n_primary_inputs)
+        for node in netlist.nodes:
+            graph.add_node(
+                node.name,
+                node.kind,
+                list(node.input_signals),
+                node.table.copy(),
+                dict(node.metadata),
+            )
+        graph.outputs = list(netlist.output_signals)
+        return graph
+
+    def to_netlist(self) -> LUTNetlist:
+        """Lower back to an immutable netlist (validates on the way out)."""
+        netlist = LUTNetlist(n_primary_inputs=self.n_primary_inputs)
+        for node in self._nodes:
+            netlist.add_node(
+                node.name, node.kind, list(node.inputs), node.table, dict(node.metadata)
+            )
+        for signal in self.outputs:
+            netlist.mark_output(signal)
+        return netlist
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def nodes(self) -> List[IRNode]:
+        """The nodes in topological order (a live list — do not mutate)."""
+        return self._nodes
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def node(self, name: str) -> IRNode:
+        return self._by_name[name]
+
+    def is_primary_input(self, signal: str) -> bool:
+        return (
+            is_primary_input(signal)
+            and primary_input_index(signal) < self.n_primary_inputs
+        )
+
+    # -------------------------------------------------------------- building
+    def add_node(
+        self,
+        name: str,
+        kind: str,
+        inputs: List[str],
+        table: np.ndarray,
+        metadata: Optional[dict] = None,
+    ) -> IRNode:
+        """Append a node at the end of the topological order."""
+        if name in self._by_name:
+            raise ValueError(f"duplicate node name {name!r}")
+        if self.is_primary_input(name):
+            raise ValueError(f"node name {name!r} shadows a primary input")
+        node = IRNode(
+            name=name,
+            kind=kind,
+            inputs=list(inputs),
+            table=np.asarray(table, dtype=np.uint8),
+            metadata=metadata or {},
+        )
+        self._nodes.append(node)
+        self._by_name[name] = node
+        return node
+
+    def remove_nodes(self, names: Iterable[str]) -> None:
+        """Drop a set of nodes; callers guarantee nothing still reads them."""
+        doomed = set(names)
+        if not doomed:
+            return
+        self._nodes = [n for n in self._nodes if n.name not in doomed]
+        for name in doomed:
+            self._by_name.pop(name, None)
+
+    # -------------------------------------------------------------- analyses
+    def fanout_counts(self) -> Dict[str, int]:
+        """Number of reads of every node's output signal.
+
+        Declared graph outputs count as one read each (they are read by the
+        outside world), so a node with fanout zero is genuinely dead.
+        """
+        counts = {node.name: 0 for node in self._nodes}
+        for node in self._nodes:
+            for sig in node.inputs:
+                if sig in counts:
+                    counts[sig] += 1
+        for sig in self.outputs:
+            if sig in counts:
+                counts[sig] += 1
+        return counts
+
+    def live_nodes(self) -> set:
+        """Names of nodes reachable from the declared outputs."""
+        live: set = set()
+        stack = [sig for sig in self.outputs if sig in self._by_name]
+        while stack:
+            name = stack.pop()
+            if name in live:
+                continue
+            live.add(name)
+            for sig in self._by_name[name].inputs:
+                if sig in self._by_name:
+                    stack.append(sig)
+        return live
+
+    def node_levels(self) -> Dict[str, int]:
+        """Longest-chain level of every node (primary inputs sit at level 0)."""
+        level: Dict[str, int] = {}
+        for node in self._nodes:
+            input_levels = [
+                level[sig] if sig in level else 0 for sig in node.inputs
+            ]
+            level[node.name] = (max(input_levels) if input_levels else 0) + 1
+        return level
+
+    def logic_depth(self) -> int:
+        """Longest LUT chain from any primary input to any declared output."""
+        level = self.node_levels()
+        if not self.outputs:
+            return max(level.values(), default=0)
+        return max((level.get(sig, 0) for sig in self.outputs), default=0)
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check the pass invariants; raises ``ValueError`` on violation."""
+        seen: set = set()
+        for node in self._nodes:
+            if self._by_name.get(node.name) is not node:
+                raise ValueError(f"node {node.name!r} is not indexed by name")
+            expected = 1 << node.n_inputs
+            if node.table.shape != (expected,):
+                raise ValueError(
+                    f"node {node.name!r}: table must have {expected} entries, "
+                    f"got {node.table.shape}"
+                )
+            if len(set(node.inputs)) != len(node.inputs):
+                raise ValueError(f"node {node.name!r}: duplicate input signals")
+            for sig in node.inputs:
+                if self.is_primary_input(sig) or sig in seen:
+                    continue
+                raise ValueError(
+                    f"node {node.name!r} reads {sig!r} before it is defined"
+                )
+            seen.add(node.name)
+        for sig in self.outputs:
+            if sig not in seen and not self.is_primary_input(sig):
+                raise ValueError(f"output {sig!r} is not produced by the graph")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IRGraph({self.n_nodes} nodes, {self.n_primary_inputs} inputs, "
+            f"{len(self.outputs)} outputs)"
+        )

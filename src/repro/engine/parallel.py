@@ -1,0 +1,383 @@
+"""Sharded parallel execution of compiled netlists.
+
+Packed evaluation is embarrassingly parallel across words: bit ``s % 64`` of
+word ``s // 64`` only ever combines with other bits of the *same* word, so
+any contiguous word range of the packed batch can be evaluated independently
+and the per-range outputs concatenated — bit for bit what the serial engine
+produces.  :class:`ShardedEngine` exploits that by fanning word ranges of
+``predict_batch`` out across a pool of workers.
+
+Backends
+========
+
+``"process"`` (default where ``fork`` is available)
+    A ``multiprocessing`` pool.  Each worker compiles its own
+    :class:`~repro.engine.compiled_netlist.CompiledNetlist` once (the
+    optimised netlist is inherited through ``fork``, not pickled) and
+    exchanges batches through ``multiprocessing.shared_memory`` buffers, so
+    per-call IPC is a handful of integers — no pickling of sample data.
+    CPython's GIL never serialises the workers.
+
+``"thread"``
+    A ``ThreadPoolExecutor`` over per-worker engine instances (the compiled
+    engine's scratch reuse makes a single instance thread-unsafe).  NumPy
+    releases the GIL inside large bitwise kernels, but the many small
+    dispatches of the mux cascade still contend; this backend is the
+    portable fallback, not the fast path.
+
+``"serial"``
+    No pool at all — the serial engine, for debugging and tiny batches.
+
+Batches too small to be worth splitting (fewer than
+``min_words_per_worker`` packed words per worker) run serially whatever the
+backend, so the executor is safe to leave enabled for ragged traffic.
+
+Usage
+=====
+
+>>> with ShardedEngine(netlist, n_workers=4) as engine:
+...     labels = engine.predict_batch(X_bits)      # == serial, bit for bit
+
+The executor owns OS resources (worker processes, shared memory); call
+:meth:`ShardedEngine.close` or use it as a context manager.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import warnings
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.netlist import LUTNetlist
+from repro.engine.bitpack import pack_bits, unpack_bits
+from repro.engine.compiled_netlist import CompiledNetlist
+from repro.engine.passes import optimize_netlist
+from repro.utils.validation import check_binary_matrix
+
+__all__ = ["ShardedEngine", "shard_bounds"]
+
+
+def shard_bounds(n_words: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Split ``n_words`` into ``n_shards`` near-equal contiguous ranges."""
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    edges = [(i * n_words) // n_shards for i in range(n_shards + 1)]
+    return [
+        (edges[i], edges[i + 1])
+        for i in range(n_shards)
+        if edges[i + 1] > edges[i]
+    ]
+
+
+# --------------------------------------------------------------------------
+# process-pool worker side.  Module-level state: each worker process holds
+# its own compiled engine and its current shared-memory attachments.
+# --------------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _worker_init(netlist: LUTNetlist) -> None:
+    _WORKER["engine"] = CompiledNetlist.from_netlist(netlist)
+    _WORKER["shm"] = {}
+
+
+def _worker_attach(name: str) -> shared_memory.SharedMemory:
+    shm = _WORKER["shm"].get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        _WORKER["shm"][name] = shm
+    return shm
+
+
+def _release_resources(resources: dict) -> None:
+    """Tear down a pool-and-shared-memory holder (idempotent).
+
+    Module-level so :func:`weakref.finalize` can call it without keeping the
+    owning :class:`ShardedEngine` alive — abandoned engines are then garbage
+    collected normally and their worker processes reclaimed, while engines
+    still alive at interpreter exit are cleaned up by the finalizer's
+    built-in atexit hook.
+    """
+    pool = resources.pop("pool", None)
+    if isinstance(pool, ThreadPoolExecutor):
+        pool.shutdown(wait=True)
+    elif pool is not None:
+        pool.terminate()
+        pool.join()
+    for shm in resources.pop("shm", {}).values():
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    resources["pool"] = None
+    resources["shm"] = {}
+
+
+def _worker_run(task: Tuple[str, str, int, int, int, int, int]) -> None:
+    in_name, out_name, n_inputs, n_outputs, words, lo, hi = task
+    shm_in = _worker_attach(in_name)
+    shm_out = _worker_attach(out_name)
+    # buffers are grow-only, so they may be larger than this batch needs
+    packed = np.ndarray(
+        (n_inputs, words), dtype=np.uint64, buffer=shm_in.buf
+    )
+    out = np.ndarray((n_outputs, words), dtype=np.uint64, buffer=shm_out.buf)
+    out[:, lo:hi] = _WORKER["engine"].run_packed(packed[:, lo:hi])
+    # drop attachments the parent has since replaced with larger buffers
+    for name in [n for n in _WORKER["shm"] if n not in (in_name, out_name)]:
+        _WORKER["shm"].pop(name).close()
+
+
+class ShardedEngine:
+    """Evaluate a LUT netlist in parallel word shards, bit-exactly.
+
+    Parameters
+    ----------
+    netlist:
+        The netlist to serve.  The optimisation pipeline (see
+        :func:`~repro.engine.passes.optimize_netlist`) runs once here; all
+        workers execute the same optimised program.
+    n_workers:
+        Shard count; defaults to the CPU count.  ``1`` degenerates to the
+        serial engine.
+    backend:
+        ``"process"``, ``"thread"`` or ``"serial"``; ``None`` picks
+        ``"process"`` where ``fork`` is available, else ``"thread"``.
+    min_words_per_worker:
+        Batches with fewer packed words than ``n_workers *
+        min_words_per_worker`` run serially — below that, pool latency
+        dominates any parallel win.
+    """
+
+    def __init__(
+        self,
+        netlist: LUTNetlist,
+        n_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        *,
+        passes: Optional[Sequence] = None,
+        max_lut_inputs: Optional[int] = None,
+        min_words_per_worker: int = 4,
+    ) -> None:
+        if backend not in (None, "process", "thread", "serial"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if n_workers is not None and n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if min_words_per_worker <= 0:
+            raise ValueError("min_words_per_worker must be positive")
+        self._netlist = optimize_netlist(
+            netlist, passes=passes, max_lut_inputs=max_lut_inputs
+        )
+        self._serial = CompiledNetlist.from_netlist(self._netlist)
+        self.n_workers = n_workers or os.cpu_count() or 1
+        if backend is None:
+            backend = (
+                "process"
+                if "fork" in mp.get_all_start_methods()
+                else "thread"
+            )
+        if self.n_workers == 1:
+            backend = "serial"
+        self.backend = backend
+        self.min_words_per_worker = min_words_per_worker
+        # The lazily created pool and shared-memory segments live in a plain
+        # dict so the finalizer below can release them without referencing
+        # (and thereby immortalising) the engine itself.
+        self._resources: dict = {"pool": None, "shm": {}}
+        self._thread_engines: List[CompiledNetlist] = []
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _release_resources, self._resources
+        )
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_primary_inputs(self) -> int:
+        return self._serial.n_primary_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self._serial.n_outputs
+
+    @property
+    def serial_engine(self) -> CompiledNetlist:
+        """The single-threaded engine all shards are bit-identical to."""
+        return self._serial
+
+    @property
+    def _pool(self):
+        return self._resources["pool"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine({self.n_workers} x {self.backend}, "
+            f"{self._serial.n_nodes} LUTs)"
+        )
+
+    # ------------------------------------------------------------ evaluation
+    def run_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Sharded counterpart of ``CompiledNetlist.run_packed``."""
+        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        if (
+            packed_inputs.ndim != 2
+            or packed_inputs.shape[0] != self.n_primary_inputs
+        ):
+            raise ValueError(
+                f"packed_inputs must have shape ({self.n_primary_inputs}, "
+                f"n_words), got {packed_inputs.shape}"
+            )
+        self._check_open()
+        words = packed_inputs.shape[1]
+        bounds = shard_bounds(words, self.n_workers) if words else []
+        if (
+            self.backend == "serial"
+            or len(bounds) <= 1
+            or words < self.n_workers * self.min_words_per_worker
+        ):
+            return self._serial.run_packed(packed_inputs)
+        if self.backend == "process":
+            return self._run_process(packed_inputs, bounds)
+        return self._run_thread(packed_inputs, bounds)
+
+    def evaluate_outputs(self, X_bits: np.ndarray) -> np.ndarray:
+        """Bit-exact sharded counterpart of ``LUTNetlist.evaluate_outputs``."""
+        X_bits = check_binary_matrix(X_bits, "X_bits")
+        if X_bits.shape[1] != self.n_primary_inputs:
+            raise ValueError(
+                f"expected {self.n_primary_inputs} primary inputs, "
+                f"got {X_bits.shape[1]}"
+            )
+        out = self.run_packed(pack_bits(X_bits))
+        return unpack_bits(out, X_bits.shape[0])
+
+    def predict_batch(
+        self, X_bits: np.ndarray, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Alias of :meth:`evaluate_outputs` (the shared batched entry point)."""
+        from repro.engine.batching import predict_in_batches
+
+        return predict_in_batches(self.evaluate_outputs, X_bits, batch_size)
+
+    # ------------------------------------------------------- process backend
+    def _run_process(
+        self, packed: np.ndarray, bounds: List[Tuple[int, int]]
+    ) -> np.ndarray:
+        try:
+            pool = self._ensure_process_pool()
+            words = packed.shape[1]
+            shm_in = self._ensure_shm("in", self.n_primary_inputs * words * 8)
+            shm_out = self._ensure_shm("out", self.n_outputs * words * 8)
+            view_in = np.ndarray(
+                packed.shape, dtype=np.uint64, buffer=shm_in.buf
+            )
+            view_in[:] = packed
+            tasks = [
+                (
+                    shm_in.name,
+                    shm_out.name,
+                    self.n_primary_inputs,
+                    self.n_outputs,
+                    words,
+                    lo,
+                    hi,
+                )
+                for lo, hi in bounds
+            ]
+            pool.map(_worker_run, tasks)
+            view_out = np.ndarray(
+                (self.n_outputs, words), dtype=np.uint64, buffer=shm_out.buf
+            )
+            return view_out.copy()
+        except (OSError, mp.ProcessError) as error:
+            # no /dev/shm, fork refused, pool died mid-flight: degrade to
+            # threads permanently rather than failing the prediction.
+            # Worker-side model errors (ValueError etc.) propagate as-is.
+            warnings.warn(
+                f"ShardedEngine process backend failed ({error!r}); "
+                "falling back to the thread backend",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            _release_resources(self._resources)
+            self.backend = "thread"
+            return self._run_thread(packed, bounds)
+
+    def _ensure_process_pool(self):
+        if self._resources["pool"] is None:
+            # Start the shared-memory resource tracker *before* forking, so
+            # every worker inherits it: attachments then deduplicate into
+            # one tracker cache entry that the parent's unlink retires,
+            # instead of each worker spawning a tracker that warns about
+            # "leaked" segments it never owned when the pool shuts down.
+            try:  # pragma: no cover - private but stable since 3.8
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:
+                pass
+            ctx = mp.get_context("fork")
+            self._resources["pool"] = ctx.Pool(
+                self.n_workers,
+                initializer=_worker_init,
+                initargs=(self._netlist,),
+            )
+        return self._resources["pool"]
+
+    def _ensure_shm(self, role: str, n_bytes: int) -> shared_memory.SharedMemory:
+        n_bytes = max(n_bytes, 8)
+        current = self._resources["shm"].get(role)
+        if current is not None and current.size >= n_bytes:
+            return current
+        if current is not None:
+            current.close()
+            current.unlink()
+        # grow-only with headroom, so ragged batch sizes don't reallocate
+        shm = shared_memory.SharedMemory(create=True, size=n_bytes * 2)
+        self._resources["shm"][role] = shm
+        return shm
+
+    # -------------------------------------------------------- thread backend
+    def _run_thread(
+        self, packed: np.ndarray, bounds: List[Tuple[int, int]]
+    ) -> np.ndarray:
+        if not isinstance(self._resources["pool"], ThreadPoolExecutor):
+            _release_resources(self._resources)
+            self._resources["pool"] = ThreadPoolExecutor(
+                max_workers=self.n_workers
+            )
+        while len(self._thread_engines) < len(bounds):
+            self._thread_engines.append(
+                CompiledNetlist.from_netlist(self._netlist)
+            )
+        pool = self._resources["pool"]
+        futures = [
+            pool.submit(self._thread_engines[i].run_packed, packed[:, lo:hi])
+            for i, (lo, hi) in enumerate(bounds)
+        ]
+        return np.concatenate([f.result() for f in futures], axis=1)
+
+    # --------------------------------------------------------------- cleanup
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this ShardedEngine has been closed")
+
+    def close(self) -> None:
+        """Shut down worker pools and release shared memory (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+        self._thread_engines = []
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,370 @@
+"""Optimisation passes over the engine IR.
+
+The compiler pipeline between a :class:`~repro.core.netlist.LUTNetlist` and
+the lowered :class:`~repro.engine.compiled_netlist.CompiledNetlist` program is
+a sequence of ordered, individually testable passes over
+:class:`~repro.engine.ir.IRGraph`:
+
+``ConstantFoldPass``
+    Propagates constants through truth tables, drops don't-care inputs
+    (support reduction), eliminates identity buffers, and prunes every node
+    unreachable from the declared outputs.
+
+``FuseChainsPass``
+    Fuses single-fanout LUT chains into wider tables.  Fusion is driven by
+    the packed engine's cost model — a LUT costs ``~2**P`` word muxes — so a
+    chain is merged exactly when the fused table is no more expensive than
+    the pair it replaces, which also cuts levels, groups and scatter/gather
+    traffic.
+
+``DecomposePass``
+    Shannon-decomposes LUTs wider than the physical fabric onto
+    ``max_inputs``-input tables plus mux nodes, exactly like the FPGA
+    synthesiser does with ``P = 8`` designs (``repro.hardware.lut_decompose``
+    is a thin wrapper over this pass, so hardware codegen and the engine
+    share one implementation).
+
+Every pass preserves the graph's input/output semantics bit for bit: for any
+binary batch, ``run(graph).to_netlist().evaluate_outputs`` equals the
+original netlist's.  The property tests in ``tests/engine/test_ir_passes.py``
+enforce this per pass and for the full pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.ir import IRGraph, IRNode
+from repro.utils.bitops import binary_to_index, enumerate_binary_inputs
+
+#: Truth table of a 2:1 mux with address bits (select, a, b):
+#: ``select = 0 -> a``, ``select = 1 -> b``.  Decomposition emits these and
+#: the lowered program evaluates them with a dedicated 3-op word mux.
+MUX_TABLE = np.array([0, 0, 1, 1, 0, 1, 0, 1], dtype=np.uint8)
+
+#: Hard ceiling on fused table width; ``2**16`` entries is the largest table
+#: worth materialising (the cost rule keeps real fusions far below this).
+_MAX_TABLE_WIDTH = 16
+
+
+class Pass:
+    """Base class: a named graph-to-graph rewrite."""
+
+    name: str = "pass"
+
+    def run(self, graph: IRGraph) -> IRGraph:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class PassManager:
+    """Runs an ordered sequence of passes.
+
+    With ``validate=True`` the graph invariants are re-checked after every
+    pass — cheap insurance while developing a new pass, skipped in
+    production compiles.
+    """
+
+    def __init__(self, passes: Iterable[Pass], validate: bool = False) -> None:
+        self.passes: List[Pass] = list(passes)
+        self.validate = validate
+
+    def run(self, graph: IRGraph) -> IRGraph:
+        for p in self.passes:
+            graph = p.run(graph)
+            if self.validate:
+                graph.validate()
+        return graph
+
+
+# --------------------------------------------------------------------------
+# constant folding + support reduction + dead-node pruning
+# --------------------------------------------------------------------------
+class ConstantFoldPass(Pass):
+    """Fold constants, drop don't-care inputs, prune dead nodes.
+
+    One topological sweep per invocation:
+
+    * zero-input nodes and nodes whose table collapses are recorded as
+      constants and substituted into every consumer's truth table;
+    * inputs a table does not actually depend on are dropped (support
+      reduction — Shannon cofactors on that input are equal);
+    * identity buffers (1-input ``[0, 1]`` tables) are aliased away;
+    * finally, every node unreachable from the declared outputs is removed.
+    """
+
+    name = "constant-fold"
+
+    def run(self, graph: IRGraph) -> IRGraph:
+        const: Dict[str, int] = {}
+        alias: Dict[str, str] = {}
+
+        def resolve(signal: str) -> str:
+            while signal in alias:
+                signal = alias[signal]
+            return signal
+
+        for node in graph.nodes:
+            inputs = [resolve(sig) for sig in node.inputs]
+            if any(sig in const for sig in inputs) or len(set(inputs)) != len(
+                inputs
+            ) or inputs != node.inputs:
+                self._rebuild_table(node, inputs, const)
+            self._reduce_support(node)
+            if node.n_inputs == 0:
+                const[node.name] = node.constant_value()
+            elif node.n_inputs == 1 and np.array_equal(
+                node.table, np.array([0, 1], dtype=np.uint8)
+            ):
+                alias[node.name] = node.inputs[0]
+
+        graph.outputs = [resolve(sig) for sig in graph.outputs]
+        live = graph.live_nodes()
+        graph.remove_nodes(
+            [node.name for node in graph.nodes if node.name not in live]
+        )
+        return graph
+
+    @staticmethod
+    def _rebuild_table(node: IRNode, inputs: List[str], const: Dict[str, int]) -> None:
+        """Re-express the table over the distinct non-constant inputs."""
+        kept: List[str] = []
+        for sig in inputs:
+            if sig not in const and sig not in kept:
+                kept.append(sig)
+        rows = enumerate_binary_inputs(len(kept))
+        columns = []
+        for sig in inputs:
+            if sig in const:
+                columns.append(
+                    np.full(rows.shape[0], const[sig], dtype=np.uint8)
+                )
+            else:
+                columns.append(rows[:, kept.index(sig)])
+        if columns:
+            node.table = node.table[binary_to_index(np.column_stack(columns))]
+        node.inputs = kept
+
+    @staticmethod
+    def _reduce_support(node: IRNode) -> None:
+        """Drop inputs whose two Shannon cofactors are identical."""
+        axis = 0
+        while axis < node.n_inputs:
+            cube = node.table.reshape((2,) * node.n_inputs)
+            zero = np.take(cube, 0, axis=axis)
+            one = np.take(cube, 1, axis=axis)
+            if np.array_equal(zero, one):
+                node.table = np.ascontiguousarray(zero).reshape(-1)
+                node.inputs = node.inputs[:axis] + node.inputs[axis + 1 :]
+            else:
+                axis += 1
+
+
+# --------------------------------------------------------------------------
+# single-fanout chain fusion
+# --------------------------------------------------------------------------
+class FuseChainsPass(Pass):
+    """Fuse single-fanout LUT chains into wider tables.
+
+    A node read by exactly one consumer (and not declared an output) can be
+    inlined into that consumer by composing the truth tables.  Fusion is
+    applied only when the packed-engine cost strictly decreases —
+    ``2**W < 2**P_parent + 2**P_child`` for fused width ``W`` — i.e. when
+    parent and child overlap enough that the fused table is genuinely
+    narrower than the pair.  (Equal-cost fusions such as two disjoint
+    2-input LUTs into a 3-input table trade the saved gather/scatter for a
+    deeper Shannon cascade and measure as a wash or a loss, so they are
+    rejected.)  Chains over a shared support therefore collapse to a single
+    table while wide LUTs are left alone.  ``max_width`` additionally caps
+    ``W``; when the pipeline later decomposes onto a physical fabric, the
+    cap is the fabric width, so fusion never creates a table the decomposer
+    would immediately split back apart.
+    """
+
+    name = "fuse-chains"
+
+    def __init__(self, max_width: Optional[int] = None) -> None:
+        if max_width is not None and max_width < 1:
+            raise ValueError("max_width must be positive")
+        self.max_width = min(max_width or _MAX_TABLE_WIDTH, _MAX_TABLE_WIDTH)
+
+    def run(self, graph: IRGraph) -> IRGraph:
+        changed = True
+        while changed:
+            changed = False
+            fanout = graph.fanout_counts()
+            outputs = set(graph.outputs)
+            fused: set = set()
+            for parent in graph.nodes:
+                if parent.name in fused:
+                    continue
+                while True:
+                    child = self._pick_child(graph, parent, fanout, outputs, fused)
+                    if child is None:
+                        break
+                    self._fuse(parent, child, fanout)
+                    fused.add(child.name)
+                    changed = True
+            graph.remove_nodes(fused)
+        return graph
+
+    def _pick_child(
+        self,
+        graph: IRGraph,
+        parent: IRNode,
+        fanout: Dict[str, int],
+        outputs: set,
+        fused: set,
+    ) -> Optional[IRNode]:
+        for sig in parent.inputs:
+            if sig not in graph or sig in outputs or sig in fused:
+                continue
+            if fanout.get(sig) != 1:
+                continue
+            child = graph.node(sig)
+            if child.n_inputs == 0:
+                continue  # constants are ConstantFoldPass territory
+            width = len(self._fused_inputs(parent, child))
+            if width > self.max_width:
+                continue
+            if (1 << width) < (1 << parent.n_inputs) + (1 << child.n_inputs):
+                return child
+        return None
+
+    @staticmethod
+    def _fused_inputs(parent: IRNode, child: IRNode) -> List[str]:
+        inputs = [sig for sig in parent.inputs if sig != child.name]
+        for sig in child.inputs:
+            if sig not in inputs:
+                inputs.append(sig)
+        return inputs
+
+    def _fuse(self, parent: IRNode, child: IRNode, fanout: Dict[str, int]) -> None:
+        """Inline ``child`` into ``parent``, composing the truth tables."""
+        inputs = self._fused_inputs(parent, child)
+        rows = enumerate_binary_inputs(len(inputs))
+        child_columns = rows[:, [inputs.index(sig) for sig in child.inputs]]
+        child_values = child.table[binary_to_index(child_columns)]
+        columns = [
+            child_values if sig == child.name else rows[:, inputs.index(sig)]
+            for sig in parent.inputs
+        ]
+        # Signals read by both parent and child are merged into one column,
+        # so their fanout drops by the number of duplicate reads.
+        for sig in set(parent.inputs) & set(child.inputs):
+            if sig in fanout:
+                fanout[sig] -= 1
+        fanout.pop(child.name, None)
+        parent.table = parent.table[binary_to_index(np.column_stack(columns))]
+        parent.inputs = inputs
+        parent.metadata.setdefault("fused_from", []).append(child.name)
+
+
+# --------------------------------------------------------------------------
+# decomposition onto the physical LUT fabric
+# --------------------------------------------------------------------------
+class DecomposePass(Pass):
+    """Shannon-decompose wide LUTs onto ``max_inputs``-input tables.
+
+    A ``P > max_inputs`` node splits recursively on its most significant
+    input into two cofactor tables combined by a mux node (kind ``"mux"``,
+    table :data:`MUX_TABLE`) — the software mirror of Xilinx F7/F8 muxes.
+    The final mux inherits the original node's name, so downstream output
+    declarations and consumers are untouched.  Naming (``<n>_c0``,
+    ``<n>_c1``, ``<n>_mux``) and metadata (``decomposed_from``) match what
+    ``repro.hardware.lut_decompose`` historically produced; that module now
+    delegates here.
+    """
+
+    name = "decompose"
+
+    def __init__(self, max_inputs: int = 6) -> None:
+        if max_inputs < 2:
+            raise ValueError("max_inputs must be at least 2")
+        self.max_inputs = max_inputs
+
+    def run(self, graph: IRGraph) -> IRGraph:
+        result = IRGraph(n_primary_inputs=graph.n_primary_inputs)
+        for node in graph.nodes:
+            if node.n_inputs <= self.max_inputs:
+                result.add_node(
+                    node.name, node.kind, list(node.inputs), node.table, dict(node.metadata)
+                )
+                continue
+            self._split(result, node, node.name, list(node.inputs), node.table)
+        result.outputs = list(graph.outputs)
+        return result
+
+    def _split(
+        self,
+        result: IRGraph,
+        node: IRNode,
+        name: str,
+        signals: List[str],
+        table: np.ndarray,
+    ) -> str:
+        if len(signals) <= self.max_inputs:
+            result.add_node(name, node.kind, signals, table, dict(node.metadata))
+            return name
+        half = table.size // 2
+        low = self._split(result, node, f"{name}_c0", signals[1:], table[:half])
+        high = self._split(result, node, f"{name}_c1", signals[1:], table[half:])
+        mux_name = f"{name}_mux" if name != node.name else name
+        result.add_node(
+            mux_name,
+            "mux",
+            [signals[0], low, high],
+            MUX_TABLE,
+            {"decomposed_from": node.name},
+        )
+        return mux_name
+
+
+# --------------------------------------------------------------------------
+# pipeline assembly
+# --------------------------------------------------------------------------
+def default_passes(max_lut_inputs: Optional[int] = None) -> Tuple[Pass, ...]:
+    """The engine's default pipeline: fold → fuse [→ decompose → fold].
+
+    Without a fabric width the pipeline folds and fuses; with
+    ``max_lut_inputs`` it additionally decomposes wide LUTs onto the fabric
+    and folds once more to clean up degenerate cofactors.  Fusion is capped
+    at the fabric width so it never produces a table decomposition would
+    immediately split again.
+    """
+    passes: List[Pass] = [
+        ConstantFoldPass(),
+        FuseChainsPass(max_width=max_lut_inputs),
+    ]
+    if max_lut_inputs is not None:
+        passes.append(DecomposePass(max_inputs=max_lut_inputs))
+        passes.append(ConstantFoldPass())
+    return tuple(passes)
+
+
+def optimize_netlist(
+    netlist,
+    *,
+    passes: Optional[Sequence[Pass]] = None,
+    max_lut_inputs: Optional[int] = None,
+):
+    """Run the pass pipeline on a netlist, returning an equivalent netlist.
+
+    ``passes=None`` selects :func:`default_passes`; an explicit empty
+    sequence returns the input untouched (the raw PR-1 lowering).
+    """
+    if passes is None:
+        passes = default_passes(max_lut_inputs)
+    elif max_lut_inputs is not None:
+        raise ValueError(
+            "max_lut_inputs configures the default pipeline; "
+            "with an explicit pass list, add DecomposePass yourself"
+        )
+    if not passes:
+        return netlist
+    graph = PassManager(passes).run(IRGraph.from_netlist(netlist))
+    return graph.to_netlist()

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import numpy as np
-
 from repro.core.lut import LUT
 from repro.core.netlist import LUTNetlist
 
@@ -71,32 +69,14 @@ def decompose_netlist(netlist: LUTNetlist, max_inputs: int = 6) -> LUTNetlist:
     as 3-input LUTs (select, a, b) with kind ``"mux"`` so that resource models
     can choose whether to count them (generic FPGA) or not (Xilinx dedicated
     F7/F8 muxes).
+
+    This is a thin wrapper over the engine compiler's
+    :class:`~repro.engine.passes.DecomposePass`, so hardware codegen and the
+    bit-packed engine share a single decomposition implementation (naming,
+    node kinds and metadata are identical between the two).
     """
-    result = LUTNetlist(n_primary_inputs=netlist.n_primary_inputs)
-    # address bits are (select, a, b): select=0 -> a, select=1 -> b
-    mux_table = np.array([0, 0, 1, 1, 0, 1, 0, 1], dtype=np.uint8)
+    from repro.engine.ir import IRGraph
+    from repro.engine.passes import DecomposePass
 
-    for node in netlist.nodes:
-        if node.n_inputs <= max_inputs:
-            result.add_node(node.name, node.kind, node.input_signals, node.table, node.metadata)
-            continue
-        # recursively split on the most significant input signal
-        def split(name: str, signals: List[str], table: np.ndarray) -> str:
-            if len(signals) <= max_inputs:
-                return result.add_node(name, node.kind, signals, table, dict(node.metadata))
-            half = table.size // 2
-            low = split(f"{name}_c0", signals[1:], table[:half])
-            high = split(f"{name}_c1", signals[1:], table[half:])
-            return result.add_node(
-                f"{name}_mux" if name != node.name else name,
-                "mux",
-                [signals[0], low, high],
-                mux_table,
-                {"decomposed_from": node.name},
-            )
-
-        split(node.name, list(node.input_signals), node.table)
-
-    for signal in netlist.output_signals:
-        result.mark_output(signal)
-    return result
+    graph = DecomposePass(max_inputs=max_inputs).run(IRGraph.from_netlist(netlist))
+    return graph.to_netlist()

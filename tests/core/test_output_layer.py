@@ -103,3 +103,108 @@ class TestSparseOutputLayer:
             SparseQuantizedOutputLayer(n_classes=3, fan_in=4, n_bits=1)
         with pytest.raises(ValueError):
             SparseQuantizedOutputLayer(n_classes=3, fan_in=4, epochs=0)
+
+
+class TestPackedReadout:
+    """The popcount-based packed scorer vs the float reference path."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(77)
+        bits, y = _make_intermediate_task(rng, n=400)
+        layer = SparseQuantizedOutputLayer(n_classes=4, fan_in=5, epochs=8, seed=0)
+        return layer.fit(bits, y), bits, y
+
+    def test_scores_match_reference(self, fitted):
+        from repro.engine import pack_bits
+
+        layer, bits, _y = fitted
+        packed = pack_bits(bits)
+        np.testing.assert_allclose(
+            layer.decision_scores_packed(packed, bits.shape[0]),
+            layer.decision_scores(bits),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_labels_match_reference(self, fitted):
+        from repro.engine import pack_bits
+
+        layer, bits, _y = fitted
+        packed = pack_bits(bits)
+        np.testing.assert_array_equal(
+            layer.predict_packed(packed, bits.shape[0]), layer.predict(bits)
+        )
+
+    @pytest.mark.parametrize("n_samples", [0, 1, 63, 64, 65, 200])
+    def test_ragged_batches(self, fitted, n_samples):
+        from repro.engine import pack_bits
+
+        layer, bits, _y = fitted
+        chunk = bits[:n_samples]
+        packed = pack_bits(chunk)
+        scores = layer.decision_scores_packed(packed, n_samples)
+        assert scores.shape == (n_samples, 4)
+        if n_samples:
+            np.testing.assert_allclose(
+                scores, layer.decision_scores(chunk), rtol=1e-9, atol=1e-12
+            )
+
+    def test_integer_weights_round_trip(self, fitted):
+        layer, _bits, _y = fitted
+        ints, scale = layer._integer_weights()
+        np.testing.assert_allclose(ints * scale, layer.weights_, rtol=1e-9)
+        assert np.abs(ints).max() <= 2 ** (layer.n_bits - 1) - 1
+
+    def test_all_zero_weights_are_safe(self):
+        layer = SparseQuantizedOutputLayer(n_classes=2, fan_in=2)
+        layer.weights_ = np.zeros((2, 2))
+        layer.biases_ = np.array([0.5, -0.5])
+        from repro.engine import pack_bits
+
+        bits = np.ones((3, 4), dtype=np.uint8)
+        scores = layer.decision_scores_packed(pack_bits(bits), 3)
+        np.testing.assert_allclose(scores, [[0.5, -0.5]] * 3)
+
+    def test_packed_shape_rejected(self, fitted):
+        layer, _bits, _y = fitted
+        with pytest.raises(ValueError):
+            layer.decision_scores_packed(np.zeros((3, 2), dtype=np.uint64), 10)
+        with pytest.raises(ValueError):
+            layer.decision_scores_packed(np.zeros((20, 1), dtype=np.uint64), 100)
+
+
+class TestPackedWeightedSums:
+    """Property tests of the bit-sliced adder primitive."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_integer_dot(self, seed):
+        from repro.engine import pack_bits
+        from repro.engine.bitpack import packed_weighted_sums
+
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 14))
+        n = int(rng.integers(0, 300))
+        bits = rng.integers(0, 2, size=(n, m), dtype=np.uint8)
+        weights = rng.integers(-200, 201, size=m)
+        np.testing.assert_array_equal(
+            packed_weighted_sums(pack_bits(bits), weights, n),
+            bits.astype(np.int64) @ weights,
+        )
+
+    def test_garbage_padding_is_ignored(self):
+        from repro.engine.bitpack import packed_weighted_sums
+
+        packed = np.full((2, 1), 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        # only 3 samples are real; the remaining 61 padding bits are all set
+        np.testing.assert_array_equal(
+            packed_weighted_sums(packed, np.array([2, 3]), 3), [5, 5, 5]
+        )
+
+    def test_rejects_float_weights(self):
+        from repro.engine.bitpack import packed_weighted_sums
+
+        with pytest.raises(ValueError):
+            packed_weighted_sums(
+                np.zeros((1, 1), dtype=np.uint64), np.array([0.5]), 4
+            )

@@ -21,12 +21,34 @@ class TestCompilation:
         X = np.array([[0, 0, 1], [0, 1, 1], [1, 0, 0], [1, 1, 1]], dtype=np.uint8)
         np.testing.assert_array_equal(compiled.predict_batch(X)[:, 0], [0, 1, 0, 0])
 
-    def test_statistics(self):
-        compiled = compile_netlist(_xor_and_netlist())
+    def test_statistics_raw_lowering(self):
+        """``passes=()`` lowers the netlist structure unchanged."""
+        compiled = compile_netlist(_xor_and_netlist(), passes=())
         assert compiled.n_nodes == 2
         assert compiled.n_groups == 2
         assert compiled.n_primary_inputs == 3
         assert compiled.n_outputs == 1
+
+    def test_default_pipeline_fuses_shared_support_chain(self):
+        """The pipeline collapses a chain whose links share their support."""
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node("xor01", "rinc0", ["in0", "in1"], np.array([0, 1, 1, 0]))
+        netlist.add_node("and01", "mat", ["xor01", "in0"], np.array([0, 0, 0, 1]))
+        netlist.mark_output("and01")
+        compiled = compile_netlist(netlist)
+        assert compiled.n_nodes == 1
+        assert compiled.n_groups == 1
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(
+            compiled.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    def test_default_pipeline_keeps_cost_neutral_pairs(self):
+        """Disjoint 2-input LUTs are not fused (equal cost, deeper cascade)."""
+        compiled = compile_netlist(_xor_and_netlist())
+        assert compiled.n_nodes == 2
+        X = np.array([[0, 0, 1], [0, 1, 1], [1, 0, 0], [1, 1, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(compiled.predict_batch(X)[:, 0], [0, 1, 0, 0])
 
     def test_from_netlist_equals_helper(self):
         netlist = _xor_and_netlist()

@@ -140,3 +140,49 @@ class TestClassifierFastPaths:
         clf = PoETBiNClassifier(n_classes=2, n_inputs=4)
         with pytest.raises(RuntimeError):
             clf.predict_batch(np.zeros((1, 4), dtype=np.uint8))
+
+    def test_packed_end_to_end_never_unpacks_intermediates(self, trained, monkeypatch):
+        """The serving path must not unpack between RINC bank and read-out.
+
+        The unpacked read-out (``output_layer_.predict`` on a 0/1 bit
+        matrix) is forbidden during ``predict_batch``; the labels must come
+        from the popcount-based packed scorer and still match the reference
+        path exactly.
+        """
+        clf, X, _targets, _y = trained
+        expected = clf.predict(X)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("packed serving fell back to the unpacked read-out")
+
+        monkeypatch.setattr(clf.output_layer_, "predict", forbidden)
+        monkeypatch.setattr(clf.output_layer_, "decision_scores", forbidden)
+        np.testing.assert_array_equal(clf.predict_batch(X), expected)
+        np.testing.assert_array_equal(
+            clf.predict_batch(X, batch_size=77), expected
+        )
+
+    def test_sharded_predict_batch_matches(self, trained):
+        clf, X, _targets, _y = trained
+        np.testing.assert_array_equal(
+            clf.predict_batch(X, n_workers=2), clf.predict(X)
+        )
+        np.testing.assert_array_equal(
+            clf.predict_intermediate_batch(X, n_workers=2),
+            clf.predict_intermediate(X),
+        )
+        clf._close_sharded()
+
+    def test_rinc_sharded_predict_batch_matches(self, trained):
+        clf, X, targets, _y = trained
+        module = RINCClassifier(n_inputs=4, n_levels=1, branching=(2,))
+        module.fit(X, targets[:, 0])
+        np.testing.assert_array_equal(
+            module.predict_batch(X, n_workers=2), module.predict(X)
+        )
+        # serial and sharded engines are cached side by side — no churn
+        np.testing.assert_array_equal(module.predict_batch(X), module.predict(X))
+        assert len(module._compiled_) == 2
+        for engine in module._compiled_.values():
+            if hasattr(engine, "close"):
+                engine.close()

@@ -1,0 +1,172 @@
+"""Sharded executor tests: bit-exactness against the serial engine.
+
+Word blocks of a packed batch are independent, so the sharded executor must
+reproduce the serial engine bit for bit for every worker count, backend and
+batch shape — including batches too small to shard (serial fallback) and
+empty batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ShardedEngine, compile_netlist, random_netlist, shard_bounds
+from repro.engine.parallel import _worker_init, _worker_run
+from repro.utils.rng import as_rng
+
+
+class TestShardBounds:
+    def test_covers_exactly_once(self):
+        for n_words in (0, 1, 5, 64, 157):
+            for n_shards in (1, 2, 3, 8):
+                bounds = shard_bounds(n_words, n_shards)
+                covered = [w for lo, hi in bounds for w in range(lo, hi)]
+                assert covered == list(range(n_words))
+
+    def test_near_equal_split(self):
+        bounds = shard_bounds(10, 3)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_no_shards(self):
+        with pytest.raises(ValueError):
+            shard_bounds(8, 0)
+
+
+class TestShardedEquivalence:
+    @pytest.fixture(scope="class")
+    def case(self):
+        netlist = random_netlist(24, 60, seed=21, n_outputs=8)
+        return netlist, compile_netlist(netlist)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("n_workers", [1, 2, 5])
+    def test_matches_serial_bit_for_bit(self, case, backend, n_workers):
+        netlist, serial = case
+        rng = as_rng(5)
+        with ShardedEngine(
+            netlist, n_workers=n_workers, backend=backend, min_words_per_worker=1
+        ) as engine:
+            for n_samples in (0, 1, 63, 64, 65, 257, 1500):
+                X = rng.integers(0, 2, size=(n_samples, 24), dtype=np.uint8)
+                np.testing.assert_array_equal(
+                    engine.predict_batch(X),
+                    serial.predict_batch(X),
+                    err_msg=f"{backend} x{n_workers}, {n_samples} samples",
+                )
+
+    def test_chunked_batches_match(self, case):
+        netlist, serial = case
+        rng = as_rng(6)
+        X = rng.integers(0, 2, size=(700, 24), dtype=np.uint8)
+        with ShardedEngine(netlist, n_workers=2, min_words_per_worker=1) as engine:
+            np.testing.assert_array_equal(
+                engine.predict_batch(X, batch_size=129), serial.predict_batch(X)
+            )
+
+    def test_small_batches_fall_back_to_serial(self, case):
+        netlist, _ = case
+        rng = as_rng(7)
+        with ShardedEngine(netlist, n_workers=4, min_words_per_worker=8) as engine:
+            X = rng.integers(0, 2, size=(64, 24), dtype=np.uint8)  # one word
+            # never sharded: the pool is not even created
+            engine.predict_batch(X)
+            assert engine._pool is None
+
+    def test_pipeline_options_forwarded(self):
+        netlist = random_netlist(16, 30, seed=22, lut_widths=(8,), n_outputs=4)
+        rng = as_rng(8)
+        X = rng.integers(0, 2, size=(300, 16), dtype=np.uint8)
+        with ShardedEngine(
+            netlist, n_workers=2, max_lut_inputs=6, min_words_per_worker=1
+        ) as engine:
+            assert all(
+                node.n_inputs <= 6 for node in engine._netlist.nodes
+            )
+            np.testing.assert_array_equal(
+                engine.predict_batch(X), netlist.evaluate_outputs(X)
+            )
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self):
+        netlist = random_netlist(8, 10, seed=23)
+        engine = ShardedEngine(netlist, n_workers=2, min_words_per_worker=1)
+        rng = as_rng(9)
+        X = rng.integers(0, 2, size=(300, 8), dtype=np.uint8)
+        engine.predict_batch(X)
+        engine.close()
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.predict_batch(X)
+
+    def test_wrong_shapes_rejected(self):
+        netlist = random_netlist(8, 10, seed=24)
+        with ShardedEngine(netlist, n_workers=2) as engine:
+            with pytest.raises(ValueError):
+                engine.run_packed(np.zeros((3, 4), dtype=np.uint64))
+            with pytest.raises(ValueError):
+                engine.predict_batch(np.zeros((5, 9), dtype=np.uint8))
+
+    def test_invalid_construction(self):
+        netlist = random_netlist(8, 10, seed=25)
+        with pytest.raises(ValueError):
+            ShardedEngine(netlist, backend="gpu")
+        with pytest.raises(ValueError):
+            ShardedEngine(netlist, n_workers=0)
+        with pytest.raises(ValueError):
+            ShardedEngine(netlist, min_words_per_worker=0)
+
+    def test_abandoned_engine_is_reclaimed_by_gc(self):
+        """Dropping an engine without close() must still release its pool."""
+        import gc
+
+        netlist = random_netlist(8, 10, seed=28)
+        engine = ShardedEngine(netlist, n_workers=2, min_words_per_worker=1)
+        rng = as_rng(11)
+        engine.predict_batch(rng.integers(0, 2, size=(300, 8), dtype=np.uint8))
+        resources = engine._resources
+        assert resources["pool"] is not None
+        del engine
+        gc.collect()
+        assert resources["pool"] is None
+
+    def test_single_worker_degenerates_to_serial(self):
+        netlist = random_netlist(8, 10, seed=26)
+        with ShardedEngine(netlist, n_workers=1, backend="process") as engine:
+            assert engine.backend == "serial"
+
+
+class TestWorkerHelpers:
+    def test_worker_roundtrip_inline(self):
+        """Drive the process-backend worker functions in this process."""
+        from multiprocessing import shared_memory
+
+        from repro.engine import pack_bits
+
+        netlist = random_netlist(12, 20, seed=27, n_outputs=3)
+        serial = compile_netlist(netlist)
+        rng = as_rng(10)
+        X = rng.integers(0, 2, size=(500, 12), dtype=np.uint8)
+        packed = pack_bits(X)
+        words = packed.shape[1]
+        shm_in = shared_memory.SharedMemory(create=True, size=packed.nbytes)
+        shm_out = shared_memory.SharedMemory(create=True, size=3 * words * 8)
+        try:
+            np.ndarray(packed.shape, dtype=np.uint64, buffer=shm_in.buf)[:] = packed
+            _worker_init(netlist)
+            for lo, hi in shard_bounds(words, 3):
+                _worker_run(
+                    (shm_in.name, shm_out.name, 12, 3, words, lo, hi)
+                )
+            out = np.ndarray((3, words), dtype=np.uint64, buffer=shm_out.buf)
+            np.testing.assert_array_equal(out, serial.run_packed(packed))
+        finally:
+            from repro.engine.parallel import _WORKER
+
+            for shm in _WORKER.get("shm", {}).values():
+                shm.close()
+            _WORKER.clear()
+            shm_in.close()
+            shm_in.unlink()
+            shm_out.close()
+            shm_out.unlink()
