@@ -1,8 +1,9 @@
 # Contributor entry points.  All targets mirror exactly what CI runs.
+# The workflow is documented in README.md; the layer map in docs/architecture.md.
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench-smoke check
+.PHONY: test bench-smoke bench-serving serve-demo check
 
 # Tier-1 verification: the full test suite (includes benchmarks/).
 test:
@@ -14,5 +15,17 @@ test:
 bench-smoke:
 	$(PYTEST) benchmarks/test_engine_throughput.py -q
 
-# CI-style composite: tier-1 tests plus the perf gates in one invocation.
-check: test bench-smoke
+# Serving-layer gate: coalesced async serving must beat sequential
+# per-request calls >=3x on 256 concurrent 1-sample requests, with p99
+# latency reported (see docs/serving.md).
+bench-serving:
+	$(PYTEST) benchmarks/test_serving_latency.py -q
+
+# End-to-end serving demo: train a small PoET-BiN on the synthetic-digits
+# dataset, start the batching server, fire concurrent clients at it and
+# print latency percentiles + batch occupancy.
+serve-demo:
+	PYTHONPATH=src python examples/serving_demo.py
+
+# CI-style composite: tier-1 tests plus every perf gate in one invocation.
+check: test bench-smoke bench-serving

@@ -1,0 +1,138 @@
+"""Serving demo: train a PoET-BiN on synthetic digits, then serve it.
+
+The end-to-end tour of the serving story:
+
+1. generate the MNIST stand-in (procedural digit glyphs), binarise the
+   pixels into feature bits,
+2. train a small PoET-BiN student (class-membership bits as the
+   intermediate targets),
+3. start the asyncio batching server on a background thread —
+   ``InferenceServer.for_model`` picks the packed scores path, so every
+   coalesced batch runs the RINC bank once and reads out labels *and*
+   confidences from the same evaluation,
+4. fire a burst of concurrent single-image requests from client threads
+   (the worst-case traffic the batcher exists for) and print the
+   server-side latency percentiles and batch occupancy.
+
+Run with::
+
+    make serve-demo          # or: PYTHONPATH=src python examples/serving_demo.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core import PoETBiNClassifier
+from repro.datasets import make_synthetic_mnist
+from repro.serving import BackgroundServer, InferenceServer, ServingClient
+
+N_CLASSES = 10
+PER_CLASS = 2  # intermediate bits per class (the paper uses P; small here)
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 16
+
+
+def binarise(images: np.ndarray) -> np.ndarray:
+    """2x-downsampled thresholded pixels: (N, 28, 28, 1) -> (N, 196) bits."""
+    return (images[:, ::2, ::2, 0] > 0.5).reshape(images.shape[0], -1).astype(np.uint8)
+
+
+def class_membership_targets(y: np.ndarray) -> np.ndarray:
+    """Intermediate targets: ``PER_CLASS`` copies of the one-vs-rest bit.
+
+    A stand-in for the teacher network's intermediate layer that keeps the
+    demo fast; each RINC module learns "is this a <digit>?" from pixels.
+    (Accuracy is modest — one-vs-rest bits from thresholded glyph pixels
+    are a hard target for 6-input LUT trees; the full teacher pipeline in
+    ``examples/full_pipeline_mnist.py`` is the accuracy story, this demo
+    is the serving story.)
+    """
+    one_hot = (y[:, np.newaxis] == np.arange(N_CLASSES)).astype(np.uint8)
+    return np.repeat(one_hot, PER_CLASS, axis=1)
+
+
+def main() -> None:
+    # 1. data: procedural digits, binarised to 196 feature bits
+    data = make_synthetic_mnist(n_train=1500, n_test=400, seed=0)
+    X_train, X_test = binarise(data.X_train), binarise(data.X_test)
+    print(
+        f"synthetic digits: {X_train.shape[0]} train / {X_test.shape[0]} test, "
+        f"{X_train.shape[1]} feature bits"
+    )
+
+    # 2. train the student
+    start = time.perf_counter()
+    clf = PoETBiNClassifier(
+        n_classes=N_CLASSES,
+        n_inputs=6,
+        n_levels=2,  # RINC-2, as in the paper's experiments
+        intermediate_per_class=PER_CLASS,
+        output_epochs=10,
+        seed=0,
+    ).fit(X_train, class_membership_targets(data.y_train), data.y_train)
+    print(
+        f"trained {clf.n_intermediate} RINC modules + output layer "
+        f"in {time.perf_counter() - start:.1f} s, "
+        f"test accuracy {clf.score(X_test, data.y_test):.3f}, "
+        f"{clf.lut_count()} LUTs"
+    )
+
+    # 3. serve it: the server coalesces concurrent requests into shared
+    #    packed evaluations; warm_up pays the compile cost before traffic
+    server = InferenceServer.for_model(
+        clf,
+        max_batch=64,
+        max_wait_us=2000,
+        max_queue=4096,
+        warm_up=lambda: clf.predict_batch(X_test[:1]),
+    )
+    with BackgroundServer(server) as handle:
+        host, port = handle.address
+        print(f"serving on {host}:{port}")
+
+        # 4. a burst of concurrent single-image requests
+        correct = [0] * N_CLIENTS
+
+        def client_worker(worker_index: int) -> None:
+            rng = np.random.default_rng(worker_index)
+            with ServingClient(host, port) as client:
+                for _ in range(REQUESTS_PER_CLIENT):
+                    i = int(rng.integers(X_test.shape[0]))
+                    label = int(client.predict(X_test[i])[0])
+                    correct[worker_index] += label == int(data.y_test[i])
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client_worker, args=(w,))
+            for w in range(N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        n_requests = N_CLIENTS * REQUESTS_PER_CLIENT
+
+        with ServingClient(host, port) as client:
+            snap = client.stats()
+        latency = snap["latency_us"]
+        print(
+            f"{n_requests} single-image requests from {N_CLIENTS} clients "
+            f"in {elapsed * 1e3:.0f} ms "
+            f"({n_requests / elapsed:.0f} requests/s), "
+            f"served accuracy {sum(correct) / n_requests:.3f}"
+        )
+        print(
+            f"server latency p50/p95/p99: {latency['p50']:.0f} / "
+            f"{latency['p95']:.0f} / {latency['p99']:.0f} us; "
+            f"mean batch occupancy {snap['mean_batch_occupancy']:.1f} "
+            f"samples ({snap['batches']} batches, {snap['shed']} shed)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -83,6 +83,7 @@ class SparseQuantizedOutputLayer(BatchedPredictorMixin):
         self.biases_: Optional[np.ndarray] = None  # (n_classes,) quantised
         self.float_weights_: Optional[np.ndarray] = None
         self.float_biases_: Optional[np.ndarray] = None
+        self._integer_weights_cache_: Optional[tuple] = None
 
     @property
     def n_inputs(self) -> int:
@@ -131,6 +132,7 @@ class SparseQuantizedOutputLayer(BatchedPredictorMixin):
         self.float_biases_ = dense.params["b"].copy()
         self.weights_ = quantize_symmetric(self.float_weights_, self.n_bits)
         self.biases_ = quantize_symmetric(self.float_biases_, self.n_bits)
+        self._integer_weights_cache_ = None
         return self
 
     # -------------------------------------------------------------- predict
@@ -146,13 +148,28 @@ class SparseQuantizedOutputLayer(BatchedPredictorMixin):
         magnitude hitting the extreme level exactly, so the scale is
         recoverable from the stored quantised weights alone — no extra
         serialised state is needed for the packed path.
+
+        The result is cached: the packed serving path calls this once per
+        request, and for one-sample requests the recovery arithmetic would
+        otherwise rival the engine evaluation itself.  The cache is keyed
+        on the identity of ``weights_``, so both :meth:`fit` and direct
+        reassignment of the public attribute (the pattern benchmarks and
+        deserialisation use) invalidate it.
         """
-        levels = 2 ** (self.n_bits - 1) - 1
-        max_abs = float(np.max(np.abs(self.weights_))) if self.weights_.size else 0.0
-        if max_abs == 0.0:
-            return np.zeros_like(self.weights_, dtype=np.int64), 1.0
-        scale = max_abs / levels
-        return np.round(self.weights_ / scale).astype(np.int64), scale
+        cached = self._integer_weights_cache_
+        if cached is None or cached[0] is not self.weights_:
+            levels = 2 ** (self.n_bits - 1) - 1
+            max_abs = (
+                float(np.max(np.abs(self.weights_))) if self.weights_.size else 0.0
+            )
+            if max_abs == 0.0:
+                ints, scale = np.zeros_like(self.weights_, dtype=np.int64), 1.0
+            else:
+                scale = max_abs / levels
+                ints = np.round(self.weights_ / scale).astype(np.int64)
+            cached = (self.weights_, ints, scale)
+            self._integer_weights_cache_ = cached
+        return cached[1], cached[2]
 
     def decision_scores(self, intermediate_bits: np.ndarray) -> np.ndarray:
         """Quantised pre-activations of every output neuron."""

@@ -250,6 +250,34 @@ class PoETBiNClassifier:
 
         return predict_in_batches(predict_chunk, X_features, batch_size)
 
+    def decision_scores_batch(
+        self,
+        X_features: np.ndarray,
+        batch_size: Optional[int] = None,
+        n_workers: Optional[int] = None,
+    ) -> np.ndarray:
+        """Per-class decision scores ``(n, nc)``, packed end to end.
+
+        The serving-layer entry point: one engine pass yields the scores via
+        :meth:`~repro.core.output_layer.SparseQuantizedOutputLayer.decision_scores_packed`,
+        and ``argmax`` over them reproduces :meth:`predict_batch` — so a
+        server can return labels *and* confidences from a single packed
+        evaluation instead of running the bank twice.
+        """
+        self._check_fitted()
+        from repro.engine import pack_bits, predict_in_batches
+
+        engine = self._engine(n_workers)
+        X_features = check_binary_matrix(X_features, "X_features")
+
+        def scores_chunk(chunk: np.ndarray) -> np.ndarray:
+            packed_intermediate = engine.run_packed(pack_bits(chunk))
+            return self.output_layer_.decision_scores_packed(
+                packed_intermediate, chunk.shape[0]
+            )
+
+        return predict_in_batches(scores_chunk, X_features, batch_size)
+
     def score(self, X_features: np.ndarray, y: np.ndarray) -> float:
         """Multiclass accuracy."""
         y = check_labels(y, self.n_classes, "y")

@@ -67,7 +67,11 @@ Runtime
     The shared ``predict_batch(X, batch_size=None)`` entry point.
     :class:`~repro.engine.batching.BatchedPredictorMixin` gives any
     vectorised ``predict`` a chunked batched counterpart; the PoET-BiN and
-    RINC classifiers override it with the compiled fast path.
+    RINC classifiers override it with the compiled fast path.  The
+    :func:`~repro.engine.batching.coalesce_batches` /
+    :func:`~repro.engine.batching.split_batches` pair goes the other way —
+    many small requests stacked into one evaluation and scattered back —
+    and is the substrate of the :mod:`repro.serving` batching server.
 
 ``random_netlists``
     Adversarially random LUT DAGs used by the equivalence property tests and
@@ -86,7 +90,12 @@ packed from the feature bits through the RINC bank into the popcount
 read-out.
 """
 
-from repro.engine.batching import BatchedPredictorMixin, predict_in_batches
+from repro.engine.batching import (
+    BatchedPredictorMixin,
+    coalesce_batches,
+    predict_in_batches,
+    split_batches,
+)
 from repro.engine.bitpack import (
     WORD_BITS,
     n_words,
@@ -122,6 +131,7 @@ __all__ = [
     "PassManager",
     "ShardedEngine",
     "WORD_BITS",
+    "coalesce_batches",
     "compile_netlist",
     "default_passes",
     "n_words",
@@ -132,5 +142,6 @@ __all__ = [
     "random_netlist",
     "rinc_bank_netlist",
     "shard_bounds",
+    "split_batches",
     "unpack_bits",
 ]

@@ -17,6 +17,29 @@ Conventions shared with the netlist (and relied on by every pass):
 * a node's first input is the most significant truth-table address bit;
 * node order is topological — every input of a node is a primary input or an
   earlier node.
+
+For pass authors
+================
+
+A pass receives the graph, mutates it and returns it.  The workflow that
+keeps passes honest:
+
+* query the analyses (:meth:`IRGraph.fanout_counts`,
+  :meth:`IRGraph.live_nodes`, :meth:`IRGraph.node_levels`) *before*
+  rewriting — they are computed fresh per call, not cached, so a pass that
+  interleaves queries and mutations must keep its own bookkeeping (see
+  ``FuseChainsPass`` updating its local fanout dict);
+* nodes may pass through transiently inconsistent states (wrong table size
+  for the input count) mid-rewrite; call :meth:`IRGraph.validate` at the end
+  of the pass in tests to prove the invariants were restored;
+* delete via :meth:`IRGraph.remove_nodes`, whose contract is trust-based:
+  the caller guarantees nothing (no node input, no declared output) still
+  reads the removed signals — :meth:`IRGraph.validate` catches a violation
+  after the fact;
+* never drop or rename a declared output signal: downstream consumers (the
+  lowering, the hardware codegen) address results by output position, which
+  is only stable because passes preserve the ``outputs`` list (constant
+  folding *aliases* an output to a constant node rather than deleting it).
 """
 
 from __future__ import annotations

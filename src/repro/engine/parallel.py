@@ -32,6 +32,32 @@ Batches too small to be worth splitting (fewer than
 ``min_words_per_worker`` packed words per worker) run serially whatever the
 backend, so the executor is safe to leave enabled for ragged traffic.
 
+The fork + shared-memory contract
+=================================
+
+The process backend relies on four invariants that new contributors should
+not break:
+
+1. **The netlist crosses the fork, nothing else does.**  Workers are forked
+   with the *optimised* netlist as the pool initializer argument and compile
+   their own program in ``_worker_init``; after that, per-call messages are
+   seven integers/strings (segment names and a word range).  Sample data
+   never goes through a pipe.
+2. **Batches travel through named shared memory.**  The parent owns two
+   grow-only segments (``in``/``out``); workers attach by name, wrap them in
+   ``np.ndarray`` views and write disjoint ``[lo, hi)`` column ranges of the
+   output — no locks needed because shards never overlap.
+3. **The pool is persistent.**  It is created lazily on the first sharded
+   call and then *outlives the call*: a serving layer issuing thousands of
+   small evaluations pays the fork cost once (:meth:`ShardedEngine.warm_up`
+   lets a server pay it at startup instead of on the first request).
+   Cleanup is owned by a ``weakref.finalize`` on a plain resource dict so
+   abandoned engines are reclaimed without keeping the engine alive.
+4. **Failure degrades, it does not crash.**  If ``/dev/shm`` is missing or
+   the pool dies mid-flight, the engine permanently falls back to the
+   thread backend and re-runs the batch; worker-side model errors propagate
+   unchanged.
+
 Usage
 =====
 
@@ -220,6 +246,29 @@ class ShardedEngine:
             f"ShardedEngine({self.n_workers} x {self.backend}, "
             f"{self._serial.n_nodes} LUTs)"
         )
+
+    def warm_up(self) -> "ShardedEngine":
+        """Start the worker pool now instead of on the first sharded call.
+
+        Long-lived servers call this once at startup so the fork cost (and
+        the first shared-memory allocation) is paid before traffic arrives
+        rather than inside the first request's latency budget.  No-op for
+        the serial backend and after fallback to threads.
+        """
+        self._check_open()
+        if self.backend == "process":
+            try:
+                self._ensure_process_pool()
+            except (OSError, mp.ProcessError) as error:
+                warnings.warn(
+                    f"ShardedEngine warm-up failed ({error!r}); "
+                    "falling back to the thread backend",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _release_resources(self._resources)
+                self.backend = "thread"
+        return self
 
     # ------------------------------------------------------------ evaluation
     def run_packed(self, packed_inputs: np.ndarray) -> np.ndarray:

@@ -24,6 +24,46 @@ a sequence of ordered, individually testable passes over
     is a thin wrapper over this pass, so hardware codegen and the engine
     share one implementation).
 
+Pass ordering
+=============
+
+:func:`default_passes` runs **fold → fuse → decompose**, and the order is
+load-bearing:
+
+* folding first shrinks supports (a constant or don't-care input severs a
+  chain link), which both exposes more single-fanout chains to the fuser and
+  keeps fused tables small;
+* fusion runs before decomposition because fusing *then* splitting can
+  re-balance a deep chain onto the fabric, whereas decomposing first would
+  introduce multi-fanout mux nodes that block the chain walk;
+* decomposition runs late so the invariant "no node wider than
+  ``max_inputs``" is established in one place (fusion is additionally capped
+  at the fabric width, so it never builds a table decomposition would
+  immediately split again);
+* a second fold runs after decomposition to clean up degenerate cofactors
+  (a cofactor table that collapsed to a constant or a buffer).
+
+Each pass is a semantics-preserving graph-to-graph rewrite, so inserting a
+custom pass anywhere in the list is safe as long as it preserves the
+input/output behaviour.
+
+The fusion cost rule
+====================
+
+The packed engine evaluates a ``P``-input LUT with ``2**P - 1`` word muxes,
+so table cost is ``~2**P``.  Fusing a producer (width ``Pp``) into its sole
+consumer (width ``Pc``) yields a table on the union support of width ``W``;
+the fusion is accepted iff
+
+    ``2**W  <  2**Pp + 2**Pc``
+
+i.e. strictly cheaper than the pair it replaces.  Equal cost is rejected on
+purpose: the rewrite would be measured as a loss once the extra
+scatter/gather of the wider group is counted, and strictness keeps the pass
+monotone (every accepted fusion reduces total mux count, so the walk
+terminates without a fixpoint budget).  ``_MAX_TABLE_WIDTH`` caps ``W`` as a
+safety net against pathological chains.
+
 Every pass preserves the graph's input/output semantics bit for bit: for any
 binary batch, ``run(graph).to_netlist().evaluate_outputs`` equals the
 original netlist's.  The property tests in ``tests/engine/test_ir_passes.py``

@@ -1,0 +1,80 @@
+"""``repro.serving`` — an async batching server for packed PoET-BiN inference.
+
+The engine (:mod:`repro.engine`) answers "how fast can one big batch go";
+this package answers the serving question: *many small concurrent requests*
+sharing one packed evaluation.  The pieces, bottom-up:
+
+``protocol``
+    Length-prefixed JSON framing with async and blocking transports.
+
+``stats``
+    :class:`~repro.serving.stats.ServerStats` — p50/p95/p99 latency,
+    batch-occupancy histogram, queue depth high-water mark, shed counts.
+
+``queue``
+    :class:`~repro.serving.queue.BatchingQueue` — the coalescing core.
+    Concurrent ``submit`` calls are held up to ``max_wait_us``, stacked into
+    one matrix, evaluated once, and scattered back; admission control sheds
+    past ``max_queue`` with the typed
+    :class:`~repro.serving.queue.ServerOverloadedError`.
+
+``server``
+    :class:`~repro.serving.server.InferenceServer` — the TCP front end; all
+    connections feed the one queue, so socket concurrency becomes batch
+    occupancy.  :class:`~repro.serving.server.BackgroundServer` hosts it on
+    a dedicated event-loop thread for blocking callers.
+
+``client``
+    :class:`~repro.serving.client.ServingClient` — a blocking connection
+    with typed error mapping.
+
+Quickstart (blocking side)::
+
+    from repro.serving import BackgroundServer, InferenceServer, ServingClient
+
+    server = InferenceServer.for_model(clf, n_workers=4, max_batch=64)
+    with BackgroundServer(server) as handle:
+        with ServingClient(*handle.address) as client:
+            labels = client.predict(feature_rows)
+            print(client.stats()["latency_us"])
+
+See ``docs/serving.md`` for the knobs and their failure semantics, and
+``benchmarks/test_serving_latency.py`` for the coalescing win this buys.
+"""
+
+from repro.serving.client import ServingClient
+from repro.serving.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    encode_message,
+    read_message,
+    recv_message,
+    send_message,
+    write_message,
+)
+from repro.serving.queue import (
+    BadRequestError,
+    BatchingQueue,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.serving.server import BackgroundServer, InferenceServer
+from repro.serving.stats import ServerStats
+
+__all__ = [
+    "BackgroundServer",
+    "BadRequestError",
+    "BatchingQueue",
+    "InferenceServer",
+    "MAX_MESSAGE_BYTES",
+    "ProtocolError",
+    "ServerOverloadedError",
+    "ServerStats",
+    "ServingClient",
+    "ServingError",
+    "encode_message",
+    "read_message",
+    "recv_message",
+    "send_message",
+    "write_message",
+]

@@ -1,0 +1,115 @@
+"""Blocking client for the inference server (tests, examples, load drivers).
+
+:class:`ServingClient` wraps one TCP connection speaking the length-prefixed
+JSON protocol.  It is intentionally synchronous — the server is where the
+concurrency lives; a client thread (or 256 of them in the latency benchmark)
+just sends a request and blocks on the response.  Server-side typed errors
+are re-raised as the matching exception:
+:class:`~repro.serving.queue.ServerOverloadedError` for sheds,
+:class:`~repro.serving.queue.BadRequestError` for malformed requests and
+:class:`~repro.serving.queue.ServingError` for internal model failures, so
+callers can implement backoff with an ``except ServerOverloadedError``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.serving.protocol import recv_message, send_message
+from repro.serving.queue import (
+    BadRequestError,
+    ServerOverloadedError,
+    ServingError,
+)
+
+__all__ = ["ServingClient"]
+
+_ERROR_TYPES = {
+    ServerOverloadedError.error_type: ServerOverloadedError,
+    BadRequestError.error_type: BadRequestError,
+}
+
+
+class ServingClient:
+    """One blocking connection to an :class:`~repro.serving.server.InferenceServer`.
+
+    Usage::
+
+        with ServingClient(host, port) as client:
+            labels = client.predict(rows)                 # (k,) int64
+            labels, scores = client.predict(rows, return_scores=True)
+            print(client.stats()["latency_us"])
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # -------------------------------------------------------------- request
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        send_message(self._sock, payload)
+        response = recv_message(self._sock)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        exc_type = _ERROR_TYPES.get(error.get("type"), ServingError)
+        raise exc_type(error.get("message", "unknown server error"))
+
+    @staticmethod
+    def _as_rows(features: np.ndarray) -> np.ndarray:
+        rows = np.asarray(features)
+        if rows.ndim == 1:
+            rows = rows[np.newaxis, :]
+        if rows.ndim != 2:
+            raise BadRequestError(
+                f"features must be 1-D or 2-D, got shape {rows.shape}"
+            )
+        return rows
+
+    # ------------------------------------------------------------------ ops
+    def predict(self, features: np.ndarray, return_scores: bool = False):
+        """Labels for a ``(k, F)`` (or single ``(F,)``) 0/1 feature matrix.
+
+        Returns ``labels`` of shape ``(k,)``, or ``(labels, scores)`` with
+        ``scores`` of shape ``(k, n_classes)`` when ``return_scores`` is
+        set (requires a server with a scores path).
+        """
+        rows = self._as_rows(features)
+        # no dtype coercion: the server validates the raw values, so a 0.5
+        # is rejected with BadRequestError instead of truncating to 0
+        response = self._request(
+            {
+                "op": "predict",
+                "features": rows.tolist(),
+                "return_scores": bool(return_scores),
+            }
+        )
+        labels = np.asarray(response["labels"], dtype=np.int64)
+        if return_scores:
+            return labels, np.asarray(response["scores"], dtype=np.float64)
+        return labels
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's :meth:`~repro.serving.stats.ServerStats.snapshot`."""
+        return self._request({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        """Liveness probe; True when the server answers."""
+        return bool(self._request({"op": "ping"})["ok"])
+
+    # -------------------------------------------------------------- cleanup
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

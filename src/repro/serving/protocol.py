@@ -1,0 +1,152 @@
+"""Length-prefixed JSON wire protocol for the inference server.
+
+Every message — request or response — is one JSON object encoded as UTF-8
+and prefixed with its byte length as a 4-byte big-endian unsigned integer::
+
+    +----------------+--------------------------+
+    | length (>I, 4B)| UTF-8 JSON payload       |
+    +----------------+--------------------------+
+
+JSON keeps the protocol debuggable with ``nc`` and trivially portable; the
+length prefix makes framing exact (no sentinel scanning), which is what the
+asyncio reader and the blocking client both rely on.  Payloads are capped at
+:data:`MAX_MESSAGE_BYTES` so a corrupt or hostile header cannot make either
+side allocate gigabytes.
+
+Request objects (client → server)::
+
+    {"op": "predict", "features": [[0, 1, ...], ...],
+     "return_scores": false}                 # the workhorse
+    {"op": "stats"}                          # ServerStats snapshot
+    {"op": "ping"}                           # liveness probe
+
+Response objects (server → client) always carry ``"ok"``::
+
+    {"ok": true, "labels": [...], "scores": [[...], ...]?}
+    {"ok": true, "stats": {...}}
+    {"ok": false, "error": {"type": "overloaded" | "bad_request" |
+                            "internal", "message": "..."}}
+
+Both async (:func:`read_message` / :func:`write_message`) and blocking
+(:func:`recv_message` / :func:`send_message`) transports are provided; they
+share :func:`encode_message` so the framing cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "ProtocolError",
+    "encode_message",
+    "read_message",
+    "recv_message",
+    "send_message",
+    "write_message",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one message's JSON payload (64 MiB ≈ a 250k-sample
+#: request of 256 features — far beyond anything the batcher admits).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame: bad header, oversized payload, or invalid JSON."""
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """Serialise one message to its framed wire form."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(body)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"invalid JSON payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"frame announces {length} bytes, cap is {MAX_MESSAGE_BYTES}"
+        )
+
+
+# ----------------------------------------------------------------- asyncio
+async def read_message(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, Any]]:
+    """Read one framed message; ``None`` on clean EOF before a header."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:  # connection closed between messages
+            return None
+        raise ProtocolError("connection closed mid-header") from error
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-message") from error
+    return _decode_body(body)
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, payload: Dict[str, Any]
+) -> None:
+    """Frame and send one message, draining the transport buffer."""
+    writer.write(encode_message(payload))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------- blocking
+def _recv_exactly(sock: socket.socket, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Blocking counterpart of :func:`read_message` (``None`` on clean EOF)."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise ProtocolError("connection closed mid-header")
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    body = _recv_exactly(sock, length)
+    if len(body) < length:
+        raise ProtocolError("connection closed mid-message")
+    return _decode_body(body)
+
+
+def send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Blocking counterpart of :func:`write_message`."""
+    sock.sendall(encode_message(payload))

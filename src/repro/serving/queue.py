@@ -1,0 +1,269 @@
+"""Request coalescing: many small requests, one packed evaluation.
+
+:class:`BatchingQueue` is the asyncio heart of the serving layer.  Callers
+``await submit(rows)`` with any number of samples; the queue holds requests
+for at most ``max_wait_us`` microseconds, stacks whatever has accumulated
+into a single matrix (:func:`~repro.engine.batching.coalesce_batches`), runs
+the model's batch function **once**, and scatters per-request slices of the
+result back to each caller's future
+(:func:`~repro.engine.batching.split_batches`).  64 one-sample requests thus
+cost one packed word of engine work instead of 64 engine invocations.
+
+Flush policy
+============
+
+A batch is evaluated when the first of these happens:
+
+* the queued sample count reaches ``max_batch`` (flush immediately — the
+  batch is as good as it gets), or
+* ``max_wait_us`` elapses since the queue went non-empty (latency bound:
+  a lone request never waits longer than the wait budget).
+
+A single request larger than ``max_batch`` is *not* split: it is admitted
+whole and triggers an immediate flush, forming its own oversized batch (the
+engine handles any batch size; splitting would only add scatter work).  A
+timer that fires after a size-triggered flush already drained the queue is
+a no-op — the empty-batch timeout never reaches the engine.
+
+Admission control
+=================
+
+The queue is bounded at ``max_queue`` *samples*, counting everything
+admitted but not yet completed — both requests waiting for a flush and
+batches already evaluating on the executor.  (Counting only the pre-flush
+backlog would make the bound unreachable: every flush would reset it while
+unfinished batches piled up behind the single evaluation thread.)  A
+request that would push that backlog past the bound is shed at admission
+with :class:`ServerOverloadedError` — a typed, cheap rejection that never
+touches the engine — so overload degrades into explicit client-visible
+errors and bounded memory rather than unbounded latency (the bounded queue
+is the backpressure signal: clients seeing sheds are expected to back
+off).  The one exception: a request larger than ``max_queue`` itself is
+admitted when the queue is idle, because shedding it could never succeed
+on retry.
+
+Evaluation runs on a dedicated single-thread executor, which serialises
+engine calls (the compiled engine's scratch buffers are not thread-safe)
+and keeps the event loop free to admit requests while NumPy works.  The
+executor persists across batches — together with the (optional)
+:class:`~repro.engine.parallel.ShardedEngine` process pool underneath the
+batch function, the whole worker stack outlives any one call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.engine.batching import coalesce_batches, split_batches
+from repro.serving.stats import ServerStats
+from repro.utils.validation import check_binary_matrix
+
+__all__ = [
+    "BadRequestError",
+    "BatchingQueue",
+    "ServerOverloadedError",
+    "ServingError",
+]
+
+
+class ServingError(RuntimeError):
+    """Base of the typed serving errors carried over the wire."""
+
+    #: value of ``error.type`` in the protocol's error responses
+    error_type = "internal"
+
+
+class ServerOverloadedError(ServingError):
+    """Admission control shed this request; retry later with backoff."""
+
+    error_type = "overloaded"
+
+
+class BadRequestError(ServingError):
+    """The request was malformed (shape, dtype, unknown op)."""
+
+    error_type = "bad_request"
+
+
+@dataclass
+class _Pending:
+    rows: np.ndarray
+    future: asyncio.Future
+    enqueued_at: float
+
+
+class BatchingQueue:
+    """Coalesce concurrent ``submit`` calls into shared batch evaluations.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``(n, F) -> array with first axis n`` — labels, scores, anything
+        sliceable along the sample axis.  Runs on the queue's executor
+        thread, never on the event loop.
+    max_batch:
+        Flush as soon as this many samples are queued.
+    max_wait_us:
+        Longest time (microseconds) a request waits for co-travellers.
+    max_queue:
+        Admission bound in admitted-but-uncompleted samples (queued plus
+        evaluating); beyond it requests are shed with
+        :class:`ServerOverloadedError`.
+    stats:
+        Optional shared :class:`~repro.serving.stats.ServerStats`; a private
+        one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[np.ndarray], np.ndarray],
+        *,
+        max_batch: int = 64,
+        max_wait_us: float = 2000.0,
+        max_queue: int = 1024,
+        stats: Optional[ServerStats] = None,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_wait_us < 0:
+            raise ValueError("max_wait_us must be non-negative")
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        self._batch_fn = batch_fn
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self.max_queue = max_queue
+        self.stats = stats if stats is not None else ServerStats()
+        self._pending: List[_Pending] = []
+        self._queued_samples = 0
+        self._inflight_samples = 0
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._inflight: set = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serving"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------ admission
+    @property
+    def queued_samples(self) -> int:
+        """Samples currently waiting for a flush (not yet evaluating)."""
+        return self._queued_samples
+
+    @property
+    def backlog_samples(self) -> int:
+        """Admitted-but-uncompleted samples — what ``max_queue`` bounds."""
+        return self._queued_samples + self._inflight_samples
+
+    async def submit(self, rows: np.ndarray) -> np.ndarray:
+        """Queue ``rows`` (a ``(k, F)`` 0/1 matrix, ``k >= 1``) and await
+        the per-request slice of the coalesced result.
+
+        Raises :class:`BadRequestError` for malformed input and
+        :class:`ServerOverloadedError` when admission control sheds the
+        request.
+        """
+        if self._closed:
+            raise RuntimeError("this BatchingQueue has been closed")
+        try:
+            rows = check_binary_matrix(rows, "rows")
+        except ValueError as error:
+            raise BadRequestError(str(error)) from error
+        if rows.shape[0] == 0:
+            raise BadRequestError("a request must carry at least one sample")
+        k = rows.shape[0]
+        backlog = self.backlog_samples
+        if backlog + k > self.max_queue and backlog > 0:
+            self.stats.observe_shed()
+            raise ServerOverloadedError(
+                f"server backlog holds {backlog} samples; admitting {k} "
+                f"more would exceed the bound of {self.max_queue}"
+            )
+        loop = asyncio.get_running_loop()
+        # Requests of a different feature width than the pending batch can
+        # never share its coalesced matrix: flush what is queued and let the
+        # newcomer start a fresh batch, so a client with the wrong width
+        # fails alone (in its own batch) instead of wedging co-travellers.
+        if self._pending and rows.shape[1] != self._pending[0].rows.shape[1]:
+            self._flush_now(loop)
+        entry = _Pending(rows, loop.create_future(), time.perf_counter())
+        self._pending.append(entry)
+        self._queued_samples += k
+        self.stats.observe_queue_depth(self.backlog_samples)
+        if self._queued_samples >= self.max_batch:
+            self._flush_now(loop)
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_wait_us / 1e6, self._on_timer, loop
+            )
+        return await entry.future
+
+    # ------------------------------------------------------------- flushing
+    def _on_timer(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._timer = None
+        # A size-triggered flush may already have drained the queue between
+        # scheduling and firing; flushing an empty queue is a no-op.
+        self._flush_now(loop)
+
+    def _flush_now(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        entries = self._pending
+        self._pending = []
+        self._inflight_samples += self._queued_samples
+        self._queued_samples = 0
+        task = loop.create_task(self._evaluate(entries))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _evaluate(self, entries: List[_Pending]) -> None:
+        n_samples = sum(entry.rows.shape[0] for entry in entries)
+        loop = asyncio.get_running_loop()
+        # Everything — coalesce, evaluation, scatter — stays inside one
+        # try: any failure must resolve every caller's future (a hung
+        # future blocks a client until its socket timeout) and must release
+        # the admission backlog, or one bad batch wedges the queue forever.
+        try:
+            X, bounds = coalesce_batches([entry.rows for entry in entries])
+            result = await loop.run_in_executor(
+                self._executor, self._batch_fn, X
+            )
+            parts = split_batches(np.asarray(result), bounds)
+        except Exception as error:  # noqa: BLE001 - forwarded to callers
+            self.stats.observe_error(len(entries))
+            for entry in entries:
+                if not entry.future.done():
+                    entry.future.set_exception(error)
+            return
+        finally:
+            self._inflight_samples -= n_samples
+        finished = time.perf_counter()
+        for entry, part in zip(entries, parts):
+            if not entry.future.done():
+                entry.future.set_result(part)
+            self.stats.observe_latency((finished - entry.enqueued_at) * 1e6)
+        self.stats.observe_batch(len(entries), n_samples)
+
+    async def flush(self) -> None:
+        """Force-evaluate whatever is queued and wait for it to finish."""
+        self._flush_now(asyncio.get_running_loop())
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    # -------------------------------------------------------------- cleanup
+    async def close(self) -> None:
+        """Drain queued work, reject new submits, release the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.flush()
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,389 @@
+"""The asyncio inference server: sockets in, coalesced packed batches out.
+
+:class:`InferenceServer` ties the pieces together: a TCP listener speaking
+the length-prefixed JSON protocol (:mod:`repro.serving.protocol`), one
+shared :class:`~repro.serving.queue.BatchingQueue` that coalesces every
+connection's requests into joint packed evaluations, and a
+:class:`~repro.serving.stats.ServerStats` collector exposed through the
+``stats`` op.  Each connection is an independent asyncio task; all of them
+feed the same queue, which is the whole point — concurrency across sockets
+becomes batch occupancy inside the engine.
+
+The server evaluates either a *labels* function or a *scores* function
+(per-class decision scores, labels derived by ``argmax``); with a scores
+function, clients may request confidences at no extra engine cost.
+:meth:`InferenceServer.for_model` picks the best entry point a model offers
+— for :class:`~repro.core.poetbin.PoETBiNClassifier` that is
+``decision_scores_batch``, the path that serves straight from
+``decision_scores_packed`` without unpacking between the RINC bank and the
+read-out, sharded across a persistent
+:class:`~repro.engine.parallel.ShardedEngine` worker pool once batches
+grow past its words-per-worker threshold.
+
+:class:`BackgroundServer` runs the whole thing on a dedicated event-loop
+thread, which is how the tests, the benchmark and the demo drive it from
+blocking code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.protocol import (
+    ProtocolError,
+    encode_message,
+    read_message,
+)
+from repro.serving.queue import (
+    BadRequestError,
+    BatchingQueue,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.serving.stats import ServerStats
+
+__all__ = ["BackgroundServer", "InferenceServer"]
+
+
+def _error_response(error_type: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": {"type": error_type, "message": message}}
+
+
+class _CorkedWriter:
+    """Per-connection response writer that coalesces same-tick writes.
+
+    When a batch completes, every request of that batch resolves in the same
+    event-loop pass — so their responses can share one ``send`` syscall
+    instead of paying one each (under load, each small send costs a GIL
+    round trip on top of the syscall).  ``send`` appends the encoded frame
+    and schedules a single flush with ``call_soon``; the flush runs after
+    all same-tick completions and writes the concatenation.  Loop-confined,
+    so no lock is needed.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._frames: list = []
+        self._flush_scheduled = False
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        self._frames.append(encode_message(payload))
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self._frames or self._writer.is_closing():
+            self._frames.clear()
+            return
+        data = b"".join(self._frames)
+        self._frames.clear()
+        self._writer.write(data)
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+
+class InferenceServer:
+    """Serve a batch-evaluable model over TCP with request coalescing.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``(n, F) -> (n,)`` label function.  Mutually exclusive with
+        ``scores_fn``.
+    scores_fn:
+        ``(n, F) -> (n, n_classes)`` decision-score function; labels are
+        derived by ``argmax`` so one evaluation yields both.
+    host, port:
+        Listen address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    max_batch, max_wait_us, max_queue:
+        The coalescing and admission-control policy — see
+        :class:`~repro.serving.queue.BatchingQueue`.
+    stats:
+        Optional shared collector; a private one is created otherwise.
+    warm_up:
+        Optional zero-argument callable run once at :meth:`start` (e.g.
+        ``engine.warm_up`` to pre-fork the sharded pool, or a one-sample
+        evaluation to populate caches) so the cost lands at startup, not in
+        the first request's latency.
+    backlog:
+        Listen-queue depth; sized for hundreds of simultaneous connects
+        (the whole point of a coalescing server is bursty many-client
+        traffic, and a dropped SYN costs a full retransmit timeout).
+    """
+
+    def __init__(
+        self,
+        batch_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        *,
+        scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 64,
+        max_wait_us: float = 2000.0,
+        max_queue: int = 1024,
+        stats: Optional[ServerStats] = None,
+        warm_up: Optional[Callable[[], Any]] = None,
+        backlog: int = 512,
+    ) -> None:
+        if (batch_fn is None) == (scores_fn is None):
+            raise ValueError("provide exactly one of batch_fn and scores_fn")
+        self._scores_mode = scores_fn is not None
+        self.stats = stats if stats is not None else ServerStats()
+        self._queue = BatchingQueue(
+            scores_fn if self._scores_mode else batch_fn,
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            max_queue=max_queue,
+            stats=self.stats,
+        )
+        self._warm_up = warm_up
+        self._backlog = backlog
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+
+    @classmethod
+    def for_model(cls, model: Any, *, n_workers: Optional[int] = None, **kwargs):
+        """Build a server around whatever batch entry point ``model`` has.
+
+        Preference order: ``decision_scores_batch`` (labels *and* scores
+        from one packed evaluation — PoET-BiN's serving path), then
+        ``predict_batch``, then the model itself as a plain callable.
+        ``n_workers`` is forwarded where the entry point accepts it, so big
+        coalesced batches fan out to the model's sharded engine.
+        """
+        if hasattr(model, "decision_scores_batch"):
+            if n_workers is None:
+                return cls(scores_fn=model.decision_scores_batch, **kwargs)
+            return cls(
+                scores_fn=lambda X: model.decision_scores_batch(
+                    X, n_workers=n_workers
+                ),
+                **kwargs,
+            )
+        if hasattr(model, "predict_batch"):
+            return cls(batch_fn=model.predict_batch, **kwargs)
+        if callable(model):
+            return cls(batch_fn=model, **kwargs)
+        raise TypeError(
+            f"{type(model).__name__} offers neither decision_scores_batch, "
+            "predict_batch nor __call__"
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener (running the warm-up first); returns the address."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        if self._warm_up is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._warm_up
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, backlog=self._backlog
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (convenience for ``asyncio.run`` scripts)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, hang up open connections, drain the queue."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # wait_closed() does not wait for in-flight connection handlers
+        # (pre-3.12 asyncio); cancel them so shutdown never leaks a task
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self._queue.close()
+
+    # ----------------------------------------------------------- connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        # Pipelined dispatch: every request on this connection is handled in
+        # its own task, so a stream of requests from one client coalesces
+        # into shared batches exactly like requests from many clients.  A
+        # request carrying an ``"id"`` gets it echoed in the response, which
+        # is how pipelining clients re-associate out-of-order completions;
+        # the corked writer turns all completions of one batch into a
+        # single frame-atomic send.
+        corked = _CorkedWriter(writer)
+        in_flight: set = set()
+
+        async def respond(request: Dict[str, Any]) -> None:
+            response = await self._dispatch(request)
+            if "id" in request:
+                response["id"] = request["id"]
+            corked.send(response)
+            await corked.drain()
+
+        try:
+            while True:
+                try:
+                    request = await read_message(reader)
+                except ProtocolError as error:
+                    corked.send(_error_response("bad_request", str(error)))
+                    break
+                if request is None:  # client closed cleanly
+                    break
+                request_task = asyncio.create_task(respond(request))
+                in_flight.add(request_task)
+                request_task.add_done_callback(in_flight.discard)
+            if in_flight:
+                await asyncio.gather(*list(in_flight))
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass  # client vanished mid-write; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down with the connection open
+        finally:
+            for request_task in list(in_flight):
+                request_task.cancel()
+            corked._flush()  # anything still corked goes out before the FIN
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover
+                pass
+            # deregister only once fully torn down, so stop() still awaits
+            # a handler that is draining its transport
+            self._connections.discard(task)
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op", "predict")
+        if op == "predict":
+            return await self._handle_predict(request)
+        if op == "stats":
+            return {"ok": True, "stats": self.stats.snapshot()}
+        if op == "ping":
+            return {"ok": True}
+        return _error_response("bad_request", f"unknown op {op!r}")
+
+    async def _handle_predict(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return_scores = bool(request.get("return_scores", False))
+        if return_scores and not self._scores_mode:
+            return _error_response(
+                "bad_request", "this server has no scores path"
+            )
+        features = request.get("features")
+        try:
+            # no dtype coercion here: check_binary_matrix inside the queue
+            # must see the raw values so 0.5 is rejected, not truncated to 0
+            rows = np.asarray(features)
+        except (TypeError, ValueError):
+            return _error_response(
+                "bad_request", "features must be a rectangular 0/1 matrix"
+            )
+        try:
+            result = await self._queue.submit(rows)
+        except ServingError as error:
+            return _error_response(error.error_type, str(error))
+        except Exception as error:  # noqa: BLE001 - model failure
+            self_type = type(error).__name__
+            return _error_response("internal", f"{self_type}: {error}")
+        if self._scores_mode:
+            labels = np.argmax(result, axis=1)
+            response: Dict[str, Any] = {"ok": True, "labels": labels.tolist()}
+            if return_scores:
+                response["scores"] = np.asarray(result).tolist()
+            return response
+        return {"ok": True, "labels": np.asarray(result).tolist()}
+
+
+class BackgroundServer:
+    """Run an :class:`InferenceServer` on its own event-loop thread.
+
+    Blocking code (tests, benchmarks, the demo) starts the server with::
+
+        with BackgroundServer(InferenceServer.for_model(clf)) as handle:
+            with ServingClient(*handle.address) as client:
+                labels = client.predict(rows)
+
+    The thread owns the loop: ``start`` returns once the listener is bound
+    (re-raising any startup failure), ``stop`` schedules a clean shutdown —
+    drain, close, loop teardown — and joins the thread.
+    """
+
+    def __init__(self, server: InferenceServer) -> None:
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.host, self.server.port
+
+    def start(self) -> Tuple[str, int]:
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        started = threading.Event()
+        failure: list = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.server.start())
+            except Exception as error:  # noqa: BLE001 - surfaced in start()
+                failure.append(error)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.server.stop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serving-loop", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if failure:
+            self._thread.join()
+            self._thread = None
+            raise failure[0]
+        return self.address
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,156 @@
+"""Serving metrics: latency percentiles, batch occupancy, shed counts.
+
+:class:`ServerStats` is the single collector threaded through the batching
+queue and the socket server.  It is deliberately boring — plain counters, a
+bounded latency reservoir and an occupancy histogram — because it is read
+from the serving hot path: one :meth:`ServerStats.observe_batch` call per
+*batch* (not per request) plus one latency append per request.
+
+What the numbers mean
+=====================
+
+``p50/p95/p99`` (microseconds)
+    Request latency measured from admission into the queue to the moment the
+    result future resolves — i.e. queueing delay + batch wait + evaluation,
+    but *not* socket/JSON time (the client measures that end to end).  The
+    reservoir keeps the most recent :attr:`ServerStats.max_samples`
+    latencies, so percentiles reflect recent traffic, not the whole process
+    lifetime.
+
+``batch occupancy``
+    Histogram of samples-per-evaluated-batch.  A healthy coalescing server
+    under load shows mass near ``max_batch``; mass stuck at 1 means requests
+    are not overlapping and the server is paying per-request engine cost.
+
+``shed``
+    Requests rejected by admission control (queue full).  Sheds are cheap by
+    design — the request never touches the engine — so a non-zero shed count
+    with stable percentiles is the intended overload behaviour.
+
+``queue depth``
+    Sampled at every admission; ``max_queue_depth`` is the high-water mark
+    of the *backlog* — samples admitted but not yet completed, queued and
+    evaluating alike (the same quantity the queue's ``max_queue`` bounds,
+    so the ratio of the two is how close the server came to shedding).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["ServerStats"]
+
+
+class ServerStats:
+    """Thread-safe collector for the batching server's operational metrics.
+
+    Parameters
+    ----------
+    max_samples:
+        Size of the latency reservoir; once full, the oldest latencies are
+        dropped so percentiles track recent traffic.
+    """
+
+    def __init__(self, max_samples: int = 65536) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self._latencies_us: deque = deque(maxlen=max_samples)
+        self._occupancy: Counter = Counter()
+        self._requests_completed = 0
+        self._samples_completed = 0
+        self._batches = 0
+        self._shed = 0
+        self._errors = 0
+        self._max_queue_depth = 0
+
+    # ------------------------------------------------------------- recording
+    def observe_queue_depth(self, backlog_samples: int) -> None:
+        """Record the backlog (admitted-but-uncompleted samples) at an
+        admission; the snapshot keeps the high-water mark."""
+        with self._lock:
+            if backlog_samples > self._max_queue_depth:
+                self._max_queue_depth = backlog_samples
+
+    def observe_batch(self, n_requests: int, n_samples: int) -> None:
+        """Record one evaluated batch and its occupancy."""
+        with self._lock:
+            self._batches += 1
+            self._occupancy[n_samples] += 1
+            self._requests_completed += n_requests
+            self._samples_completed += n_samples
+
+    def observe_latency(self, latency_us: float) -> None:
+        """Record one request's admission-to-result latency."""
+        with self._lock:
+            self._latencies_us.append(float(latency_us))
+
+    def observe_shed(self, n_requests: int = 1) -> None:
+        """Record requests rejected by admission control."""
+        with self._lock:
+            self._shed += n_requests
+
+    def observe_error(self, n_requests: int = 1) -> None:
+        """Record requests that failed inside evaluation."""
+        with self._lock:
+            self._errors += n_requests
+
+    # --------------------------------------------------------------- reading
+    @property
+    def requests_completed(self) -> int:
+        with self._lock:
+            return self._requests_completed
+
+    @property
+    def shed(self) -> int:
+        with self._lock:
+            return self._shed
+
+    @property
+    def errors(self) -> int:
+        with self._lock:
+            return self._errors
+
+    def percentiles(self, quantiles=(50.0, 95.0, 99.0)) -> Dict[str, float]:
+        """Latency percentiles in microseconds over the current reservoir.
+
+        Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (NaN-free: an empty
+        reservoir yields ``0.0`` so snapshots stay JSON-clean).
+        """
+        with self._lock:
+            samples = np.fromiter(self._latencies_us, dtype=np.float64)
+        if samples.size == 0:
+            return {f"p{q:g}": 0.0 for q in quantiles}
+        values = np.percentile(samples, quantiles)
+        return {f"p{q:g}": float(v) for q, v in zip(quantiles, values)}
+
+    def _mean_occupancy_locked(self) -> float:
+        return self._samples_completed / self._batches if self._batches else 0.0
+
+    def mean_occupancy(self) -> float:
+        """Average samples per evaluated batch (0.0 before the first batch)."""
+        with self._lock:
+            return self._mean_occupancy_locked()
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-serialisable dict with every metric (for the stats op)."""
+        percentiles = self.percentiles()
+        with self._lock:
+            occupancy = {str(k): v for k, v in sorted(self._occupancy.items())}
+            return {
+                "requests_completed": self._requests_completed,
+                "samples_completed": self._samples_completed,
+                "batches": self._batches,
+                "shed": self._shed,
+                "errors": self._errors,
+                "max_queue_depth": self._max_queue_depth,
+                "latency_us": percentiles,
+                "latency_samples": len(self._latencies_us),
+                "batch_occupancy": occupancy,
+                "mean_batch_occupancy": self._mean_occupancy_locked(),
+            }

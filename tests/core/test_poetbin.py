@@ -138,6 +138,32 @@ class TestHardwareView:
         assert len(netlist.output_signals) == 12
 
 
+class TestServingEntryPoints:
+    def test_decision_scores_batch_matches_predict_batch(self, student_task):
+        X, targets, y = student_task
+        clf = PoETBiNClassifier(
+            n_classes=3, n_inputs=4, n_levels=1, intermediate_per_class=4,
+            output_epochs=5, seed=0,
+        ).fit(X[:400], targets[:400], y[:400])
+        batch = X[400:500]
+        scores = clf.decision_scores_batch(batch)
+        assert scores.shape == (100, 3)
+        np.testing.assert_array_equal(
+            np.argmax(scores, axis=1), clf.predict_batch(batch)
+        )
+        # the packed scores equal the arithmetic read-out on the predicted
+        # intermediate bits, up to float summation order
+        reference = clf.output_layer_.decision_scores(
+            clf.predict_intermediate(batch)
+        )
+        np.testing.assert_allclose(scores, reference, rtol=1e-9, atol=1e-9)
+
+    def test_decision_scores_batch_requires_fit(self):
+        clf = PoETBiNClassifier(n_classes=3, n_inputs=4)
+        with pytest.raises(RuntimeError):
+            clf.decision_scores_batch(np.zeros((2, 16), dtype=np.uint8))
+
+
 class TestOnGeneratedMulticlassTask:
     def test_beats_chance_on_intermediate_task(self):
         data = make_binary_intermediate_task(

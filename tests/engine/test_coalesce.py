@@ -1,0 +1,60 @@
+"""Tests for the pack/scatter pair coalesce_batches / split_batches."""
+
+import numpy as np
+import pytest
+
+from repro.engine import coalesce_batches, split_batches
+
+
+class TestCoalesce:
+    def test_round_trip_preserves_chunks(self, rng):
+        chunks = [
+            rng.integers(0, 2, size=(k, 8)).astype(np.uint8)
+            for k in (3, 1, 7, 2)
+        ]
+        X, bounds = coalesce_batches(chunks)
+        assert X.shape == (13, 8)
+        assert bounds == [(0, 3), (3, 4), (4, 11), (11, 13)]
+        for chunk, part in zip(chunks, split_batches(X, bounds)):
+            np.testing.assert_array_equal(part, chunk)
+
+    def test_zero_row_chunks_keep_their_position(self, rng):
+        chunks = [
+            rng.integers(0, 2, size=(2, 4)).astype(np.uint8),
+            np.empty((0, 4), dtype=np.uint8),
+            rng.integers(0, 2, size=(1, 4)).astype(np.uint8),
+        ]
+        X, bounds = coalesce_batches(chunks)
+        parts = split_batches(X, bounds)
+        assert parts[1].shape == (0, 4)
+        np.testing.assert_array_equal(parts[2], chunks[2])
+
+    def test_no_chunks_rejected(self):
+        with pytest.raises(ValueError, match="at least one chunk"):
+            coalesce_batches([])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal widths"):
+            coalesce_batches([np.zeros((2, 4)), np.zeros((2, 5))])
+
+    def test_non_2d_chunk_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            coalesce_batches([np.zeros(4)])
+
+
+class TestSplit:
+    def test_trailing_shape_preserved(self):
+        scores = np.arange(24, dtype=np.float64).reshape(6, 4)
+        parts = split_batches(scores, [(0, 2), (2, 6)])
+        assert parts[0].shape == (2, 4)
+        assert parts[1].shape == (4, 4)
+        np.testing.assert_array_equal(np.concatenate(parts), scores)
+
+    def test_one_dimensional_labels(self):
+        labels = np.arange(5)
+        parts = split_batches(labels, [(0, 1), (1, 5)])
+        assert [p.tolist() for p in parts] == [[0], [1, 2, 3, 4]]
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            split_batches(np.arange(3), [(0, 2), (2, 5)])

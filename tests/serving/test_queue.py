@@ -1,0 +1,349 @@
+"""Coalescing edge cases for the BatchingQueue.
+
+The satellite checklist cases: empty-batch timeout, a single oversized
+request, shed-on-overflow with a typed error, and bit-exactness of the
+scattered results against a direct ``predict_batch`` on the concatenation.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine import compile_netlist, rinc_bank_netlist
+from repro.serving import (
+    BadRequestError,
+    BatchingQueue,
+    ServerOverloadedError,
+)
+from repro.utils.rng import as_rng
+
+N_FEATURES = 32
+
+
+def _sum_fn(calls):
+    """A batch function that records every batch size it evaluates."""
+
+    def batch_fn(X):
+        calls.append(X.shape[0])
+        return X.sum(axis=1).astype(np.int64)
+
+    return batch_fn
+
+
+def _random_chunks(rng, n_chunks, max_rows=5):
+    return [
+        rng.integers(0, 2, size=(int(rng.integers(1, max_rows + 1)), N_FEATURES))
+        .astype(np.uint8)
+        for _ in range(n_chunks)
+    ]
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_batches(self):
+        calls = []
+
+        async def main():
+            queue = BatchingQueue(
+                _sum_fn(calls), max_batch=64, max_wait_us=10_000, max_queue=1024
+            )
+            chunks = [
+                np.ones((1, N_FEATURES), dtype=np.uint8) for _ in range(256)
+            ]
+            results = await asyncio.gather(*(queue.submit(c) for c in chunks))
+            await queue.close()
+            return results
+
+        results = asyncio.run(main())
+        # 256 one-sample requests, max_batch=64: four full batches, zero
+        # per-request evaluations
+        assert calls == [64, 64, 64, 64]
+        for r in results:
+            np.testing.assert_array_equal(r, [N_FEATURES])
+
+    def test_timeout_flushes_partial_batch(self):
+        calls = []
+
+        async def main():
+            queue = BatchingQueue(
+                _sum_fn(calls), max_batch=64, max_wait_us=5_000, max_queue=1024
+            )
+            chunks = [
+                np.zeros((1, N_FEATURES), dtype=np.uint8) for _ in range(3)
+            ]
+            results = await asyncio.gather(*(queue.submit(c) for c in chunks))
+            await queue.close()
+            return results
+
+        results = asyncio.run(main())
+        assert calls == [3]  # one coalesced batch, driven by the timer
+        assert all(r.shape == (1,) for r in results)
+
+    def test_scatter_is_bit_exact_vs_direct_predict_batch(self):
+        """Results through the queue == direct predict_batch, bit for bit."""
+        netlist = rinc_bank_netlist(
+            n_primary_inputs=N_FEATURES,
+            n_trees=24,
+            n_mats=8,
+            n_outputs=4,
+            lut_width=4,
+            seed=5,
+        )
+        engine = compile_netlist(netlist)
+        rng = as_rng(11)
+        chunks = _random_chunks(rng, n_chunks=20)
+
+        async def main():
+            queue = BatchingQueue(
+                engine.predict_batch,
+                max_batch=16,
+                max_wait_us=2_000,
+                max_queue=1024,
+            )
+            results = await asyncio.gather(*(queue.submit(c) for c in chunks))
+            await queue.close()
+            return results
+
+        results = asyncio.run(main())
+        for chunk, result in zip(chunks, results):
+            np.testing.assert_array_equal(result, engine.predict_batch(chunk))
+
+
+class TestEmptyBatchTimeout:
+    def test_timer_firing_on_drained_queue_is_noop(self):
+        calls = []
+
+        async def main():
+            queue = BatchingQueue(
+                _sum_fn(calls), max_batch=4, max_wait_us=1_000, max_queue=64
+            )
+            # size-triggered flush drains the queue...
+            chunks = [np.ones((2, N_FEATURES), dtype=np.uint8) for _ in range(2)]
+            await asyncio.gather(*(queue.submit(c) for c in chunks))
+            # ...then the wait budget elapses and a stray timer callback
+            # fires on an empty queue: must be a no-op, not an empty batch
+            queue._on_timer(asyncio.get_running_loop())
+            await asyncio.sleep(0.01)
+            await queue.close()
+
+        asyncio.run(main())
+        assert calls == [4]  # no empty evaluation ever reached the engine
+
+    def test_zero_row_request_is_a_typed_bad_request(self):
+        async def main():
+            queue = BatchingQueue(_sum_fn([]), max_batch=4, max_queue=64)
+            try:
+                with pytest.raises(BadRequestError):
+                    await queue.submit(np.empty((0, N_FEATURES), dtype=np.uint8))
+            finally:
+                await queue.close()
+
+        asyncio.run(main())
+
+    def test_malformed_request_is_a_typed_bad_request(self):
+        async def main():
+            queue = BatchingQueue(_sum_fn([]), max_batch=4, max_queue=64)
+            try:
+                with pytest.raises(BadRequestError):
+                    await queue.submit(np.full((2, N_FEATURES), 0.5))
+            finally:
+                await queue.close()
+
+        asyncio.run(main())
+
+
+class TestOversizedRequest:
+    def test_single_request_larger_than_max_batch(self):
+        calls = []
+        rng = as_rng(3)
+        big = rng.integers(0, 2, size=(5 * 8, N_FEATURES)).astype(np.uint8)
+
+        async def main():
+            queue = BatchingQueue(
+                _sum_fn(calls), max_batch=8, max_wait_us=50_000, max_queue=1024
+            )
+            result = await queue.submit(big)
+            await queue.close()
+            return result
+
+        result = asyncio.run(main())
+        # not split, not delayed by the timer: one oversized batch
+        assert calls == [40]
+        np.testing.assert_array_equal(result, big.sum(axis=1))
+
+    def test_oversized_request_larger_than_max_queue_admitted_when_idle(self):
+        calls = []
+        big = np.ones((100, N_FEATURES), dtype=np.uint8)
+
+        async def main():
+            queue = BatchingQueue(
+                _sum_fn(calls), max_batch=8, max_wait_us=1_000, max_queue=8
+            )
+            result = await queue.submit(big)  # shedding it could never succeed
+            await queue.close()
+            return result
+
+        result = asyncio.run(main())
+        assert calls == [100]
+        assert result.shape == (100,)
+
+
+class TestAdmissionControl:
+    def test_shed_on_overflow_raises_typed_error(self):
+        calls = []
+
+        async def main():
+            queue = BatchingQueue(
+                _sum_fn(calls),
+                max_batch=100,
+                max_wait_us=200_000,
+                max_queue=8,
+            )
+            ok1 = asyncio.ensure_future(
+                queue.submit(np.ones((3, N_FEATURES), dtype=np.uint8))
+            )
+            ok2 = asyncio.ensure_future(
+                queue.submit(np.ones((3, N_FEATURES), dtype=np.uint8))
+            )
+            await asyncio.sleep(0)  # let both enqueue (6 of 8 slots used)
+            with pytest.raises(ServerOverloadedError):
+                await queue.submit(np.ones((3, N_FEATURES), dtype=np.uint8))
+            shed_after = queue.stats.shed
+            await queue.flush()  # release the two admitted requests
+            await asyncio.gather(ok1, ok2)
+            await queue.close()
+            return shed_after
+
+        assert asyncio.run(main()) == 1
+        assert calls == [6]  # the shed request never reached the engine
+
+    def test_evaluating_batches_count_toward_the_admission_bound(self):
+        """In-flight samples keep the bound real: a flush must not reset it.
+
+        With max_batch <= max_queue the pre-flush backlog alone can never
+        exceed the bound (every flush would zero it), so admission control
+        has to count admitted-but-uncompleted samples or overload would
+        pile up unboundedly behind the evaluation thread.
+        """
+        import threading
+
+        release = threading.Event()
+
+        def slow_fn(X):
+            release.wait(timeout=10)
+            return X.sum(axis=1).astype(np.int64)
+
+        async def main():
+            queue = BatchingQueue(
+                slow_fn, max_batch=2, max_wait_us=200_000, max_queue=4
+            )
+            first = asyncio.ensure_future(
+                queue.submit(np.ones((2, N_FEATURES), dtype=np.uint8))
+            )
+            second = asyncio.ensure_future(
+                queue.submit(np.ones((2, N_FEATURES), dtype=np.uint8))
+            )
+            await asyncio.sleep(0)  # both flushed; 4 samples now evaluating
+            assert queue.backlog_samples == 4
+            with pytest.raises(ServerOverloadedError):
+                await queue.submit(np.ones((1, N_FEATURES), dtype=np.uint8))
+            release.set()
+            await asyncio.gather(first, second)
+            assert queue.backlog_samples == 0  # completions release the bound
+            await queue.submit(np.ones((1, N_FEATURES), dtype=np.uint8))
+            await queue.close()
+
+        asyncio.run(main())
+
+    def test_submit_after_close_raises(self):
+        async def main():
+            queue = BatchingQueue(_sum_fn([]), max_batch=4, max_queue=64)
+            await queue.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await queue.submit(np.ones((1, N_FEATURES), dtype=np.uint8))
+
+        asyncio.run(main())
+
+
+class TestMixedWidthRequests:
+    def test_width_change_starts_a_fresh_batch(self):
+        """Different feature widths never share a coalesced matrix."""
+        calls = []
+
+        def batch_fn(X):
+            calls.append(X.shape)
+            return X.sum(axis=1).astype(np.int64)
+
+        async def main():
+            queue = BatchingQueue(
+                batch_fn, max_batch=64, max_wait_us=5_000, max_queue=1024
+            )
+            wide = np.ones((2, N_FEATURES), dtype=np.uint8)
+            narrow = np.ones((3, 8), dtype=np.uint8)
+            results = await asyncio.gather(
+                queue.submit(wide), queue.submit(narrow), queue.submit(wide)
+            )
+            await queue.close()
+            return results
+
+        results = asyncio.run(main())
+        # three batches: the width change flushes, it never wedges a batch
+        assert sorted(shape[1] for shape in calls) == [8, N_FEATURES, N_FEATURES]
+        np.testing.assert_array_equal(results[0], [N_FEATURES, N_FEATURES])
+        np.testing.assert_array_equal(results[1], [8, 8, 8])
+        np.testing.assert_array_equal(results[2], [N_FEATURES, N_FEATURES])
+
+
+class TestFailurePropagation:
+    def test_wrong_length_result_resolves_callers_and_releases_backlog(self):
+        """A batch_fn returning the wrong row count must not hang futures."""
+
+        def short_fn(X):
+            return np.zeros(X.shape[0] - 1, dtype=np.int64)  # one row short
+
+        async def main():
+            queue = BatchingQueue(
+                short_fn, max_batch=4, max_wait_us=1_000, max_queue=64
+            )
+            chunks = [np.ones((2, N_FEATURES), dtype=np.uint8) for _ in range(2)]
+            results = await asyncio.gather(
+                *(queue.submit(c) for c in chunks), return_exceptions=True
+            )
+            backlog = queue.backlog_samples
+            await queue.close()
+            return results, backlog
+
+        results, backlog = asyncio.run(main())
+        assert all(isinstance(r, ValueError) for r in results)
+        assert backlog == 0  # the failed batch released its admission share
+
+    def test_batch_fn_error_reaches_every_caller(self):
+        def broken(X):
+            raise ValueError("model exploded")
+
+        async def main():
+            queue = BatchingQueue(
+                broken, max_batch=4, max_wait_us=1_000, max_queue=64
+            )
+            chunks = [np.ones((2, N_FEATURES), dtype=np.uint8) for _ in range(2)]
+            results = await asyncio.gather(
+                *(queue.submit(c) for c in chunks), return_exceptions=True
+            )
+            errors = queue.stats.errors
+            await queue.close()
+            return results, errors
+
+        results, errors = asyncio.run(main())
+        assert all(isinstance(r, ValueError) for r in results)
+        assert errors == 2
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        fn = _sum_fn([])
+        with pytest.raises(ValueError):
+            BatchingQueue(fn, max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingQueue(fn, max_wait_us=-1.0)
+        with pytest.raises(ValueError):
+            BatchingQueue(fn, max_queue=0)

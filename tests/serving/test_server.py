@@ -1,0 +1,290 @@
+"""End-to-end socket tests: InferenceServer + ServingClient."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BackgroundServer,
+    BadRequestError,
+    InferenceServer,
+    ServerOverloadedError,
+    ServingClient,
+    ServingError,
+)
+from repro.utils.rng import as_rng
+
+N_FEATURES = 16
+N_CLASSES = 4
+
+
+def _scores_fn(X):
+    """Deterministic per-class scores: class c scores the c-th feature block."""
+    X = np.asarray(X, dtype=np.float64)
+    blocks = X.reshape(X.shape[0], N_CLASSES, N_FEATURES // N_CLASSES)
+    return blocks.sum(axis=2) + 0.01 * np.arange(N_CLASSES)
+
+
+def _expected_labels(X):
+    return np.argmax(_scores_fn(X), axis=1)
+
+
+@pytest.fixture()
+def server():
+    srv = InferenceServer(
+        scores_fn=_scores_fn, max_batch=16, max_wait_us=2_000, max_queue=256
+    )
+    with BackgroundServer(srv) as handle:
+        yield handle
+
+
+class TestPredict:
+    def test_labels_match_direct_evaluation(self, server):
+        rng = as_rng(0)
+        X = rng.integers(0, 2, size=(9, N_FEATURES)).astype(np.uint8)
+        with ServingClient(*server.address) as client:
+            np.testing.assert_array_equal(client.predict(X), _expected_labels(X))
+
+    def test_single_sample_row_vector(self, server):
+        x = np.zeros(N_FEATURES, dtype=np.uint8)
+        x[:4] = 1  # all mass in class 0's block
+        with ServingClient(*server.address) as client:
+            assert client.predict(x).tolist() == [0]
+
+    def test_return_scores(self, server):
+        rng = as_rng(1)
+        X = rng.integers(0, 2, size=(5, N_FEATURES)).astype(np.uint8)
+        with ServingClient(*server.address) as client:
+            labels, scores = client.predict(X, return_scores=True)
+        np.testing.assert_allclose(scores, _scores_fn(X))
+        np.testing.assert_array_equal(labels, _expected_labels(X))
+
+    def test_many_requests_one_connection(self, server):
+        rng = as_rng(2)
+        with ServingClient(*server.address) as client:
+            for _ in range(10):
+                X = rng.integers(0, 2, size=(3, N_FEATURES)).astype(np.uint8)
+                np.testing.assert_array_equal(
+                    client.predict(X), _expected_labels(X)
+                )
+
+    def test_concurrent_clients_all_get_their_own_answers(self, server):
+        rng = as_rng(3)
+        batches = [
+            rng.integers(0, 2, size=(2, N_FEATURES)).astype(np.uint8)
+            for _ in range(8)
+        ]
+        results = [None] * len(batches)
+
+        def worker(i):
+            with ServingClient(*server.address) as client:
+                results[i] = client.predict(batches[i])
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(batches))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for batch, result in zip(batches, results):
+            np.testing.assert_array_equal(result, _expected_labels(batch))
+
+
+class TestPipelining:
+    def test_pipelined_requests_resolve_by_id(self, server):
+        """Many requests in flight on one connection, matched via id echo."""
+        import asyncio
+
+        from repro.serving.protocol import read_message, write_message
+
+        rng = as_rng(7)
+        batches = {
+            i: rng.integers(0, 2, size=(1, N_FEATURES)).astype(np.uint8)
+            for i in range(20)
+        }
+
+        async def drive():
+            reader, writer = await asyncio.open_connection(*server.address)
+            try:
+                for i, rows in batches.items():
+                    await write_message(
+                        writer,
+                        {"op": "predict", "id": i, "features": rows.tolist()},
+                    )
+                responses = {}
+                for _ in batches:
+                    response = await read_message(reader)
+                    assert response["ok"], response
+                    responses[response["id"]] = response["labels"]
+                return responses
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        responses = asyncio.run(drive())
+        assert sorted(responses) == sorted(batches)
+        for i, rows in batches.items():
+            np.testing.assert_array_equal(
+                np.asarray(responses[i]), _expected_labels(rows)
+            )
+
+
+class TestOps:
+    def test_ping(self, server):
+        with ServingClient(*server.address) as client:
+            assert client.ping()
+
+    def test_stats_reflect_traffic(self, server):
+        X = np.ones((4, N_FEATURES), dtype=np.uint8)
+        with ServingClient(*server.address) as client:
+            client.predict(X)
+            snap = client.stats()
+        assert snap["requests_completed"] >= 1
+        assert snap["samples_completed"] >= 4
+        assert set(snap["latency_us"]) == {"p50", "p95", "p99"}
+        assert snap["latency_us"]["p99"] > 0.0
+
+    def test_unknown_op_is_bad_request(self, server):
+        with ServingClient(*server.address) as client:
+            with pytest.raises(BadRequestError, match="unknown op"):
+                client._request({"op": "transmogrify"})
+
+
+class TestTypedErrors:
+    def test_non_binary_features_rejected_not_truncated(self, server):
+        with ServingClient(*server.address) as client:
+            with pytest.raises(BadRequestError):
+                client._request(
+                    {"op": "predict", "features": [[0.5] * N_FEATURES]}
+                )
+
+    def test_client_predict_forwards_raw_values(self, server):
+        """The client must not coerce 0.5 to 0 before the server can reject."""
+        with ServingClient(*server.address) as client:
+            with pytest.raises(BadRequestError):
+                client.predict(np.full((2, N_FEATURES), 0.5))
+            # exactly-binary floats are legitimate and must still serve
+            labels = client.predict(np.ones((2, N_FEATURES), dtype=np.float64))
+            np.testing.assert_array_equal(
+                labels, _expected_labels(np.ones((2, N_FEATURES), dtype=np.uint8))
+            )
+
+    def test_ragged_features_rejected(self, server):
+        with ServingClient(*server.address) as client:
+            with pytest.raises(BadRequestError):
+                client._request({"op": "predict", "features": [[0, 1], [0]]})
+
+    def test_missing_features_rejected(self, server):
+        with ServingClient(*server.address) as client:
+            with pytest.raises(BadRequestError):
+                client._request({"op": "predict"})
+
+    def test_model_failure_is_internal_error(self):
+        def broken(X):
+            raise RuntimeError("weights fell out")
+
+        srv = InferenceServer(
+            batch_fn=broken, max_batch=4, max_wait_us=1_000, max_queue=64
+        )
+        with BackgroundServer(srv) as handle:
+            with ServingClient(*handle.address) as client:
+                with pytest.raises(ServingError, match="weights fell out"):
+                    client.predict(np.ones((1, N_FEATURES), dtype=np.uint8))
+
+    def test_shed_surfaces_as_overloaded_error_over_the_wire(self):
+        srv = InferenceServer(
+            scores_fn=_scores_fn,
+            max_batch=1000,  # never flush by size
+            max_wait_us=250_000,  # hold admitted requests for 250 ms
+            max_queue=4,
+        )
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker(address):
+            try:
+                with ServingClient(*address) as client:
+                    client.predict(np.ones((1, N_FEATURES), dtype=np.uint8))
+                with lock:
+                    outcomes.append("ok")
+            except ServerOverloadedError:
+                with lock:
+                    outcomes.append("shed")
+
+        with BackgroundServer(srv) as handle:
+            threads = [
+                threading.Thread(target=worker, args=(handle.address,))
+                for _ in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(outcomes) == 12
+        # 4 queue slots, 12 one-sample requests arriving well inside the
+        # 250 ms wait window: the overflow must shed with the typed error,
+        # and the admitted requests must still be answered
+        assert outcomes.count("shed") >= 1
+        assert outcomes.count("ok") >= 4
+
+
+class TestConstruction:
+    def test_exactly_one_evaluation_fn(self):
+        with pytest.raises(ValueError):
+            InferenceServer()
+        with pytest.raises(ValueError):
+            InferenceServer(batch_fn=_scores_fn, scores_fn=_scores_fn)
+
+    def test_scores_request_without_scores_path(self):
+        def labels_only(X):
+            return np.zeros(np.asarray(X).shape[0], dtype=np.int64)
+
+        srv = InferenceServer(
+            batch_fn=labels_only, max_batch=4, max_wait_us=1_000, max_queue=64
+        )
+        with BackgroundServer(srv) as handle:
+            with ServingClient(*handle.address) as client:
+                labels = client.predict(np.ones((2, N_FEATURES), dtype=np.uint8))
+                assert labels.tolist() == [0, 0]
+                with pytest.raises(BadRequestError, match="no scores path"):
+                    client.predict(
+                        np.ones((2, N_FEATURES), dtype=np.uint8),
+                        return_scores=True,
+                    )
+
+    def test_for_model_prefers_scores_path(self):
+        class Model:
+            def decision_scores_batch(self, X, n_workers=None):
+                return _scores_fn(X)
+
+            def predict_batch(self, X):  # pragma: no cover - must not win
+                raise AssertionError("scores path should be preferred")
+
+        srv = InferenceServer.for_model(
+            Model(), max_batch=8, max_wait_us=1_000, max_queue=64
+        )
+        rng = as_rng(4)
+        X = rng.integers(0, 2, size=(3, N_FEATURES)).astype(np.uint8)
+        with BackgroundServer(srv) as handle:
+            with ServingClient(*handle.address) as client:
+                labels, scores = client.predict(X, return_scores=True)
+        np.testing.assert_allclose(scores, _scores_fn(X))
+
+    def test_for_model_rejects_inert_objects(self):
+        with pytest.raises(TypeError):
+            InferenceServer.for_model(object())
+
+    def test_warm_up_runs_before_first_request(self):
+        ran = []
+        srv = InferenceServer(
+            scores_fn=_scores_fn,
+            warm_up=lambda: ran.append(True),
+            max_batch=4,
+            max_wait_us=1_000,
+            max_queue=64,
+        )
+        with BackgroundServer(srv):
+            assert ran == [True]

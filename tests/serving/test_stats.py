@@ -1,0 +1,78 @@
+"""Tests for the ServerStats collector."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import ServerStats
+
+
+class TestPercentiles:
+    def test_known_distribution(self):
+        stats = ServerStats()
+        values = np.arange(1.0, 101.0)
+        for v in values:
+            stats.observe_latency(v)
+        result = stats.percentiles()
+        assert result["p50"] == pytest.approx(np.percentile(values, 50))
+        assert result["p95"] == pytest.approx(np.percentile(values, 95))
+        assert result["p99"] == pytest.approx(np.percentile(values, 99))
+
+    def test_empty_reservoir_is_zero_not_nan(self):
+        result = ServerStats().percentiles()
+        assert result == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_reservoir_keeps_recent_samples_only(self):
+        stats = ServerStats(max_samples=10)
+        for v in range(100):
+            stats.observe_latency(float(v))
+        # only 90..99 remain, so even p50 sits above the evicted values
+        assert stats.percentiles()["p50"] >= 90.0
+        assert stats.snapshot()["latency_samples"] == 10
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(ValueError):
+            ServerStats(max_samples=0)
+
+
+class TestCountersAndOccupancy:
+    def test_batch_occupancy_histogram(self):
+        stats = ServerStats()
+        stats.observe_batch(n_requests=3, n_samples=3)
+        stats.observe_batch(n_requests=1, n_samples=64)
+        stats.observe_batch(n_requests=2, n_samples=64)
+        snap = stats.snapshot()
+        assert snap["batch_occupancy"] == {"3": 1, "64": 2}
+        assert snap["requests_completed"] == 6
+        assert snap["samples_completed"] == 131
+        assert stats.mean_occupancy() == pytest.approx(131 / 3)
+
+    def test_mean_occupancy_before_first_batch(self):
+        assert ServerStats().mean_occupancy() == 0.0
+
+    def test_shed_and_error_counters(self):
+        stats = ServerStats()
+        stats.observe_shed()
+        stats.observe_shed(4)
+        stats.observe_error(2)
+        assert stats.shed == 5
+        assert stats.errors == 2
+
+    def test_queue_depth_high_water_mark(self):
+        stats = ServerStats()
+        for depth in (3, 17, 5):
+            stats.observe_queue_depth(depth)
+        assert stats.snapshot()["max_queue_depth"] == 17
+
+
+def test_snapshot_is_json_serialisable():
+    stats = ServerStats()
+    stats.observe_batch(2, 9)
+    stats.observe_latency(123.4)
+    stats.observe_shed()
+    stats.observe_queue_depth(9)
+    encoded = json.dumps(stats.snapshot())
+    decoded = json.loads(encoded)
+    assert decoded["shed"] == 1
+    assert decoded["latency_us"]["p50"] == pytest.approx(123.4)
