@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench-smoke bench-serving serve-demo check
+.PHONY: test bench-smoke bench-serving serve-demo serve-stats check
 
 # Tier-1 verification: the full test suite (includes benchmarks/).
 test:
@@ -15,17 +15,24 @@ test:
 bench-smoke:
 	$(PYTEST) benchmarks/test_engine_throughput.py -q
 
-# Serving-layer gate: coalesced async serving must beat sequential
-# per-request calls >=3x on 256 concurrent 1-sample requests, with p99
-# latency reported (see docs/serving.md).
+# Serving-layer gates: coalesced async serving must beat sequential
+# per-request calls >=3x on 256 concurrent 1-sample requests, and
+# multi-model serving (2 netlists on one shared WorkerPool) >=2x under
+# mixed concurrent load, with p99 latency reported (see docs/serving.md).
 bench-serving:
 	$(PYTEST) benchmarks/test_serving_latency.py -q
 
-# End-to-end serving demo: train a small PoET-BiN on the synthetic-digits
-# dataset, start the batching server, fire concurrent clients at it and
-# print latency percentiles + batch occupancy.
+# End-to-end serving demo: train two PoET-BiN variants on the
+# synthetic-digits dataset, serve both from one server over a shared
+# WorkerPool, fire concurrent clients at them and print per-model latency
+# percentiles + batch occupancy.
 serve-demo:
 	PYTHONPATH=src python examples/serving_demo.py
+
+# The demo plus a final Prometheus-style stats_text scrape — what an
+# operational agent collects from the stats_text protocol op.
+serve-stats:
+	PYTHONPATH=src python examples/serving_demo.py --stats-text
 
 # CI-style composite: tier-1 tests plus every perf gate in one invocation.
 check: test bench-smoke bench-serving

@@ -17,6 +17,12 @@ p99 latency reported from both the server's admission-to-result clock and
 the client's end-to-end clock.  Like the engine gates, the measurement
 escalates with extra rounds before failing so a noisy-neighbour CPU spike
 delays convergence instead of flaking.
+
+The multi-model gate is the PR-5 acceptance scenario: one server, one
+shared WorkerPool, two distinct compiled netlists (different feature
+widths), mixed concurrent 1-sample traffic routed by the wire protocol's
+``model`` field.  Coalesced multi-model serving must beat sequential
+per-request direct calls >= 2x, bit-exact per model.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ import time
 import numpy as np
 
 from repro.core.output_layer import SparseQuantizedOutputLayer, quantize_symmetric
-from repro.engine import ShardedEngine, pack_bits, rinc_bank_netlist
+from repro.engine import ShardedEngine, WorkerPool, pack_bits, rinc_bank_netlist
 from repro.serving import BackgroundServer, InferenceServer, ServerStats
 from repro.serving.protocol import encode_message, read_message, write_message
 from repro.utils.rng import as_rng
@@ -40,6 +46,7 @@ N_CLASSES = 10
 FAN_IN = 6  # intermediate bits per class; bank outputs = 10 * 6
 N_REQUESTS = 256
 COALESCING_TARGET = 3.0
+MULTI_MODEL_TARGET = 2.0
 
 
 _MODEL_CACHE: dict = {}
@@ -231,6 +238,200 @@ def _run_coalescing_gate():
     assert speedup >= COALESCING_TARGET, (
         f"coalesced serving is only {speedup:.2f}x the per-request baseline "
         f"(target {COALESCING_TARGET}x)"
+    )
+
+
+def _make_scores_stack(engine, n_classes, fan_in, seed):
+    """An output layer + packed scores/predict pair over ``engine``."""
+    layer = SparseQuantizedOutputLayer(n_classes=n_classes, fan_in=fan_in)
+    rng = as_rng(seed)
+    layer.float_weights_ = rng.normal(size=(n_classes, fan_in))
+    layer.float_biases_ = rng.normal(size=n_classes)
+    layer.weights_ = quantize_symmetric(layer.float_weights_, layer.n_bits)
+    layer.biases_ = quantize_symmetric(layer.float_biases_, layer.n_bits)
+
+    def scores_fn(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.uint8)
+        packed = engine.run_packed(pack_bits(X))
+        return layer.decision_scores_packed(packed, X.shape[0])
+
+    def predict_fn(X: np.ndarray) -> np.ndarray:
+        return np.argmax(scores_fn(X), axis=1)
+
+    return scores_fn, predict_fn
+
+
+_MULTI_CACHE: dict = {}
+
+
+def _build_multi_models():
+    """Two serving-sized banks with different widths over one WorkerPool.
+
+    Model "a" is a 256-feature P=6 bank, model "b" a 128-feature one —
+    distinct shapes so any cross-model shard routing fails loudly.  Both
+    attach to a single shared pool (the multi-tenant configuration under
+    test); the pool stays open for the process lifetime, reclaimed by its
+    finalizer at exit.
+    """
+    if _MULTI_CACHE:
+        return _MULTI_CACHE["models"]
+    pool = WorkerPool(n_workers=2)
+    specs = {
+        "a": dict(n_primary_inputs=256, n_trees=480, n_mats=80,
+                  n_outputs=N_CLASSES * 6, lut_width=6, seed=2, fan_in=6),
+        "b": dict(n_primary_inputs=128, n_trees=320, n_mats=60,
+                  n_outputs=N_CLASSES * 4, lut_width=6, seed=3, fan_in=4),
+    }
+    models = {"pool": pool}
+    for name, spec in specs.items():
+        fan_in = spec.pop("fan_in")
+        netlist = rinc_bank_netlist(**spec)
+        engine = ShardedEngine(netlist, pool=pool, model_id=name)
+        scores_fn, predict_fn = _make_scores_stack(
+            engine, N_CLASSES, fan_in, seed=20 + len(models)
+        )
+        models[name] = {
+            "width": spec["n_primary_inputs"],
+            "scores_fn": scores_fn,
+            "predict_fn": predict_fn,
+        }
+    _MULTI_CACHE["models"] = models
+    return models
+
+
+async def _drive_mixed(address, plan):
+    """``plan`` rows of (index, model, 1-sample matrix): all concurrently
+    outstanding over pooled connections, routed by the ``model`` field."""
+    shares = [plan[i::N_CONNECTIONS] for i in range(N_CONNECTIONS)]
+    labels = np.empty(len(plan), dtype=np.int64)
+
+    async def worker(share):
+        reader, writer = await asyncio.open_connection(*address)
+        try:
+            frames = [
+                encode_message(
+                    {
+                        "op": "predict",
+                        "id": i,
+                        "model": model,
+                        "features": rows.tolist(),
+                    }
+                )
+                for i, model, rows in share
+            ]
+            writer.write(b"".join(frames))
+            await writer.drain()
+            for _ in share:
+                response = await read_message(reader)
+                assert response is not None and response["ok"], response
+                labels[response["id"]] = response["labels"][0]
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    await asyncio.gather(*(worker(share) for share in shares))
+    return labels
+
+
+def test_multi_model_coalesced_serving_beats_sequential_calls():
+    """Mixed-model concurrent 1-sample load on one shared pool: >= 2x.
+
+    256 requests alternate between two models of different widths; the
+    sequential baseline calls each model's direct packed path per request.
+    The server must answer bit-exactly per model and beat the baseline
+    through per-model coalescing — while both queues share one WorkerPool
+    and one admission budget.
+    """
+    previous_interval = sys.getswitchinterval()
+    sys.setswitchinterval(0.0005)
+    try:
+        _run_multi_model_gate()
+    finally:
+        sys.setswitchinterval(previous_interval)
+
+
+def _run_multi_model_gate():
+    models = _build_multi_models()
+    pool = models["pool"]
+    rng = as_rng(4)
+    plan = []
+    for i in range(N_REQUESTS):
+        name = "a" if i % 2 else "b"
+        rows = rng.integers(
+            0, 2, size=(1, models[name]["width"]), dtype=np.uint8
+        )
+        plan.append((i, name, rows))
+    expected = np.array(
+        [int(models[name]["predict_fn"](rows)[0]) for _, name, rows in plan]
+    )
+
+    def sequential_seconds() -> float:
+        start = time.perf_counter()
+        for _, name, rows in plan:
+            models[name]["predict_fn"](rows)
+        return time.perf_counter() - start
+
+    server = InferenceServer(
+        max_batch=64,
+        max_wait_us=10_000,
+        max_queue=4096,
+        max_total_queue=8192,
+        warm_up=pool.warm_up,
+    )
+    for name in ("a", "b"):
+        server.register_model(name, scores_fn=models[name]["scores_fn"])
+
+    def concurrent_seconds(address):
+        start = time.perf_counter()
+        labels = asyncio.run(_drive_mixed(address, plan))
+        return time.perf_counter() - start, labels
+
+    with BackgroundServer(server) as handle:
+        t_seq = sequential_seconds()
+        t_conc, labels = concurrent_seconds(handle.address)
+        np.testing.assert_array_equal(labels, expected)
+        for _ in range(3):  # escalate before failing: mins only improve
+            if t_seq / t_conc >= MULTI_MODEL_TARGET:
+                break
+            t_seq = min(t_seq, sequential_seconds())
+            t_again, labels = concurrent_seconds(handle.address)
+            np.testing.assert_array_equal(labels, expected)
+            t_conc = min(t_conc, t_again)
+        snapshots = {
+            name: server.registry.resolve(name).stats.snapshot()
+            for name in ("a", "b")
+        }
+
+    speedup = t_seq / t_conc
+    emit(
+        f"Multi-model coalesced serving ({N_REQUESTS} mixed concurrent "
+        f"1-sample requests, 2 banks on one shared WorkerPool)",
+        "\n".join(
+            [
+                f"sequential  {t_seq * 1e3:8.2f} ms   "
+                f"coalesced {t_conc * 1e3:8.2f} ms   speedup {speedup:4.1f}x",
+            ]
+            + [
+                f"model {name}: {snap['requests_completed']} requests, "
+                f"mean occupancy {snap['mean_batch_occupancy']:.1f}, "
+                f"{snap['batches']} batches, {snap['shed']} shed, "
+                f"p99 {snap['latency_us']['p99']:.0f} us"
+                for name, snap in snapshots.items()
+            ]
+        ),
+    )
+    for name, snap in snapshots.items():
+        assert snap["shed"] == 0, f"model {name} shed at this load"
+        assert snap["requests_completed"] >= N_REQUESTS // 2
+        assert snap["mean_batch_occupancy"] > 1.0, (
+            f"model {name} never coalesced its requests"
+        )
+    assert speedup >= MULTI_MODEL_TARGET, (
+        f"multi-model coalesced serving is only {speedup:.2f}x the "
+        f"per-request baseline (target {MULTI_MODEL_TARGET}x)"
     )
 
 

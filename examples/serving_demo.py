@@ -1,26 +1,32 @@
-"""Serving demo: train a PoET-BiN on synthetic digits, then serve it.
+"""Serving demo: train two PoET-BiN variants, serve both from one process.
 
-The end-to-end tour of the serving story:
+The end-to-end tour of the multi-tenant serving story:
 
 1. generate the MNIST stand-in (procedural digit glyphs), binarise the
    pixels into feature bits,
-2. train a small PoET-BiN student (class-membership bits as the
-   intermediate targets),
-3. start the asyncio batching server on a background thread —
-   ``InferenceServer.for_model`` picks the packed scores path, so every
-   coalesced batch runs the RINC bank once and reads out labels *and*
-   confidences from the same evaluation,
-4. fire a burst of concurrent single-image requests from client threads
-   (the worst-case traffic the batcher exists for) and print the
-   server-side latency percentiles and batch occupancy.
+2. train two PoET-BiN students — a larger "quality" variant and a smaller
+   "fast" variant (fewer intermediate bits per class), the classic A/B
+   deployment,
+3. start the asyncio batching server on a background thread with **both**
+   models registered over **one shared WorkerPool**: each model gets its
+   own coalescing queue, all sharded evaluation lands on the same worker
+   processes, and a shared admission budget bounds the box,
+4. fire a burst of concurrent single-image requests from client threads,
+   alternating models (the worst-case traffic the batcher exists for), and
+   print per-model latency percentiles and batch occupancy,
+5. with ``--stats-text``, finish by printing the Prometheus-style scrape
+   (the ``stats_text`` protocol op) — what an operational agent would
+   collect.
 
 Run with::
 
     make serve-demo          # or: PYTHONPATH=src python examples/serving_demo.py
+    make serve-stats         # the same, ending with the stats_text scrape
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 
@@ -28,12 +34,15 @@ import numpy as np
 
 from repro.core import PoETBiNClassifier
 from repro.datasets import make_synthetic_mnist
+from repro.engine import WorkerPool
 from repro.serving import BackgroundServer, InferenceServer, ServingClient
 
 N_CLASSES = 10
-PER_CLASS = 2  # intermediate bits per class (the paper uses P; small here)
 N_CLIENTS = 8
 REQUESTS_PER_CLIENT = 16
+#: intermediate bits per class for the two served variants (the paper uses
+#: P; small here so the demo trains in seconds)
+VARIANTS = {"quality": 2, "fast": 1}
 
 
 def binarise(images: np.ndarray) -> np.ndarray:
@@ -41,8 +50,8 @@ def binarise(images: np.ndarray) -> np.ndarray:
     return (images[:, ::2, ::2, 0] > 0.5).reshape(images.shape[0], -1).astype(np.uint8)
 
 
-def class_membership_targets(y: np.ndarray) -> np.ndarray:
-    """Intermediate targets: ``PER_CLASS`` copies of the one-vs-rest bit.
+def class_membership_targets(y: np.ndarray, per_class: int) -> np.ndarray:
+    """Intermediate targets: ``per_class`` copies of the one-vs-rest bit.
 
     A stand-in for the teacher network's intermediate layer that keeps the
     demo fast; each RINC module learns "is this a <digit>?" from pixels.
@@ -52,10 +61,10 @@ def class_membership_targets(y: np.ndarray) -> np.ndarray:
     is the serving story.)
     """
     one_hot = (y[:, np.newaxis] == np.arange(N_CLASSES)).astype(np.uint8)
-    return np.repeat(one_hot, PER_CLASS, axis=1)
+    return np.repeat(one_hot, per_class, axis=1)
 
 
-def main() -> None:
+def main(print_stats_text: bool = False) -> None:
     # 1. data: procedural digits, binarised to 196 feature bits
     data = make_synthetic_mnist(n_train=1500, n_test=400, seed=0)
     X_train, X_test = binarise(data.X_train), binarise(data.X_test)
@@ -64,45 +73,70 @@ def main() -> None:
         f"{X_train.shape[1]} feature bits"
     )
 
-    # 2. train the student
-    start = time.perf_counter()
-    clf = PoETBiNClassifier(
-        n_classes=N_CLASSES,
-        n_inputs=6,
-        n_levels=2,  # RINC-2, as in the paper's experiments
-        intermediate_per_class=PER_CLASS,
-        output_epochs=10,
-        seed=0,
-    ).fit(X_train, class_membership_targets(data.y_train), data.y_train)
-    print(
-        f"trained {clf.n_intermediate} RINC modules + output layer "
-        f"in {time.perf_counter() - start:.1f} s, "
-        f"test accuracy {clf.score(X_test, data.y_test):.3f}, "
-        f"{clf.lut_count()} LUTs"
-    )
+    # 2. train the two student variants
+    models = {}
+    for name, per_class in VARIANTS.items():
+        start = time.perf_counter()
+        clf = PoETBiNClassifier(
+            n_classes=N_CLASSES,
+            n_inputs=6,
+            n_levels=2,  # RINC-2, as in the paper's experiments
+            intermediate_per_class=per_class,
+            output_epochs=10,
+            seed=0,
+        ).fit(
+            X_train, class_membership_targets(data.y_train, per_class),
+            data.y_train,
+        )
+        models[name] = clf
+        print(
+            f"trained {name!r} ({clf.n_intermediate} RINC modules) "
+            f"in {time.perf_counter() - start:.1f} s, "
+            f"test accuracy {clf.score(X_test, data.y_test):.3f}, "
+            f"{clf.lut_count()} LUTs"
+        )
 
-    # 3. serve it: the server coalesces concurrent requests into shared
-    #    packed evaluations; warm_up pays the compile cost before traffic
-    server = InferenceServer.for_model(
-        clf,
+    # 3. serve both: one shared WorkerPool under every model, one queue and
+    #    one stats collector per model, a shared admission budget over all;
+    #    warm_up pre-forks the pool and pre-compiles both engines before
+    #    traffic arrives
+    pool = WorkerPool(n_workers=2)
+
+    def warm_up():
+        for clf in models.values():
+            clf.predict_batch(X_test[:1], pool=pool)
+        pool.warm_up()
+
+    server = InferenceServer(
         max_batch=64,
         max_wait_us=2000,
         max_queue=4096,
-        warm_up=lambda: clf.predict_batch(X_test[:1]),
+        max_total_queue=8192,
+        warm_up=warm_up,
     )
+    for name, clf in models.items():
+        server.register_model(name, model=clf, pool=pool)
     with BackgroundServer(server) as handle:
         host, port = handle.address
-        print(f"serving on {host}:{port}")
+        with ServingClient(host, port) as client:
+            listing = client.list_models()
+        print(
+            f"serving on {host}:{port}: "
+            + ", ".join(m["name"] for m in listing["models"])
+            + f" (default {listing['default']!r})"
+        )
 
-        # 4. a burst of concurrent single-image requests
+        # 4. a burst of concurrent single-image requests, alternating models
+        names = list(models)
         correct = [0] * N_CLIENTS
 
         def client_worker(worker_index: int) -> None:
             rng = np.random.default_rng(worker_index)
             with ServingClient(host, port) as client:
-                for _ in range(REQUESTS_PER_CLIENT):
+                for request_index in range(REQUESTS_PER_CLIENT):
+                    name = names[(worker_index + request_index) % len(names)]
                     i = int(rng.integers(X_test.shape[0]))
-                    label = int(client.predict(X_test[i])[0])
+                    label = int(client.predict(X_test[i], model=name)[0])
                     correct[worker_index] += label == int(data.y_test[i])
 
         start = time.perf_counter()
@@ -118,21 +152,26 @@ def main() -> None:
         n_requests = N_CLIENTS * REQUESTS_PER_CLIENT
 
         with ServingClient(host, port) as client:
-            snap = client.stats()
-        latency = snap["latency_us"]
+            snaps = {name: client.stats(model=name) for name in models}
+            stats_text = client.stats_text() if print_stats_text else None
         print(
             f"{n_requests} single-image requests from {N_CLIENTS} clients "
-            f"in {elapsed * 1e3:.0f} ms "
+            f"across {len(models)} models in {elapsed * 1e3:.0f} ms "
             f"({n_requests / elapsed:.0f} requests/s), "
             f"served accuracy {sum(correct) / n_requests:.3f}"
         )
-        print(
-            f"server latency p50/p95/p99: {latency['p50']:.0f} / "
-            f"{latency['p95']:.0f} / {latency['p99']:.0f} us; "
-            f"mean batch occupancy {snap['mean_batch_occupancy']:.1f} "
-            f"samples ({snap['batches']} batches, {snap['shed']} shed)"
-        )
+        for name, snap in snaps.items():
+            latency = snap["latency_us"]
+            print(
+                f"  {name:8s} p50/p95/p99: {latency['p50']:.0f} / "
+                f"{latency['p95']:.0f} / {latency['p99']:.0f} us; "
+                f"mean occupancy {snap['mean_batch_occupancy']:.1f} "
+                f"({snap['batches']} batches, {snap['shed']} shed)"
+            )
+        if stats_text is not None:
+            print("\n--- stats_text scrape (Prometheus exposition format) ---")
+            print(stats_text, end="")
 
 
 if __name__ == "__main__":
-    main()
+    main(print_stats_text="--stats-text" in sys.argv[1:])

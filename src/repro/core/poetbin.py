@@ -20,7 +20,7 @@ from repro.core.netlist import LUTNetlist
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.compiled_netlist import CompiledNetlist
-    from repro.engine.parallel import ShardedEngine
+    from repro.engine.parallel import ShardedEngine, WorkerPool
 from repro.core.output_layer import SparseQuantizedOutputLayer
 from repro.core.rinc import RINCClassifier
 from repro.utils.metrics import accuracy
@@ -82,7 +82,8 @@ class PoETBiNClassifier:
         self.output_layer_: Optional[SparseQuantizedOutputLayer] = None
         self.n_features_: Optional[int] = None
         self._compiled_: Optional["CompiledNetlist"] = None
-        self._sharded_: dict = {}  # n_workers -> ShardedEngine
+        # n_workers or ("pool", id(pool)) -> ShardedEngine
+        self._sharded_: dict = {}
 
     @property
     def n_intermediate(self) -> int:
@@ -180,15 +181,33 @@ class PoETBiNClassifier:
             self._compiled_ = compile_netlist(self.to_netlist())
         return self._compiled_
 
-    def sharded_engine(self, n_workers: int) -> "ShardedEngine":
-        """A multicore executor for the RINC bank, cached per worker count."""
-        self._check_fitted()
-        engine = self._sharded_.get(n_workers)
-        if engine is None:
-            from repro.engine.parallel import ShardedEngine
+    def sharded_engine(
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        pool: Optional["WorkerPool"] = None,
+    ) -> "ShardedEngine":
+        """A multicore executor for the RINC bank.
 
-            engine = ShardedEngine(self.to_netlist(), n_workers=n_workers)
-            self._sharded_[n_workers] = engine
+        ``n_workers`` creates (and caches, per worker count) an engine that
+        owns a private pool — the single-model path.  ``pool`` instead
+        attaches this classifier to a shared
+        :class:`~repro.engine.parallel.WorkerPool` (cached per pool), so
+        many classifiers served from one process share one set of worker
+        processes — the multi-model serving path.
+        """
+        self._check_fitted()
+        if (pool is None) == (n_workers is None):
+            raise ValueError("provide exactly one of n_workers and pool")
+        from repro.engine.parallel import ShardedEngine
+
+        key = ("pool", id(pool)) if pool is not None else n_workers
+        engine = self._sharded_.get(key)
+        if engine is None:
+            engine = ShardedEngine(
+                self.to_netlist(), n_workers=n_workers, pool=pool
+            )
+            self._sharded_[key] = engine
         return engine
 
     def _close_sharded(self) -> None:
@@ -196,7 +215,17 @@ class PoETBiNClassifier:
             engine.close()
         self._sharded_ = {}
 
-    def _engine(self, n_workers: Optional[int]):
+    def _engine(
+        self,
+        n_workers: Optional[int],
+        pool: Optional["WorkerPool"] = None,
+    ):
+        if pool is not None:
+            if n_workers is not None:
+                raise ValueError(
+                    "provide at most one of n_workers and pool"
+                )
+            return self.sharded_engine(pool=pool)
         if n_workers is None or n_workers <= 1:
             return self.compiled_netlist()
         return self.sharded_engine(n_workers)
@@ -206,14 +235,16 @@ class PoETBiNClassifier:
         X_features: np.ndarray,
         batch_size: Optional[int] = None,
         n_workers: Optional[int] = None,
+        pool: Optional["WorkerPool"] = None,
     ) -> np.ndarray:
         """Intermediate bits via the bit-packed engine; matches
         :meth:`predict_intermediate` bit for bit.  ``n_workers`` shards the
-        packed words across a process pool (see
-        :class:`~repro.engine.parallel.ShardedEngine`)."""
+        packed words across a private process pool; ``pool`` shares an
+        existing :class:`~repro.engine.parallel.WorkerPool` instead (see
+        :meth:`sharded_engine`)."""
         from repro.engine import predict_in_batches
 
-        engine = self._engine(n_workers)
+        engine = self._engine(n_workers, pool)
         X_features = check_binary_matrix(X_features, "X_features")
         return predict_in_batches(engine.predict_batch, X_features, batch_size)
 
@@ -222,24 +253,25 @@ class PoETBiNClassifier:
         X_features: np.ndarray,
         batch_size: Optional[int] = None,
         n_workers: Optional[int] = None,
+        pool: Optional["WorkerPool"] = None,
     ) -> np.ndarray:
         """Predicted class labels, packed end to end.
 
         The whole serving path stays in packed words: the RINC bank is
         evaluated by the compiled netlist (sharded across ``n_workers``
-        processes when given), and its packed outputs feed the output
-        layer's popcount-based read-out directly — nothing is unpacked
-        between the RINC bank and the final scores.  The intermediate bits
-        are bit-identical to :meth:`predict_intermediate`; labels match
-        :meth:`predict` except in the measure-zero case of two classes
-        whose float scores tie within rounding ulps (the packed read-out
-        sums integers exactly, the float reference accumulates per-weight
-        rounding — see
+        private processes, or a shared ``pool``, when given), and its
+        packed outputs feed the output layer's popcount-based read-out
+        directly — nothing is unpacked between the RINC bank and the final
+        scores.  The intermediate bits are bit-identical to
+        :meth:`predict_intermediate`; labels match :meth:`predict` except
+        in the measure-zero case of two classes whose float scores tie
+        within rounding ulps (the packed read-out sums integers exactly,
+        the float reference accumulates per-weight rounding — see
         :meth:`~repro.core.output_layer.SparseQuantizedOutputLayer.decision_scores_packed`).
         """
         from repro.engine import pack_bits, predict_in_batches
 
-        engine = self._engine(n_workers)
+        engine = self._engine(n_workers, pool)
         X_features = check_binary_matrix(X_features, "X_features")
 
         def predict_chunk(chunk: np.ndarray) -> np.ndarray:
@@ -255,6 +287,7 @@ class PoETBiNClassifier:
         X_features: np.ndarray,
         batch_size: Optional[int] = None,
         n_workers: Optional[int] = None,
+        pool: Optional["WorkerPool"] = None,
     ) -> np.ndarray:
         """Per-class decision scores ``(n, nc)``, packed end to end.
 
@@ -262,12 +295,14 @@ class PoETBiNClassifier:
         :meth:`~repro.core.output_layer.SparseQuantizedOutputLayer.decision_scores_packed`,
         and ``argmax`` over them reproduces :meth:`predict_batch` — so a
         server can return labels *and* confidences from a single packed
-        evaluation instead of running the bank twice.
+        evaluation instead of running the bank twice.  ``pool`` attaches
+        the bank to a shared :class:`~repro.engine.parallel.WorkerPool`,
+        the multi-model server's configuration.
         """
         self._check_fitted()
         from repro.engine import pack_bits, predict_in_batches
 
-        engine = self._engine(n_workers)
+        engine = self._engine(n_workers, pool)
         X_features = check_binary_matrix(X_features, "X_features")
 
         def scores_chunk(chunk: np.ndarray) -> np.ndarray:

@@ -49,11 +49,17 @@ Runtime
 =======
 
 ``parallel``
-    :class:`~repro.engine.parallel.ShardedEngine` fans contiguous word
-    ranges of a packed batch out across a process pool (shared-memory IPC,
-    per-worker compiled programs) or thread pool, with a serial fallback
-    for small batches — packed 64-sample word blocks are independent, so
-    sharded results are bit-identical to serial.
+    :class:`~repro.engine.parallel.WorkerPool`, a persistent, model-agnostic
+    process (or thread) pool: netlists attach/detach by model id, workers
+    hold a per-model engine registry, and every task is a
+    ``(model_id, word_range)`` shard — so one pool serves many netlists and
+    multiple in-flight requests concurrently (shared-memory IPC, per-worker
+    compiled programs, serial fallback for small batches).
+    :class:`~repro.engine.parallel.ShardedEngine` is the per-model view —
+    ``ShardedEngine(netlist, n_workers=4)`` owns a private pool, the PR-3
+    behaviour; ``ShardedEngine(netlist, pool=shared)`` attaches to a shared
+    one.  Packed 64-sample word blocks are independent, so sharded results
+    are bit-identical to serial.
 
 ``bitpack``
     Packs an ``(n_samples, n_signals)`` 0/1 matrix into an
@@ -105,7 +111,7 @@ from repro.engine.bitpack import (
 )
 from repro.engine.compiled_netlist import CompiledNetlist, compile_netlist
 from repro.engine.ir import IRGraph, IRNode
-from repro.engine.parallel import ShardedEngine, shard_bounds
+from repro.engine.parallel import ShardedEngine, WorkerPool, shard_bounds
 from repro.engine.passes import (
     MUX_TABLE,
     ConstantFoldPass,
@@ -116,7 +122,11 @@ from repro.engine.passes import (
     default_passes,
     optimize_netlist,
 )
-from repro.engine.random_netlists import random_netlist, rinc_bank_netlist
+from repro.engine.random_netlists import (
+    random_netlist,
+    rinc_bank_netlist,
+    structured_bank_netlist,
+)
 
 __all__ = [
     "BatchedPredictorMixin",
@@ -131,6 +141,7 @@ __all__ = [
     "PassManager",
     "ShardedEngine",
     "WORD_BITS",
+    "WorkerPool",
     "coalesce_batches",
     "compile_netlist",
     "default_passes",
@@ -143,5 +154,6 @@ __all__ = [
     "rinc_bank_netlist",
     "shard_bounds",
     "split_batches",
+    "structured_bank_netlist",
     "unpack_bits",
 ]

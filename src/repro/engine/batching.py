@@ -11,8 +11,11 @@ evaluation — is served by the pack/scatter pair
 :func:`coalesce_batches` / :func:`split_batches`: the serving layer
 (:mod:`repro.serving`) stacks concurrent requests into a single matrix, runs
 the engine once, and scatters per-request slices of the result back to the
-callers.  The pair is pure array bookkeeping, usable by any batching front
-end (asyncio server, thread pool, offline scheduler).
+callers.  In the multi-model server each hosted model runs its own
+coalesce/scatter queue over this pair while sharing one
+:class:`~repro.engine.parallel.WorkerPool` underneath.  The pair itself is
+pure array bookkeeping, usable by any batching front end (asyncio server,
+thread pool, offline scheduler).
 """
 
 from __future__ import annotations

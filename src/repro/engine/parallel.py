@@ -1,32 +1,48 @@
-"""Sharded parallel execution of compiled netlists.
+"""A shared, model-agnostic worker pool for compiled LUT netlists.
 
 Packed evaluation is embarrassingly parallel across words: bit ``s % 64`` of
 word ``s // 64`` only ever combines with other bits of the *same* word, so
 any contiguous word range of the packed batch can be evaluated independently
 and the per-range outputs concatenated — bit for bit what the serial engine
-produces.  :class:`ShardedEngine` exploits that by fanning word ranges of
-``predict_batch`` out across a pool of workers.
+produces.
+
+Since PR 5 that fact is exploited by two classes instead of one:
+
+:class:`WorkerPool`
+    A standalone pool of worker processes (or threads) that is **not** bound
+    to any netlist.  Models are *attached* by id — each worker holds a
+    registry of compiled engines, built lazily per model — and every task is
+    a ``(model_id, word_range)`` shard, so one pool serves many netlists and
+    multiple in-flight requests concurrently.  This is the substrate of the
+    multi-model serving layer: one box, one pool, N models.
+
+:class:`ShardedEngine`
+    A thin per-model view over a pool.  The PR-3 constructor is preserved —
+    ``ShardedEngine(netlist, n_workers=4)`` creates a private single-model
+    pool, exactly the old behaviour — and ``ShardedEngine(netlist,
+    pool=shared)`` attaches the model to a shared pool instead.
 
 Backends
 ========
 
 ``"process"`` (default where ``fork`` is available)
-    A ``multiprocessing`` pool.  Each worker compiles its own
-    :class:`~repro.engine.compiled_netlist.CompiledNetlist` once (the
-    optimised netlist is inherited through ``fork``, not pickled) and
-    exchanges batches through ``multiprocessing.shared_memory`` buffers, so
+    A ``multiprocessing`` pool.  Workers compile their own
+    :class:`~repro.engine.compiled_netlist.CompiledNetlist` per attached
+    model (netlists attached before the fork are inherited, not pickled) and
+    exchange batches through ``multiprocessing.shared_memory`` buffers, so
     per-call IPC is a handful of integers — no pickling of sample data.
     CPython's GIL never serialises the workers.
 
 ``"thread"``
-    A ``ThreadPoolExecutor`` over per-worker engine instances (the compiled
+    A ``ThreadPoolExecutor`` over per-shard engine instances (the compiled
     engine's scratch reuse makes a single instance thread-unsafe).  NumPy
     releases the GIL inside large bitwise kernels, but the many small
     dispatches of the mux cascade still contend; this backend is the
     portable fallback, not the fast path.
 
 ``"serial"``
-    No pool at all — the serial engine, for debugging and tiny batches.
+    No pool at all — each model's serial engine, for debugging and tiny
+    batches.
 
 Batches too small to be worth splitting (fewer than
 ``min_words_per_worker`` packed words per worker) run serially whatever the
@@ -35,48 +51,75 @@ backend, so the executor is safe to leave enabled for ragged traffic.
 The fork + shared-memory contract
 =================================
 
-The process backend relies on four invariants that new contributors should
+The process backend relies on five invariants that new contributors should
 not break:
 
-1. **The netlist crosses the fork, nothing else does.**  Workers are forked
-   with the *optimised* netlist as the pool initializer argument and compile
-   their own program in ``_worker_init``; after that, per-call messages are
-   seven integers/strings (segment names and a word range).  Sample data
-   never goes through a pipe.
-2. **Batches travel through named shared memory.**  The parent owns two
-   grow-only segments (``in``/``out``); workers attach by name, wrap them in
-   ``np.ndarray`` views and write disjoint ``[lo, hi)`` column ranges of the
-   output — no locks needed because shards never overlap.
-3. **The pool is persistent.**  It is created lazily on the first sharded
-   call and then *outlives the call*: a serving layer issuing thousands of
-   small evaluations pays the fork cost once (:meth:`ShardedEngine.warm_up`
-   lets a server pay it at startup instead of on the first request).
-   Cleanup is owned by a ``weakref.finalize`` on a plain resource dict so
-   abandoned engines are reclaimed without keeping the engine alive.
-4. **Failure degrades, it does not crash.**  If ``/dev/shm`` is missing or
-   the pool dies mid-flight, the engine permanently falls back to the
-   thread backend and re-runs the batch; worker-side model errors propagate
+1. **Netlists cross the fork, samples never do.**  The pool is forked with
+   the *optimised* netlists of every model attached so far as the
+   initializer argument; workers compile each model's program lazily on its
+   first shard.  Per-call messages are a model key, two segment names and a
+   word range.  Sample data never goes through a pipe.
+2. **Models attached after the fork re-attach lazily.**  A model registered
+   once the pool is already running cannot be fork-inherited, so its
+   optimised netlist is pickled once in the parent and shipped inside each
+   task; a worker that has not seen the model unpickles and compiles it on
+   first contact, then serves from its local registry (the payload is
+   ignored thereafter).  Each shard reports its worker's pid back, and the
+   parent stops shipping the payload as soon as every worker has confirmed
+   a copy — so the per-task cost decays to the usual handful of integers
+   after the first call or two.  Detaching frees the parent's references
+   immediately; worker-side copies are reclaimed when the pool closes
+   (attach keys are unique per attach, so a stale worker copy can never
+   serve a new model).
+3. **Batches travel through named shared memory.**  The parent owns a
+   free-list of segment pairs (``in``/``out``) — one pair per concurrently
+   in-flight evaluation, leased per call under a lock — and workers attach
+   by name, wrap them in ``np.ndarray`` views and write disjoint
+   ``[lo, hi)`` column ranges of the output.  No locks are needed
+   worker-side because shards never overlap.
+4. **The pool is persistent and thread-safe.**  It is created lazily on the
+   first sharded call and then *outlives the call*: a serving layer issuing
+   thousands of small evaluations for many models pays the fork cost once
+   (:meth:`WorkerPool.warm_up` lets a server pay it at startup instead of
+   on the first request).  Concurrent :meth:`WorkerPool.run_packed` calls
+   from different threads — one per model queue in the multi-model server —
+   interleave their shards on the same workers.  Cleanup is owned by a
+   ``weakref.finalize`` on a plain resource dict so abandoned pools are
+   reclaimed without keeping the pool alive.
+5. **Failure degrades, it does not crash.**  If ``/dev/shm`` is missing or
+   the pool dies mid-flight, the pool permanently falls back to the thread
+   backend and re-runs the batch; worker-side model errors propagate
    unchanged.
 
 Usage
 =====
 
->>> with ShardedEngine(netlist, n_workers=4) as engine:
-...     labels = engine.predict_batch(X_bits)      # == serial, bit for bit
+>>> with WorkerPool(n_workers=4) as pool:
+...     a = ShardedEngine(netlist_a, pool=pool)    # multi-model serving
+...     b = ShardedEngine(netlist_b, pool=pool)
+...     labels = a.predict_batch(X_a)              # == serial, bit for bit
+...
+>>> with ShardedEngine(netlist, n_workers=4) as engine:   # single model
+...     labels = engine.predict_batch(X_bits)
 
-The executor owns OS resources (worker processes, shared memory); call
-:meth:`ShardedEngine.close` or use it as a context manager.
+Both own OS resources (worker processes, shared memory); close them or use
+context managers.  Closing a :class:`ShardedEngine` view over a shared pool
+detaches its model but leaves the pool running.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import os
+import pickle
+import threading
 import warnings
 import weakref
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -86,7 +129,7 @@ from repro.engine.compiled_netlist import CompiledNetlist
 from repro.engine.passes import optimize_netlist
 from repro.utils.validation import check_binary_matrix
 
-__all__ = ["ShardedEngine", "shard_bounds"]
+__all__ = ["ShardedEngine", "WorkerPool", "shard_bounds"]
 
 
 def shard_bounds(n_words: int, n_shards: int) -> List[Tuple[int, int]]:
@@ -103,17 +146,45 @@ def shard_bounds(n_words: int, n_shards: int) -> List[Tuple[int, int]]:
 
 # --------------------------------------------------------------------------
 # process-pool worker side.  Module-level state: each worker process holds
-# its own compiled engine and its current shared-memory attachments.
+# its model registry (optimised netlists and the engines compiled from
+# them, keyed by attach key) and its current shared-memory attachments.
 # --------------------------------------------------------------------------
 _WORKER: dict = {}
 
+#: worker-side cap on cached shared-memory attachments; the parent's
+#: free-list reuses a handful of segment pairs, so anything beyond this is
+#: a segment the parent has already replaced or unlinked
+_WORKER_SHM_CACHE = 16
 
-def _worker_init(netlist: LUTNetlist) -> None:
-    _WORKER["engine"] = CompiledNetlist.from_netlist(netlist)
+
+def _worker_init(netlists: Dict[str, LUTNetlist]) -> None:
+    _WORKER["netlists"] = dict(netlists)
+    _WORKER["engines"] = {}
     _WORKER["shm"] = {}
 
 
-def _worker_attach(name: str) -> shared_memory.SharedMemory:
+def _worker_engine(key: str, payload: Optional[bytes]) -> CompiledNetlist:
+    """This worker's compiled engine for attach key ``key`` (lazy).
+
+    Fork-inherited netlists compile on first contact; models attached after
+    the fork arrive pickled in ``payload`` and re-attach lazily.
+    """
+    engine = _WORKER["engines"].get(key)
+    if engine is None:
+        netlist = _WORKER["netlists"].get(key)
+        if netlist is None:
+            if payload is None:
+                raise RuntimeError(
+                    f"worker holds no netlist for model key {key!r}"
+                )
+            netlist = pickle.loads(payload)
+            _WORKER["netlists"][key] = netlist
+        engine = CompiledNetlist.from_netlist(netlist)
+        _WORKER["engines"][key] = engine
+    return engine
+
+
+def _worker_attach_shm(name: str) -> shared_memory.SharedMemory:
     shm = _WORKER["shm"].get(name)
     if shm is None:
         shm = shared_memory.SharedMemory(name=name)
@@ -121,58 +192,89 @@ def _worker_attach(name: str) -> shared_memory.SharedMemory:
     return shm
 
 
+def _worker_run(
+    task: Tuple[str, Optional[bytes], str, str, int, int, int, int, int],
+) -> int:
+    """Evaluate one shard; returns this worker's pid (the parent uses the
+    pid set to decide when a lazily-attached model's payload has reached
+    every worker and can stop being shipped)."""
+    key, payload, in_name, out_name, n_inputs, n_outputs, words, lo, hi = task
+    engine = _worker_engine(key, payload)
+    shm_in = _worker_attach_shm(in_name)
+    shm_out = _worker_attach_shm(out_name)
+    # buffers are grow-only, so they may be larger than this batch needs
+    packed = np.ndarray(
+        (n_inputs, words), dtype=np.uint64, buffer=shm_in.buf
+    )
+    out = np.ndarray((n_outputs, words), dtype=np.uint64, buffer=shm_out.buf)
+    out[:, lo:hi] = engine.run_packed(packed[:, lo:hi])
+    # bound the attachment cache: segments beyond the cap are ones the
+    # parent has replaced with larger buffers (a live name just re-attaches)
+    if len(_WORKER["shm"]) > _WORKER_SHM_CACHE:
+        for name in [
+            n for n in _WORKER["shm"] if n not in (in_name, out_name)
+        ]:
+            _WORKER["shm"].pop(name).close()
+    return os.getpid()
+
+
 def _release_resources(resources: dict) -> None:
     """Tear down a pool-and-shared-memory holder (idempotent).
 
     Module-level so :func:`weakref.finalize` can call it without keeping the
-    owning :class:`ShardedEngine` alive — abandoned engines are then garbage
-    collected normally and their worker processes reclaimed, while engines
+    owning :class:`WorkerPool` alive — abandoned pools are then garbage
+    collected normally and their worker processes reclaimed, while pools
     still alive at interpreter exit are cleaned up by the finalizer's
     built-in atexit hook.
     """
     pool = resources.pop("pool", None)
-    if isinstance(pool, ThreadPoolExecutor):
-        pool.shutdown(wait=True)
-    elif pool is not None:
+    if pool is not None:
         pool.terminate()
         pool.join()
-    for shm in resources.pop("shm", {}).values():
+    threads = resources.pop("thread_pool", None)
+    if threads is not None:
+        threads.shutdown(wait=True)
+    for shm in resources.pop("shm_all", []):
         try:
             shm.close()
             shm.unlink()
         except OSError:  # pragma: no cover - already gone
             pass
     resources["pool"] = None
-    resources["shm"] = {}
+    resources["thread_pool"] = None
+    resources["shm_all"] = []
+    resources["shm_free"] = []
 
 
-def _worker_run(task: Tuple[str, str, int, int, int, int, int]) -> None:
-    in_name, out_name, n_inputs, n_outputs, words, lo, hi = task
-    shm_in = _worker_attach(in_name)
-    shm_out = _worker_attach(out_name)
-    # buffers are grow-only, so they may be larger than this batch needs
-    packed = np.ndarray(
-        (n_inputs, words), dtype=np.uint64, buffer=shm_in.buf
-    )
-    out = np.ndarray((n_outputs, words), dtype=np.uint64, buffer=shm_out.buf)
-    out[:, lo:hi] = _WORKER["engine"].run_packed(packed[:, lo:hi])
-    # drop attachments the parent has since replaced with larger buffers
-    for name in [n for n in _WORKER["shm"] if n not in (in_name, out_name)]:
-        _WORKER["shm"].pop(name).close()
+@dataclass
+class _PoolModel:
+    """Parent-side record of one attached model."""
+
+    model_id: str
+    #: unique per attach — a re-attached id never aliases a stale worker copy
+    key: str
+    netlist: LUTNetlist
+    serial: CompiledNetlist
+    #: pickled optimised netlist for lazy re-attach; ``None`` when the
+    #: netlist is (or will be, at the fork) fork-inherited, and cleared
+    #: again once every worker has confirmed compiling its copy
+    payload: Optional[bytes] = None
+    #: pids of workers that have executed a shard for this model while the
+    #: payload was live — at ``n_workers`` distinct pids the payload drops
+    confirmed_pids: set = field(default_factory=set)
+    #: free-list of thread-backend engine instances (scratch is not
+    #: thread-safe, so concurrent shards each lease their own)
+    thread_engines: List[CompiledNetlist] = field(default_factory=list)
 
 
-class ShardedEngine:
-    """Evaluate a LUT netlist in parallel word shards, bit-exactly.
+class WorkerPool:
+    """A persistent, model-agnostic pool executing ``(model, words)`` shards.
 
     Parameters
     ----------
-    netlist:
-        The netlist to serve.  The optimisation pipeline (see
-        :func:`~repro.engine.passes.optimize_netlist`) runs once here; all
-        workers execute the same optimised program.
     n_workers:
         Shard count; defaults to the CPU count.  ``1`` degenerates to the
-        serial engine.
+        serial engine for every model.
     backend:
         ``"process"``, ``"thread"`` or ``"serial"``; ``None`` picks
         ``"process"`` where ``fork`` is available, else ``"thread"``.
@@ -180,16 +282,20 @@ class ShardedEngine:
         Batches with fewer packed words than ``n_workers *
         min_words_per_worker`` run serially — below that, pool latency
         dominates any parallel win.
+
+    Models are attached with :meth:`attach` (the optimisation pipeline runs
+    once, in the parent) and evaluated with :meth:`run_packed`; concurrent
+    calls for different models are allowed and interleave their shards on
+    the same workers.
     """
+
+    _auto_ids = itertools.count()
 
     def __init__(
         self,
-        netlist: LUTNetlist,
         n_workers: Optional[int] = None,
         backend: Optional[str] = None,
         *,
-        passes: Optional[Sequence] = None,
-        max_lut_inputs: Optional[int] = None,
         min_words_per_worker: int = 4,
     ) -> None:
         if backend not in (None, "process", "thread", "serial"):
@@ -198,10 +304,6 @@ class ShardedEngine:
             raise ValueError("n_workers must be positive")
         if min_words_per_worker <= 0:
             raise ValueError("min_words_per_worker must be positive")
-        self._netlist = optimize_netlist(
-            netlist, passes=passes, max_lut_inputs=max_lut_inputs
-        )
-        self._serial = CompiledNetlist.from_netlist(self._netlist)
         self.n_workers = n_workers or os.cpu_count() or 1
         if backend is None:
             backend = (
@@ -213,76 +315,181 @@ class ShardedEngine:
             backend = "serial"
         self.backend = backend
         self.min_words_per_worker = min_words_per_worker
+        self._models: Dict[str, _PoolModel] = {}
+        self._attach_seq = itertools.count()
+        # One lock guards pool creation, the shm free-list and the model
+        # registry; evaluation itself (pool.map / executor.submit) runs
+        # outside it, so concurrent multi-model calls overlap fully.
+        self._lock = threading.Lock()
         # The lazily created pool and shared-memory segments live in a plain
         # dict so the finalizer below can release them without referencing
-        # (and thereby immortalising) the engine itself.
-        self._resources: dict = {"pool": None, "shm": {}}
-        self._thread_engines: List[CompiledNetlist] = []
+        # (and thereby immortalising) the pool object itself.
+        self._resources: dict = {
+            "pool": None,
+            "thread_pool": None,
+            "shm_all": [],
+            "shm_free": [],
+        }
         self._closed = False
         self._finalizer = weakref.finalize(
             self, _release_resources, self._resources
         )
 
-    # ------------------------------------------------------------ properties
-    @property
-    def n_primary_inputs(self) -> int:
-        return self._serial.n_primary_inputs
+    # -------------------------------------------------------- model registry
+    def attach(
+        self,
+        model_id: Optional[str],
+        netlist: LUTNetlist,
+        *,
+        passes: Optional[Sequence] = None,
+        max_lut_inputs: Optional[int] = None,
+    ) -> str:
+        """Register ``netlist`` under ``model_id`` and return the id.
 
-    @property
-    def n_outputs(self) -> int:
-        return self._serial.n_outputs
-
-    @property
-    def serial_engine(self) -> CompiledNetlist:
-        """The single-threaded engine all shards are bit-identical to."""
-        return self._serial
-
-    @property
-    def _pool(self):
-        return self._resources["pool"]
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"ShardedEngine({self.n_workers} x {self.backend}, "
-            f"{self._serial.n_nodes} LUTs)"
+        The optimisation pipeline (see
+        :func:`~repro.engine.passes.optimize_netlist`) runs once here; all
+        workers execute the same optimised program.  ``model_id=None``
+        generates a unique one.  Attaching an id that is already attached
+        raises — detach first (re-attaching then gets a fresh worker-side
+        key, so stale worker copies can never serve the new model).
+        """
+        self._check_open()
+        if model_id is not None and (
+            not isinstance(model_id, str) or not model_id
+        ):
+            raise ValueError("model_id must be a non-empty string")
+        optimized = optimize_netlist(
+            netlist, passes=passes, max_lut_inputs=max_lut_inputs
+        )
+        entry = _PoolModel(
+            model_id="",  # assigned under the lock below
+            key=f"#{next(self._attach_seq)}",
+            netlist=optimized,
+            serial=CompiledNetlist.from_netlist(optimized),
         )
 
-    def warm_up(self) -> "ShardedEngine":
+        def insert() -> bool:
+            """Register under the lock; False when the forked pool needs a
+            payload first (pickled *outside* the lock — it can be large,
+            and this lock also gates every other model's evaluations)."""
+            if entry.model_id != model_id and model_id is not None:
+                entry.model_id = model_id
+            if model_id is None:
+                while True:
+                    entry.model_id = f"model-{next(self._auto_ids)}"
+                    if entry.model_id not in self._models:
+                        break
+            elif model_id in self._models:
+                raise ValueError(f"model {model_id!r} is already attached")
+            if self._resources["pool"] is not None and entry.payload is None:
+                return False  # forked: lazy re-attach, payload required
+            self._models[entry.model_id] = entry
+            return True
+
+        with self._lock:
+            inserted = insert()
+        if not inserted:
+            entry.payload = pickle.dumps(optimized)
+            with self._lock:
+                insert()
+        return entry.model_id
+
+    def detach(self, model_id: str) -> None:
+        """Drop a model from the registry (its in-flight calls complete)."""
+        with self._lock:
+            self._models.pop(model_id, None)
+
+    @property
+    def model_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._models)
+
+    def _entry(self, model_id: str) -> _PoolModel:
+        with self._lock:
+            entry = self._models.get(model_id)
+        if entry is None:
+            raise KeyError(
+                f"model {model_id!r} is not attached to this WorkerPool "
+                f"(attached: {sorted(self.model_ids)})"
+            )
+        return entry
+
+    def serial_engine(self, model_id: str) -> CompiledNetlist:
+        """The single-threaded engine all of a model's shards match."""
+        return self._entry(model_id).serial
+
+    def optimized_netlist(self, model_id: str) -> LUTNetlist:
+        """The post-pipeline netlist the pool serves for ``model_id``."""
+        return self._entry(model_id).netlist
+
+    # ------------------------------------------------------------- lifecycle
+    def warm_up(self) -> "WorkerPool":
         """Start the worker pool now instead of on the first sharded call.
 
-        Long-lived servers call this once at startup so the fork cost (and
-        the first shared-memory allocation) is paid before traffic arrives
-        rather than inside the first request's latency budget.  No-op for
-        the serial backend and after fallback to threads.
+        Long-lived servers call this once at startup (after attaching their
+        models) so the fork cost is paid before traffic arrives rather than
+        inside the first request's latency budget — and so every model
+        attached so far is fork-inherited instead of lazily re-shipped.
+        No-op for the serial backend and after fallback to threads.
         """
         self._check_open()
         if self.backend == "process":
             try:
                 self._ensure_process_pool()
             except (OSError, mp.ProcessError) as error:
-                warnings.warn(
-                    f"ShardedEngine warm-up failed ({error!r}); "
-                    "falling back to the thread backend",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                _release_resources(self._resources)
-                self.backend = "thread"
+                self._fall_back_to_threads(error, stacklevel=3)
         return self
 
+    def close(self) -> None:
+        """Shut down workers and release shared memory (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            # flagged under the lock: an in-flight fallback checks it there
+            # before creating an executor, so nothing can repopulate the
+            # resources dict after the finalizer below has released it
+            self._closed = True
+        self._finalizer()
+        with self._lock:
+            self._models = {}
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this WorkerPool has been closed")
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerPool({self.n_workers} x {self.backend}, "
+            f"{len(self._models)} models)"
+        )
+
     # ------------------------------------------------------------ evaluation
-    def run_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
-        """Sharded counterpart of ``CompiledNetlist.run_packed``."""
-        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
-        if (
-            packed_inputs.ndim != 2
-            or packed_inputs.shape[0] != self.n_primary_inputs
-        ):
-            raise ValueError(
-                f"packed_inputs must have shape ({self.n_primary_inputs}, "
-                f"n_words), got {packed_inputs.shape}"
-            )
+    def run_packed(
+        self, model_id: str, packed_inputs: np.ndarray
+    ) -> np.ndarray:
+        """Sharded ``CompiledNetlist.run_packed`` for one attached model.
+
+        Thread-safe: the serving layer calls this concurrently from one
+        executor thread per model queue.  (Per *model*, callers must
+        serialise their own calls on the serial path — each model's serial
+        engine reuses scratch buffers, which is exactly the discipline the
+        per-model batching queue already enforces.)
+        """
         self._check_open()
+        entry = self._entry(model_id)
+        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        n_inputs = entry.serial.n_primary_inputs
+        if packed_inputs.ndim != 2 or packed_inputs.shape[0] != n_inputs:
+            raise ValueError(
+                f"packed_inputs for model {model_id!r} must have shape "
+                f"({n_inputs}, n_words), got {packed_inputs.shape}"
+            )
         words = packed_inputs.shape[1]
         bounds = shard_bounds(words, self.n_workers) if words else []
         if (
@@ -290,21 +497,360 @@ class ShardedEngine:
             or len(bounds) <= 1
             or words < self.n_workers * self.min_words_per_worker
         ):
-            return self._serial.run_packed(packed_inputs)
+            return entry.serial.run_packed(packed_inputs)
         if self.backend == "process":
-            return self._run_process(packed_inputs, bounds)
-        return self._run_thread(packed_inputs, bounds)
+            return self._run_process(entry, packed_inputs, bounds)
+        return self._run_thread(entry, packed_inputs, bounds)
+
+    def evaluate_outputs(self, model_id: str, X_bits: np.ndarray) -> np.ndarray:
+        """Bit-exact sharded ``LUTNetlist.evaluate_outputs`` for one model."""
+        entry = self._entry(model_id)
+        X_bits = check_binary_matrix(X_bits, "X_bits")
+        if X_bits.shape[1] != entry.serial.n_primary_inputs:
+            raise ValueError(
+                f"model {model_id!r} expects "
+                f"{entry.serial.n_primary_inputs} primary inputs, "
+                f"got {X_bits.shape[1]}"
+            )
+        out = self.run_packed(model_id, pack_bits(X_bits))
+        return unpack_bits(out, X_bits.shape[0])
+
+    # ------------------------------------------------------- process backend
+    def _run_process(
+        self,
+        entry: _PoolModel,
+        packed: np.ndarray,
+        bounds: List[Tuple[int, int]],
+    ) -> np.ndarray:
+        words = packed.shape[1]
+        n_inputs = entry.serial.n_primary_inputs
+        n_outputs = entry.serial.n_outputs
+        try:
+            pool = self._ensure_process_pool()
+            pair = self._lease_shm(n_inputs * words * 8, n_outputs * words * 8)
+            try:
+                shm_in, shm_out = pair
+                view_in = np.ndarray(
+                    packed.shape, dtype=np.uint64, buffer=shm_in.buf
+                )
+                view_in[:] = packed
+                tasks = [
+                    (
+                        entry.key,
+                        entry.payload,
+                        shm_in.name,
+                        shm_out.name,
+                        n_inputs,
+                        n_outputs,
+                        words,
+                        lo,
+                        hi,
+                    )
+                    for lo, hi in bounds
+                ]
+                worker_pids = pool.map(_worker_run, tasks)
+                if entry.payload is not None:
+                    # lazy re-attach bookkeeping: once every worker has
+                    # compiled this model, stop shipping the payload
+                    with self._lock:
+                        entry.confirmed_pids.update(worker_pids)
+                        if len(entry.confirmed_pids) >= self.n_workers:
+                            entry.payload = None
+                view_out = np.ndarray(
+                    (n_outputs, words), dtype=np.uint64, buffer=shm_out.buf
+                )
+                return view_out.copy()
+            finally:
+                self._return_shm(pair)
+        except (OSError, mp.ProcessError) as error:
+            # no /dev/shm, fork refused, pool died mid-flight: degrade to
+            # threads permanently rather than failing the prediction.
+            # Worker-side model errors (ValueError etc.) propagate as-is.
+            self._fall_back_to_threads(error, stacklevel=4)
+            return self._run_thread(entry, packed, bounds)
+        except ValueError:
+            # a concurrent call's fallback may have terminated the pool
+            # under us, which surfaces as ValueError("Pool not running");
+            # only then is this a degrade-don't-crash case — a ValueError
+            # with the pool still registered is a worker-side model error
+            # and must propagate
+            with self._lock:
+                pool_gone = self._resources["pool"] is None
+            if not pool_gone:
+                raise
+            return self._run_thread(entry, packed, bounds)
+
+    def _fall_back_to_threads(self, error: BaseException, stacklevel: int) -> None:
+        warnings.warn(
+            f"WorkerPool process backend failed ({error!r}); "
+            "falling back to the thread backend",
+            RuntimeWarning,
+            stacklevel=stacklevel,
+        )
+        with self._lock:
+            self.backend = "thread"
+            pool = self._resources["pool"]
+            self._resources["pool"] = None
+            # the thread backend never leases shared memory again: unlink
+            # the free pairs now; pairs still leased by concurrent calls
+            # are unlinked when returned (see _return_shm)
+            stale = self._resources["shm_free"]
+            self._resources["shm_free"] = []
+            for shm_pair in stale:
+                for shm in shm_pair:
+                    self._resources["shm_all"].remove(shm)
+        for shm_pair in stale:
+            for shm in shm_pair:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def _ensure_process_pool(self):
+        with self._lock:
+            if self._resources["pool"] is None:
+                # Start the shared-memory resource tracker *before* forking,
+                # so every worker inherits it: attachments then deduplicate
+                # into one tracker cache entry that the parent's unlink
+                # retires, instead of each worker spawning a tracker that
+                # warns about "leaked" segments it never owned at shutdown.
+                try:  # pragma: no cover - private but stable since 3.8
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.ensure_running()
+                except Exception:
+                    pass
+                inherited = {
+                    entry.key: entry.netlist
+                    for entry in self._models.values()
+                }
+                ctx = mp.get_context("fork")
+                self._resources["pool"] = ctx.Pool(
+                    self.n_workers,
+                    initializer=_worker_init,
+                    initargs=(inherited,),
+                )
+                # everything in the snapshot is now fork-inherited
+                for entry in self._models.values():
+                    entry.payload = None
+            return self._resources["pool"]
+
+    def _lease_shm(
+        self, in_bytes: int, out_bytes: int
+    ) -> Tuple[shared_memory.SharedMemory, shared_memory.SharedMemory]:
+        """Borrow an (in, out) segment pair big enough for one evaluation.
+
+        Pairs live on a free-list so concurrent evaluations never share a
+        buffer; too-small pairs are retired (workers drop their stale
+        attachments via the bounded cache) and replaced with 2x headroom so
+        ragged batch sizes don't reallocate every call.
+        """
+        in_bytes, out_bytes = max(in_bytes, 8), max(out_bytes, 8)
+        with self._lock:
+            free = self._resources["shm_free"]
+            for index, (shm_in, shm_out) in enumerate(free):
+                if shm_in.size >= in_bytes and shm_out.size >= out_bytes:
+                    return free.pop(index)
+            if free:
+                # retire the smallest stale pair rather than accumulating
+                smallest = min(
+                    free, key=lambda pair: pair[0].size + pair[1].size
+                )
+                free.remove(smallest)
+                for shm in smallest:
+                    self._resources["shm_all"].remove(shm)
+                    shm.close()
+                    shm.unlink()
+            pair = (
+                shared_memory.SharedMemory(create=True, size=in_bytes * 2),
+                shared_memory.SharedMemory(create=True, size=out_bytes * 2),
+            )
+            self._resources["shm_all"].extend(pair)
+            return pair
+
+    def _return_shm(self, pair) -> None:
+        with self._lock:
+            # re-list only while the process backend is alive and the pair
+            # still tracked; after a fallback (or close) the lease is the
+            # last reference, so retire the segments instead of hoarding
+            if (
+                self.backend == "process"
+                and not self._closed
+                and pair[0] in self._resources["shm_all"]
+            ):
+                self._resources["shm_free"].append(pair)
+                return
+            for shm in pair:
+                if shm in self._resources["shm_all"]:
+                    self._resources["shm_all"].remove(shm)
+        for shm in pair:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    # -------------------------------------------------------- thread backend
+    def _run_thread(
+        self,
+        entry: _PoolModel,
+        packed: np.ndarray,
+        bounds: List[Tuple[int, int]],
+    ) -> np.ndarray:
+        with self._lock:
+            # checked under the lock so a close() racing an in-flight
+            # fallback cannot have its released resources repopulated with
+            # an executor nothing would ever shut down
+            if self._closed:
+                raise RuntimeError("this WorkerPool has been closed")
+            if self._resources["thread_pool"] is None:
+                self._resources["thread_pool"] = ThreadPoolExecutor(
+                    max_workers=self.n_workers
+                )
+            executor = self._resources["thread_pool"]
+            engines = []
+            for _ in bounds:
+                if entry.thread_engines:
+                    engines.append(entry.thread_engines.pop())
+                else:
+                    engines.append(None)
+        for index, engine in enumerate(engines):
+            if engine is None:  # compile outside the lock
+                engines[index] = CompiledNetlist.from_netlist(entry.netlist)
+        futures = [
+            executor.submit(engines[i].run_packed, packed[:, lo:hi])
+            for i, (lo, hi) in enumerate(bounds)
+        ]
+        # every future must be consumed before the engines go back on the
+        # free-list: returning them while a sibling shard still runs would
+        # let a concurrent call lease an engine mid-execution and share its
+        # scratch buffers (silently wrong output)
+        results, first_error = [], None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+        with self._lock:
+            entry.thread_engines.extend(engines)
+        if first_error is not None:
+            raise first_error
+        return np.concatenate(results, axis=1)
+
+
+class ShardedEngine:
+    """A per-model view over a :class:`WorkerPool` — bit-exact vs serial.
+
+    Parameters
+    ----------
+    netlist:
+        The netlist to serve; optimised once at attach time.
+    n_workers, backend, min_words_per_worker:
+        Forwarded to the private pool (ignored when ``pool`` is given —
+        those are pool-level knobs).
+    passes, max_lut_inputs:
+        Optimisation-pipeline options for *this model*.
+    pool:
+        A shared :class:`WorkerPool` to attach to.  ``None`` (the PR-3
+        behaviour) creates a private single-model pool that this engine
+        owns and closes.
+    model_id:
+        The id to attach under (``None`` generates one).
+
+    Closing a view over a shared pool detaches the model and leaves the
+    pool running; closing an engine that owns its pool shuts the pool down.
+    """
+
+    def __init__(
+        self,
+        netlist: LUTNetlist,
+        n_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        *,
+        passes: Optional[Sequence] = None,
+        max_lut_inputs: Optional[int] = None,
+        min_words_per_worker: int = 4,
+        pool: Optional[WorkerPool] = None,
+        model_id: Optional[str] = None,
+    ) -> None:
+        if pool is None:
+            pool = WorkerPool(
+                n_workers=n_workers,
+                backend=backend,
+                min_words_per_worker=min_words_per_worker,
+            )
+            self._owns_pool = True
+        else:
+            self._owns_pool = False
+        self.pool = pool
+        self.model_id = pool.attach(
+            model_id, netlist, passes=passes, max_lut_inputs=max_lut_inputs
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_workers(self) -> int:
+        return self.pool.n_workers
+
+    @property
+    def backend(self) -> str:
+        return self.pool.backend
+
+    @property
+    def min_words_per_worker(self) -> int:
+        return self.pool.min_words_per_worker
+
+    @property
+    def _netlist(self) -> LUTNetlist:
+        return self.pool.optimized_netlist(self.model_id)
+
+    @property
+    def serial_engine(self) -> CompiledNetlist:
+        """The single-threaded engine all shards are bit-identical to."""
+        return self.pool.serial_engine(self.model_id)
+
+    @property
+    def n_primary_inputs(self) -> int:
+        return self.serial_engine.n_primary_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.serial_engine.n_outputs
+
+    @property
+    def _pool(self):
+        """The raw OS pool, if one has been created (None before first use)."""
+        resources = self.pool._resources
+        return resources["pool"] or resources["thread_pool"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine({self.model_id!r} on {self.n_workers} x "
+            f"{self.backend}, {self.serial_engine.n_nodes} LUTs)"
+        )
+
+    def warm_up(self) -> "ShardedEngine":
+        """Start the underlying pool now (see :meth:`WorkerPool.warm_up`)."""
+        self._check_open()
+        self.pool.warm_up()
+        return self
+
+    # ------------------------------------------------------------ evaluation
+    def run_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Sharded counterpart of ``CompiledNetlist.run_packed``."""
+        self._check_open()
+        return self.pool.run_packed(self.model_id, packed_inputs)
 
     def evaluate_outputs(self, X_bits: np.ndarray) -> np.ndarray:
         """Bit-exact sharded counterpart of ``LUTNetlist.evaluate_outputs``."""
-        X_bits = check_binary_matrix(X_bits, "X_bits")
-        if X_bits.shape[1] != self.n_primary_inputs:
-            raise ValueError(
-                f"expected {self.n_primary_inputs} primary inputs, "
-                f"got {X_bits.shape[1]}"
-            )
-        out = self.run_packed(pack_bits(X_bits))
-        return unpack_bits(out, X_bits.shape[0])
+        self._check_open()
+        return self.pool.evaluate_outputs(self.model_id, X_bits)
 
     def predict_batch(
         self, X_bits: np.ndarray, batch_size: Optional[int] = None
@@ -314,116 +860,20 @@ class ShardedEngine:
 
         return predict_in_batches(self.evaluate_outputs, X_bits, batch_size)
 
-    # ------------------------------------------------------- process backend
-    def _run_process(
-        self, packed: np.ndarray, bounds: List[Tuple[int, int]]
-    ) -> np.ndarray:
-        try:
-            pool = self._ensure_process_pool()
-            words = packed.shape[1]
-            shm_in = self._ensure_shm("in", self.n_primary_inputs * words * 8)
-            shm_out = self._ensure_shm("out", self.n_outputs * words * 8)
-            view_in = np.ndarray(
-                packed.shape, dtype=np.uint64, buffer=shm_in.buf
-            )
-            view_in[:] = packed
-            tasks = [
-                (
-                    shm_in.name,
-                    shm_out.name,
-                    self.n_primary_inputs,
-                    self.n_outputs,
-                    words,
-                    lo,
-                    hi,
-                )
-                for lo, hi in bounds
-            ]
-            pool.map(_worker_run, tasks)
-            view_out = np.ndarray(
-                (self.n_outputs, words), dtype=np.uint64, buffer=shm_out.buf
-            )
-            return view_out.copy()
-        except (OSError, mp.ProcessError) as error:
-            # no /dev/shm, fork refused, pool died mid-flight: degrade to
-            # threads permanently rather than failing the prediction.
-            # Worker-side model errors (ValueError etc.) propagate as-is.
-            warnings.warn(
-                f"ShardedEngine process backend failed ({error!r}); "
-                "falling back to the thread backend",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            _release_resources(self._resources)
-            self.backend = "thread"
-            return self._run_thread(packed, bounds)
-
-    def _ensure_process_pool(self):
-        if self._resources["pool"] is None:
-            # Start the shared-memory resource tracker *before* forking, so
-            # every worker inherits it: attachments then deduplicate into
-            # one tracker cache entry that the parent's unlink retires,
-            # instead of each worker spawning a tracker that warns about
-            # "leaked" segments it never owned when the pool shuts down.
-            try:  # pragma: no cover - private but stable since 3.8
-                from multiprocessing import resource_tracker
-
-                resource_tracker.ensure_running()
-            except Exception:
-                pass
-            ctx = mp.get_context("fork")
-            self._resources["pool"] = ctx.Pool(
-                self.n_workers,
-                initializer=_worker_init,
-                initargs=(self._netlist,),
-            )
-        return self._resources["pool"]
-
-    def _ensure_shm(self, role: str, n_bytes: int) -> shared_memory.SharedMemory:
-        n_bytes = max(n_bytes, 8)
-        current = self._resources["shm"].get(role)
-        if current is not None and current.size >= n_bytes:
-            return current
-        if current is not None:
-            current.close()
-            current.unlink()
-        # grow-only with headroom, so ragged batch sizes don't reallocate
-        shm = shared_memory.SharedMemory(create=True, size=n_bytes * 2)
-        self._resources["shm"][role] = shm
-        return shm
-
-    # -------------------------------------------------------- thread backend
-    def _run_thread(
-        self, packed: np.ndarray, bounds: List[Tuple[int, int]]
-    ) -> np.ndarray:
-        if not isinstance(self._resources["pool"], ThreadPoolExecutor):
-            _release_resources(self._resources)
-            self._resources["pool"] = ThreadPoolExecutor(
-                max_workers=self.n_workers
-            )
-        while len(self._thread_engines) < len(bounds):
-            self._thread_engines.append(
-                CompiledNetlist.from_netlist(self._netlist)
-            )
-        pool = self._resources["pool"]
-        futures = [
-            pool.submit(self._thread_engines[i].run_packed, packed[:, lo:hi])
-            for i, (lo, hi) in enumerate(bounds)
-        ]
-        return np.concatenate([f.result() for f in futures], axis=1)
-
     # --------------------------------------------------------------- cleanup
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("this ShardedEngine has been closed")
 
     def close(self) -> None:
-        """Shut down worker pools and release shared memory (idempotent)."""
+        """Detach the model; shut the pool down too if this engine owns it."""
         if self._closed:
             return
         self._closed = True
-        self._finalizer()
-        self._thread_engines = []
+        if self._owns_pool:
+            self.pool.close()
+        else:
+            self.pool.detach(self.model_id)
 
     def __enter__(self) -> "ShardedEngine":
         return self

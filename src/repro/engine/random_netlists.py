@@ -1,9 +1,19 @@
 """Randomised LUT netlists for equivalence testing and benchmarking.
 
-The generator produces DAGs with the same shape family the RINC bank emits —
-layers of LUT nodes reading primary inputs and earlier nodes — but with
-uniformly random truth tables and wiring, which exercises the compiled
-engine far more adversarially than trained netlists do.
+Two table families, two purposes:
+
+* :func:`random_netlist` / :func:`rinc_bank_netlist` draw *uniformly random*
+  truth tables — the optimiser's adversarial worst case (a uniformly random
+  ``P``-input table almost surely depends on all ``P`` inputs, so folding
+  and support reduction can prune nothing).  These exercise the compiled
+  engine's raw evaluation cost.
+* :func:`structured_bank_netlist` draws *trained-shaped* tables — bounded
+  depth decision trees for the RINC-0 level (a depth-``d`` tree touches at
+  most ``2^d - 1`` of its ``P`` inputs, so support reduction shrinks the
+  Shannon cascade) and popcount thresholds for the MAT levels (the boosted
+  majority votes RINC actually learns).  This is the serving-shaped
+  workload the optimiser is measured on: folding prunes hard here, as it
+  does on real trained banks, and the benchmark gates keep it honest.
 """
 
 from __future__ import annotations
@@ -64,6 +74,100 @@ def random_netlist(
         netlist.mark_output(sig)
     if n_outputs is None and rng.random() < 0.5:
         netlist.mark_output(primary_input(int(rng.integers(n_primary_inputs))))
+    return netlist
+
+
+def _threshold_table(n_inputs: int, threshold: int) -> np.ndarray:
+    """Truth table of ``popcount(inputs) >= threshold`` — a MAT-style vote."""
+    index = np.arange(1 << n_inputs, dtype=np.uint32)
+    popcount = np.zeros_like(index)
+    for bit in range(n_inputs):
+        popcount += (index >> bit) & 1
+    return (popcount >= threshold).astype(np.uint8)
+
+
+def _tree_table(rng, n_inputs: int, depth: int) -> np.ndarray:
+    """Truth table of a random decision tree of at most ``depth`` levels.
+
+    Built bottom-up over the full ``2^P`` index space: a leaf is a constant,
+    an internal node muxes two subtrees on a randomly chosen input.  The
+    tree touches at most ``2^depth - 1`` distinct inputs (fewer when choices
+    repeat), so the table's *support* is far below ``P`` — the structure
+    support reduction exists to exploit.
+    """
+    if depth <= 0:
+        return np.full(1 << n_inputs, rng.integers(0, 2), dtype=np.uint8)
+    variable = int(rng.integers(n_inputs))
+    low = _tree_table(rng, n_inputs, depth - 1)
+    high = _tree_table(rng, n_inputs, depth - 1)
+    takes_high = ((np.arange(1 << n_inputs) >> variable) & 1).astype(bool)
+    return np.where(takes_high, high, low).astype(np.uint8)
+
+
+def structured_bank_netlist(
+    n_primary_inputs: int,
+    n_trees: int,
+    n_mats: int,
+    n_outputs: int,
+    lut_width: int = 6,
+    tree_depth: int = 2,
+    seed: SeedLike = 0,
+) -> LUTNetlist:
+    """A RINC-bank-shaped netlist with *trained-shaped* tables.
+
+    Same three-level topology as :func:`rinc_bank_netlist`, but the tables
+    have the structure training actually produces: RINC-0 tree LUTs are
+    bounded-depth decision trees (low support — the classic trained-tree
+    shape), and both MAT levels are popcount thresholds over their inputs
+    (the boosted majority vote).  Random banks are the optimiser's
+    adversarial floor; this is its representative workload — constant
+    leaves fold away, low-support tables shrink their Shannon cascades, and
+    the pruning cascades level to level.
+    """
+    if min(n_trees, n_mats, n_outputs) <= 0:
+        raise ValueError("n_trees, n_mats and n_outputs must be positive")
+    if not 1 <= lut_width <= min(n_primary_inputs, n_trees, n_mats):
+        raise ValueError("lut_width must fit every level's fan-in")
+    if tree_depth < 0:
+        raise ValueError("tree_depth must be non-negative")
+    rng = as_rng(seed)
+
+    def threshold() -> int:
+        return int(rng.integers(1, lut_width + 1))
+
+    netlist = LUTNetlist(n_primary_inputs=n_primary_inputs)
+    trees = []
+    for index in range(n_trees):
+        chosen = rng.choice(n_primary_inputs, size=lut_width, replace=False)
+        trees.append(
+            netlist.add_node(
+                f"t{index}",
+                "rinc0",
+                [primary_input(int(i)) for i in chosen],
+                _tree_table(rng, lut_width, tree_depth),
+            )
+        )
+    mats = []
+    for index in range(n_mats):
+        chosen = rng.choice(n_trees, size=lut_width, replace=False)
+        mats.append(
+            netlist.add_node(
+                f"m{index}",
+                "mat",
+                [trees[i] for i in chosen],
+                _threshold_table(lut_width, threshold()),
+            )
+        )
+    for index in range(n_outputs):
+        chosen = rng.choice(n_mats, size=lut_width, replace=False)
+        netlist.mark_output(
+            netlist.add_node(
+                f"o{index}",
+                "mat",
+                [mats[i] for i in chosen],
+                _threshold_table(lut_width, threshold()),
+            )
+        )
     return netlist
 
 

@@ -1,15 +1,18 @@
-"""``repro.serving`` — an async batching server for packed PoET-BiN inference.
+"""``repro.serving`` — a multi-model async batching server for packed PoET-BiN inference.
 
 The engine (:mod:`repro.engine`) answers "how fast can one big batch go";
-this package answers the serving question: *many small concurrent requests*
-sharing one packed evaluation.  The pieces, bottom-up:
+this package answers the serving question: *many small concurrent requests,
+for many hosted models*, sharing one worker pool.  The pieces, bottom-up:
 
 ``protocol``
-    Length-prefixed JSON framing with async and blocking transports.
+    Length-prefixed JSON framing with async and blocking transports; every
+    request may carry a ``model`` field.
 
 ``stats``
     :class:`~repro.serving.stats.ServerStats` — p50/p95/p99 latency,
-    batch-occupancy histogram, queue depth high-water mark, shed counts.
+    batch-occupancy histogram, queue depth high-water mark, shed counts —
+    one per model, plus :func:`~repro.serving.stats.render_stats_text`,
+    the Prometheus-style scrape rendering behind the ``stats_text`` op.
 
 ``queue``
     :class:`~repro.serving.queue.BatchingQueue` — the coalescing core.
@@ -17,29 +20,47 @@ sharing one packed evaluation.  The pieces, bottom-up:
     one matrix, evaluated once, and scattered back; admission control sheds
     past ``max_queue`` with the typed
     :class:`~repro.serving.queue.ServerOverloadedError`.
+    :class:`~repro.serving.queue.AdmissionBudget` adds the *shared* bound a
+    multi-model server needs: total in-flight samples across every queue.
+
+``registry``
+    :class:`~repro.serving.registry.ModelRegistry` — model name → (queue,
+    stats, scores-mode), with a default model and the typed
+    :class:`~repro.serving.registry.ModelNotFoundError` for unknown names.
 
 ``server``
-    :class:`~repro.serving.server.InferenceServer` — the TCP front end; all
-    connections feed the one queue, so socket concurrency becomes batch
-    occupancy.  :class:`~repro.serving.server.BackgroundServer` hosts it on
-    a dedicated event-loop thread for blocking callers.
+    :class:`~repro.serving.server.InferenceServer` — the TCP front end; each
+    connection's requests route to their model's queue, so socket
+    concurrency becomes per-model batch occupancy while one shared
+    :class:`~repro.engine.parallel.WorkerPool` (pass ``pool=``) carries
+    every model's sharded evaluation.
+    :class:`~repro.serving.server.BackgroundServer` hosts it on a dedicated
+    event-loop thread for blocking callers.
 
 ``client``
     :class:`~repro.serving.client.ServingClient` — a blocking connection
-    with typed error mapping.
+    with typed error mapping, per-request model routing and opt-in
+    :class:`~repro.serving.retry.RetryPolicy` backoff.
 
-Quickstart (blocking side)::
+Quickstart (blocking side, two models on one pool)::
 
+    from repro.engine import WorkerPool
     from repro.serving import BackgroundServer, InferenceServer, ServingClient
 
-    server = InferenceServer.for_model(clf, n_workers=4, max_batch=64)
+    pool = WorkerPool(n_workers=4)
+    server = InferenceServer(max_batch=64, max_total_queue=4096,
+                             warm_up=pool.warm_up)
+    server.register_model("digits", model=digits_clf, pool=pool)
+    server.register_model("svhn", model=svhn_clf, pool=pool, max_batch=128)
     with BackgroundServer(server) as handle:
         with ServingClient(*handle.address) as client:
-            labels = client.predict(feature_rows)
-            print(client.stats()["latency_us"])
+            labels = client.predict(rows)                    # default model
+            labels = client.predict(svhn_rows, model="svhn")
+            print(client.stats(model="svhn")["latency_us"])
 
 See ``docs/serving.md`` for the knobs and their failure semantics, and
-``benchmarks/test_serving_latency.py`` for the coalescing win this buys.
+``benchmarks/test_serving_latency.py`` for the coalescing and multi-model
+wins this buys.
 """
 
 from repro.serving.client import ServingClient
@@ -53,21 +74,33 @@ from repro.serving.protocol import (
     write_message,
 )
 from repro.serving.queue import (
+    AdmissionBudget,
     BadRequestError,
     BatchingQueue,
     ServerOverloadedError,
     ServingError,
 )
+from repro.serving.registry import (
+    ModelNotFoundError,
+    ModelRegistry,
+    RegisteredModel,
+)
+from repro.serving.retry import RetryPolicy
 from repro.serving.server import BackgroundServer, InferenceServer
-from repro.serving.stats import ServerStats
+from repro.serving.stats import ServerStats, render_stats_text
 
 __all__ = [
+    "AdmissionBudget",
     "BackgroundServer",
     "BadRequestError",
     "BatchingQueue",
     "InferenceServer",
     "MAX_MESSAGE_BYTES",
+    "ModelNotFoundError",
+    "ModelRegistry",
     "ProtocolError",
+    "RegisteredModel",
+    "RetryPolicy",
     "ServerOverloadedError",
     "ServerStats",
     "ServingClient",
@@ -75,6 +108,7 @@ __all__ = [
     "encode_message",
     "read_message",
     "recv_message",
+    "render_stats_text",
     "send_message",
     "write_message",
 ]

@@ -6,15 +6,29 @@ concurrency lives; a client thread (or 256 of them in the latency benchmark)
 just sends a request and blocks on the response.  Server-side typed errors
 are re-raised as the matching exception:
 :class:`~repro.serving.queue.ServerOverloadedError` for sheds,
-:class:`~repro.serving.queue.BadRequestError` for malformed requests and
+:class:`~repro.serving.queue.BadRequestError` for malformed requests,
+:class:`~repro.serving.registry.ModelNotFoundError` for requests naming a
+model the server does not host, and
 :class:`~repro.serving.queue.ServingError` for internal model failures, so
 callers can implement backoff with an ``except ServerOverloadedError``.
+
+Against a multi-model server, every request-level method takes ``model=``
+(``None`` routes to the server's default model), and :meth:`list_models` /
+:meth:`stats` / :meth:`stats_text` cover discovery and scraping.
+
+Retrying is opt-in: pass a :class:`~repro.serving.retry.RetryPolicy` and
+the client retries *connect failures* (at construction) and *shed
+requests* (``ServerOverloadedError`` from ``predict``) with bounded
+exponential backoff and jitter.  Nothing else is retried — a typed
+``bad_request`` will fail identically forever, and silently resubmitting
+after an ``internal`` error could double-evaluate a request the server
+half-processed.
 """
 
 from __future__ import annotations
 
 import socket
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -24,12 +38,15 @@ from repro.serving.queue import (
     ServerOverloadedError,
     ServingError,
 )
+from repro.serving.registry import ModelNotFoundError
+from repro.serving.retry import RetryPolicy
 
 __all__ = ["ServingClient"]
 
 _ERROR_TYPES = {
     ServerOverloadedError.error_type: ServerOverloadedError,
     BadRequestError.error_type: BadRequestError,
+    ModelNotFoundError.error_type: ModelNotFoundError,
 }
 
 
@@ -41,11 +58,30 @@ class ServingClient:
         with ServingClient(host, port) as client:
             labels = client.predict(rows)                 # (k,) int64
             labels, scores = client.predict(rows, return_scores=True)
-            print(client.stats()["latency_us"])
+            labels_b = client.predict(rows_b, model="variant-b")
+            print(client.list_models()["models"])
+            print(client.stats(model="variant-b")["latency_us"])
+
+    ``retry=RetryPolicy(...)`` opts in to backoff on connect failures and
+    on shed (``overloaded``) predictions; the default is no retrying.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self._retry = retry
+        if retry is None:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        else:
+            self._sock = retry.call(
+                lambda: socket.create_connection((host, port), timeout=timeout),
+                retry_on=(OSError,),
+            )
 
     # -------------------------------------------------------------- request
     def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -71,31 +107,60 @@ class ServingClient:
         return rows
 
     # ------------------------------------------------------------------ ops
-    def predict(self, features: np.ndarray, return_scores: bool = False):
+    def predict(
+        self,
+        features: np.ndarray,
+        return_scores: bool = False,
+        model: Optional[str] = None,
+    ):
         """Labels for a ``(k, F)`` (or single ``(F,)``) 0/1 feature matrix.
 
-        Returns ``labels`` of shape ``(k,)``, or ``(labels, scores)`` with
-        ``scores`` of shape ``(k, n_classes)`` when ``return_scores`` is
-        set (requires a server with a scores path).
+        ``model`` routes to a named model on a multi-model server (``None``
+        → the server's default).  Returns ``labels`` of shape ``(k,)``, or
+        ``(labels, scores)`` with ``scores`` of shape ``(k, n_classes)``
+        when ``return_scores`` is set (requires a model with a scores
+        path).  With a retry policy, shed requests are resubmitted under
+        backoff before the ``ServerOverloadedError`` is allowed through.
         """
         rows = self._as_rows(features)
         # no dtype coercion: the server validates the raw values, so a 0.5
         # is rejected with BadRequestError instead of truncating to 0
-        response = self._request(
-            {
-                "op": "predict",
-                "features": rows.tolist(),
-                "return_scores": bool(return_scores),
-            }
-        )
+        payload = {
+            "op": "predict",
+            "features": rows.tolist(),
+            "return_scores": bool(return_scores),
+        }
+        if model is not None:
+            payload["model"] = model
+        if self._retry is None:
+            response = self._request(payload)
+        else:
+            response = self._retry.call(
+                lambda: self._request(payload),
+                retry_on=(ServerOverloadedError,),
+            )
         labels = np.asarray(response["labels"], dtype=np.int64)
         if return_scores:
             return labels, np.asarray(response["scores"], dtype=np.float64)
         return labels
 
-    def stats(self) -> Dict[str, Any]:
-        """The server's :meth:`~repro.serving.stats.ServerStats.snapshot`."""
-        return self._request({"op": "stats"})["stats"]
+    def stats(self, model: Optional[str] = None) -> Dict[str, Any]:
+        """One model's :meth:`~repro.serving.stats.ServerStats.snapshot`
+        (``None`` → the default model)."""
+        payload: Dict[str, Any] = {"op": "stats"}
+        if model is not None:
+            payload["model"] = model
+        return self._request(payload)["stats"]
+
+    def stats_text(self) -> str:
+        """Prometheus-style plain-text stats for every hosted model (see
+        :func:`~repro.serving.stats.render_stats_text`)."""
+        return self._request({"op": "stats_text"})["text"]
+
+    def list_models(self) -> Dict[str, Any]:
+        """``{"default": name, "models": [{name, scores, knobs...}, ...]}``."""
+        response = self._request({"op": "list_models"})
+        return {"default": response["default"], "models": response["models"]}
 
     def ping(self) -> bool:
         """Liveness probe; True when the server answers."""

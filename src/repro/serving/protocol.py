@@ -16,16 +16,26 @@ side allocate gigabytes.
 Request objects (client → server)::
 
     {"op": "predict", "features": [[0, 1, ...], ...],
-     "return_scores": false}                 # the workhorse
-    {"op": "stats"}                          # ServerStats snapshot
-    {"op": "ping"}                           # liveness probe
+     "return_scores": false, "model": "name"?}   # the workhorse
+    {"op": "stats", "model": "name"?}            # one model's snapshot
+    {"op": "stats_text"}                         # Prometheus-style scrape
+    {"op": "list_models"}                        # hosted models + default
+    {"op": "ping"}                               # liveness probe
+
+``model`` is optional everywhere it appears: absent routes to the server's
+default model; a name the server does not host fails with the typed
+``model_not_found`` error.
 
 Response objects (server → client) always carry ``"ok"``::
 
     {"ok": true, "labels": [...], "scores": [[...], ...]?}
-    {"ok": true, "stats": {...}}
+    {"ok": true, "model": "name", "stats": {...}}
+    {"ok": true, "text": "# TYPE repro_serving_... counter\\n..."}
+    {"ok": true, "default": "name", "models": [{"name": ..., "scores": ...,
+                                                "max_batch": ...}, ...]}
     {"ok": false, "error": {"type": "overloaded" | "bad_request" |
-                            "internal", "message": "..."}}
+                            "model_not_found" | "internal",
+                            "message": "..."}}
 
 Both async (:func:`read_message` / :func:`write_message`) and blocking
 (:func:`recv_message` / :func:`send_message`) transports are provided; they

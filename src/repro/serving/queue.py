@@ -42,6 +42,14 @@ off).  The one exception: a request larger than ``max_queue`` itself is
 admitted when the queue is idle, because shedding it could never succeed
 on retry.
 
+A multi-model server hosts one queue per model; the per-queue bound alone
+would let N models admit ``N * max_queue`` samples against one box.
+:class:`AdmissionBudget` is the shared second bound: every queue holding a
+reference reserves its admitted samples from the common budget and releases
+them at completion, so total in-flight work is capped however traffic is
+distributed across models (with the same idle-oversized exception, applied
+to the budget as a whole).
+
 Evaluation runs on a dedicated single-thread executor, which serialises
 engine calls (the compiled engine's scratch buffers are not thread-safe)
 and keeps the event loop free to admit requests while NumPy works.  The
@@ -65,6 +73,7 @@ from repro.serving.stats import ServerStats
 from repro.utils.validation import check_binary_matrix
 
 __all__ = [
+    "AdmissionBudget",
     "BadRequestError",
     "BatchingQueue",
     "ServerOverloadedError",
@@ -89,6 +98,40 @@ class BadRequestError(ServingError):
     """The request was malformed (shape, dtype, unknown op)."""
 
     error_type = "bad_request"
+
+
+class AdmissionBudget:
+    """A sample budget shared by every queue of a multi-model server.
+
+    Loop-confined by design: all of a server's queues live on one event
+    loop, and both :meth:`try_reserve` (at admission) and :meth:`release`
+    (at batch completion) run on it, so plain integers suffice — no lock.
+
+    The idle-oversized exception mirrors the per-queue one: a request
+    larger than the whole budget is admitted when *nothing* is in flight
+    anywhere, because shedding it could never succeed on retry.
+    """
+
+    def __init__(self, max_samples: int) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.max_samples = max_samples
+        self._outstanding = 0
+
+    @property
+    def outstanding(self) -> int:
+        """Samples currently reserved across every participating queue."""
+        return self._outstanding
+
+    def try_reserve(self, k: int) -> bool:
+        """Reserve ``k`` samples; False when the shared budget is exhausted."""
+        if self._outstanding + k > self.max_samples and self._outstanding > 0:
+            return False
+        self._outstanding += k
+        return True
+
+    def release(self, k: int) -> None:
+        self._outstanding -= k
 
 
 @dataclass
@@ -118,6 +161,10 @@ class BatchingQueue:
     stats:
         Optional shared :class:`~repro.serving.stats.ServerStats`; a private
         one is created otherwise.
+    budget:
+        Optional :class:`AdmissionBudget` shared with other queues; admitted
+        samples also reserve from it, so a multi-model server's total
+        in-flight work stays bounded whatever the per-model traffic mix.
     """
 
     def __init__(
@@ -128,6 +175,7 @@ class BatchingQueue:
         max_wait_us: float = 2000.0,
         max_queue: int = 1024,
         stats: Optional[ServerStats] = None,
+        budget: Optional[AdmissionBudget] = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -140,6 +188,7 @@ class BatchingQueue:
         self.max_wait_us = max_wait_us
         self.max_queue = max_queue
         self.stats = stats if stats is not None else ServerStats()
+        self._budget = budget
         self._pending: List[_Pending] = []
         self._queued_samples = 0
         self._inflight_samples = 0
@@ -184,6 +233,14 @@ class BatchingQueue:
             raise ServerOverloadedError(
                 f"server backlog holds {backlog} samples; admitting {k} "
                 f"more would exceed the bound of {self.max_queue}"
+            )
+        if self._budget is not None and not self._budget.try_reserve(k):
+            self.stats.observe_shed()
+            raise ServerOverloadedError(
+                f"shared admission budget holds "
+                f"{self._budget.outstanding} samples across all models; "
+                f"admitting {k} more would exceed the bound of "
+                f"{self._budget.max_samples}"
             )
         loop = asyncio.get_running_loop()
         # Requests of a different feature width than the pending batch can
@@ -246,6 +303,8 @@ class BatchingQueue:
             return
         finally:
             self._inflight_samples -= n_samples
+            if self._budget is not None:
+                self._budget.release(n_samples)
         finished = time.perf_counter()
         for entry, part in zip(entries, parts):
             if not entry.future.done():

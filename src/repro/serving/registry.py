@@ -1,0 +1,213 @@
+"""The model registry: many named models behind one server.
+
+:class:`ModelRegistry` is the multi-tenant heart of the serving layer.  It
+maps model names to :class:`RegisteredModel` records — each owning a
+:class:`~repro.serving.queue.BatchingQueue` with its *own* coalescing policy
+(``max_batch`` / ``max_wait_us`` / ``max_queue``) and its own
+:class:`~repro.serving.stats.ServerStats` — while a single optional
+:class:`~repro.serving.queue.AdmissionBudget` bounds total in-flight samples
+across every model, so one hot tenant cannot starve the box.
+
+The registry is deliberately transport-agnostic: the socket server resolves
+the wire protocol's optional ``model`` field through :meth:`resolve` (absent
+→ the default model, unknown → the typed :class:`ModelNotFoundError` that
+crosses the wire as ``error.type == "model_not_found"``), and everything
+else it needs — the queue to submit to, whether the model has a scores
+path, which stats to snapshot — hangs off the returned record.
+
+Model *evaluation* sharing happens one layer down: every model's batch
+function typically closes over a :class:`~repro.engine.parallel.ShardedEngine`
+view attached to one shared :class:`~repro.engine.parallel.WorkerPool`, so
+N models share one set of worker processes while keeping N independent
+queues up here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.serving.queue import (
+    AdmissionBudget,
+    BatchingQueue,
+    ServingError,
+)
+from repro.serving.stats import ServerStats
+
+__all__ = ["ModelNotFoundError", "ModelRegistry", "RegisteredModel"]
+
+
+class ModelNotFoundError(ServingError):
+    """The request named a model this server does not host."""
+
+    error_type = "model_not_found"
+
+
+@dataclass
+class RegisteredModel:
+    """One hosted model: its queue, its stats, its wire-visible description."""
+
+    name: str
+    queue: BatchingQueue
+    scores_mode: bool
+    stats: ServerStats
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``list_models`` wire entry for this model."""
+        return {
+            "name": self.name,
+            "scores": self.scores_mode,
+            "max_batch": self.queue.max_batch,
+            "max_wait_us": self.queue.max_wait_us,
+            "max_queue": self.queue.max_queue,
+        }
+
+
+class ModelRegistry:
+    """Name → model mapping with a default model and a shared budget.
+
+    Parameters
+    ----------
+    budget:
+        Optional shared :class:`~repro.serving.queue.AdmissionBudget`; every
+        registered model's queue reserves from it.
+    max_batch, max_wait_us, max_queue:
+        Registry-level defaults applied when :meth:`register` is not given
+        per-model values.
+
+    The first registered model becomes the default; ``default=True`` on a
+    later :meth:`register` re-points it.
+    """
+
+    def __init__(
+        self,
+        *,
+        budget: Optional[AdmissionBudget] = None,
+        max_batch: int = 64,
+        max_wait_us: float = 2000.0,
+        max_queue: int = 1024,
+    ) -> None:
+        self.budget = budget
+        self._defaults = {
+            "max_batch": max_batch,
+            "max_wait_us": max_wait_us,
+            "max_queue": max_queue,
+        }
+        self._models: Dict[str, RegisteredModel] = {}
+        self._default_name: Optional[str] = None
+
+    # ------------------------------------------------------------ population
+    def register(
+        self,
+        name: str,
+        batch_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        *,
+        scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        max_batch: Optional[int] = None,
+        max_wait_us: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        stats: Optional[ServerStats] = None,
+        default: bool = False,
+    ) -> RegisteredModel:
+        """Host ``name`` behind its own queue; returns the record.
+
+        Exactly one of ``batch_fn`` (labels) and ``scores_fn`` (per-class
+        decision scores, labels by argmax) must be given.  Per-model knobs
+        fall back to the registry defaults.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError("model name must be a non-empty string")
+        if name in self._models:
+            raise ValueError(f"model {name!r} is already registered")
+        if (batch_fn is None) == (scores_fn is None):
+            raise ValueError("provide exactly one of batch_fn and scores_fn")
+        scores_mode = scores_fn is not None
+        entry = RegisteredModel(
+            name=name,
+            queue=BatchingQueue(
+                scores_fn if scores_mode else batch_fn,
+                max_batch=(
+                    self._defaults["max_batch"] if max_batch is None else max_batch
+                ),
+                max_wait_us=(
+                    self._defaults["max_wait_us"]
+                    if max_wait_us is None
+                    else max_wait_us
+                ),
+                max_queue=(
+                    self._defaults["max_queue"] if max_queue is None else max_queue
+                ),
+                stats=stats,
+                budget=self.budget,
+            ),
+            scores_mode=scores_mode,
+            stats=stats,
+        )
+        entry.stats = entry.queue.stats  # the queue created one if None
+        self._models[name] = entry
+        if default or self._default_name is None:
+            self._default_name = name
+        return entry
+
+    def unregister(self, name: str) -> Optional[RegisteredModel]:
+        """Drop a model; returns its record (caller closes the queue).
+
+        Unregistering the *default* model clears the default rather than
+        silently re-pointing it: model-less requests would otherwise start
+        hitting an arbitrary surviving model — wrong answers, not errors.
+        Explicitly re-point with ``register(..., default=True)`` (the next
+        registration also becomes the default while none is set).
+        """
+        entry = self._models.pop(name, None)
+        if name == self._default_name:
+            self._default_name = None
+        return entry
+
+    # ------------------------------------------------------------ resolution
+    @property
+    def default_name(self) -> Optional[str]:
+        return self._default_name
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._models)
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def resolve(self, name: Optional[str]) -> RegisteredModel:
+        """The model a request addressed: ``None`` → default, unknown → typed.
+
+        Raises :class:`ModelNotFoundError` — which crosses the wire as the
+        ``model_not_found`` error type — for unknown names and for the
+        no-models-registered case.
+        """
+        if name is None:
+            name = self._default_name
+            if name is None:
+                if self._models:
+                    raise ModelNotFoundError(
+                        "this server has no default model (hosted: "
+                        f"{sorted(self._models)}); name one in the request "
+                        "or register with default=True"
+                    )
+                raise ModelNotFoundError("this server hosts no models")
+        entry = self._models.get(name)
+        if entry is None:
+            raise ModelNotFoundError(
+                f"unknown model {name!r} (hosted: {sorted(self._models)})"
+            )
+        return entry
+
+    def entries(self) -> List[RegisteredModel]:
+        return list(self._models.values())
+
+    # --------------------------------------------------------------- cleanup
+    async def close(self) -> None:
+        """Drain and close every model's queue."""
+        for entry in self.entries():
+            await entry.queue.close()
+        self._models = {}
+        self._default_name = None

@@ -1,0 +1,102 @@
+"""Client-side retry: bounded exponential backoff with jitter.
+
+Overload in this stack is a *typed, cheap* signal — admission control sheds
+with :class:`~repro.serving.queue.ServerOverloadedError` before the request
+touches the engine — so the correct client reaction is to back off and
+retry, not to hammer.  :class:`RetryPolicy` packages that reaction:
+exponentially growing delays, capped, with multiplicative jitter so a
+thousand clients shed by the same burst do not retry in lockstep.
+
+The policy is deliberately opt-in (``ServingClient(..., retry=...)``):
+retrying is a *traffic* decision — a latency-sensitive caller may prefer
+the immediate typed error — and silently resubmitting would hide overload
+from load generators and tests that measure shed behaviour.
+
+The policy object is immutable and reusable across clients; the injectable
+``sleep`` and ``rng`` hooks exist so tests can drive it deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with multiplicative jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (so ``1`` disables retrying).
+    base_delay:
+        Seconds before the first retry.
+    multiplier:
+        Growth factor per retry.
+    max_delay:
+        Cap on any single delay, applied before jitter.
+    jitter:
+        Fraction of each delay randomised: the actual sleep is drawn
+        uniformly from ``[delay * (1 - jitter), delay * (1 + jitter)]``.
+        ``0`` makes the schedule deterministic.
+    sleep, seed:
+        Injection points for tests — a fake clock and a fixed jitter seed.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    sleep: Callable[[float], None] = field(repr=False, default=time.sleep)
+    seed: Optional[int] = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    def delays(self) -> Iterator[float]:
+        """The jittered backoff schedule: ``max_attempts - 1`` sleeps."""
+        rng = as_rng(self.seed) if self.seed is not None else np.random.default_rng()
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            jittered = delay
+            if self.jitter:
+                jittered *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+            yield max(0.0, jittered)
+            delay = min(delay * self.multiplier, self.max_delay)
+
+    def call(
+        self,
+        fn: Callable,
+        *,
+        retry_on: Tuple[Type[BaseException], ...],
+    ):
+        """Run ``fn()``, retrying on ``retry_on`` with backoff between tries.
+
+        The final attempt's exception propagates unchanged, so callers see
+        the same typed error they would without a policy — just later.
+        """
+        schedule = self.delays()
+        while True:
+            try:
+                return fn()
+            except retry_on:
+                delay = next(schedule, None)
+                if delay is None:  # attempts exhausted: the typed error
+                    raise  # propagates unchanged
+                self.sleep(delay)

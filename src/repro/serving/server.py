@@ -1,24 +1,32 @@
 """The asyncio inference server: sockets in, coalesced packed batches out.
 
 :class:`InferenceServer` ties the pieces together: a TCP listener speaking
-the length-prefixed JSON protocol (:mod:`repro.serving.protocol`), one
-shared :class:`~repro.serving.queue.BatchingQueue` that coalesces every
-connection's requests into joint packed evaluations, and a
-:class:`~repro.serving.stats.ServerStats` collector exposed through the
-``stats`` op.  Each connection is an independent asyncio task; all of them
-feed the same queue, which is the whole point — concurrency across sockets
-becomes batch occupancy inside the engine.
+the length-prefixed JSON protocol (:mod:`repro.serving.protocol`), a
+:class:`~repro.serving.registry.ModelRegistry` mapping model names to
+per-model :class:`~repro.serving.queue.BatchingQueue`\\ s (each coalescing
+its model's concurrent requests into joint packed evaluations, under its
+own ``max_batch``/``max_wait_us``/``max_queue`` policy), an optional
+shared :class:`~repro.serving.queue.AdmissionBudget` bounding total
+in-flight samples across all models, and per-model
+:class:`~repro.serving.stats.ServerStats` exposed through the ``stats``
+and ``stats_text`` ops.  Each connection is an independent asyncio task;
+requests route to their model's queue by the protocol's ``model`` field
+(absent → the default model), so concurrency across sockets becomes batch
+occupancy inside each model's engine.
 
-The server evaluates either a *labels* function or a *scores* function
-(per-class decision scores, labels derived by ``argmax``); with a scores
-function, clients may request confidences at no extra engine cost.
-:meth:`InferenceServer.for_model` picks the best entry point a model offers
-— for :class:`~repro.core.poetbin.PoETBiNClassifier` that is
+Multi-tenancy is a config knob, not an architecture change: a single-model
+server is just a registry of one.  The constructor's ``batch_fn``/
+``scores_fn`` shortcut registers that one model under the name
+``"default"`` — the PR-4 API unchanged — while :meth:`register_model`
+adds more, each evaluating either a *labels* function or a *scores*
+function (per-class decision scores, labels derived by ``argmax``).
+:meth:`InferenceServer.for_model` picks the best entry point a model
+offers — for :class:`~repro.core.poetbin.PoETBiNClassifier` that is
 ``decision_scores_batch``, the path that serves straight from
 ``decision_scores_packed`` without unpacking between the RINC bank and the
-read-out, sharded across a persistent
-:class:`~repro.engine.parallel.ShardedEngine` worker pool once batches
-grow past its words-per-worker threshold.
+read-out.  Passing ``pool=`` routes a model's sharded evaluation through a
+shared :class:`~repro.engine.parallel.WorkerPool`, so every hosted model's
+big batches fan out over one set of worker processes.
 
 :class:`BackgroundServer` runs the whole thing on a dedicated event-loop
 thread, which is how the tests, the benchmark and the demo drive it from
@@ -28,6 +36,7 @@ blocking code.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import threading
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -39,18 +48,77 @@ from repro.serving.protocol import (
     read_message,
 )
 from repro.serving.queue import (
+    AdmissionBudget,
     BadRequestError,
-    BatchingQueue,
-    ServerOverloadedError,
     ServingError,
 )
-from repro.serving.stats import ServerStats
+from repro.serving.registry import ModelRegistry, RegisteredModel
+from repro.serving.stats import ServerStats, render_stats_text
 
 __all__ = ["BackgroundServer", "InferenceServer"]
 
 
 def _error_response(error_type: str, message: str) -> Dict[str, Any]:
     return {"ok": False, "error": {"type": error_type, "message": message}}
+
+
+def _forwardable(fn: Callable, candidates: Dict[str, Any]) -> Dict[str, Any]:
+    """The subset of ``candidates`` that ``fn``'s signature accepts.
+
+    An engine exposing a bare ``predict_batch(X)`` (a ``CompiledNetlist``,
+    a ``ShardedEngine`` view that already *is* a pool binding) must not be
+    handed sharding kwargs it never declared — the pre-PR behaviour was to
+    ignore them silently, and a per-request ``TypeError`` would be a
+    regression.  Unintrospectable callables forward nothing.
+    """
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return {}
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return dict(candidates)
+    return {k: v for k, v in candidates.items() if k in params}
+
+
+def _model_entry_point(
+    model: Any,
+    n_workers: Optional[int],
+    pool: Optional[Any],
+) -> Tuple[Optional[Callable], Optional[Callable]]:
+    """``(batch_fn, scores_fn)`` for whatever entry point ``model`` offers.
+
+    Preference order: ``decision_scores_batch`` (labels *and* scores from
+    one packed evaluation — PoET-BiN's serving path), then
+    ``predict_batch``, then the model itself as a plain callable.
+    ``n_workers``/``pool`` are forwarded where the entry point accepts
+    them, so big coalesced batches fan out to the model's sharded engine —
+    a shared ``pool`` makes every hosted model share one set of workers.
+    """
+    if n_workers is not None and pool is not None:
+        raise ValueError("provide at most one of n_workers and pool")
+    candidates = {}
+    if n_workers is not None:
+        candidates["n_workers"] = n_workers
+    if pool is not None:
+        candidates["pool"] = pool
+    if hasattr(model, "decision_scores_batch"):
+        forwarded = _forwardable(model.decision_scores_batch, candidates)
+        if not forwarded:
+            return None, model.decision_scores_batch
+        return None, lambda X: model.decision_scores_batch(X, **forwarded)
+    if hasattr(model, "predict_batch"):
+        forwarded = _forwardable(model.predict_batch, candidates)
+        if not forwarded:
+            return model.predict_batch, None
+        return (lambda X: model.predict_batch(X, **forwarded)), None
+    if callable(model):
+        return model, None
+    raise TypeError(
+        f"{type(model).__name__} offers neither decision_scores_batch, "
+        "predict_batch nor __call__"
+    )
 
 
 class _CorkedWriter:
@@ -90,13 +158,14 @@ class _CorkedWriter:
 
 
 class InferenceServer:
-    """Serve a batch-evaluable model over TCP with request coalescing.
+    """Serve one or many batch-evaluable models over TCP with coalescing.
 
     Parameters
     ----------
     batch_fn:
-        ``(n, F) -> (n,)`` label function.  Mutually exclusive with
-        ``scores_fn``.
+        ``(n, F) -> (n,)`` label function, registered as the model named
+        ``"default"``.  Mutually exclusive with ``scores_fn``; omit both to
+        start an empty server and populate it with :meth:`register_model`.
     scores_fn:
         ``(n, F) -> (n, n_classes)`` decision-score function; labels are
         derived by ``argmax`` so one evaluation yields both.
@@ -104,15 +173,21 @@ class InferenceServer:
         Listen address; ``port=0`` picks a free port (read it back from
         :attr:`port` after :meth:`start`).
     max_batch, max_wait_us, max_queue:
-        The coalescing and admission-control policy — see
-        :class:`~repro.serving.queue.BatchingQueue`.
+        Default per-model coalescing and admission-control policy — see
+        :class:`~repro.serving.queue.BatchingQueue`.  :meth:`register_model`
+        can override any of them per model.
+    max_total_queue:
+        Optional *shared* admission bound in samples across every hosted
+        model (see :class:`~repro.serving.queue.AdmissionBudget`); ``None``
+        leaves only the per-model bounds.
     stats:
-        Optional shared collector; a private one is created otherwise.
+        Optional collector for the constructor-registered default model; a
+        private one per model is created otherwise.
     warm_up:
         Optional zero-argument callable run once at :meth:`start` (e.g.
-        ``engine.warm_up`` to pre-fork the sharded pool, or a one-sample
-        evaluation to populate caches) so the cost lands at startup, not in
-        the first request's latency.
+        ``pool.warm_up`` to pre-fork the shared worker pool, or a one-sample
+        evaluation per model to populate caches) so the cost lands at
+        startup, not in the first request's latency.
     backlog:
         Listen-queue depth; sized for hundreds of simultaneous connects
         (the whole point of a coalescing server is bursty many-client
@@ -129,55 +204,129 @@ class InferenceServer:
         max_batch: int = 64,
         max_wait_us: float = 2000.0,
         max_queue: int = 1024,
+        max_total_queue: Optional[int] = None,
         stats: Optional[ServerStats] = None,
         warm_up: Optional[Callable[[], Any]] = None,
         backlog: int = 512,
     ) -> None:
-        if (batch_fn is None) == (scores_fn is None):
-            raise ValueError("provide exactly one of batch_fn and scores_fn")
-        self._scores_mode = scores_fn is not None
-        self.stats = stats if stats is not None else ServerStats()
-        self._queue = BatchingQueue(
-            scores_fn if self._scores_mode else batch_fn,
+        if batch_fn is not None and scores_fn is not None:
+            raise ValueError("provide at most one of batch_fn and scores_fn")
+        budget = (
+            AdmissionBudget(max_total_queue)
+            if max_total_queue is not None
+            else None
+        )
+        self._registry = ModelRegistry(
+            budget=budget,
             max_batch=max_batch,
             max_wait_us=max_wait_us,
             max_queue=max_queue,
-            stats=self.stats,
         )
+        if batch_fn is not None or scores_fn is not None:
+            self._registry.register(
+                "default", batch_fn, scores_fn=scores_fn, stats=stats
+            )
+        elif stats is not None:
+            raise ValueError(
+                "stats= applies to the constructor-registered default "
+                "model; pass it to register_model instead"
+            )
         self._warm_up = warm_up
         self._backlog = backlog
+        self._empty_stats: Optional[ServerStats] = None
         self.host = host
         self.port = port
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
 
     @classmethod
-    def for_model(cls, model: Any, *, n_workers: Optional[int] = None, **kwargs):
-        """Build a server around whatever batch entry point ``model`` has.
+    def for_model(
+        cls,
+        model: Any,
+        *,
+        n_workers: Optional[int] = None,
+        pool: Optional[Any] = None,
+        **kwargs,
+    ):
+        """Build a single-model server around ``model``'s best entry point.
 
-        Preference order: ``decision_scores_batch`` (labels *and* scores
-        from one packed evaluation — PoET-BiN's serving path), then
-        ``predict_batch``, then the model itself as a plain callable.
-        ``n_workers`` is forwarded where the entry point accepts it, so big
-        coalesced batches fan out to the model's sharded engine.
+        See :func:`_model_entry_point` for the preference order;
+        ``register_model(name, model=...)`` is the multi-model counterpart.
         """
-        if hasattr(model, "decision_scores_batch"):
-            if n_workers is None:
-                return cls(scores_fn=model.decision_scores_batch, **kwargs)
-            return cls(
-                scores_fn=lambda X: model.decision_scores_batch(
-                    X, n_workers=n_workers
-                ),
-                **kwargs,
+        batch_fn, scores_fn = _model_entry_point(model, n_workers, pool)
+        if scores_fn is not None:
+            return cls(scores_fn=scores_fn, **kwargs)
+        return cls(batch_fn=batch_fn, **kwargs)
+
+    # ------------------------------------------------------- model hosting
+    @property
+    def registry(self) -> ModelRegistry:
+        return self._registry
+
+    @property
+    def stats(self) -> ServerStats:
+        """The default model's stats collector (single-model back-compat).
+
+        An empty server returns an inert placeholder collector rather than
+        raising — pre-PR callers could always read this attribute.
+        """
+        if len(self._registry) == 0:
+            if self._empty_stats is None:
+                self._empty_stats = ServerStats()
+            return self._empty_stats
+        return self._registry.resolve(None).stats
+
+    def register_model(
+        self,
+        name: str,
+        batch_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        *,
+        scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        model: Any = None,
+        n_workers: Optional[int] = None,
+        pool: Optional[Any] = None,
+        max_batch: Optional[int] = None,
+        max_wait_us: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        stats: Optional[ServerStats] = None,
+        default: bool = False,
+    ) -> RegisteredModel:
+        """Host another model under ``name``, with its own queue and knobs.
+
+        Give either an evaluation function (``batch_fn``/``scores_fn``) or
+        ``model=`` to pick the object's best entry point (optionally
+        sharded over ``n_workers`` / a shared ``pool`` — pass the same
+        pool to every model so they share one set of worker processes).
+        Knobs left ``None`` inherit the server-level defaults.  Safe while
+        serving: requests naming ``name`` route to the new queue from the
+        next dispatch.
+        """
+        if model is not None:
+            if batch_fn is not None or scores_fn is not None:
+                raise ValueError("provide model= or an evaluation fn, not both")
+            batch_fn, scores_fn = _model_entry_point(model, n_workers, pool)
+        elif n_workers is not None or pool is not None:
+            raise ValueError(
+                "n_workers/pool apply to model=; with an explicit "
+                "batch_fn/scores_fn, bind the sharding into the function"
             )
-        if hasattr(model, "predict_batch"):
-            return cls(batch_fn=model.predict_batch, **kwargs)
-        if callable(model):
-            return cls(batch_fn=model, **kwargs)
-        raise TypeError(
-            f"{type(model).__name__} offers neither decision_scores_batch, "
-            "predict_batch nor __call__"
+        return self._registry.register(
+            name,
+            batch_fn,
+            scores_fn=scores_fn,
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            max_queue=max_queue,
+            stats=stats,
+            default=default,
         )
+
+    async def unregister_model(self, name: str) -> None:
+        """Stop hosting ``name``: new requests get ``model_not_found``,
+        already-admitted ones drain through the closing queue."""
+        entry = self._registry.unregister(name)
+        if entry is not None:
+            await entry.queue.close()
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> Tuple[str, int]:
@@ -202,7 +351,7 @@ class InferenceServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting, hang up open connections, drain the queue."""
+        """Stop accepting, hang up open connections, drain every queue."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -213,7 +362,7 @@ class InferenceServer:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
-        await self._queue.close()
+        await self._registry.close()
 
     # ----------------------------------------------------------- connection
     async def _handle_connection(
@@ -223,11 +372,13 @@ class InferenceServer:
         self._connections.add(task)
         # Pipelined dispatch: every request on this connection is handled in
         # its own task, so a stream of requests from one client coalesces
-        # into shared batches exactly like requests from many clients.  A
-        # request carrying an ``"id"`` gets it echoed in the response, which
-        # is how pipelining clients re-associate out-of-order completions;
-        # the corked writer turns all completions of one batch into a
-        # single frame-atomic send.
+        # into shared batches exactly like requests from many clients —
+        # including requests for *different models* interleaved on one
+        # socket, each routed to its own queue.  A request carrying an
+        # ``"id"`` gets it echoed in the response, which is how pipelining
+        # clients re-associate out-of-order completions; the corked writer
+        # turns all completions of one batch into a single frame-atomic
+        # send.
         corked = _CorkedWriter(writer)
         in_flight: set = set()
 
@@ -273,21 +424,59 @@ class InferenceServer:
             # a handler that is draining its transport
             self._connections.discard(task)
 
+    # ------------------------------------------------------------- dispatch
+    def _resolve(self, request: Dict[str, Any]) -> RegisteredModel:
+        model = request.get("model")
+        if model is not None and not isinstance(model, str):
+            raise BadRequestError("the model field must be a string")
+        return self._registry.resolve(model)
+
     async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         op = request.get("op", "predict")
         if op == "predict":
             return await self._handle_predict(request)
         if op == "stats":
-            return {"ok": True, "stats": self.stats.snapshot()}
+            try:
+                entry = self._resolve(request)
+            except ServingError as error:
+                return _error_response(error.error_type, str(error))
+            return {
+                "ok": True,
+                "model": entry.name,
+                "stats": entry.stats.snapshot(),
+            }
+        if op == "stats_text":
+            return {
+                "ok": True,
+                "text": render_stats_text(
+                    {
+                        entry.name: entry.stats.snapshot()
+                        for entry in self._registry.entries()
+                    }
+                ),
+            }
+        if op == "list_models":
+            return {
+                "ok": True,
+                "default": self._registry.default_name,
+                "models": [
+                    entry.describe() for entry in self._registry.entries()
+                ],
+            }
         if op == "ping":
             return {"ok": True}
         return _error_response("bad_request", f"unknown op {op!r}")
 
     async def _handle_predict(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            entry = self._resolve(request)
+        except ServingError as error:
+            return _error_response(error.error_type, str(error))
         return_scores = bool(request.get("return_scores", False))
-        if return_scores and not self._scores_mode:
+        if return_scores and not entry.scores_mode:
             return _error_response(
-                "bad_request", "this server has no scores path"
+                "bad_request",
+                f"model {entry.name!r} has no scores path",
             )
         features = request.get("features")
         try:
@@ -299,13 +488,13 @@ class InferenceServer:
                 "bad_request", "features must be a rectangular 0/1 matrix"
             )
         try:
-            result = await self._queue.submit(rows)
+            result = await entry.queue.submit(rows)
         except ServingError as error:
             return _error_response(error.error_type, str(error))
         except Exception as error:  # noqa: BLE001 - model failure
             self_type = type(error).__name__
             return _error_response("internal", f"{self_type}: {error}")
-        if self._scores_mode:
+        if entry.scores_mode:
             labels = np.argmax(result, axis=1)
             response: Dict[str, Any] = {"ok": True, "labels": labels.tolist()}
             if return_scores:

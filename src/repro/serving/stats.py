@@ -38,11 +38,11 @@ from __future__ import annotations
 
 import threading
 from collections import Counter, deque
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-__all__ = ["ServerStats"]
+__all__ = ["ServerStats", "render_stats_text"]
 
 
 class ServerStats:
@@ -154,3 +154,104 @@ class ServerStats:
                 "batch_occupancy": occupancy,
                 "mean_batch_occupancy": self._mean_occupancy_locked(),
             }
+
+
+#: snapshot keys rendered as Prometheus counters (monotonic over a process
+#: lifetime) vs gauges; latency percentiles get the quantile-label treatment
+_COUNTER_KEYS = (
+    "requests_completed",
+    "samples_completed",
+    "batches",
+    "shed",
+    "errors",
+)
+_GAUGE_KEYS = ("max_queue_depth", "latency_samples", "mean_batch_occupancy")
+
+
+def _escape_label(value: str) -> str:
+    # the Prometheus exposition format requires \\, \" and \n escaped in
+    # label values — a raw line feed would split the sample line in two
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Exact for integer-valued metrics: ``%g``'s 6 significant digits
+    would silently round counters past 999,999, corrupting scraped
+    ``rate()``/``increase()`` math on a long-lived server."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def render_stats_text(
+    snapshots: Mapping[str, Mapping[str, object]],
+    *,
+    prefix: str = "repro_serving",
+) -> str:
+    """Prometheus-style plain-text rendering of per-model stats snapshots.
+
+    ``snapshots`` maps model name → :meth:`ServerStats.snapshot` dict; the
+    output is one exposition-format block per metric with the model name as
+    a label, e.g.::
+
+        # TYPE repro_serving_requests_completed counter
+        repro_serving_requests_completed{model="default"} 1024
+        # TYPE repro_serving_latency_us gauge
+        repro_serving_latency_us{model="default",quantile="0.5"} 2481.0
+
+    This is the payload behind the wire protocol's ``stats_text`` op — a
+    scrape endpoint for operational tooling without adding an HTTP server
+    to the serving process (point a sidecar/agent at a one-shot client
+    call; see docs/serving.md).
+    """
+    lines = []
+    models = sorted(snapshots)
+
+    def section(metric: str, kind: str, rows) -> None:
+        emitted_header = False
+        for labels, value in rows:
+            if not emitted_header:
+                lines.append(f"# TYPE {prefix}_{metric} {kind}")
+                emitted_header = True
+            label_text = ",".join(
+                f'{k}="{_escape_label(str(v))}"' for k, v in labels
+            )
+            lines.append(
+                f"{prefix}_{metric}{{{label_text}}} {_format_value(value)}"
+            )
+
+    for key in _COUNTER_KEYS:
+        section(
+            key,
+            "counter",
+            (
+                ((("model", name),), float(snapshots[name].get(key, 0)))
+                for name in models
+            ),
+        )
+    for key in _GAUGE_KEYS:
+        section(
+            key,
+            "gauge",
+            (
+                ((("model", name),), float(snapshots[name].get(key, 0)))
+                for name in models
+            ),
+        )
+    section(
+        "latency_us",
+        "gauge",
+        (
+            (
+                (("model", name), ("quantile", f"{float(q[1:]) / 100:g}")),
+                float(value),
+            )
+            for name in models
+            for q, value in sorted(
+                snapshots[name].get("latency_us", {}).items()
+            )
+        ),
+    )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -3,13 +3,23 @@
 Word blocks of a packed batch are independent, so the sharded executor must
 reproduce the serial engine bit for bit for every worker count, backend and
 batch shape — including batches too small to shard (serial fallback) and
-empty batches.
+empty batches.  The :class:`WorkerPool` tests add the multi-model contract:
+several netlists attached to one pool (before and after the fork), shard
+interleaving under concurrent per-model load, and detach semantics.
 """
+
+import threading
 
 import numpy as np
 import pytest
 
-from repro.engine import ShardedEngine, compile_netlist, random_netlist, shard_bounds
+from repro.engine import (
+    ShardedEngine,
+    WorkerPool,
+    compile_netlist,
+    random_netlist,
+    shard_bounds,
+)
 from repro.engine.parallel import _worker_init, _worker_run
 from repro.utils.rng import as_rng
 
@@ -124,7 +134,7 @@ class TestLifecycle:
         engine = ShardedEngine(netlist, n_workers=2, min_words_per_worker=1)
         rng = as_rng(11)
         engine.predict_batch(rng.integers(0, 2, size=(300, 8), dtype=np.uint8))
-        resources = engine._resources
+        resources = engine.pool._resources
         assert resources["pool"] is not None
         del engine
         gc.collect()
@@ -136,14 +146,214 @@ class TestLifecycle:
             assert engine.backend == "serial"
 
 
+class TestWorkerPool:
+    """The multi-model contract: one pool, many attached netlists."""
+
+    @pytest.fixture(scope="class")
+    def models(self):
+        # two models with different widths and output counts, so any shard
+        # routed to the wrong model's engine fails loudly
+        netlist_a = random_netlist(24, 60, seed=31, n_outputs=8)
+        netlist_b = random_netlist(16, 40, seed=32, n_outputs=3)
+        return {
+            "a": (netlist_a, compile_netlist(netlist_a)),
+            "b": (netlist_b, compile_netlist(netlist_b)),
+        }
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_two_models_bit_exact(self, models, backend):
+        rng = as_rng(12)
+        with WorkerPool(
+            n_workers=2, backend=backend, min_words_per_worker=1
+        ) as pool:
+            for name, (netlist, _) in models.items():
+                pool.attach(name, netlist)
+            for name, (netlist, serial) in models.items():
+                n_inputs = netlist.n_primary_inputs
+                for n_samples in (0, 1, 65, 700):
+                    X = rng.integers(
+                        0, 2, size=(n_samples, n_inputs), dtype=np.uint8
+                    )
+                    np.testing.assert_array_equal(
+                        pool.evaluate_outputs(name, X),
+                        serial.predict_batch(X),
+                        err_msg=f"{backend}, model {name}, {n_samples} samples",
+                    )
+
+    def test_attach_after_fork_reattaches_lazily(self, models):
+        """A model registered once the pool is running must still serve."""
+        netlist_a, serial_a = models["a"]
+        netlist_b, serial_b = models["b"]
+        rng = as_rng(13)
+        with WorkerPool(
+            n_workers=2, backend="process", min_words_per_worker=1
+        ) as pool:
+            pool.attach("a", netlist_a)
+            pool.warm_up()  # the pool forks with only model "a" inherited
+            if pool.backend != "process":  # pragma: no cover - no fork host
+                pytest.skip("process backend unavailable on this host")
+            pool.attach("b", netlist_b)  # post-fork: lazy re-attach path
+            assert pool._entry("b").payload is not None
+            X_b = rng.integers(0, 2, size=(700, 16), dtype=np.uint8)
+            for _ in range(10):
+                np.testing.assert_array_equal(
+                    pool.evaluate_outputs("b", X_b),
+                    serial_b.predict_batch(X_b),
+                )
+                if pool._entry("b").payload is None:
+                    break
+            # once every worker confirmed a copy, the payload stops shipping
+            assert pool._entry("b").payload is None
+            X_a = rng.integers(0, 2, size=(700, 24), dtype=np.uint8)
+            np.testing.assert_array_equal(
+                pool.evaluate_outputs("a", X_a), serial_a.predict_batch(X_a)
+            )
+
+    def test_concurrent_per_model_load_interleaves_shards(self, models):
+        """Threads hammering different models concurrently stay bit-exact."""
+        errors = []
+        rng = as_rng(14)
+        batches = {
+            name: rng.integers(
+                0, 2, size=(1500, netlist.n_primary_inputs), dtype=np.uint8
+            )
+            for name, (netlist, _) in models.items()
+        }
+        with WorkerPool(n_workers=2, min_words_per_worker=1) as pool:
+            for name, (netlist, _) in models.items():
+                pool.attach(name, netlist)
+            pool.warm_up()
+
+            def hammer(name):
+                _, serial = models[name]
+                expected = serial.predict_batch(batches[name])
+                try:
+                    for _ in range(5):
+                        np.testing.assert_array_equal(
+                            pool.evaluate_outputs(name, batches[name]),
+                            expected,
+                        )
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    errors.append((name, error))
+
+            threads = [
+                threading.Thread(target=hammer, args=(name,))
+                for name in models
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors, errors
+
+    def test_detach_frees_the_id(self, models):
+        netlist_a, serial_a = models["a"]
+        rng = as_rng(15)
+        X = rng.integers(0, 2, size=(200, 24), dtype=np.uint8)
+        with WorkerPool(n_workers=2, min_words_per_worker=1) as pool:
+            pool.attach("a", netlist_a)
+            with pytest.raises(ValueError, match="already attached"):
+                pool.attach("a", netlist_a)
+            pool.detach("a")
+            assert pool.model_ids == []
+            with pytest.raises(KeyError, match="not attached"):
+                pool.run_packed("a", np.zeros((24, 4), dtype=np.uint64))
+            # re-attach under the same id gets a fresh worker-side key
+            pool.attach("a", netlist_a)
+            np.testing.assert_array_equal(
+                pool.evaluate_outputs("a", X), serial_a.predict_batch(X)
+            )
+
+    def test_shared_pool_views(self, models):
+        """ShardedEngine views share one pool; closing a view detaches only."""
+        netlist_a, serial_a = models["a"]
+        netlist_b, serial_b = models["b"]
+        rng = as_rng(16)
+        with WorkerPool(n_workers=2, min_words_per_worker=1) as pool:
+            view_a = ShardedEngine(netlist_a, pool=pool, model_id="a")
+            view_b = ShardedEngine(netlist_b, pool=pool)
+            assert view_a.model_id == "a"
+            assert view_b.model_id != "a"
+            assert sorted(pool.model_ids) == sorted(
+                [view_a.model_id, view_b.model_id]
+            )
+            X = rng.integers(0, 2, size=(300, 24), dtype=np.uint8)
+            np.testing.assert_array_equal(
+                view_a.predict_batch(X), serial_a.predict_batch(X)
+            )
+            view_a.close()  # detaches "a", pool stays up for "b"
+            assert pool.model_ids == [view_b.model_id]
+            X_b = rng.integers(0, 2, size=(300, 16), dtype=np.uint8)
+            np.testing.assert_array_equal(
+                view_b.predict_batch(X_b), serial_b.predict_batch(X_b)
+            )
+            with pytest.raises(RuntimeError, match="closed"):
+                view_a.predict_batch(X)
+
+    def test_fallback_to_threads_releases_shared_memory(self, models):
+        """The thread backend never leases shm again: fallback must unlink
+        the free pairs instead of hoarding them for the process lifetime."""
+        netlist_a, serial_a = models["a"]
+        rng = as_rng(17)
+        X = rng.integers(0, 2, size=(700, 24), dtype=np.uint8)
+        with WorkerPool(
+            n_workers=2, backend="process", min_words_per_worker=1
+        ) as pool:
+            pool.attach("a", netlist_a)
+            expected = serial_a.predict_batch(X)
+            np.testing.assert_array_equal(
+                pool.evaluate_outputs("a", X), expected
+            )
+            if pool.backend != "process":  # pragma: no cover - no fork host
+                pytest.skip("process backend unavailable on this host")
+            assert pool._resources["shm_free"]
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                pool._fall_back_to_threads(OSError("injected"), stacklevel=2)
+            assert pool.backend == "thread"
+            assert pool._resources["shm_free"] == []
+            assert pool._resources["shm_all"] == []
+            # and the pool still serves, bit-exactly, on threads
+            np.testing.assert_array_equal(
+                pool.evaluate_outputs("a", X), expected
+            )
+
+    def test_attach_validation(self):
+        with WorkerPool(n_workers=2) as pool:
+            with pytest.raises(ValueError, match="non-empty string"):
+                pool.attach("", random_netlist(8, 10, seed=33))
+            # auto-generated ids skip names the user already took
+            pool.attach("model-0", random_netlist(8, 10, seed=36))
+            auto = pool.attach(None, random_netlist(8, 10, seed=37))
+            assert auto != "model-0"
+        with pytest.raises(ValueError):
+            WorkerPool(n_workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(backend="gpu")
+        with pytest.raises(ValueError):
+            WorkerPool(min_words_per_worker=0)
+
+    def test_closed_pool_rejects_everything(self):
+        pool = WorkerPool(n_workers=2)
+        pool.attach("m", random_netlist(8, 10, seed=34))
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.attach("n", random_netlist(8, 10, seed=35))
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run_packed("m", np.zeros((8, 1), dtype=np.uint64))
+
+
 class TestWorkerHelpers:
     def test_worker_roundtrip_inline(self):
         """Drive the process-backend worker functions in this process."""
+        import pickle
+
         from multiprocessing import shared_memory
 
         from repro.engine import pack_bits
 
         netlist = random_netlist(12, 20, seed=27, n_outputs=3)
+        other = random_netlist(10, 15, seed=29, n_outputs=2)
         serial = compile_netlist(netlist)
         rng = as_rng(10)
         X = rng.integers(0, 2, size=(500, 12), dtype=np.uint8)
@@ -153,13 +363,66 @@ class TestWorkerHelpers:
         shm_out = shared_memory.SharedMemory(create=True, size=3 * words * 8)
         try:
             np.ndarray(packed.shape, dtype=np.uint64, buffer=shm_in.buf)[:] = packed
-            _worker_init(netlist)
+            # "m#0" is fork-inherited; "late#1" arrives pickled in the task
+            _worker_init({"m#0": netlist})
             for lo, hi in shard_bounds(words, 3):
                 _worker_run(
-                    (shm_in.name, shm_out.name, 12, 3, words, lo, hi)
+                    (
+                        "m#0",
+                        None,
+                        shm_in.name,
+                        shm_out.name,
+                        12,
+                        3,
+                        words,
+                        lo,
+                        hi,
+                    )
                 )
             out = np.ndarray((3, words), dtype=np.uint64, buffer=shm_out.buf)
             np.testing.assert_array_equal(out, serial.run_packed(packed))
+
+            # lazy re-attach: an unknown key without a payload must fail
+            # loudly, and with a payload must compile and serve
+            with pytest.raises(RuntimeError, match="no netlist"):
+                _worker_run(
+                    (
+                        "late#1",
+                        None,
+                        shm_in.name,
+                        shm_out.name,
+                        12,
+                        3,
+                        words,
+                        0,
+                        1,
+                    )
+                )
+            other_serial = compile_netlist(other)
+            X_other = rng.integers(0, 2, size=(64, 10), dtype=np.uint8)
+            packed_other = pack_bits(X_other)
+            np.ndarray(
+                packed_other.shape, dtype=np.uint64, buffer=shm_in.buf
+            )[:] = packed_other
+            _worker_run(
+                (
+                    "late#1",
+                    pickle.dumps(other),
+                    shm_in.name,
+                    shm_out.name,
+                    10,
+                    2,
+                    1,
+                    0,
+                    1,
+                )
+            )
+            out_other = np.ndarray(
+                (2, 1), dtype=np.uint64, buffer=shm_out.buf
+            )
+            np.testing.assert_array_equal(
+                out_other, other_serial.run_packed(packed_other)
+            )
         finally:
             from repro.engine.parallel import _WORKER
 

@@ -1,0 +1,81 @@
+"""The trained-shaped netlist generator: table structure and foldability.
+
+``structured_bank_netlist`` exists so the optimiser is benchmarked on the
+workload training actually produces; these tests pin the structural
+properties the benchmark relies on — threshold tables really are popcount
+votes, tree tables really have bounded support, and the pipeline really
+prunes the bank while staying bit-exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import compile_netlist, optimize_netlist, structured_bank_netlist
+from repro.engine.random_netlists import _threshold_table, _tree_table
+from repro.utils.rng import as_rng
+
+
+class TestThresholdTable:
+    def test_matches_popcount(self):
+        for n_inputs, threshold in [(3, 1), (4, 2), (6, 6)]:
+            table = _threshold_table(n_inputs, threshold)
+            for index in range(1 << n_inputs):
+                expected = bin(index).count("1") >= threshold
+                assert table[index] == int(expected)
+
+    def test_full_support_for_interior_thresholds(self):
+        # a majority vote depends on every input (flipping any bit near the
+        # threshold flips the output somewhere)
+        table = _threshold_table(6, 3).reshape((2,) * 6)
+        for axis in range(6):
+            low = np.take(table, 0, axis=axis)
+            high = np.take(table, 1, axis=axis)
+            assert not np.array_equal(low, high)
+
+
+class TestTreeTable:
+    def test_support_bounded_by_tree_size(self):
+        rng = as_rng(0)
+        for depth in (0, 1, 2, 3):
+            for _ in range(10):
+                table = _tree_table(rng, 6, depth).reshape((2,) * 6)
+                support = sum(
+                    not np.array_equal(
+                        np.take(table, 0, axis=axis),
+                        np.take(table, 1, axis=axis),
+                    )
+                    for axis in range(6)
+                )
+                assert support <= max(0, 2**depth - 1)
+
+    def test_depth_zero_is_constant(self):
+        rng = as_rng(1)
+        table = _tree_table(rng, 4, 0)
+        assert len(set(table.tolist())) == 1
+
+
+class TestStructuredBank:
+    def test_bit_exact_and_prunable(self):
+        netlist = structured_bank_netlist(
+            32, n_trees=24, n_mats=8, n_outputs=4, lut_width=4,
+            tree_depth=2, seed=5,
+        )
+        optimized = optimize_netlist(netlist)
+        # trained-shaped tables must give the optimiser something to prune
+        # (low-support trees shrink, constant leaves fold away)
+        raw_cost = sum(1 << node.n_inputs for node in netlist.nodes)
+        opt_cost = sum(1 << node.n_inputs for node in optimized.nodes)
+        assert opt_cost < raw_cost
+        compiled = compile_netlist(netlist)
+        X = as_rng(2).integers(0, 2, size=(300, 32), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            compiled.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            structured_bank_netlist(8, 0, 4, 2)
+        with pytest.raises(ValueError):
+            structured_bank_netlist(8, 12, 6, 3, lut_width=9)
+        with pytest.raises(ValueError):
+            structured_bank_netlist(8, 12, 6, 3, lut_width=4, tree_depth=-1)

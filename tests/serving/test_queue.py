@@ -12,6 +12,7 @@ import pytest
 
 from repro.engine import compile_netlist, rinc_bank_netlist
 from repro.serving import (
+    AdmissionBudget,
     BadRequestError,
     BatchingQueue,
     ServerOverloadedError,
@@ -263,6 +264,87 @@ class TestAdmissionControl:
                 await queue.submit(np.ones((1, N_FEATURES), dtype=np.uint8))
 
         asyncio.run(main())
+
+
+class TestSharedAdmissionBudget:
+    """The multi-model bound: one budget across several queues."""
+
+    def test_budget_sheds_across_queues(self):
+        """Two queues share 8 slots: whichever fills second gets shed."""
+        calls_a, calls_b = [], []
+
+        async def main():
+            budget = AdmissionBudget(8)
+            queue_a = BatchingQueue(
+                _sum_fn(calls_a), max_batch=100, max_wait_us=200_000,
+                max_queue=100, budget=budget,
+            )
+            queue_b = BatchingQueue(
+                _sum_fn(calls_b), max_batch=100, max_wait_us=200_000,
+                max_queue=100, budget=budget,
+            )
+            ok_a = asyncio.ensure_future(
+                queue_a.submit(np.ones((6, N_FEATURES), dtype=np.uint8))
+            )
+            await asyncio.sleep(0)  # 6 of 8 shared slots held by queue A
+            # queue B's own max_queue (100) would admit this; the shared
+            # budget must shed it
+            with pytest.raises(ServerOverloadedError, match="shared"):
+                await queue_b.submit(np.ones((3, N_FEATURES), dtype=np.uint8))
+            assert queue_b.stats.shed == 1
+            await queue_a.flush()
+            await ok_a
+            assert budget.outstanding == 0  # completion released the budget
+            # with the budget idle again, queue B serves normally
+            await queue_b.submit(np.ones((3, N_FEATURES), dtype=np.uint8))
+            await queue_a.close()
+            await queue_b.close()
+
+        asyncio.run(main())
+        assert calls_a == [6]
+        assert calls_b == [3]
+
+    def test_budget_released_on_evaluation_failure(self):
+        def broken(X):
+            raise ValueError("boom")
+
+        async def main():
+            budget = AdmissionBudget(8)
+            queue = BatchingQueue(
+                broken, max_batch=4, max_wait_us=1_000, max_queue=64,
+                budget=budget,
+            )
+            with pytest.raises(ValueError):
+                await queue.submit(np.ones((2, N_FEATURES), dtype=np.uint8))
+            assert budget.outstanding == 0
+            await queue.close()
+
+        asyncio.run(main())
+
+    def test_oversized_request_admitted_when_budget_idle(self):
+        calls = []
+
+        async def main():
+            budget = AdmissionBudget(4)
+            queue = BatchingQueue(
+                _sum_fn(calls), max_batch=8, max_wait_us=1_000,
+                max_queue=100, budget=budget,
+            )
+            # larger than the whole shared budget, but nothing is in
+            # flight anywhere: shedding could never succeed on retry
+            result = await queue.submit(
+                np.ones((10, N_FEATURES), dtype=np.uint8)
+            )
+            await queue.close()
+            return result
+
+        result = asyncio.run(main())
+        assert calls == [10]
+        assert result.shape == (10,)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionBudget(0)
 
 
 class TestMixedWidthRequests:

@@ -1,14 +1,23 @@
-"""End-to-end socket tests: InferenceServer + ServingClient."""
+"""End-to-end socket tests: InferenceServer + ServingClient.
+
+The multi-model suite covers the PR-5 contract: several models — different
+feature widths, different engines — hosted behind one listener and one
+shared WorkerPool, requests routed by the wire protocol's ``model`` field,
+unknown names failing with the typed ``model_not_found`` error, and
+per-model stats.
+"""
 
 import threading
 
 import numpy as np
 import pytest
 
+from repro.engine import WorkerPool, compile_netlist, rinc_bank_netlist
 from repro.serving import (
     BackgroundServer,
     BadRequestError,
     InferenceServer,
+    ModelNotFoundError,
     ServerOverloadedError,
     ServingClient,
     ServingError,
@@ -231,12 +240,209 @@ class TestTypedErrors:
         assert outcomes.count("ok") >= 4
 
 
+class TestMultiModel:
+    """Many models behind one listener, routed by the ``model`` field."""
+
+    @pytest.fixture(scope="class")
+    def banks(self):
+        """Two compiled netlists with *different* feature widths."""
+        wide = rinc_bank_netlist(
+            n_primary_inputs=32, n_trees=24, n_mats=8, n_outputs=4,
+            lut_width=4, seed=6,
+        )
+        narrow = rinc_bank_netlist(
+            n_primary_inputs=16, n_trees=12, n_mats=6, n_outputs=3,
+            lut_width=3, seed=7,
+        )
+        return {
+            "wide": (32, compile_netlist(wide)),
+            "narrow": (16, compile_netlist(narrow)),
+        }
+
+    @pytest.fixture()
+    def multi_server(self, banks):
+        srv = InferenceServer(
+            max_batch=16, max_wait_us=2_000, max_queue=256,
+            max_total_queue=512,
+        )
+        for name, (_, engine) in banks.items():
+            srv.register_model(name, engine.predict_batch)
+        with BackgroundServer(srv) as handle:
+            yield handle
+
+    def test_two_widths_concurrent_on_one_socket_bit_exact(
+        self, banks, multi_server
+    ):
+        """Interleaved requests for both models on one pipelined connection
+        come back bit-exact vs each model's direct predict_batch."""
+        import asyncio
+
+        from repro.serving.protocol import read_message, write_message
+
+        rng = as_rng(8)
+        requests = {}
+        for i in range(30):
+            name = "wide" if i % 2 else "narrow"
+            width, engine = banks[name]
+            rows = rng.integers(0, 2, size=(1 + i % 3, width)).astype(np.uint8)
+            requests[i] = (name, rows, engine.predict_batch(rows))
+
+        async def drive():
+            reader, writer = await asyncio.open_connection(
+                *multi_server.address
+            )
+            try:
+                for i, (name, rows, _) in requests.items():
+                    await write_message(
+                        writer,
+                        {
+                            "op": "predict",
+                            "id": i,
+                            "model": name,
+                            "features": rows.tolist(),
+                        },
+                    )
+                responses = {}
+                for _ in requests:
+                    response = await read_message(reader)
+                    assert response["ok"], response
+                    responses[response["id"]] = response["labels"]
+                return responses
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        responses = asyncio.run(drive())
+        assert sorted(responses) == sorted(requests)
+        for i, (_, _, expected) in requests.items():
+            np.testing.assert_array_equal(np.asarray(responses[i]), expected)
+
+    def test_default_model_is_first_registered(self, banks, multi_server):
+        rng = as_rng(9)
+        width, engine = banks["wide"]
+        rows = rng.integers(0, 2, size=(3, width)).astype(np.uint8)
+        with ServingClient(*multi_server.address) as client:
+            listing = client.list_models()
+            assert listing["default"] == "wide"
+            assert sorted(m["name"] for m in listing["models"]) == [
+                "narrow",
+                "wide",
+            ]
+            # no model field → the default model serves
+            np.testing.assert_array_equal(
+                client.predict(rows), engine.predict_batch(rows)
+            )
+
+    def test_unknown_model_round_trips_typed(self, multi_server):
+        with ServingClient(*multi_server.address) as client:
+            with pytest.raises(ModelNotFoundError, match="unknown model"):
+                client.predict(
+                    np.ones((1, 32), dtype=np.uint8), model="nonesuch"
+                )
+            with pytest.raises(ModelNotFoundError):
+                client.stats(model="nonesuch")
+            # a non-string model field is a bad_request, not a crash
+            with pytest.raises(BadRequestError, match="must be a string"):
+                client._request(
+                    {"op": "predict", "model": 7, "features": [[0] * 32]}
+                )
+
+    def test_stats_are_per_model(self, banks, multi_server):
+        rng = as_rng(10)
+        with ServingClient(*multi_server.address) as client:
+            client.predict(
+                rng.integers(0, 2, size=(5, 16)).astype(np.uint8),
+                model="narrow",
+            )
+            narrow = client.stats(model="narrow")
+            wide = client.stats(model="wide")
+        assert narrow["samples_completed"] >= 5
+        assert wide["samples_completed"] == 0  # traffic never leaked across
+
+    def test_stats_text_covers_every_model(self, multi_server):
+        with ServingClient(*multi_server.address) as client:
+            text = client.stats_text()
+        assert 'model="wide"' in text
+        assert 'model="narrow"' in text
+        assert "# TYPE repro_serving_requests_completed counter" in text
+
+    def test_empty_server_rejects_predict_with_model_not_found(self):
+        srv = InferenceServer(max_batch=4, max_wait_us=1_000, max_queue=64)
+        with BackgroundServer(srv) as handle:
+            with ServingClient(*handle.address) as client:
+                with pytest.raises(ModelNotFoundError, match="no models"):
+                    client.predict(np.ones((1, 8), dtype=np.uint8))
+
+    def test_register_while_serving_and_unregister(self, banks):
+        """Models can be added behind a live listener; dropped ones 404."""
+        import asyncio
+
+        width, engine = banks["narrow"]
+        rng = as_rng(11)
+        rows = rng.integers(0, 2, size=(2, width)).astype(np.uint8)
+        srv = InferenceServer(max_batch=4, max_wait_us=1_000, max_queue=64)
+        with BackgroundServer(srv) as handle:
+            srv.register_model("late", engine.predict_batch)
+            with ServingClient(*handle.address) as client:
+                np.testing.assert_array_equal(
+                    client.predict(rows, model="late"),
+                    engine.predict_batch(rows),
+                )
+            future = asyncio.run_coroutine_threadsafe(
+                srv.unregister_model("late"), handle._loop
+            )
+            future.result(timeout=10)
+            with ServingClient(*handle.address) as client:
+                with pytest.raises(ModelNotFoundError):
+                    client.predict(rows, model="late")
+
+    def test_shared_pool_behind_two_models(self, banks):
+        """Both models' engines ride one WorkerPool; results stay bit-exact."""
+        from repro.engine import ShardedEngine
+
+        rng = as_rng(12)
+        with WorkerPool(n_workers=2, min_words_per_worker=1) as pool:
+            srv = InferenceServer(
+                max_batch=32, max_wait_us=2_000, max_queue=256
+            )
+            views = {}
+            for name, (width, engine) in banks.items():
+                # rebuild each bank's netlist view over the shared pool
+                views[name] = ShardedEngine(
+                    rinc_bank_netlist(
+                        n_primary_inputs=width,
+                        n_trees=24 if name == "wide" else 12,
+                        n_mats=8 if name == "wide" else 6,
+                        n_outputs=4 if name == "wide" else 3,
+                        lut_width=4 if name == "wide" else 3,
+                        seed=6 if name == "wide" else 7,
+                    ),
+                    pool=pool,
+                    model_id=name,
+                )
+                srv.register_model(name, views[name].predict_batch)
+            assert sorted(pool.model_ids) == ["narrow", "wide"]
+            with BackgroundServer(srv) as handle:
+                with ServingClient(*handle.address) as client:
+                    for name, (width, engine) in banks.items():
+                        rows = rng.integers(0, 2, size=(130, width)).astype(
+                            np.uint8
+                        )
+                        np.testing.assert_array_equal(
+                            client.predict(rows, model=name),
+                            engine.predict_batch(rows),
+                        )
+
+
 class TestConstruction:
-    def test_exactly_one_evaluation_fn(self):
-        with pytest.raises(ValueError):
-            InferenceServer()
+    def test_at_most_one_evaluation_fn(self):
         with pytest.raises(ValueError):
             InferenceServer(batch_fn=_scores_fn, scores_fn=_scores_fn)
+        # no functions at all is legal now: an empty multi-model server,
+        # populated later with register_model (requests meanwhile get the
+        # typed model_not_found error)
+        empty = InferenceServer(max_batch=4, max_wait_us=1_000, max_queue=64)
+        assert empty.registry.names == []
 
     def test_scores_request_without_scores_path(self):
         def labels_only(X):
@@ -276,6 +482,56 @@ class TestConstruction:
     def test_for_model_rejects_inert_objects(self):
         with pytest.raises(TypeError):
             InferenceServer.for_model(object())
+
+    def test_for_model_ignores_sharding_kwargs_the_model_lacks(self):
+        """A bare predict_batch(X) engine must serve even with n_workers
+        given (the pre-refactor behaviour: silently unforwarded)."""
+
+        class BareEngine:
+            def predict_batch(self, X):
+                return np.zeros(np.asarray(X).shape[0], dtype=np.int64)
+
+        srv = InferenceServer.for_model(
+            BareEngine(), n_workers=4, max_batch=4, max_wait_us=1_000,
+            max_queue=64,
+        )
+        with BackgroundServer(srv) as handle:
+            with ServingClient(*handle.address) as client:
+                labels = client.predict(np.ones((2, N_FEATURES), dtype=np.uint8))
+        assert labels.tolist() == [0, 0]
+
+    def test_for_model_rejects_both_n_workers_and_pool(self):
+        class Model:
+            def predict_batch(self, X, n_workers=None, pool=None):
+                return np.zeros(np.asarray(X).shape[0], dtype=np.int64)
+
+        with pytest.raises(ValueError, match="at most one"):
+            InferenceServer.for_model(Model(), n_workers=2, pool=object())
+
+    def test_empty_server_stats_property_is_inert(self):
+        srv = InferenceServer(max_batch=4, max_wait_us=1_000, max_queue=64)
+        assert srv.stats.snapshot()["requests_completed"] == 0
+
+    def test_register_model_rejects_sharding_kwargs_without_model(self):
+        srv = InferenceServer(max_batch=4, max_wait_us=1_000, max_queue=64)
+        with pytest.raises(ValueError, match="apply to model="):
+            srv.register_model("m", _scores_fn, pool=object())
+
+    def test_unregistering_the_default_clears_it(self):
+        """Model-less requests must not silently re-route to a survivor."""
+        import asyncio
+
+        srv = InferenceServer(max_batch=4, max_wait_us=1_000, max_queue=64)
+        srv.register_model("first", batch_fn=lambda X: np.zeros(len(X)))
+        srv.register_model("second", batch_fn=lambda X: np.ones(len(X)))
+        assert srv.registry.default_name == "first"
+        asyncio.run(srv.unregister_model("first"))
+        assert srv.registry.default_name is None
+        with pytest.raises(ModelNotFoundError, match="no default model"):
+            srv.registry.resolve(None)
+        # the next registration (or default=True) re-points it
+        srv.register_model("third", batch_fn=lambda X: np.zeros(len(X)))
+        assert srv.registry.default_name == "third"
 
     def test_warm_up_runs_before_first_request(self):
         ran = []

@@ -76,3 +76,66 @@ def test_snapshot_is_json_serialisable():
     decoded = json.loads(encoded)
     assert decoded["shed"] == 1
     assert decoded["latency_us"]["p50"] == pytest.approx(123.4)
+
+
+class TestRenderStatsText:
+    """The Prometheus-style rendering behind the stats_text op."""
+
+    def _snapshots(self):
+        a, b = ServerStats(), ServerStats()
+        a.observe_batch(3, 12)
+        a.observe_latency(100.0)
+        a.observe_latency(300.0)
+        a.observe_shed()
+        b.observe_batch(1, 1)
+        b.observe_queue_depth(7)
+        return {"alpha": a.snapshot(), "beta": b.snapshot()}
+
+    def test_every_model_and_metric_labelled(self):
+        from repro.serving import render_stats_text
+
+        text = render_stats_text(self._snapshots())
+        assert '# TYPE repro_serving_requests_completed counter' in text
+        assert 'repro_serving_requests_completed{model="alpha"} 3' in text
+        assert 'repro_serving_requests_completed{model="beta"} 1' in text
+        assert 'repro_serving_shed{model="alpha"} 1' in text
+        assert 'repro_serving_max_queue_depth{model="beta"} 7' in text
+        assert (
+            'repro_serving_latency_us{model="alpha",quantile="0.5"}' in text
+        )
+        assert text.endswith("\n")
+
+    def test_type_headers_emitted_once_per_metric(self):
+        from repro.serving import render_stats_text
+
+        text = render_stats_text(self._snapshots())
+        assert (
+            text.count("# TYPE repro_serving_requests_completed counter") == 1
+        )
+        assert text.count("# TYPE repro_serving_latency_us gauge") == 1
+
+    def test_label_escaping_and_custom_prefix(self):
+        from repro.serving import render_stats_text
+
+        stats = ServerStats()
+        stats.observe_batch(1, 1)
+        text = render_stats_text(
+            {'we"ird\\name': stats.snapshot()}, prefix="poetbin"
+        )
+        assert 'poetbin_requests_completed{model="we\\"ird\\\\name"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        from repro.serving import render_stats_text
+
+        assert render_stats_text({}) == ""
+
+    def test_large_counters_render_exactly(self):
+        """%g-style rounding past 6 significant digits would corrupt
+        scraped rate() math on a long-lived server."""
+        from repro.serving import render_stats_text
+
+        stats = ServerStats()
+        stats.observe_batch(1_234_567, 7_654_321)
+        text = render_stats_text({"m": stats.snapshot()})
+        assert 'repro_serving_requests_completed{model="m"} 1234567' in text
+        assert 'repro_serving_samples_completed{model="m"} 7654321' in text
