@@ -16,11 +16,12 @@ bench-smoke:
 	$(PYTEST) benchmarks/test_engine_throughput.py -q
 
 # Serving-layer gates: coalesced async serving must beat sequential
-# per-request calls >=3x on 256 concurrent 1-sample requests, and
-# multi-model serving (2 netlists on one shared WorkerPool) >=2x under
-# mixed concurrent load, with p99 latency reported (see docs/serving.md).
+# per-request calls >=3x on 256 concurrent 1-sample requests, multi-model
+# serving (2 netlists on one shared WorkerPool) >=2x under mixed
+# concurrent load, and the binary wire protocol must cut wire+dispatch
+# overhead >=3x vs JSON at the same concurrency (see docs/serving.md).
 bench-serving:
-	$(PYTEST) benchmarks/test_serving_latency.py -q
+	$(PYTEST) benchmarks/test_serving_latency.py benchmarks/test_wire_overhead.py -q
 
 # End-to-end serving demo: train two PoET-BiN variants on the
 # synthetic-digits dataset, serve both from one server over a shared

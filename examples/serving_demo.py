@@ -14,9 +14,12 @@ The end-to-end tour of the multi-tenant serving story:
 4. fire a burst of concurrent single-image requests from client threads,
    alternating models (the worst-case traffic the batcher exists for), and
    print per-model latency percentiles and batch occupancy,
-5. with ``--stats-text``, finish by printing the Prometheus-style scrape
-   (the ``stats_text`` protocol op) — what an operational agent would
-   collect.
+5. scrape the server's ``GET /metrics`` endpoint with a real HTTP GET
+   (the server runs a native HTTP listener when given ``http_port=``) and
+   show a few of the Prometheus-format lines a scraper would collect,
+6. with ``--stats-text``, finish by printing the full Prometheus-style
+   scrape (the ``stats_text`` protocol op carries the same text over the
+   serving socket).
 
 Run with::
 
@@ -29,6 +32,7 @@ from __future__ import annotations
 import sys
 import threading
 import time
+import urllib.request
 
 import numpy as np
 
@@ -113,6 +117,7 @@ def main(print_stats_text: bool = False) -> None:
         max_queue=4096,
         max_total_queue=8192,
         warm_up=warm_up,
+        http_port=0,  # any free port; serves GET /metrics and /healthz
     )
     for name, clf in models.items():
         server.register_model(name, model=clf, pool=pool)
@@ -168,6 +173,26 @@ def main(print_stats_text: bool = False) -> None:
                 f"mean occupancy {snap['mean_batch_occupancy']:.1f} "
                 f"({snap['batches']} batches, {snap['shed']} shed)"
             )
+
+        # 5. scrape GET /metrics — a real HTTP GET, exactly what a
+        #    Prometheus scraper issues against the http_port listener
+        http_host, http_port = server.http_address
+        url = f"http://{http_host}:{http_port}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            content_type = response.headers["Content-Type"]
+            body = response.read().decode("utf-8")
+        shown = [
+            line
+            for line in body.splitlines()
+            if line.startswith("repro_serving_requests_completed")
+        ]
+        print(
+            f"GET {url} -> {content_type!r}, "
+            f"{len(body.splitlines())} lines, including:"
+        )
+        for line in shown:
+            print(f"  {line}")
+
         if stats_text is not None:
             print("\n--- stats_text scrape (Prometheus exposition format) ---")
             print(stats_text, end="")

@@ -313,6 +313,51 @@ class PoETBiNClassifier:
 
         return predict_in_batches(scores_chunk, X_features, batch_size)
 
+    def decision_scores_packed_batch(
+        self,
+        packed: np.ndarray,
+        n_samples: int,
+        n_workers: Optional[int] = None,
+        pool: Optional["WorkerPool"] = None,
+    ) -> np.ndarray:
+        """Per-class scores ``(n_samples, nc)`` from *already-packed* rows.
+
+        The binary wire protocol's zero-copy entry point: ``packed`` is the
+        :func:`~repro.engine.bitpack.pack_bits` layout — uint64 bit-planes
+        of shape ``(n_features, n_words(n_samples))`` — so a client that
+        packed once ships the words and the server evaluates them directly,
+        never expanding back to a byte matrix.  ``argmax`` over the result
+        matches :meth:`predict_batch` on the corresponding unpacked rows
+        exactly (both read out the same packed intermediate bits).  Padding
+        bits past ``n_samples`` in the last word may hold anything; the
+        read-out only consumes the live lanes.
+        """
+        self._check_fitted()
+        from repro.engine import n_words
+
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        if packed.ndim != 2:
+            raise ValueError(f"packed must be 2-D, got shape {packed.shape}")
+        n_samples = int(n_samples)
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        if packed.shape[0] != self.n_features_:
+            raise ValueError(
+                f"packed carries {packed.shape[0]} feature planes, this "
+                f"model expects {self.n_features_}"
+            )
+        expected_words = n_words(n_samples)
+        if packed.shape[1] != expected_words:
+            raise ValueError(
+                f"packed has {packed.shape[1]} words per plane, but "
+                f"{n_samples} samples need {expected_words}"
+            )
+        engine = self._engine(n_workers, pool)
+        packed_intermediate = engine.run_packed(packed)
+        return self.output_layer_.decision_scores_packed(
+            packed_intermediate, n_samples
+        )
+
     def score(self, X_features: np.ndarray, y: np.ndarray) -> float:
         """Multiclass accuracy."""
         y = check_labels(y, self.n_classes, "y")

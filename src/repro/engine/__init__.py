@@ -104,6 +104,8 @@ from repro.engine.batching import (
 )
 from repro.engine.bitpack import (
     WORD_BITS,
+    concat_packed,
+    mask_padding,
     n_words,
     pack_bits,
     packed_weighted_sums,
@@ -143,8 +145,10 @@ __all__ = [
     "WORD_BITS",
     "WorkerPool",
     "coalesce_batches",
+    "concat_packed",
     "compile_netlist",
     "default_passes",
+    "mask_padding",
     "n_words",
     "optimize_netlist",
     "pack_bits",

@@ -146,6 +146,109 @@ def _vertical_accumulate(packed: np.ndarray, magnitudes: np.ndarray) -> list:
     return planes
 
 
+def mask_padding(packed: np.ndarray, n_samples: int) -> np.ndarray:
+    """Zero the padding bits past ``n_samples`` in the last word (a copy
+    when masking is needed, the input unchanged otherwise).
+
+    Consumers that invert signals leave garbage in the padding; anything
+    that *merges* packed blocks (:func:`concat_packed`) must clear it first
+    or one block's garbage lands inside the next block's samples.
+    """
+    arr = np.asarray(packed, dtype=np.uint64)
+    if arr.ndim != 2:
+        raise ValueError(f"packed must be 2-D, got shape {arr.shape}")
+    words = arr.shape[1]
+    if n_samples < 0 or n_samples > words * WORD_BITS:
+        raise ValueError(
+            f"n_samples must lie in [0, {words * WORD_BITS}], got {n_samples}"
+        )
+    tail_bits = n_samples - (words - 1) * WORD_BITS if words else 0
+    if words == 0 or tail_bits == WORD_BITS:
+        return arr
+    arr = arr.copy()
+    if tail_bits <= 0:  # more words than the samples need: whole words die
+        live_words = n_words(n_samples)
+        arr[:, live_words:] = 0
+        tail_bits = n_samples - (live_words - 1) * WORD_BITS
+        if live_words == 0 or tail_bits == WORD_BITS:
+            return arr
+        words = live_words
+    mask = np.uint64((1 << tail_bits) - 1)
+    arr[:, words - 1] &= mask
+    return arr
+
+
+def concat_packed(chunks, n_samples_list) -> np.ndarray:
+    """Concatenate packed blocks along the *sample* (bit) axis, staying packed.
+
+    The packed-domain analogue of ``np.concatenate(rows_list)`` followed by
+    :func:`pack_bits`: block ``i``'s samples land at bit offset
+    ``sum(n_samples_list[:i])`` of the result, without ever expanding to
+    bytes.  Blocks whose sample counts are not multiples of 64 are merged
+    by word-wide shifts with carry into the neighbouring word — a few
+    vector ops per block, independent of the sample count.
+
+    This is what lets the serving layer coalesce many small *pre-packed*
+    requests into one engine-shaped word matrix: clients pack once, the
+    queue concatenates words, and the engine never sees bytes.
+
+    Parameters
+    ----------
+    chunks:
+        Sequence of ``uint64`` arrays, each ``(n_signals, n_words(k_i))``
+        as produced by :func:`pack_bits` (padding bits may hold garbage —
+        they are masked here).  All blocks must agree on ``n_signals``.
+    n_samples_list:
+        Per-block sample counts ``k_i`` (each ``>= 0``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of shape ``(n_signals, n_words(sum(k_i)))``.
+    """
+    chunks = [np.asarray(c, dtype=np.uint64) for c in chunks]
+    counts = [int(k) for k in n_samples_list]
+    if len(chunks) != len(counts):
+        raise ValueError(
+            f"{len(chunks)} chunks but {len(counts)} sample counts"
+        )
+    if not chunks:
+        raise ValueError("concat_packed needs at least one chunk")
+    signals = chunks[0].shape[0]
+    for chunk, k in zip(chunks, counts):
+        if chunk.ndim != 2 or chunk.shape[0] != signals:
+            raise ValueError(
+                f"all chunks must be 2-D with {signals} signal rows, "
+                f"got shape {chunk.shape}"
+            )
+        if chunk.shape[1] < n_words(k):
+            raise ValueError(
+                f"chunk of {chunk.shape[1]} words cannot hold {k} samples"
+            )
+    total = sum(counts)
+    out = np.zeros((signals, n_words(total)), dtype=np.uint64)
+    offset = 0
+    for chunk, k in zip(chunks, counts):
+        if k == 0:
+            continue
+        live = mask_padding(chunk[:, : n_words(k)], k)
+        word, bit = divmod(offset, WORD_BITS)
+        span = live.shape[1]
+        if bit == 0:
+            out[:, word : word + span] |= live
+        else:
+            shift = np.uint64(bit)
+            unshift = np.uint64(WORD_BITS - bit)
+            out[:, word : word + span] |= live << shift
+            spill = live >> unshift
+            # the last spill word may fall past the result when the final
+            # samples fit below the word boundary; masked bits make it zero
+            stop = min(word + 1 + span, out.shape[1])
+            out[:, word + 1 : stop] |= spill[:, : stop - word - 1]
+        offset += k
+    return out
+
+
 def unpack_bits(packed: np.ndarray, n_samples: int) -> np.ndarray:
     """Inverse of :func:`pack_bits`, truncated to ``n_samples`` rows.
 

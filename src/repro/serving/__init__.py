@@ -8,6 +8,18 @@ for many hosted models*, sharing one worker pool.  The pieces, bottom-up:
     Length-prefixed JSON framing with async and blocking transports; every
     request may carry a ``model`` field.
 
+``binary_protocol``
+    The zero-copy binary wire format: clients ship
+    :func:`~repro.engine.bitpack.pack_bits` uint64 bit-planes in a
+    versioned frame (magic ``0xBF``) and the server feeds the words
+    straight to the engine — no JSON decode, no re-pack.  Both protocols
+    coexist on one listener; the first byte discriminates.
+
+``metrics_http``
+    :class:`~repro.serving.metrics_http.HttpMetricsListener` — a native
+    HTTP listener for ``GET /metrics`` (Prometheus exposition) and
+    ``GET /healthz``, enabled with ``InferenceServer(http_port=...)``.
+
 ``stats``
     :class:`~repro.serving.stats.ServerStats` — p50/p95/p99 latency,
     batch-occupancy histogram, queue depth high-water mark, shed counts —
@@ -40,7 +52,11 @@ for many hosted models*, sharing one worker pool.  The pieces, bottom-up:
 ``client``
     :class:`~repro.serving.client.ServingClient` — a blocking connection
     with typed error mapping, per-request model routing and opt-in
-    :class:`~repro.serving.retry.RetryPolicy` backoff.
+    :class:`~repro.serving.retry.RetryPolicy` backoff; ``binary=True``
+    switches ``predict`` onto the binary protocol.  A connection whose
+    stream may hold a half-consumed frame (timeout, protocol or transport
+    error) refuses reuse with
+    :class:`~repro.serving.client.StaleConnectionError`.
 
 Quickstart (blocking side, two models on one pool)::
 
@@ -63,7 +79,18 @@ See ``docs/serving.md`` for the knobs and their failure semantics, and
 wins this buys.
 """
 
-from repro.serving.client import ServingClient
+from repro.serving.binary_protocol import (
+    BINARY_MAGIC,
+    BINARY_VERSION,
+    BinaryProtocolError,
+    BinaryReply,
+    BinaryRequest,
+    encode_predict_request,
+    encode_reply,
+    recv_reply,
+)
+from repro.serving.client import ServingClient, StaleConnectionError
+from repro.serving.metrics_http import HttpMetricsListener
 from repro.serving.protocol import (
     MAX_MESSAGE_BYTES,
     ProtocolError,
@@ -94,6 +121,12 @@ __all__ = [
     "BackgroundServer",
     "BadRequestError",
     "BatchingQueue",
+    "BINARY_MAGIC",
+    "BINARY_VERSION",
+    "BinaryProtocolError",
+    "BinaryReply",
+    "BinaryRequest",
+    "HttpMetricsListener",
     "InferenceServer",
     "MAX_MESSAGE_BYTES",
     "ModelNotFoundError",
@@ -105,9 +138,13 @@ __all__ = [
     "ServerStats",
     "ServingClient",
     "ServingError",
+    "StaleConnectionError",
     "encode_message",
+    "encode_predict_request",
+    "encode_reply",
     "read_message",
     "recv_message",
+    "recv_reply",
     "render_stats_text",
     "send_message",
     "write_message",

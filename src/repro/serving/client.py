@@ -1,10 +1,12 @@
 """Blocking client for the inference server (tests, examples, load drivers).
 
 :class:`ServingClient` wraps one TCP connection speaking the length-prefixed
-JSON protocol.  It is intentionally synchronous — the server is where the
-concurrency lives; a client thread (or 256 of them in the latency benchmark)
-just sends a request and blocks on the response.  Server-side typed errors
-are re-raised as the matching exception:
+JSON protocol — or, with ``binary=True``, the zero-copy binary protocol for
+``predict`` (control ops stay JSON; both coexist on the one socket).  It is
+intentionally synchronous — the server is where the concurrency lives; a
+client thread (or 256 of them in the latency benchmark) just sends a
+request and blocks on the response.  Server-side typed errors are re-raised
+as the matching exception:
 :class:`~repro.serving.queue.ServerOverloadedError` for sheds,
 :class:`~repro.serving.queue.BadRequestError` for malformed requests,
 :class:`~repro.serving.registry.ModelNotFoundError` for requests naming a
@@ -23,6 +25,20 @@ exponential backoff and jitter.  Nothing else is retried — a typed
 ``bad_request`` will fail identically forever, and silently resubmitting
 after an ``internal`` error could double-evaluate a request the server
 half-processed.
+
+Stream discipline
+=================
+
+The protocols are strictly request/response over one byte stream, so any
+failure that can leave a *half-consumed frame* on the socket — a timeout
+mid-read, a :class:`~repro.serving.protocol.ProtocolError`, a connection
+error mid-frame — poisons every later exchange: the next read would parse
+the stale frame's remaining bytes as a fresh header and return garbage.
+The client therefore marks the connection **dead** at the first such
+failure; any further request raises :class:`StaleConnectionError`
+immediately instead of desyncing.  Typed server errors (shed, bad request,
+unknown model, internal) arrive as complete frames and do *not* kill the
+connection.
 """
 
 from __future__ import annotations
@@ -32,7 +48,13 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.serving.protocol import recv_message, send_message
+from repro.engine.bitpack import pack_bits
+from repro.serving.binary_protocol import encode_predict_request, recv_reply
+from repro.serving.protocol import (
+    ProtocolError,
+    recv_message,
+    send_message,
+)
 from repro.serving.queue import (
     BadRequestError,
     ServerOverloadedError,
@@ -41,13 +63,24 @@ from repro.serving.queue import (
 from repro.serving.registry import ModelNotFoundError
 from repro.serving.retry import RetryPolicy
 
-__all__ = ["ServingClient"]
+__all__ = ["ServingClient", "StaleConnectionError"]
 
 _ERROR_TYPES = {
     ServerOverloadedError.error_type: ServerOverloadedError,
     BadRequestError.error_type: BadRequestError,
     ModelNotFoundError.error_type: ModelNotFoundError,
 }
+
+
+class StaleConnectionError(ConnectionError):
+    """This client's stream may hold a half-consumed frame; reuse refused.
+
+    Raised by every request method after an earlier ``socket.timeout``,
+    :class:`~repro.serving.protocol.ProtocolError` or mid-frame connection
+    failure.  The fix is always the same: close this client and open a new
+    one (with a :class:`~repro.serving.retry.RetryPolicy` for the
+    reconnect, if you want backoff).
+    """
 
 
 class ServingClient:
@@ -62,6 +95,13 @@ class ServingClient:
             print(client.list_models()["models"])
             print(client.stats(model="variant-b")["latency_us"])
 
+    ``binary=True`` sends ``predict`` over the zero-copy binary protocol:
+    the client packs the rows once (:func:`~repro.engine.bitpack.pack_bits`)
+    and ships the uint64 bit-planes; the server feeds them straight to the
+    engine — no JSON encode/decode on either side, no re-pack.  Control
+    ops (``stats``, ``list_models``, ``ping``) stay on the JSON protocol
+    over the same socket.
+
     ``retry=RetryPolicy(...)`` opts in to backoff on connect failures and
     on shed (``overloaded``) predictions; the default is no retrying.
     """
@@ -72,9 +112,12 @@ class ServingClient:
         port: int,
         timeout: float = 30.0,
         *,
+        binary: bool = False,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
         self._retry = retry
+        self._binary = binary
+        self._dead: Optional[str] = None
         if retry is None:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         else:
@@ -84,16 +127,64 @@ class ServingClient:
             )
 
     # -------------------------------------------------------------- request
+    def _check_usable(self) -> None:
+        if self._dead is not None:
+            raise StaleConnectionError(
+                "refusing to reuse this connection: its stream may hold a "
+                f"half-consumed frame after {self._dead}; open a new client"
+            )
+
+    def _mark_dead(self, error: BaseException) -> None:
+        self._dead = f"{type(error).__name__}: {error}"
+
     def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        send_message(self._sock, payload)
-        response = recv_message(self._sock)
+        self._check_usable()
+        try:
+            send_message(self._sock, payload)
+            response = recv_message(self._sock)
+        except (ProtocolError, OSError) as error:
+            # timeout (a mid-read one leaves a partial frame), framing
+            # error, or transport failure: the stream position is unknown
+            self._mark_dead(error)
+            raise
         if response is None:
-            raise ConnectionError("server closed the connection")
+            error = ConnectionError("server closed the connection")
+            self._mark_dead(error)
+            raise error
         if response.get("ok"):
             return response
         error = response.get("error") or {}
         exc_type = _ERROR_TYPES.get(error.get("type"), ServingError)
         raise exc_type(error.get("message", "unknown server error"))
+
+    def _request_binary(
+        self,
+        rows: np.ndarray,
+        return_scores: bool,
+        model: Optional[str],
+    ):
+        self._check_usable()
+        try:
+            packed = pack_bits(rows)
+        except ValueError as error:
+            raise BadRequestError(str(error)) from error
+        frame = encode_predict_request(
+            packed,
+            rows.shape[0],
+            model=model,
+            return_scores=return_scores,
+        )
+        try:
+            self._sock.sendall(frame)
+            reply = recv_reply(self._sock)
+        except (ProtocolError, OSError) as error:
+            self._mark_dead(error)
+            raise
+        # typed ServingErrors from recv_reply propagate without killing the
+        # connection: an OP_ERROR frame was consumed whole
+        if return_scores:
+            return reply.labels, np.asarray(reply.scores, dtype=np.float64)
+        return reply.labels
 
     @staticmethod
     def _as_rows(features: np.ndarray) -> np.ndarray:
@@ -121,8 +212,17 @@ class ServingClient:
         when ``return_scores`` is set (requires a model with a scores
         path).  With a retry policy, shed requests are resubmitted under
         backoff before the ``ServerOverloadedError`` is allowed through.
+        On a ``binary=True`` client the request crosses the wire as packed
+        uint64 bit-planes instead of JSON.
         """
         rows = self._as_rows(features)
+        if self._binary:
+            if self._retry is None:
+                return self._request_binary(rows, return_scores, model)
+            return self._retry.call(
+                lambda: self._request_binary(rows, return_scores, model),
+                retry_on=(ServerOverloadedError,),
+            )
         # no dtype coercion: the server validates the raw values, so a 0.5
         # is rejected with BadRequestError instead of truncating to 0
         payload = {

@@ -1,0 +1,171 @@
+"""A native HTTP listener for operational endpoints: ``/metrics`` + ``/healthz``.
+
+The Prometheus exposition rendering has existed since PR 5
+(:func:`~repro.serving.stats.render_stats_text`), but scraping it required
+a sidecar speaking the serving wire protocol.  This module is the missing
+transport: a deliberately tiny asyncio HTTP/1.0-style server — request
+line, headers, one response, close — because a scrape endpoint needs
+nothing more (Prometheus is happy with ``Connection: close``), and pulling
+in an HTTP framework for two GET routes would be all liability.
+
+Routes:
+
+``GET /metrics``
+    The Prometheus exposition text (``text/plain; version=0.0.4``) from the
+    ``render`` callable — for :class:`~repro.serving.server.InferenceServer`
+    that is every hosted model's stats snapshot.
+
+``GET /healthz``
+    ``ok`` — a liveness probe for load balancers and k8s-style checks.
+
+Anything else is ``404``; non-GET/HEAD methods are ``405``; a malformed
+request line is ``400``.  ``HEAD`` is honoured (headers only) since probes
+sometimes use it.  The reader is bounded (:data:`MAX_REQUEST_BYTES`) so a
+hostile peer cannot feed an unbounded header section.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional, Tuple
+
+__all__ = ["HttpMetricsListener", "MAX_REQUEST_BYTES"]
+
+#: Upper bound on one request's line + header section.
+MAX_REQUEST_BYTES = 16 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+#: the content type Prometheus expects from a scrape target
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _response(
+    status: int,
+    body: str,
+    content_type: str = "text/plain; charset=utf-8",
+    *,
+    head_only: bool = False,
+) -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.0 {status} {_STATUS_TEXT[status]}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    return head if head_only else head + payload
+
+
+class HttpMetricsListener:
+    """Serve ``/metrics`` (and ``/healthz``) over plain HTTP.
+
+    Parameters
+    ----------
+    render:
+        Zero-argument callable returning the exposition text; called per
+        scrape on the event loop (snapshotting is a few lock-guarded
+        copies, cheap enough to stay inline).
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from the
+        :meth:`start` return value).
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> Tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("HTTP listener already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------- handling
+    def _respond_to(self, method: str, path: str, head_only: bool) -> bytes:
+        path = path.split("?", 1)[0]
+        if method not in ("GET", "HEAD"):
+            return _response(405, "only GET is supported\n", head_only=head_only)
+        if path == "/metrics":
+            try:
+                text = self._render()
+            except Exception as error:  # noqa: BLE001 - surface, don't hang up
+                return _response(
+                    500, f"metrics rendering failed: {error}\n",
+                    head_only=head_only,
+                )
+            return _response(
+                200, text, METRICS_CONTENT_TYPE, head_only=head_only
+            )
+        if path == "/healthz":
+            return _response(200, "ok\n", head_only=head_only)
+        return _response(
+            404, "try /metrics or /healthz\n", head_only=head_only
+        )
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request_line = await reader.readuntil(b"\r\n")
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+            ):
+                return  # peer hung up or flooded before a request line
+            parts = request_line.decode("ascii", errors="replace").split()
+            if len(parts) < 2:
+                writer.write(_response(400, "malformed request line\n"))
+                return
+            method, path = parts[0].upper(), parts[1]
+            # drain the (bounded) header section; the routes need none of it
+            consumed = len(request_line)
+            while True:
+                try:
+                    line = await reader.readuntil(b"\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                ):
+                    break
+                consumed += len(line)
+                if line == b"\r\n" or consumed > MAX_REQUEST_BYTES:
+                    break
+            writer.write(self._respond_to(method, path, method == "HEAD"))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+            ):  # pragma: no cover
+                pass

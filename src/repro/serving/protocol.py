@@ -13,6 +13,11 @@ asyncio reader and the blocking client both rely on.  Payloads are capped at
 :data:`MAX_MESSAGE_BYTES` so a corrupt or hostile header cannot make either
 side allocate gigabytes.
 
+A binary sibling (:mod:`repro.serving.binary_protocol`) shares the same
+listener: its frames lead with the ``0xBF`` magic byte, which a JSON length
+header under the 64 MiB cap can never produce, so the first byte of every
+frame picks the codec.
+
 Request objects (client → server)::
 
     {"op": "predict", "features": [[0, 1, ...], ...],
@@ -72,8 +77,22 @@ class ProtocolError(RuntimeError):
 
 
 def encode_message(payload: Dict[str, Any]) -> bytes:
-    """Serialise one message to its framed wire form."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    """Serialise one message to its framed wire form.
+
+    Non-finite floats raise :class:`ProtocolError`: ``json.dumps`` would
+    otherwise emit the bare ``NaN``/``Infinity`` tokens, which are not JSON
+    — a strict peer rejects the whole frame.  The server converts this
+    failure into the typed ``internal`` wire error; the binary protocol
+    carries non-finite scores losslessly instead.
+    """
+    try:
+        body = json.dumps(
+            payload, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except ValueError as error:
+        raise ProtocolError(
+            f"payload is not JSON-serialisable: {error}"
+        ) from error
     if len(body) > MAX_MESSAGE_BYTES:
         raise ProtocolError(
             f"message of {len(body)} bytes exceeds the "

@@ -56,6 +56,20 @@ and keeps the event loop free to admit requests while NumPy works.  The
 executor persists across batches — together with the (optional)
 :class:`~repro.engine.parallel.ShardedEngine` process pool underneath the
 batch function, the whole worker stack outlives any one call.
+
+Packed submissions
+==================
+
+:meth:`BatchingQueue.submit_packed` is the binary wire protocol's entry:
+the request arrives as the engine's own ``(F, n_words(k))`` uint64
+bit-plane matrix.  Packed co-travellers coalesce *in the packed domain* —
+:func:`~repro.engine.bitpack.concat_packed` merges their words with a few
+shifts per request — and the batch evaluates through the model's
+``packed_fn`` as words, so nothing on the whole path unpacks, re-packs, or
+touches JSON.  Rows and packed requests never share a batch (a
+representation change flushes the pending batch, exactly like a width
+change); models without a ``packed_fn`` still accept packed submissions
+via one ``unpack_bits`` on the coalesced words.
 """
 
 from __future__ import annotations
@@ -69,6 +83,12 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.engine.batching import coalesce_batches, split_batches
+from repro.engine.bitpack import (
+    concat_packed,
+    mask_padding,
+    n_words,
+    unpack_bits,
+)
 from repro.serving.stats import ServerStats
 from repro.utils.validation import check_binary_matrix
 
@@ -136,9 +156,23 @@ class AdmissionBudget:
 
 @dataclass
 class _Pending:
-    rows: np.ndarray
+    payload: np.ndarray  # (k, F) rows, or (F, n_words(k)) packed words
+    n_samples: int
+    packed: bool
     future: asyncio.Future
     enqueued_at: float
+
+    @property
+    def batch_key(self):
+        """Entries sharing a coalesced batch must agree on this.
+
+        Rows and packed words can never share one matrix, and neither can
+        two feature widths — a mismatch flushes the pending batch first
+        (the newcomer starts a fresh one), mirroring the width rule of the
+        row path.
+        """
+        width = self.payload.shape[0] if self.packed else self.payload.shape[1]
+        return (self.packed, width)
 
 
 class BatchingQueue:
@@ -165,6 +199,14 @@ class BatchingQueue:
         Optional :class:`AdmissionBudget` shared with other queues; admitted
         samples also reserve from it, so a multi-model server's total
         in-flight work stays bounded whatever the per-model traffic mix.
+    packed_fn:
+        Optional ``(packed_words, n_samples) -> array with first axis
+        n_samples`` fast path for :meth:`submit_packed`: the coalesced
+        ``(F, n_words(n))`` uint64 matrix goes to the model *as words* —
+        no unpack, no re-pack.  Its output must mean the same thing as
+        ``batch_fn``'s (labels with labels, scores with scores).  Without
+        it, packed submissions fall back to one ``unpack_bits`` plus
+        ``batch_fn`` — still no JSON anywhere on the path.
     """
 
     def __init__(
@@ -176,6 +218,7 @@ class BatchingQueue:
         max_queue: int = 1024,
         stats: Optional[ServerStats] = None,
         budget: Optional[AdmissionBudget] = None,
+        packed_fn: Optional[Callable[[np.ndarray, int], np.ndarray]] = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -184,6 +227,7 @@ class BatchingQueue:
         if max_queue <= 0:
             raise ValueError("max_queue must be positive")
         self._batch_fn = batch_fn
+        self._packed_fn = packed_fn
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
         self.max_queue = max_queue
@@ -201,6 +245,12 @@ class BatchingQueue:
 
     # ------------------------------------------------------------ admission
     @property
+    def packed_path(self) -> bool:
+        """Whether packed submissions evaluate as words (a ``packed_fn``
+        was given) rather than through the unpack fallback."""
+        return self._packed_fn is not None
+
+    @property
     def queued_samples(self) -> int:
         """Samples currently waiting for a flush (not yet evaluating)."""
         return self._queued_samples
@@ -209,6 +259,48 @@ class BatchingQueue:
     def backlog_samples(self) -> int:
         """Admitted-but-uncompleted samples — what ``max_queue`` bounds."""
         return self._queued_samples + self._inflight_samples
+
+    def _admit(self, k: int) -> None:
+        """Admission control for ``k`` samples (shared by both submit paths)."""
+        backlog = self.backlog_samples
+        if backlog + k > self.max_queue and backlog > 0:
+            self.stats.observe_shed()
+            raise ServerOverloadedError(
+                f"server backlog holds {backlog} samples; admitting {k} "
+                f"more would exceed the bound of {self.max_queue}"
+            )
+        if self._budget is not None and not self._budget.try_reserve(k):
+            self.stats.observe_shed()
+            raise ServerOverloadedError(
+                f"shared admission budget holds "
+                f"{self._budget.outstanding} samples across all models; "
+                f"admitting {k} more would exceed the bound of "
+                f"{self._budget.max_samples}"
+            )
+
+    async def _enqueue(
+        self, payload: np.ndarray, k: int, packed: bool
+    ) -> np.ndarray:
+        loop = asyncio.get_running_loop()
+        entry = _Pending(
+            payload, k, packed, loop.create_future(), time.perf_counter()
+        )
+        # Requests that can never share the pending batch's coalesced matrix
+        # (different feature width, or rows vs packed words) flush what is
+        # queued and start a fresh batch, so a client with the wrong shape
+        # fails alone instead of wedging co-travellers.
+        if self._pending and entry.batch_key != self._pending[0].batch_key:
+            self._flush_now(loop)
+        self._pending.append(entry)
+        self._queued_samples += k
+        self.stats.observe_queue_depth(self.backlog_samples)
+        if self._queued_samples >= self.max_batch:
+            self._flush_now(loop)
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_wait_us / 1e6, self._on_timer, loop
+            )
+        return await entry.future
 
     async def submit(self, rows: np.ndarray) -> np.ndarray:
         """Queue ``rows`` (a ``(k, F)`` 0/1 matrix, ``k >= 1``) and await
@@ -226,40 +318,43 @@ class BatchingQueue:
             raise BadRequestError(str(error)) from error
         if rows.shape[0] == 0:
             raise BadRequestError("a request must carry at least one sample")
-        k = rows.shape[0]
-        backlog = self.backlog_samples
-        if backlog + k > self.max_queue and backlog > 0:
-            self.stats.observe_shed()
-            raise ServerOverloadedError(
-                f"server backlog holds {backlog} samples; admitting {k} "
-                f"more would exceed the bound of {self.max_queue}"
+        self._admit(rows.shape[0])
+        return await self._enqueue(rows, rows.shape[0], packed=False)
+
+    async def submit_packed(
+        self, packed: np.ndarray, n_samples: int
+    ) -> np.ndarray:
+        """Queue a *pre-packed* request and await its slice of the result.
+
+        ``packed`` is the ``(F, n_words(n_samples))`` uint64 bit-plane
+        matrix of :func:`~repro.engine.bitpack.pack_bits` — what the binary
+        wire protocol carries.  Packed co-travellers are concatenated in
+        the packed domain (:func:`~repro.engine.bitpack.concat_packed`)
+        and fed to ``packed_fn`` as words; without a ``packed_fn`` the
+        coalesced words are unpacked once and ``batch_fn`` runs as usual.
+        Admission control, coalescing policy and stats are identical to
+        :meth:`submit`.
+        """
+        if self._closed:
+            raise RuntimeError("this BatchingQueue has been closed")
+        words = np.asarray(packed)
+        if words.ndim != 2:
+            raise BadRequestError(
+                f"packed payload must be 2-D, got shape {words.shape}"
             )
-        if self._budget is not None and not self._budget.try_reserve(k):
-            self.stats.observe_shed()
-            raise ServerOverloadedError(
-                f"shared admission budget holds "
-                f"{self._budget.outstanding} samples across all models; "
-                f"admitting {k} more would exceed the bound of "
-                f"{self._budget.max_samples}"
+        if words.dtype != np.uint64:
+            raise BadRequestError(
+                f"packed payload must be uint64 words, got {words.dtype}"
             )
-        loop = asyncio.get_running_loop()
-        # Requests of a different feature width than the pending batch can
-        # never share its coalesced matrix: flush what is queued and let the
-        # newcomer start a fresh batch, so a client with the wrong width
-        # fails alone (in its own batch) instead of wedging co-travellers.
-        if self._pending and rows.shape[1] != self._pending[0].rows.shape[1]:
-            self._flush_now(loop)
-        entry = _Pending(rows, loop.create_future(), time.perf_counter())
-        self._pending.append(entry)
-        self._queued_samples += k
-        self.stats.observe_queue_depth(self.backlog_samples)
-        if self._queued_samples >= self.max_batch:
-            self._flush_now(loop)
-        elif self._timer is None:
-            self._timer = loop.call_later(
-                self.max_wait_us / 1e6, self._on_timer, loop
+        if n_samples < 1:
+            raise BadRequestError("a request must carry at least one sample")
+        if words.shape[1] != n_words(n_samples):
+            raise BadRequestError(
+                f"{n_samples} samples need {n_words(n_samples)} words per "
+                f"signal, got {words.shape[1]}"
             )
-        return await entry.future
+        self._admit(n_samples)
+        return await self._enqueue(words, n_samples, packed=True)
 
     # ------------------------------------------------------------- flushing
     def _on_timer(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -282,18 +377,48 @@ class BatchingQueue:
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
+    def _evaluate_packed_batch(
+        self, entries: List[_Pending], n_samples: int
+    ) -> np.ndarray:
+        """Coalesce packed entries word-wise and evaluate (executor thread)."""
+        if len(entries) == 1:
+            # mask so a model's packed path never sees a client's padding
+            # garbage (concat_packed masks internally for the multi case)
+            words = mask_padding(entries[0].payload, n_samples)
+        else:
+            words = concat_packed(
+                [entry.payload for entry in entries],
+                [entry.n_samples for entry in entries],
+            )
+        if self._packed_fn is not None:
+            return self._packed_fn(words, n_samples)
+        return self._batch_fn(unpack_bits(words, n_samples))
+
     async def _evaluate(self, entries: List[_Pending]) -> None:
-        n_samples = sum(entry.rows.shape[0] for entry in entries)
+        n_samples = sum(entry.n_samples for entry in entries)
         loop = asyncio.get_running_loop()
         # Everything — coalesce, evaluation, scatter — stays inside one
         # try: any failure must resolve every caller's future (a hung
         # future blocks a client until its socket timeout) and must release
         # the admission backlog, or one bad batch wedges the queue forever.
         try:
-            X, bounds = coalesce_batches([entry.rows for entry in entries])
-            result = await loop.run_in_executor(
-                self._executor, self._batch_fn, X
-            )
+            if entries[0].packed:
+                bounds = []
+                lo = 0
+                for entry in entries:
+                    bounds.append((lo, lo + entry.n_samples))
+                    lo += entry.n_samples
+                result = await loop.run_in_executor(
+                    self._executor, self._evaluate_packed_batch, entries,
+                    n_samples,
+                )
+            else:
+                X, bounds = coalesce_batches(
+                    [entry.payload for entry in entries]
+                )
+                result = await loop.run_in_executor(
+                    self._executor, self._batch_fn, X
+                )
             parts = split_batches(np.asarray(result), bounds)
         except Exception as error:  # noqa: BLE001 - forwarded to callers
             self.stats.observe_error(len(entries))

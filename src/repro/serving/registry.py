@@ -59,6 +59,7 @@ class RegisteredModel:
         return {
             "name": self.name,
             "scores": self.scores_mode,
+            "packed": self.queue.packed_path,
             "max_batch": self.queue.max_batch,
             "max_wait_us": self.queue.max_wait_us,
             "max_queue": self.queue.max_queue,
@@ -105,6 +106,7 @@ class ModelRegistry:
         batch_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         *,
         scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        packed_fn: Optional[Callable[[np.ndarray, int], np.ndarray]] = None,
         max_batch: Optional[int] = None,
         max_wait_us: Optional[float] = None,
         max_queue: Optional[int] = None,
@@ -114,8 +116,12 @@ class ModelRegistry:
         """Host ``name`` behind its own queue; returns the record.
 
         Exactly one of ``batch_fn`` (labels) and ``scores_fn`` (per-class
-        decision scores, labels by argmax) must be given.  Per-model knobs
-        fall back to the registry defaults.
+        decision scores, labels by argmax) must be given.  ``packed_fn``
+        optionally adds the binary protocol's zero-copy path — a
+        ``(packed_words, n_samples)`` function whose output means the same
+        thing as the given evaluation function's (scores with
+        ``scores_fn``, labels with ``batch_fn``).  Per-model knobs fall
+        back to the registry defaults.
         """
         if not isinstance(name, str) or not name:
             raise ValueError("model name must be a non-empty string")
@@ -141,6 +147,7 @@ class ModelRegistry:
                 ),
                 stats=stats,
                 budget=self.budget,
+                packed_fn=packed_fn,
             ),
             scores_mode=scores_mode,
             stats=stats,

@@ -1,7 +1,13 @@
 """The asyncio inference server: sockets in, coalesced packed batches out.
 
 :class:`InferenceServer` ties the pieces together: a TCP listener speaking
-the length-prefixed JSON protocol (:mod:`repro.serving.protocol`), a
+*both* wire protocols on one port — the length-prefixed JSON protocol
+(:mod:`repro.serving.protocol`) and the zero-copy binary protocol
+(:mod:`repro.serving.binary_protocol`), discriminated by each frame's
+first byte, with binary predict requests feeding their packed words
+straight into the model's queue — plus an optional plain-HTTP listener
+(``http_port=``) serving ``GET /metrics`` and ``GET /healthz``
+(:mod:`repro.serving.metrics_http`), a
 :class:`~repro.serving.registry.ModelRegistry` mapping model names to
 per-model :class:`~repro.serving.queue.BatchingQueue`\\ s (each coalescing
 its model's concurrent requests into joint packed evaluations, under its
@@ -42,10 +48,17 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.serving.binary_protocol import (
+    BinaryProtocolError,
+    BinaryRequest,
+    encode_error,
+    encode_reply,
+    read_frame,
+)
+from repro.serving.metrics_http import HttpMetricsListener
 from repro.serving.protocol import (
     ProtocolError,
     encode_message,
-    read_message,
 )
 from repro.serving.queue import (
     AdmissionBudget,
@@ -86,15 +99,18 @@ def _model_entry_point(
     model: Any,
     n_workers: Optional[int],
     pool: Optional[Any],
-) -> Tuple[Optional[Callable], Optional[Callable]]:
-    """``(batch_fn, scores_fn)`` for whatever entry point ``model`` offers.
+) -> Tuple[Optional[Callable], Optional[Callable], Optional[Callable]]:
+    """``(batch_fn, scores_fn, packed_fn)`` for what ``model`` offers.
 
     Preference order: ``decision_scores_batch`` (labels *and* scores from
     one packed evaluation — PoET-BiN's serving path), then
-    ``predict_batch``, then the model itself as a plain callable.
-    ``n_workers``/``pool`` are forwarded where the entry point accepts
-    them, so big coalesced batches fan out to the model's sharded engine —
-    a shared ``pool`` makes every hosted model share one set of workers.
+    ``predict_batch``, then the model itself as a plain callable.  A model
+    that additionally offers ``decision_scores_packed_batch`` (scores
+    straight from pre-packed words) gets it wired as the binary protocol's
+    zero-copy ``packed_fn``.  ``n_workers``/``pool`` are forwarded where
+    the entry point accepts them, so big coalesced batches fan out to the
+    model's sharded engine — a shared ``pool`` makes every hosted model
+    share one set of workers.
     """
     if n_workers is not None and pool is not None:
         raise ValueError("provide at most one of n_workers and pool")
@@ -104,17 +120,31 @@ def _model_entry_point(
     if pool is not None:
         candidates["pool"] = pool
     if hasattr(model, "decision_scores_batch"):
+        packed_fn = None
+        if hasattr(model, "decision_scores_packed_batch"):
+            packed_forwarded = _forwardable(
+                model.decision_scores_packed_batch, candidates
+            )
+            packed_fn = (
+                lambda words, n: model.decision_scores_packed_batch(
+                    words, n, **packed_forwarded
+                )
+            )
         forwarded = _forwardable(model.decision_scores_batch, candidates)
         if not forwarded:
-            return None, model.decision_scores_batch
-        return None, lambda X: model.decision_scores_batch(X, **forwarded)
+            return None, model.decision_scores_batch, packed_fn
+        return (
+            None,
+            lambda X: model.decision_scores_batch(X, **forwarded),
+            packed_fn,
+        )
     if hasattr(model, "predict_batch"):
         forwarded = _forwardable(model.predict_batch, candidates)
         if not forwarded:
-            return model.predict_batch, None
-        return (lambda X: model.predict_batch(X, **forwarded)), None
+            return model.predict_batch, None, None
+        return (lambda X: model.predict_batch(X, **forwarded)), None, None
     if callable(model):
-        return model, None
+        return model, None, None
     raise TypeError(
         f"{type(model).__name__} offers neither decision_scores_batch, "
         "predict_batch nor __call__"
@@ -139,7 +169,12 @@ class _CorkedWriter:
         self._flush_scheduled = False
 
     def send(self, payload: Dict[str, Any]) -> None:
-        self._frames.append(encode_message(payload))
+        self.send_raw(encode_message(payload))
+
+    def send_raw(self, frame: bytes) -> None:
+        """Queue an already-encoded frame (either protocol) for the next
+        corked flush — binary and JSON responses share one send."""
+        self._frames.append(frame)
         if not self._flush_scheduled:
             self._flush_scheduled = True
             asyncio.get_running_loop().call_soon(self._flush)
@@ -169,9 +204,22 @@ class InferenceServer:
     scores_fn:
         ``(n, F) -> (n, n_classes)`` decision-score function; labels are
         derived by ``argmax`` so one evaluation yields both.
+    packed_fn:
+        Optional ``(packed_words, n_samples) -> array`` zero-copy path for
+        binary-protocol requests on the default model: the coalesced
+        ``(F, n_words(n))`` uint64 bit-planes reach the model as words —
+        no unpack, no re-pack.  Output semantics must match the given
+        evaluation function's (scores with ``scores_fn``, labels with
+        ``batch_fn``).
     host, port:
         Listen address; ``port=0`` picks a free port (read it back from
         :attr:`port` after :meth:`start`).
+    http_port:
+        ``None`` (default) disables the HTTP listener; any port (0 for
+        ephemeral) additionally serves ``GET /metrics`` (Prometheus
+        exposition of every model's stats) and ``GET /healthz`` over plain
+        HTTP on the same host — no scrape sidecar needed.  Read the bound
+        address back from :attr:`http_address` after :meth:`start`.
     max_batch, max_wait_us, max_queue:
         Default per-model coalescing and admission-control policy — see
         :class:`~repro.serving.queue.BatchingQueue`.  :meth:`register_model`
@@ -199,8 +247,10 @@ class InferenceServer:
         batch_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         *,
         scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        packed_fn: Optional[Callable[[np.ndarray, int], np.ndarray]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        http_port: Optional[int] = None,
         max_batch: int = 64,
         max_wait_us: float = 2000.0,
         max_queue: int = 1024,
@@ -224,19 +274,31 @@ class InferenceServer:
         )
         if batch_fn is not None or scores_fn is not None:
             self._registry.register(
-                "default", batch_fn, scores_fn=scores_fn, stats=stats
+                "default",
+                batch_fn,
+                scores_fn=scores_fn,
+                packed_fn=packed_fn,
+                stats=stats,
             )
-        elif stats is not None:
-            raise ValueError(
-                "stats= applies to the constructor-registered default "
-                "model; pass it to register_model instead"
-            )
+        else:
+            if stats is not None:
+                raise ValueError(
+                    "stats= applies to the constructor-registered default "
+                    "model; pass it to register_model instead"
+                )
+            if packed_fn is not None:
+                raise ValueError(
+                    "packed_fn= applies to the constructor-registered "
+                    "default model; pass it to register_model instead"
+                )
         self._warm_up = warm_up
         self._backlog = backlog
         self._empty_stats: Optional[ServerStats] = None
         self.host = host
         self.port = port
+        self.http_port = http_port
         self._server: Optional[asyncio.base_events.Server] = None
+        self._http: Optional[HttpMetricsListener] = None
         self._connections: set = set()
 
     @classmethod
@@ -250,13 +312,16 @@ class InferenceServer:
     ):
         """Build a single-model server around ``model``'s best entry point.
 
-        See :func:`_model_entry_point` for the preference order;
+        See :func:`_model_entry_point` for the preference order (including
+        the binary protocol's packed path when the model offers one);
         ``register_model(name, model=...)`` is the multi-model counterpart.
         """
-        batch_fn, scores_fn = _model_entry_point(model, n_workers, pool)
+        batch_fn, scores_fn, packed_fn = _model_entry_point(
+            model, n_workers, pool
+        )
         if scores_fn is not None:
-            return cls(scores_fn=scores_fn, **kwargs)
-        return cls(batch_fn=batch_fn, **kwargs)
+            return cls(scores_fn=scores_fn, packed_fn=packed_fn, **kwargs)
+        return cls(batch_fn=batch_fn, packed_fn=packed_fn, **kwargs)
 
     # ------------------------------------------------------- model hosting
     @property
@@ -282,6 +347,7 @@ class InferenceServer:
         batch_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         *,
         scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        packed_fn: Optional[Callable[[np.ndarray, int], np.ndarray]] = None,
         model: Any = None,
         n_workers: Optional[int] = None,
         pool: Optional[Any] = None,
@@ -293,18 +359,22 @@ class InferenceServer:
     ) -> RegisteredModel:
         """Host another model under ``name``, with its own queue and knobs.
 
-        Give either an evaluation function (``batch_fn``/``scores_fn``) or
-        ``model=`` to pick the object's best entry point (optionally
-        sharded over ``n_workers`` / a shared ``pool`` — pass the same
-        pool to every model so they share one set of worker processes).
-        Knobs left ``None`` inherit the server-level defaults.  Safe while
-        serving: requests naming ``name`` route to the new queue from the
-        next dispatch.
+        Give either an evaluation function (``batch_fn``/``scores_fn``,
+        plus optionally the binary protocol's zero-copy ``packed_fn``) or
+        ``model=`` to pick the object's best entry point — including its
+        packed path when it offers one (optionally sharded over
+        ``n_workers`` / a shared ``pool`` — pass the same pool to every
+        model so they share one set of worker processes).  Knobs left
+        ``None`` inherit the server-level defaults.  Safe while serving:
+        requests naming ``name`` route to the new queue from the next
+        dispatch.
         """
         if model is not None:
-            if batch_fn is not None or scores_fn is not None:
+            if batch_fn is not None or scores_fn is not None or packed_fn is not None:
                 raise ValueError("provide model= or an evaluation fn, not both")
-            batch_fn, scores_fn = _model_entry_point(model, n_workers, pool)
+            batch_fn, scores_fn, packed_fn = _model_entry_point(
+                model, n_workers, pool
+            )
         elif n_workers is not None or pool is not None:
             raise ValueError(
                 "n_workers/pool apply to model=; with an explicit "
@@ -314,6 +384,7 @@ class InferenceServer:
             name,
             batch_fn,
             scores_fn=scores_fn,
+            packed_fn=packed_fn,
             max_batch=max_batch,
             max_wait_us=max_wait_us,
             max_queue=max_queue,
@@ -328,6 +399,25 @@ class InferenceServer:
         if entry is not None:
             await entry.queue.close()
 
+    @property
+    def http_address(self) -> Optional[Tuple[str, int]]:
+        """The HTTP listener's bound ``(host, port)``; ``None`` when the
+        server was built without ``http_port`` or has not started yet."""
+        if self._http is None:
+            return None
+        return self._http.host, self._http.port
+
+    def render_metrics(self) -> str:
+        """Every hosted model's stats in Prometheus exposition format —
+        the payload behind both ``GET /metrics`` and the ``stats_text``
+        wire op."""
+        return render_stats_text(
+            {
+                entry.name: entry.stats.snapshot()
+                for entry in self._registry.entries()
+            }
+        )
+
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> Tuple[str, int]:
         """Bind the listener (running the warm-up first); returns the address."""
@@ -341,6 +431,16 @@ class InferenceServer:
             self._handle_connection, self.host, self.port, backlog=self._backlog
         )
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        if self.http_port is not None:
+            self._http = HttpMetricsListener(
+                self.render_metrics, host=self.host, port=self.http_port
+            )
+            try:
+                _, self.http_port = await self._http.start()
+            except BaseException:
+                self._http = None
+                await self.stop()
+                raise
         return self.host, self.port
 
     async def serve_forever(self) -> None:
@@ -352,6 +452,9 @@ class InferenceServer:
 
     async def stop(self) -> None:
         """Stop accepting, hang up open connections, drain every queue."""
+        if self._http is not None:
+            await self._http.stop()
+            self._http = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -386,19 +489,41 @@ class InferenceServer:
             response = await self._dispatch(request)
             if "id" in request:
                 response["id"] = request["id"]
-            corked.send(response)
+            try:
+                corked.send(response)
+            except ProtocolError as error:
+                # e.g. a model emitted NaN/Inf scores: JSON cannot carry
+                # them (encode_message enforces allow_nan=False), so the
+                # client gets the typed internal error instead of a frame
+                # its parser rejects — the connection stays usable
+                fallback = _error_response(
+                    "internal", f"response not representable in JSON: {error}"
+                )
+                if "id" in request:
+                    fallback["id"] = request["id"]
+                corked.send(fallback)
+            await corked.drain()
+
+        async def respond_binary(request: BinaryRequest) -> None:
+            corked.send_raw(await self._dispatch_binary(request))
             await corked.drain()
 
         try:
             while True:
                 try:
-                    request = await read_message(reader)
+                    request = await read_frame(reader)
+                except BinaryProtocolError as error:
+                    corked.send_raw(encode_error("bad_request", str(error)))
+                    break
                 except ProtocolError as error:
                     corked.send(_error_response("bad_request", str(error)))
                     break
                 if request is None:  # client closed cleanly
                     break
-                request_task = asyncio.create_task(respond(request))
+                if isinstance(request, BinaryRequest):
+                    request_task = asyncio.create_task(respond_binary(request))
+                else:
+                    request_task = asyncio.create_task(respond(request))
                 in_flight.add(request_task)
                 request_task.add_done_callback(in_flight.discard)
             if in_flight:
@@ -446,15 +571,7 @@ class InferenceServer:
                 "stats": entry.stats.snapshot(),
             }
         if op == "stats_text":
-            return {
-                "ok": True,
-                "text": render_stats_text(
-                    {
-                        entry.name: entry.stats.snapshot()
-                        for entry in self._registry.entries()
-                    }
-                ),
-            }
+            return {"ok": True, "text": self.render_metrics()}
         if op == "list_models":
             return {
                 "ok": True,
@@ -466,6 +583,43 @@ class InferenceServer:
         if op == "ping":
             return {"ok": True}
         return _error_response("bad_request", f"unknown op {op!r}")
+
+    async def _dispatch_binary(self, request: BinaryRequest) -> bytes:
+        """One binary predict: packed words straight into the model's queue.
+
+        Returns the encoded reply (or typed error) frame; the request id is
+        echoed so pipelining clients re-associate out-of-order completions.
+        """
+        rid = request.request_id
+        try:
+            entry = self._registry.resolve(request.model)
+        except ServingError as error:
+            return encode_error(error.error_type, str(error), request_id=rid)
+        if request.return_scores and not entry.scores_mode:
+            return encode_error(
+                "bad_request",
+                f"model {entry.name!r} has no scores path",
+                request_id=rid,
+            )
+        try:
+            result = await entry.queue.submit_packed(
+                request.packed, request.n_samples
+            )
+        except ServingError as error:
+            return encode_error(error.error_type, str(error), request_id=rid)
+        except Exception as error:  # noqa: BLE001 - model failure
+            return encode_error(
+                "internal", f"{type(error).__name__}: {error}", request_id=rid
+            )
+        if entry.scores_mode:
+            scores = np.asarray(result)
+            labels = np.argmax(scores, axis=1)
+            return encode_reply(
+                labels,
+                scores if request.return_scores else None,
+                request_id=rid,
+            )
+        return encode_reply(np.asarray(result), request_id=rid)
 
     async def _handle_predict(self, request: Dict[str, Any]) -> Dict[str, Any]:
         try:

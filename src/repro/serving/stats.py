@@ -36,6 +36,7 @@ What the numbers mean
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import Counter, deque
 from typing import Dict, Mapping, Optional
@@ -116,6 +117,13 @@ class ServerStats:
         with self._lock:
             return self._errors
 
+    @staticmethod
+    def _percentiles_of(samples: np.ndarray, quantiles) -> Dict[str, float]:
+        if samples.size == 0:
+            return {f"p{q:g}": 0.0 for q in quantiles}
+        values = np.percentile(samples, quantiles)
+        return {f"p{q:g}": float(v) for q, v in zip(quantiles, values)}
+
     def percentiles(self, quantiles=(50.0, 95.0, 99.0)) -> Dict[str, float]:
         """Latency percentiles in microseconds over the current reservoir.
 
@@ -124,10 +132,7 @@ class ServerStats:
         """
         with self._lock:
             samples = np.fromiter(self._latencies_us, dtype=np.float64)
-        if samples.size == 0:
-            return {f"p{q:g}": 0.0 for q in quantiles}
-        values = np.percentile(samples, quantiles)
-        return {f"p{q:g}": float(v) for q, v in zip(quantiles, values)}
+        return self._percentiles_of(samples, quantiles)
 
     def _mean_occupancy_locked(self) -> float:
         return self._samples_completed / self._batches if self._batches else 0.0
@@ -138,22 +143,31 @@ class ServerStats:
             return self._mean_occupancy_locked()
 
     def snapshot(self) -> Dict[str, object]:
-        """One JSON-serialisable dict with every metric (for the stats op)."""
-        percentiles = self.percentiles()
+        """One JSON-serialisable dict with every metric (for the stats op).
+
+        Atomic: every field — counters *and* latency percentiles — is read
+        under one lock acquisition, so a scrape racing a batch completion
+        sees one consistent moment (percentiles computed outside the lock
+        used to tear against the counters, e.g. ``latency_samples`` ahead
+        of the reservoir the percentiles were taken from).  The percentile
+        math itself runs on a copy, after the lock is released.
+        """
         with self._lock:
+            samples = np.fromiter(self._latencies_us, dtype=np.float64)
             occupancy = {str(k): v for k, v in sorted(self._occupancy.items())}
-            return {
+            state = {
                 "requests_completed": self._requests_completed,
                 "samples_completed": self._samples_completed,
                 "batches": self._batches,
                 "shed": self._shed,
                 "errors": self._errors,
                 "max_queue_depth": self._max_queue_depth,
-                "latency_us": percentiles,
-                "latency_samples": len(self._latencies_us),
+                "latency_samples": samples.size,
                 "batch_occupancy": occupancy,
                 "mean_batch_occupancy": self._mean_occupancy_locked(),
             }
+        state["latency_us"] = self._percentiles_of(samples, (50.0, 95.0, 99.0))
+        return state
 
 
 #: snapshot keys rendered as Prometheus counters (monotonic over a process
@@ -179,7 +193,17 @@ def _escape_label(value: str) -> str:
 def _format_value(value: float) -> str:
     """Exact for integer-valued metrics: ``%g``'s 6 significant digits
     would silently round counters past 999,999, corrupting scraped
-    ``rate()``/``increase()`` math on a long-lived server."""
+    ``rate()``/``increase()`` math on a long-lived server.
+
+    Non-finite values use the Prometheus exposition spellings ``+Inf`` /
+    ``-Inf`` / ``NaN`` — ``int(value)`` would raise ``OverflowError`` /
+    ``ValueError`` on them, turning one poisoned gauge into a failed
+    scrape of *every* metric.
+    """
+    if not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "+Inf" if value > 0 else "-Inf"
     if value == int(value):
         return str(int(value))
     return f"{value:.10g}"

@@ -103,3 +103,101 @@ class TestValidation:
     def test_unpack_rejects_negative_samples(self):
         with pytest.raises(ValueError):
             unpack_bits(np.zeros((2, 1), dtype=np.uint64), -1)
+
+
+def _poison_padding(packed, k):
+    """Set every padding bit past sample ``k`` in the last word to 1."""
+    poisoned = packed.copy()
+    tail = k - (packed.shape[1] - 1) * WORD_BITS
+    if 0 < tail < WORD_BITS:
+        poisoned[:, -1] |= ~np.uint64(0) << np.uint64(tail)
+    return poisoned
+
+
+class TestMaskPadding:
+    def test_no_padding_returns_input_unchanged(self):
+        from repro.engine import mask_padding
+
+        packed = pack_bits(np.ones((64, 3), dtype=np.uint8))
+        assert mask_padding(packed, 64) is packed  # no copy when clean
+
+    def test_poisoned_tail_is_zeroed(self):
+        from repro.engine import mask_padding
+
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=(70, 5), dtype=np.uint8)
+        packed = _poison_padding(pack_bits(bits), 70)
+        masked = mask_padding(packed, 70)
+        np.testing.assert_array_equal(masked, pack_bits(bits))
+        np.testing.assert_array_equal(unpack_bits(masked, 70), bits)
+
+    def test_surplus_whole_words_are_zeroed(self):
+        from repro.engine import mask_padding
+
+        bits = np.ones((5, 3), dtype=np.uint8)
+        packed = pack_bits(bits)  # (3, 1)
+        surplus = np.concatenate(
+            [packed, np.full((3, 2), ~np.uint64(0))], axis=1
+        )
+        masked = mask_padding(surplus, 5)
+        np.testing.assert_array_equal(masked[:, 1:], 0)
+        np.testing.assert_array_equal(unpack_bits(masked[:, :1], 5), bits)
+
+
+class TestConcatPacked:
+    def test_matches_pack_of_concatenation(self):
+        """concat_packed(pack(a), pack(b), ...) == pack(concat(a, b, ...))."""
+        from repro.engine import concat_packed
+
+        rng = np.random.default_rng(2)
+        for trial in range(25):
+            n_signals = int(rng.integers(1, 9))
+            ks = [int(rng.integers(1, 130)) for _ in range(rng.integers(1, 6))]
+            rows = [
+                rng.integers(0, 2, size=(k, n_signals), dtype=np.uint8)
+                for k in ks
+            ]
+            merged = concat_packed(
+                [_poison_padding(pack_bits(r), k) for r, k in zip(rows, ks)],
+                ks,
+            )
+            np.testing.assert_array_equal(
+                merged,
+                pack_bits(np.concatenate(rows, axis=0)),
+                err_msg=f"trial {trial}, ks={ks}",
+            )
+
+    def test_word_aligned_fast_path(self):
+        from repro.engine import concat_packed
+
+        rng = np.random.default_rng(3)
+        rows = [
+            rng.integers(0, 2, size=(64, 4), dtype=np.uint8),
+            rng.integers(0, 2, size=(128, 4), dtype=np.uint8),
+            rng.integers(0, 2, size=(7, 4), dtype=np.uint8),
+        ]
+        merged = concat_packed([pack_bits(r) for r in rows], [64, 128, 7])
+        np.testing.assert_array_equal(
+            merged, pack_bits(np.concatenate(rows, axis=0))
+        )
+
+    def test_single_chunk(self):
+        from repro.engine import concat_packed
+
+        bits = np.ones((5, 2), dtype=np.uint8)
+        merged = concat_packed([_poison_padding(pack_bits(bits), 5)], [5])
+        np.testing.assert_array_equal(merged, pack_bits(bits))
+
+    def test_validation(self):
+        from repro.engine import concat_packed
+
+        a = pack_bits(np.ones((3, 2), dtype=np.uint8))
+        b = pack_bits(np.ones((3, 4), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            concat_packed([], [])
+        with pytest.raises(ValueError):
+            concat_packed([a], [3, 3])  # count mismatch
+        with pytest.raises(ValueError):
+            concat_packed([a, b], [3, 3])  # signal-count mismatch
+        with pytest.raises(ValueError):
+            concat_packed([a], [200])  # too few words for the claim

@@ -429,3 +429,205 @@ class TestConstruction:
             BatchingQueue(fn, max_wait_us=-1.0)
         with pytest.raises(ValueError):
             BatchingQueue(fn, max_queue=0)
+
+
+class TestPackedSubmissions:
+    """PR 6: the binary protocol's packed-domain path through the queue."""
+
+    def test_packed_requests_coalesce_into_one_packed_fn_call(self):
+        from repro.engine import pack_bits
+
+        calls = []
+
+        def packed_fn(words, n_samples):
+            calls.append((words.shape, n_samples))
+            # per-sample popcount of the coalesced words, as a stand-in
+            from repro.engine import unpack_bits
+
+            return unpack_bits(words, n_samples).sum(axis=1).astype(np.int64)
+
+        async def main():
+            queue = BatchingQueue(
+                lambda X: X.sum(axis=1),
+                max_batch=64,
+                max_wait_us=10_000,
+                max_queue=1024,
+                packed_fn=packed_fn,
+            )
+            assert queue.packed_path
+            chunks = [
+                np.ones((1, N_FEATURES), dtype=np.uint8) for _ in range(64)
+            ]
+            results = await asyncio.gather(
+                *(queue.submit_packed(pack_bits(c), 1) for c in chunks)
+            )
+            await queue.close()
+            return results
+
+        results = asyncio.run(main())
+        # 64 one-sample packed requests coalesce into ONE packed evaluation
+        # of one word per signal — the zero-copy win in miniature
+        assert calls == [((N_FEATURES, 1), 64)]
+        for r in results:
+            np.testing.assert_array_equal(r, [N_FEATURES])
+
+    def test_packed_without_packed_fn_falls_back_bit_exact(self):
+        """No packed_fn: one unpack_bits then batch_fn — same numbers."""
+        from repro.engine import pack_bits
+
+        rng = as_rng(31)
+        chunks = _random_chunks(rng, n_chunks=17)
+
+        def batch_fn(X):
+            return np.asarray(X, dtype=np.int64).sum(axis=1) * 3 - 1
+
+        async def main():
+            queue = BatchingQueue(
+                batch_fn, max_batch=16, max_wait_us=2_000, max_queue=1024
+            )
+            assert not queue.packed_path
+            results = await asyncio.gather(
+                *(
+                    queue.submit_packed(pack_bits(c), c.shape[0])
+                    for c in chunks
+                )
+            )
+            await queue.close()
+            return results
+
+        results = asyncio.run(main())
+        for chunk, result in zip(chunks, results):
+            np.testing.assert_array_equal(result, batch_fn(chunk))
+
+    def test_padding_garbage_never_reaches_the_model(self):
+        """Poisoned bits past n_samples must not change any answer."""
+        from repro.engine import pack_bits, packed_weighted_sums
+
+        rng = as_rng(32)
+        weights = rng.integers(-3, 4, size=N_FEATURES).astype(np.int64)
+
+        def packed_fn(words, n_samples):
+            return packed_weighted_sums(words, weights, n_samples)
+
+        chunks = _random_chunks(rng, n_chunks=9, max_rows=7)
+
+        def poisoned(chunk):
+            packed = pack_bits(chunk).copy()
+            k = chunk.shape[0]
+            tail = k - (packed.shape[1] - 1) * 64
+            if tail < 64:
+                packed[:, -1] |= ~np.uint64(0) << np.uint64(tail)
+            return packed
+
+        async def main():
+            queue = BatchingQueue(
+                lambda X: X @ weights,
+                max_batch=16,
+                max_wait_us=2_000,
+                max_queue=1024,
+                packed_fn=packed_fn,
+            )
+            results = await asyncio.gather(
+                *(
+                    queue.submit_packed(poisoned(c), c.shape[0])
+                    for c in chunks
+                )
+            )
+            await queue.close()
+            return results
+
+        results = asyncio.run(main())
+        for chunk, result in zip(chunks, results):
+            np.testing.assert_array_equal(
+                result, chunk.astype(np.int64) @ weights
+            )
+
+    def test_rows_and_packed_never_share_a_batch(self):
+        """A representation change flushes, like a width change does."""
+        from repro.engine import pack_bits, unpack_bits
+
+        batch_calls = []
+        packed_calls = []
+
+        def batch_fn(X):
+            batch_calls.append(X.shape[0])
+            return X.sum(axis=1)
+
+        def packed_fn(words, n_samples):
+            packed_calls.append(n_samples)
+            return unpack_bits(words, n_samples).sum(axis=1)
+
+        async def main():
+            queue = BatchingQueue(
+                batch_fn,
+                max_batch=64,
+                max_wait_us=50_000,
+                max_queue=1024,
+                packed_fn=packed_fn,
+            )
+            rows = np.ones((2, N_FEATURES), dtype=np.uint8)
+            a = asyncio.ensure_future(queue.submit(rows))
+            await asyncio.sleep(0)  # rows now pending
+            b = asyncio.ensure_future(
+                queue.submit_packed(pack_bits(rows), 2)
+            )
+            await asyncio.sleep(0)  # packed flushed the row batch
+            c = asyncio.ensure_future(queue.submit(rows))
+            results = await asyncio.gather(a, b, c)
+            await queue.close()
+            return results
+
+        results = asyncio.run(main())
+        assert batch_calls == [2, 2]  # rows before, rows after
+        assert packed_calls == [2]  # the packed singleton in between
+        for r in results:
+            np.testing.assert_array_equal(r, [N_FEATURES, N_FEATURES])
+
+    def test_packed_validation_is_typed(self):
+        from repro.engine import pack_bits
+
+        async def main():
+            queue = BatchingQueue(
+                lambda X: X.sum(axis=1),
+                max_batch=8,
+                max_wait_us=500,
+                max_queue=64,
+            )
+            good = pack_bits(np.ones((3, N_FEATURES), dtype=np.uint8))
+            with pytest.raises(BadRequestError, match="2-D"):
+                await queue.submit_packed(good[0], 3)
+            with pytest.raises(BadRequestError, match="uint64"):
+                await queue.submit_packed(
+                    good.astype(np.float64), 3
+                )
+            with pytest.raises(BadRequestError, match="at least one"):
+                await queue.submit_packed(good, 0)
+            with pytest.raises(BadRequestError, match="words per"):
+                await queue.submit_packed(good, 65)  # 65 samples need 2 words
+            await queue.close()
+
+        asyncio.run(main())
+
+    def test_packed_requests_count_against_admission(self):
+        from repro.engine import pack_bits
+
+        async def main():
+            queue = BatchingQueue(
+                lambda X: X.sum(axis=1),
+                max_batch=64,
+                max_wait_us=50_000,
+                max_queue=4,
+            )
+            rows = np.ones((3, N_FEATURES), dtype=np.uint8)
+            first = asyncio.ensure_future(
+                queue.submit_packed(pack_bits(rows), 3)
+            )
+            await asyncio.sleep(0)
+            with pytest.raises(ServerOverloadedError):
+                await queue.submit_packed(pack_bits(rows), 3)
+            result = await first
+            await queue.close()
+            return result
+
+        result = asyncio.run(main())
+        np.testing.assert_array_equal(result, [N_FEATURES] * 3)

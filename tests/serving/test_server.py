@@ -544,3 +544,287 @@ class TestConstruction:
         )
         with BackgroundServer(srv):
             assert ran == [True]
+
+
+# --------------------------------------------------------------------- PR 6
+# Binary wire protocol end-to-end, mixed-protocol pipelining, the JSON
+# non-finite regression, and the plain-HTTP /metrics listener.
+
+
+class TestBinaryEndToEnd:
+    def test_binary_labels_bit_exact_vs_json_without_packed_fn(self, server):
+        """No packed_fn registered: the server unpacks once and falls back
+        to the batch path — results must still match the JSON protocol."""
+        rng = as_rng(21)
+        X = rng.integers(0, 2, size=(130, N_FEATURES)).astype(np.uint8)
+        with ServingClient(*server.address) as json_client:
+            expected = json_client.predict(X)
+        with ServingClient(*server.address, binary=True) as client:
+            np.testing.assert_array_equal(client.predict(X), expected)
+            labels, scores = client.predict(X, return_scores=True)
+            np.testing.assert_array_equal(labels, expected)
+            np.testing.assert_allclose(scores, _scores_fn(X))
+
+    def test_binary_zero_copy_packed_fn_is_used_and_bit_exact(self):
+        """With a packed_fn the engine sees words, never a byte matrix."""
+        from repro.engine import packed_weighted_sums, unpack_bits
+
+        rng = as_rng(22)
+        weights = rng.integers(-5, 6, size=(N_FEATURES, N_CLASSES)).astype(
+            np.int64
+        )
+        packed_calls = []
+
+        def scores_fn(X):
+            return np.asarray(X, dtype=np.int64) @ weights
+
+        def packed_fn(words, n_samples):
+            packed_calls.append(n_samples)
+            return np.stack(
+                [
+                    packed_weighted_sums(words, weights[:, c], n_samples)
+                    for c in range(N_CLASSES)
+                ],
+                axis=1,
+            ).astype(np.float64)
+
+        srv = InferenceServer(
+            scores_fn=scores_fn,
+            packed_fn=packed_fn,
+            max_batch=32,
+            max_wait_us=1_000,
+            max_queue=256,
+        )
+        with BackgroundServer(srv) as handle:
+            X = rng.integers(0, 2, size=(77, N_FEATURES)).astype(np.uint8)
+            with ServingClient(*handle.address, binary=True) as client:
+                labels = client.predict(X)
+        assert sum(packed_calls) == 77  # every sample went the packed route
+        np.testing.assert_array_equal(labels, np.argmax(scores_fn(X), axis=1))
+
+    def test_for_model_wires_decision_scores_packed_batch(self):
+        """A model object exposing the packed entry point gets it used."""
+        from repro.engine import unpack_bits
+
+        calls = []
+
+        class PackedModel:
+            def decision_scores_batch(self, X):
+                return np.asarray(X, dtype=np.float64)
+
+            def decision_scores_packed_batch(self, words, n_samples):
+                calls.append(n_samples)
+                return unpack_bits(words, n_samples).astype(np.float64)
+
+        srv = InferenceServer.for_model(
+            PackedModel(), max_batch=16, max_wait_us=500, max_queue=64
+        )
+        X = np.eye(N_FEATURES, dtype=np.uint8)
+        with BackgroundServer(srv) as handle:
+            with ServingClient(*handle.address, binary=True) as client:
+                labels = client.predict(X)
+        assert calls and sum(calls) == N_FEATURES
+        np.testing.assert_array_equal(labels, np.arange(N_FEATURES))
+
+
+class TestMixedProtocolPipelining:
+    def test_json_and_binary_interleaved_on_one_connection(self, server):
+        """Both protocols pipelined on one socket, re-associated by id."""
+        import asyncio
+
+        from repro.engine import pack_bits
+        from repro.serving.binary_protocol import (
+            _COMMON,
+            _REPLY_HEAD,
+            BINARY_MAGIC,
+            _parse_reply,
+            encode_predict_request,
+        )
+        from repro.serving.protocol import read_message
+
+        rng = as_rng(23)
+        batches = {
+            i: rng.integers(0, 2, size=(1 + i % 3, N_FEATURES)).astype(
+                np.uint8
+            )
+            for i in range(24)
+        }
+
+        async def read_any_reply(reader):
+            first = await reader.readexactly(1)
+            if first[0] != BINARY_MAGIC:
+                rest = await reader.readexactly(3)
+                import struct
+
+                (length,) = struct.unpack(">I", first + rest)
+                body = await reader.readexactly(length)
+                import json
+
+                message = json.loads(body.decode("utf-8"))
+                return message["id"], np.asarray(message["labels"])
+            _, _, opcode, flags, request_id = _COMMON.unpack(
+                first + await reader.readexactly(_COMMON.size - 1)
+            )
+            assert opcode == 0x02, f"unexpected opcode {opcode}"
+            head = await reader.readexactly(_REPLY_HEAD.size)
+            samples, n_classes = _REPLY_HEAD.unpack(head)
+            body = await reader.readexactly(
+                samples * 8 + (samples * n_classes * 8 if flags & 1 else 0)
+            )
+            reply = _parse_reply(flags, request_id, head, body)
+            return reply.request_id, reply.labels
+
+        async def drive():
+            reader, writer = await asyncio.open_connection(*server.address)
+            try:
+                for i, rows in batches.items():
+                    if i % 2:  # odd ids go binary, even ids go JSON
+                        writer.write(
+                            encode_predict_request(
+                                pack_bits(rows), rows.shape[0], request_id=i
+                            )
+                        )
+                    else:
+                        from repro.serving.protocol import write_message
+
+                        await write_message(
+                            writer,
+                            {
+                                "op": "predict",
+                                "id": i,
+                                "features": rows.tolist(),
+                            },
+                        )
+                await writer.drain()
+                responses = {}
+                for _ in batches:
+                    request_id, labels = await read_any_reply(reader)
+                    responses[request_id] = labels
+                return responses
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        responses = asyncio.run(drive())
+        assert sorted(responses) == sorted(batches)
+        for i, rows in batches.items():
+            np.testing.assert_array_equal(
+                np.asarray(responses[i]), _expected_labels(rows)
+            )
+
+
+class TestNonFiniteScores:
+    """Regression: a model emitting NaN/inf used to kill the connection.
+
+    Pre-PR, ``json.dumps`` happily wrote ``NaN`` (invalid JSON) into the
+    frame; a spec-compliant peer would choke mid-stream.  Now the JSON
+    protocol refuses at encode time and the server converts that refusal
+    into a typed ``internal`` error — the connection survives.  The binary
+    protocol ships raw doubles, so the same scores cross losslessly.
+    """
+
+    @staticmethod
+    def _nan_server():
+        def scores_fn(X):
+            scores = np.zeros((len(X), N_CLASSES))
+            scores[:, 0] = np.nan
+            scores[:, 1] = 1.0
+            return scores
+
+        return InferenceServer(
+            scores_fn=scores_fn, max_batch=8, max_wait_us=500, max_queue=64
+        )
+
+    def test_nan_score_over_json_is_typed_internal_not_desync(self):
+        with BackgroundServer(self._nan_server()) as handle:
+            with ServingClient(*handle.address) as client:
+                X = np.zeros((2, N_FEATURES), dtype=np.uint8)
+                with pytest.raises(ServingError, match="not representable"):
+                    client.predict(X, return_scores=True)
+                # the error was a complete, typed frame: same connection
+                # works (labels argmax to the NaN column, numpy semantics)
+                np.testing.assert_array_equal(
+                    client.predict(X), np.zeros(2, dtype=np.int64)
+                )
+                assert client.ping()
+
+    def test_nan_score_over_binary_round_trips_losslessly(self):
+        with BackgroundServer(self._nan_server()) as handle:
+            with ServingClient(*handle.address, binary=True) as client:
+                X = np.zeros((3, N_FEATURES), dtype=np.uint8)
+                labels, scores = client.predict(X, return_scores=True)
+        np.testing.assert_array_equal(labels, np.zeros(3, dtype=np.int64))
+        assert np.isnan(scores[:, 0]).all()
+        np.testing.assert_array_equal(scores[:, 1], np.ones(3))
+
+
+class TestHttpMetrics:
+    @pytest.fixture()
+    def http_server(self):
+        srv = InferenceServer(
+            scores_fn=_scores_fn,
+            max_batch=16,
+            max_wait_us=1_000,
+            max_queue=256,
+            http_port=0,
+        )
+        with BackgroundServer(srv) as handle:
+            yield srv, handle
+
+    @staticmethod
+    def _get(address, path):
+        import urllib.request
+
+        host, port = address
+        return urllib.request.urlopen(
+            f"http://{host}:{port}{path}", timeout=5
+        )
+
+    def test_metrics_over_plain_http(self, http_server):
+        srv, handle = http_server
+        with ServingClient(*handle.address) as client:
+            client.predict(np.ones((5, N_FEATURES), dtype=np.uint8))
+        with self._get(srv.http_address, "/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            body = response.read().decode("utf-8")
+        assert "repro_serving_requests_completed" in body
+        assert 'model="default"' in body
+        # the wire op and the HTTP endpoint render the same exposition
+        with ServingClient(*handle.address) as client:
+            assert "repro_serving_requests_completed" in client.stats_text()
+
+    def test_healthz(self, http_server):
+        srv, _ = http_server
+        with self._get(srv.http_address, "/healthz") as response:
+            assert response.status == 200
+            assert response.read() == b"ok\n"
+
+    def test_unknown_path_is_404(self, http_server):
+        import urllib.error
+
+        srv, _ = http_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(srv.http_address, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_post_is_405(self, http_server):
+        import urllib.error
+        import urllib.request
+
+        srv, _ = http_server
+        host, port = srv.http_address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/metrics", data=b"x", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 405
+
+    def test_http_address_none_without_http_port(self):
+        srv = InferenceServer(
+            scores_fn=_scores_fn, max_batch=4, max_wait_us=500, max_queue=16
+        )
+        assert srv.http_address is None

@@ -139,3 +139,74 @@ class TestRenderStatsText:
         text = render_stats_text({"m": stats.snapshot()})
         assert 'repro_serving_requests_completed{model="m"} 1234567' in text
         assert 'repro_serving_samples_completed{model="m"} 7654321' in text
+
+
+class TestNonFiniteRendering:
+    """Regression (PR 6): inf/NaN in a snapshot used to crash the scrape.
+
+    A model emitting non-finite latencies or scores can land inf/NaN in a
+    stats snapshot; ``_format_value`` previously tried integer formatting
+    on them (``OverflowError: cannot convert float infinity to integer``),
+    taking down every later ``/metrics`` scrape.  Prometheus defines the
+    spellings ``+Inf`` / ``-Inf`` / ``NaN`` — render those instead.
+    """
+
+    def test_inf_and_nan_render_prometheus_spellings(self):
+        from repro.serving import render_stats_text
+
+        stats = ServerStats()
+        stats.observe_batch(1, 1)
+        snap = stats.snapshot()
+        snap["latency_us"] = {
+            "p50": float("inf"),
+            "p95": float("-inf"),
+            "p99": float("nan"),
+        }
+        text = render_stats_text({"m": snap})
+        assert 'repro_serving_latency_us{model="m",quantile="0.5"} +Inf' in text
+        assert (
+            'repro_serving_latency_us{model="m",quantile="0.95"} -Inf' in text
+        )
+        assert 'repro_serving_latency_us{model="m",quantile="0.99"} NaN' in text
+
+    def test_format_value_unit(self):
+        from repro.serving.stats import _format_value
+
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(3.0) == "3"
+        assert _format_value(2.5) == "2.5"
+
+
+class TestSnapshotAtomicity:
+    def test_snapshot_is_consistent_under_concurrent_writers(self):
+        """One lock acquisition covers counters + reservoir: a snapshot
+        taken mid-traffic never pairs new counters with old latencies in a
+        torn read, and never crashes on a mutating reservoir."""
+        import threading
+
+        stats = ServerStats()
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                stats.observe_batch(1, 1)
+                stats.observe_latency(float(i % 1000))
+                i += 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = stats.snapshot()
+                # requests == samples in this workload: a torn read across
+                # the two counters would break the invariant
+                assert snap["requests_completed"] == snap["samples_completed"]
+                assert set(snap["latency_us"]) == {"p50", "p95", "p99"}
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=5)
