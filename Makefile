@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench-smoke bench-serving serve-demo serve-stats check
+.PHONY: test bench-smoke bench-serving serve-demo serve-stats serve-cluster check
 
 # Tier-1 verification: the full test suite (includes benchmarks/).
 test:
@@ -18,10 +18,12 @@ bench-smoke:
 # Serving-layer gates: coalesced async serving must beat sequential
 # per-request calls >=3x on 256 concurrent 1-sample requests, multi-model
 # serving (2 netlists on one shared WorkerPool) >=2x under mixed
-# concurrent load, and the binary wire protocol must cut wire+dispatch
-# overhead >=3x vs JSON at the same concurrency (see docs/serving.md).
+# concurrent load, the binary wire protocol must cut wire+dispatch
+# overhead >=3x vs JSON at the same concurrency, and the cluster router
+# over 2 replicated backend processes must sustain >=1.8x single-backend
+# throughput with a zero-loss replica-death drill (see docs/serving.md).
 bench-serving:
-	$(PYTEST) benchmarks/test_serving_latency.py benchmarks/test_wire_overhead.py -q
+	$(PYTEST) benchmarks/test_serving_latency.py benchmarks/test_wire_overhead.py benchmarks/test_router_throughput.py -q
 
 # End-to-end serving demo: train two PoET-BiN variants on the
 # synthetic-digits dataset, serve both from one server over a shared
@@ -34,6 +36,12 @@ serve-demo:
 # operational agent collects from the stats_text protocol op.
 serve-stats:
 	PYTHONPATH=src python examples/serving_demo.py --stats-text
+
+# Cluster demo: a router over two replicated backend processes, a
+# mixed-model burst, and a kill drill — SIGKILL one replica mid-burst and
+# watch every request complete through client-transparent failover.
+serve-cluster:
+	PYTHONPATH=src python examples/cluster_demo.py
 
 # CI-style composite: tier-1 tests plus every perf gate in one invocation.
 check: test bench-smoke bench-serving

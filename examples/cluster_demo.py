@@ -1,0 +1,189 @@
+"""Cluster demo: a router over two replicated backends, one of which dies.
+
+The process-level tour of the cluster serving story:
+
+1. spawn **two backend boxes** as separate OS processes
+   (``python -m repro.serving.standalone backend``), each hosting the same
+   two models with a modeled per-batch service time,
+2. spawn the **cluster router** in front of them — one address speaking
+   both wire protocols, least-outstanding balancing, active health checks
+   and client-transparent failover — plus a periodic rebalancer pass that
+   re-weights each box's per-model admission shares from scraped stats,
+3. fire a mixed-model burst through the router and report throughput,
+4. run the **kill drill**: SIGKILL one backend mid-burst and show that
+   every request still completes (the router ejects the dead box and
+   fails its in-flight requests over, so clients never notice),
+5. scrape the router's ``stats`` op and print the per-backend ledger —
+   forwarded counts, failovers, ejections, health states.
+
+Run with::
+
+    make serve-cluster       # or: PYTHONPATH=src python examples/cluster_demo.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src"
+sys.path.insert(0, str(SRC_ROOT))
+
+from repro.serving import ServingClient, encode_message, recv_message  # noqa: E402
+from repro.utils.rng import as_rng  # noqa: E402
+
+N_FEATURES = 256
+N_CLASSES = 10
+SLEEP_MS = 10
+MODELS = ("alpha", "beta")
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 24
+SAMPLES_PER_REQUEST = 64
+MODEL_SPEC = f"popcount:{N_FEATURES}:{N_CLASSES}:{SLEEP_MS}"
+
+
+def spawn(role_args):
+    """Start a standalone serving process; return (proc, (host, port))."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serving.standalone", *role_args],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    if not line.startswith("SERVING "):
+        proc.kill()
+        raise SystemExit(f"process failed to start (got {line!r})")
+    _, host, port, _http = line.split()
+    return proc, (host, int(port))
+
+
+def burst(router_address, tag, kill=None):
+    """N_CLIENTS threads of mixed-model requests; returns (ok, failed, s)."""
+    rng = as_rng(7)
+    batches = [
+        rng.integers(
+            0, 2, size=(SAMPLES_PER_REQUEST, N_FEATURES), dtype=np.uint8
+        )
+        for _ in range(N_CLIENTS)
+    ]
+    ok = [0] * N_CLIENTS
+    failed = [0] * N_CLIENTS
+    done = [0]
+    lock = threading.Lock()
+
+    def worker(i):
+        rows = batches[i]
+        expected = rows.astype(np.int64).sum(axis=1) % N_CLASSES
+        with ServingClient(*router_address, binary=True, timeout=30) as client:
+            for j in range(REQUESTS_PER_CLIENT):
+                model = MODELS[(i + j) % len(MODELS)]
+                labels = client.predict(rows, model=model)
+                if np.array_equal(labels, expected):
+                    ok[i] += 1
+                else:
+                    failed[i] += 1
+                with lock:
+                    done[0] += 1
+                    if kill is not None and done[0] == kill[0]:
+                        print(f"  !! SIGKILL backend {kill[2]} mid-burst")
+                        kill[1].send_signal(signal.SIGKILL)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_CLIENTS)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    samples = total * SAMPLES_PER_REQUEST
+    print(
+        f"  {tag}: {sum(ok)}/{total} requests bit-exact, "
+        f"{sum(failed)} wrong, {elapsed:.2f}s "
+        f"({samples / elapsed:,.0f} samples/s)"
+    )
+
+
+def router_stats(router_address):
+    with socket.create_connection(router_address, timeout=10) as sock:
+        sock.sendall(encode_message({"op": "stats", "id": 1}))
+        return recv_message(sock)["router"]
+
+
+def main():
+    procs = []
+    try:
+        print("== spawning two backend boxes + the cluster router ==")
+        model_args = []
+        for model in MODELS:
+            model_args += ["--model", f"{model}={MODEL_SPEC}"]
+        backend_a, addr_a = spawn(
+            ["backend", *model_args, "--max-total-queue", "32768"]
+        )
+        procs.append(backend_a)
+        backend_b, addr_b = spawn(
+            ["backend", *model_args, "--max-total-queue", "32768"]
+        )
+        procs.append(backend_b)
+        replicas = f"{addr_a[0]}:{addr_a[1]},{addr_b[0]}:{addr_b[1]}"
+        router, addr_router = spawn(
+            ["router", "--rebalance-interval", "0.5"]
+            + [
+                arg
+                for model in MODELS
+                for arg in ("--route", f"{model}={replicas}")
+            ]
+        )
+        procs.append(router)
+        print(f"  backends: {addr_a[1]} / {addr_b[1]}   router: {addr_router[1]}")
+
+        print("\n== mixed-model burst through the router (both boxes up) ==")
+        burst(addr_router, "2 replicas")
+
+        print("\n== kill drill: one replica dies mid-burst ==")
+        kill_at = N_CLIENTS * REQUESTS_PER_CLIENT // 4
+        burst(
+            addr_router,
+            "1 replica lost",
+            kill=(kill_at, backend_b, f"{addr_b[0]}:{addr_b[1]}"),
+        )
+
+        print("\n== router ledger ==")
+        stats = router_stats(addr_router)
+        print(
+            f"  routed={stats['routed']}  failovers={stats['failovers']}  "
+            f"rejected={stats['rejected']}"
+        )
+        for entry in stats["backends"]:
+            print(
+                f"  {entry['backend']:>21}  state={entry['state']:<8} "
+                f"forwarded={entry['forwarded']:<5} "
+                f"failures={entry['failures']:<3} "
+                f"ejections={entry['ejections']}"
+            )
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

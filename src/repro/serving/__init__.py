@@ -2,18 +2,26 @@
 
 The engine (:mod:`repro.engine`) answers "how fast can one big batch go";
 this package answers the serving question: *many small concurrent requests,
-for many hosted models*, sharing one worker pool.  The pieces, bottom-up:
+for many hosted models*, sharing one worker pool — and, one level up, many
+replicated boxes behind one router.  The pieces, bottom-up:
 
-``protocol``
-    Length-prefixed JSON framing with async and blocking transports; every
-    request may carry a ``model`` field.
+``transport``
+    The single implementation of both wire codecs — length-prefixed JSON
+    and the zero-copy binary format — plus first-byte protocol
+    discrimination, the shared typed-error mapping, and
+    :class:`~repro.serving.transport.FrameServer`: the dual-protocol
+    asyncio listener with the explicit ``starting → serving → draining →
+    stopped`` lifecycle that both the backend server and the cluster
+    router subclass.
 
-``binary_protocol``
-    The zero-copy binary wire format: clients ship
+``protocol`` / ``binary_protocol``
+    Documented re-export shims over ``transport`` (the historical import
+    names): the JSON wire format with its request/response objects, and
+    the zero-copy binary format — clients ship
     :func:`~repro.engine.bitpack.pack_bits` uint64 bit-planes in a
     versioned frame (magic ``0xBF``) and the server feeds the words
-    straight to the engine — no JSON decode, no re-pack.  Both protocols
-    coexist on one listener; the first byte discriminates.
+    straight to the engine.  Both protocols coexist on one listener; the
+    first byte discriminates.
 
 ``metrics_http``
     :class:`~repro.serving.metrics_http.HttpMetricsListener` — a native
@@ -47,7 +55,20 @@ for many hosted models*, sharing one worker pool.  The pieces, bottom-up:
     :class:`~repro.engine.parallel.WorkerPool` (pass ``pool=``) carries
     every model's sharded evaluation.
     :class:`~repro.serving.server.BackgroundServer` hosts it on a dedicated
-    event-loop thread for blocking callers.
+    event-loop thread for blocking callers.  ``drain()`` stops admissions
+    (typed ``unavailable`` rejections, 503 on ``/healthz``) and flushes
+    what was admitted; ``set_admission_weights`` re-partitions the shared
+    budget per model at runtime.
+
+``router``
+    :class:`~repro.serving.router.RouterServer` — the cluster layer: one
+    front door speaking both protocols unchanged over a placement map of
+    model → N backend replicas, with least-outstanding balancing, active
+    health checks (ejection/reinstatement), client-transparent failover,
+    and :class:`~repro.serving.router.Rebalancer`, which re-weights every
+    backend's per-model admission shares from scraped queue-depth/latency
+    stats.  ``repro.serving.standalone`` runs either role as its own OS
+    process.
 
 ``client``
     :class:`~repro.serving.client.ServingClient` — a blocking connection
@@ -105,6 +126,7 @@ from repro.serving.queue import (
     BadRequestError,
     BatchingQueue,
     ServerOverloadedError,
+    ServerUnavailableError,
     ServingError,
 )
 from repro.serving.registry import (
@@ -113,11 +135,20 @@ from repro.serving.registry import (
     RegisteredModel,
 )
 from repro.serving.retry import RetryPolicy
+from repro.serving.router import BackendFailedError, Rebalancer, RouterServer
 from repro.serving.server import BackgroundServer, InferenceServer
 from repro.serving.stats import ServerStats, render_stats_text
+from repro.serving.transport import (
+    FrameServer,
+    RawBinaryReply,
+    WIRE_ERROR_TYPES,
+    decode_reply,
+    replace_request_id,
+)
 
 __all__ = [
     "AdmissionBudget",
+    "BackendFailedError",
     "BackgroundServer",
     "BadRequestError",
     "BatchingQueue",
@@ -126,19 +157,26 @@ __all__ = [
     "BinaryProtocolError",
     "BinaryReply",
     "BinaryRequest",
+    "FrameServer",
     "HttpMetricsListener",
     "InferenceServer",
     "MAX_MESSAGE_BYTES",
     "ModelNotFoundError",
     "ModelRegistry",
     "ProtocolError",
+    "RawBinaryReply",
+    "Rebalancer",
     "RegisteredModel",
     "RetryPolicy",
+    "RouterServer",
     "ServerOverloadedError",
     "ServerStats",
+    "ServerUnavailableError",
     "ServingClient",
     "ServingError",
     "StaleConnectionError",
+    "WIRE_ERROR_TYPES",
+    "decode_reply",
     "encode_message",
     "encode_predict_request",
     "encode_reply",
@@ -146,6 +184,7 @@ __all__ = [
     "recv_message",
     "recv_reply",
     "render_stats_text",
+    "replace_request_id",
     "send_message",
     "write_message",
 ]

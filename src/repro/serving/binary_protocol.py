@@ -4,7 +4,7 @@ The JSON protocol (:mod:`repro.serving.protocol`) un-does the paper's packed
 representation on every request: the client unpacks its bits into a Python
 list, JSON-encodes ~256 numbers per sample, and the server parses them back
 and re-packs before the engine runs.  Measured at the 256-concurrent
-benchmark, that encode/decode dominates wire cost.  This module ships the
+benchmark, that encode/decode dominates wire cost.  This protocol ships the
 ``uint64`` bit-plane words of :func:`~repro.engine.bitpack.pack_bits`
 directly: a client packs once, the server hands the words to the batching
 queue (which concatenates them in the packed domain —
@@ -25,7 +25,8 @@ listener: a JSON frame starts with the high byte of a 4-byte big-endian
 length capped at 64 MiB, so its first byte is always <= 0x04 and can never
 collide.  ``request id`` is echoed verbatim in the reply — pipelining
 clients re-associate out-of-order completions with it, exactly like the
-JSON protocol's ``id`` field.
+JSON protocol's ``id`` field (the cluster router re-stamps it with
+:func:`~repro.serving.transport.replace_request_id` when forwarding).
 
 Opcodes:
 
@@ -61,24 +62,44 @@ with the JSON cap) *before* allocation, so a corrupt or hostile header
 cannot make either side allocate gigabytes; truncation mid-frame raises
 :class:`BinaryProtocolError`, a :class:`~repro.serving.protocol.ProtocolError`
 subclass, so existing handlers keep working.
+
+.. note::
+   This module is a re-export shim: the codec itself lives in
+   :mod:`repro.serving.transport` — the single framing implementation the
+   client, the server and the cluster router all share — and nothing here
+   adds behaviour.  Import from either name.
 """
 
 from __future__ import annotations
 
-import asyncio
-import socket
-import struct
-from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, Union
-
-import numpy as np
-
-from repro.engine.bitpack import n_words
-from repro.serving.protocol import (
-    MAX_MESSAGE_BYTES,
-    ProtocolError,
-    _decode_body,
-    _recv_exactly,
+from repro.serving.transport import (  # noqa: F401
+    BINARY_MAGIC,
+    BINARY_VERSION,
+    BinaryProtocolError,
+    BinaryReply,
+    BinaryRequest,
+    ERROR_CODES,
+    FLAG_SCORES,
+    MAX_MODEL_NAME_BYTES,
+    MAX_PAYLOAD_BYTES,
+    OP_ERROR,
+    OP_PREDICT,
+    OP_REPLY,
+    _check_version,
+    _COMMON,
+    _ERROR_HEAD,
+    _parse_predict,
+    _parse_reply,
+    _PREDICT_HEAD,
+    _predict_sizes,
+    _REPLY_HEAD,
+    _reply_sizes,
+    decode_reply,
+    encode_error,
+    encode_predict_request,
+    encode_reply,
+    read_frame,
+    recv_reply,
 )
 
 __all__ = [
@@ -93,339 +114,10 @@ __all__ = [
     "OP_ERROR",
     "OP_PREDICT",
     "OP_REPLY",
+    "decode_reply",
     "encode_error",
     "encode_predict_request",
     "encode_reply",
     "read_frame",
     "recv_reply",
 ]
-
-#: First byte of every binary frame.  JSON frames lead with the high byte
-#: of a big-endian length capped at 64 MiB (<= 0x04), so 0xBF is
-#: unambiguous on a shared listener.
-BINARY_MAGIC = 0xBF
-
-BINARY_VERSION = 1
-
-OP_PREDICT = 0x01
-OP_REPLY = 0x02
-OP_ERROR = 0x03
-
-#: flags bit 0 on OP_PREDICT: "return scores"; on OP_REPLY: "scores follow"
-FLAG_SCORES = 0x01
-
-#: Cap on one frame's variable-size payload — shared with the JSON cap so
-#: neither protocol admits larger requests than the other.
-MAX_PAYLOAD_BYTES = MAX_MESSAGE_BYTES
-
-MAX_MODEL_NAME_BYTES = 4096
-
-#: wire error codes <-> the JSON protocol's typed error strings
-ERROR_CODES = {
-    1: "overloaded",
-    2: "bad_request",
-    3: "model_not_found",
-    4: "internal",
-}
-_ERROR_CODE_OF = {name: code for code, name in ERROR_CODES.items()}
-
-_COMMON = struct.Struct("<BBBBI")  # magic, version, opcode, flags, request id
-_PREDICT_HEAD = struct.Struct("<HII")  # name length, n_samples, n_features
-_REPLY_HEAD = struct.Struct("<II")  # n_samples, n_classes
-_ERROR_HEAD = struct.Struct("<BH")  # error code, message length
-
-_WORD = np.dtype("<u8")
-_LABEL = np.dtype("<i8")
-_SCORE = np.dtype("<f8")
-
-
-class BinaryProtocolError(ProtocolError):
-    """Malformed binary frame: bad version, bad sizes, or truncation."""
-
-
-@dataclass
-class BinaryRequest:
-    """One decoded OP_PREDICT frame."""
-
-    request_id: int
-    model: Optional[str]  # None = the server's default model
-    packed: np.ndarray  # (n_features, n_words(n_samples)) uint64
-    n_samples: int
-    return_scores: bool
-
-
-@dataclass
-class BinaryReply:
-    """One decoded OP_REPLY frame."""
-
-    request_id: int
-    labels: np.ndarray  # (n_samples,) int64
-    scores: Optional[np.ndarray]  # (n_samples, n_classes) float64 or None
-
-
-# ------------------------------------------------------------------ encoding
-def encode_predict_request(
-    packed: np.ndarray,
-    n_samples: int,
-    *,
-    model: Optional[str] = None,
-    return_scores: bool = False,
-    request_id: int = 0,
-) -> bytes:
-    """Frame one packed predict request.
-
-    ``packed`` is the ``(n_features, n_words(n_samples))`` uint64 matrix
-    from :func:`~repro.engine.bitpack.pack_bits` — it is shipped as raw
-    little-endian words, no transformation.
-    """
-    words = np.ascontiguousarray(np.asarray(packed, dtype=np.uint64))
-    if words.ndim != 2:
-        raise BinaryProtocolError(
-            f"packed must be 2-D, got shape {words.shape}"
-        )
-    if words.shape[1] != n_words(n_samples):
-        raise BinaryProtocolError(
-            f"{n_samples} samples need {n_words(n_samples)} words per "
-            f"signal, got {words.shape[1]}"
-        )
-    name = (model or "").encode("utf-8")
-    if len(name) > MAX_MODEL_NAME_BYTES:
-        raise BinaryProtocolError(
-            f"model name of {len(name)} bytes exceeds the "
-            f"{MAX_MODEL_NAME_BYTES}-byte cap"
-        )
-    payload = words.astype(_WORD, copy=False).tobytes()
-    if len(payload) > MAX_PAYLOAD_BYTES:
-        raise BinaryProtocolError(
-            f"payload of {len(payload)} bytes exceeds the "
-            f"{MAX_PAYLOAD_BYTES}-byte cap"
-        )
-    flags = FLAG_SCORES if return_scores else 0
-    return b"".join(
-        (
-            _COMMON.pack(
-                BINARY_MAGIC, BINARY_VERSION, OP_PREDICT, flags, request_id
-            ),
-            _PREDICT_HEAD.pack(len(name), n_samples, words.shape[0]),
-            name,
-            payload,
-        )
-    )
-
-
-def encode_reply(
-    labels: np.ndarray,
-    scores: Optional[np.ndarray] = None,
-    *,
-    request_id: int = 0,
-) -> bytes:
-    """Frame one predict reply (labels, optionally per-class scores)."""
-    labels = np.ascontiguousarray(np.asarray(labels, dtype=np.int64))
-    if labels.ndim != 1:
-        raise BinaryProtocolError(
-            f"labels must be 1-D, got shape {labels.shape}"
-        )
-    flags = 0
-    n_classes = 0
-    parts = [labels.astype(_LABEL, copy=False).tobytes()]
-    if scores is not None:
-        scores = np.ascontiguousarray(np.asarray(scores, dtype=np.float64))
-        if scores.ndim != 2 or scores.shape[0] != labels.shape[0]:
-            raise BinaryProtocolError(
-                f"scores must be ({labels.shape[0]}, n_classes), "
-                f"got shape {scores.shape}"
-            )
-        flags = FLAG_SCORES
-        n_classes = scores.shape[1]
-        parts.append(scores.astype(_SCORE, copy=False).tobytes())
-    return b"".join(
-        (
-            _COMMON.pack(
-                BINARY_MAGIC, BINARY_VERSION, OP_REPLY, flags, request_id
-            ),
-            _REPLY_HEAD.pack(labels.shape[0], n_classes),
-            *parts,
-        )
-    )
-
-
-def encode_error(
-    error_type: str, message: str, *, request_id: int = 0
-) -> bytes:
-    """Frame one typed error (unknown types degrade to ``internal``)."""
-    code = _ERROR_CODE_OF.get(error_type, _ERROR_CODE_OF["internal"])
-    body = message.encode("utf-8")[:65535]
-    return b"".join(
-        (
-            _COMMON.pack(BINARY_MAGIC, BINARY_VERSION, OP_ERROR, 0, request_id),
-            _ERROR_HEAD.pack(code, len(body)),
-            body,
-        )
-    )
-
-
-# ------------------------------------------------------------------ decoding
-def _check_version(version: int) -> None:
-    if version != BINARY_VERSION:
-        raise BinaryProtocolError(
-            f"unsupported binary protocol version {version} "
-            f"(this side speaks {BINARY_VERSION})"
-        )
-
-
-def _predict_sizes(
-    name_len: int, samples: int, features: int
-) -> int:
-    """Validate an OP_PREDICT header, returning the payload byte count."""
-    if name_len > MAX_MODEL_NAME_BYTES:
-        raise BinaryProtocolError(
-            f"model name of {name_len} bytes exceeds the "
-            f"{MAX_MODEL_NAME_BYTES}-byte cap"
-        )
-    payload = features * n_words(samples) * 8
-    if payload > MAX_PAYLOAD_BYTES:
-        raise BinaryProtocolError(
-            f"frame announces {payload} payload bytes, "
-            f"cap is {MAX_PAYLOAD_BYTES}"
-        )
-    return payload
-
-
-def _reply_sizes(samples: int, n_classes: int, flags: int) -> Tuple[int, int]:
-    labels_bytes = samples * 8
-    scores_bytes = samples * n_classes * 8 if flags & FLAG_SCORES else 0
-    if labels_bytes + scores_bytes > MAX_PAYLOAD_BYTES:
-        raise BinaryProtocolError(
-            f"frame announces {labels_bytes + scores_bytes} payload bytes, "
-            f"cap is {MAX_PAYLOAD_BYTES}"
-        )
-    return labels_bytes, scores_bytes
-
-
-def _parse_predict(
-    flags: int, request_id: int, head: bytes, name: bytes, payload: bytes
-) -> BinaryRequest:
-    _, samples, features = _PREDICT_HEAD.unpack(head)
-    packed = np.frombuffer(payload, dtype=_WORD).reshape(
-        features, n_words(samples)
-    )
-    return BinaryRequest(
-        request_id=request_id,
-        model=name.decode("utf-8") if name else None,
-        packed=packed,
-        n_samples=samples,
-        return_scores=bool(flags & FLAG_SCORES),
-    )
-
-
-def _parse_reply(
-    flags: int, request_id: int, head: bytes, body: bytes
-) -> BinaryReply:
-    samples, n_classes = _REPLY_HEAD.unpack(head)
-    labels_bytes, _ = _reply_sizes(samples, n_classes, flags)
-    labels = np.frombuffer(body[:labels_bytes], dtype=_LABEL).astype(
-        np.int64, copy=False
-    )
-    scores = None
-    if flags & FLAG_SCORES:
-        scores = np.frombuffer(body[labels_bytes:], dtype=_SCORE).reshape(
-            samples, n_classes
-        )
-    return BinaryReply(request_id=request_id, labels=labels, scores=scores)
-
-
-# ------------------------------------------------------------------- asyncio
-async def read_frame(
-    reader: asyncio.StreamReader,
-) -> Union[None, Dict[str, Any], BinaryRequest]:
-    """Read one frame of *either* protocol from a shared listener.
-
-    Returns ``None`` on clean EOF before a frame, a ``dict`` for a JSON
-    frame, or a :class:`BinaryRequest` for a binary predict frame.  The
-    first byte discriminates: :data:`BINARY_MAGIC` can never open a JSON
-    length header (the 64 MiB cap keeps that byte <= 0x04).
-    """
-    try:
-        first = await reader.readexactly(1)
-    except asyncio.IncompleteReadError:
-        return None  # clean EOF between frames
-    if first[0] != BINARY_MAGIC:
-        # JSON frame: `first` is the length header's high byte
-        try:
-            rest = await reader.readexactly(3)
-        except asyncio.IncompleteReadError as error:
-            raise ProtocolError("connection closed mid-header") from error
-        (length,) = struct.unpack(">I", first + rest)
-        if length > MAX_MESSAGE_BYTES:
-            raise ProtocolError(
-                f"frame announces {length} bytes, cap is {MAX_MESSAGE_BYTES}"
-            )
-        try:
-            body = await reader.readexactly(length)
-        except asyncio.IncompleteReadError as error:
-            raise ProtocolError("connection closed mid-message") from error
-        return _decode_body(body)
-    try:
-        version, opcode, flags, request_id = struct.unpack(
-            "<BBBI", await reader.readexactly(_COMMON.size - 1)
-        )
-        _check_version(version)
-        if opcode != OP_PREDICT:
-            raise BinaryProtocolError(
-                f"unexpected opcode 0x{opcode:02x} from a client "
-                "(only OP_PREDICT crosses this direction)"
-            )
-        head = await reader.readexactly(_PREDICT_HEAD.size)
-        name_len, samples, features = _PREDICT_HEAD.unpack(head)
-        payload_len = _predict_sizes(name_len, samples, features)
-        name = await reader.readexactly(name_len) if name_len else b""
-        payload = await reader.readexactly(payload_len)
-    except asyncio.IncompleteReadError as error:
-        raise BinaryProtocolError(
-            "connection closed mid-binary-frame"
-        ) from error
-    return _parse_predict(flags, request_id, head, name, payload)
-
-
-# ------------------------------------------------------------------ blocking
-def _recv_or_raise(sock: socket.socket, n_bytes: int, what: str) -> bytes:
-    data = _recv_exactly(sock, n_bytes)
-    if len(data) < n_bytes:
-        raise BinaryProtocolError(f"connection closed mid-{what}")
-    return data
-
-
-def recv_reply(sock: socket.socket) -> BinaryReply:
-    """Blocking read of one binary reply; typed errors raise client-side.
-
-    An OP_ERROR frame raises the exception class registered for its code in
-    ``repro.serving.client`` — the same mapping the JSON client uses — so
-    callers cannot tell which transport carried the error.
-    """
-    header = _recv_or_raise(sock, _COMMON.size, "header")
-    magic, version, opcode, flags, request_id = _COMMON.unpack(header)
-    if magic != BINARY_MAGIC:
-        raise BinaryProtocolError(
-            f"expected a binary reply, got leading byte 0x{magic:02x}"
-        )
-    _check_version(version)
-    if opcode == OP_ERROR:
-        head = _recv_or_raise(sock, _ERROR_HEAD.size, "error header")
-        code, msg_len = _ERROR_HEAD.unpack(head)
-        message = _recv_or_raise(sock, msg_len, "error message").decode(
-            "utf-8", errors="replace"
-        )
-        from repro.serving.client import _ERROR_TYPES  # cycle-free at runtime
-        from repro.serving.queue import ServingError
-
-        error_type = ERROR_CODES.get(code, "internal")
-        raise _ERROR_TYPES.get(error_type, ServingError)(message)
-    if opcode != OP_REPLY:
-        raise BinaryProtocolError(
-            f"unexpected opcode 0x{opcode:02x} in a reply"
-        )
-    head = _recv_or_raise(sock, _REPLY_HEAD.size, "reply header")
-    samples, n_classes = _REPLY_HEAD.unpack(head)
-    labels_bytes, scores_bytes = _reply_sizes(samples, n_classes, flags)
-    body = _recv_or_raise(sock, labels_bytes + scores_bytes, "reply body")
-    return _parse_reply(flags, request_id, head, body)

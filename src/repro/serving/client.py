@@ -39,6 +39,13 @@ failure; any further request raises :class:`StaleConnectionError`
 immediately instead of desyncing.  Typed server errors (shed, bad request,
 unknown model, internal) arrive as complete frames and do *not* kill the
 connection.
+
+A dead client cannot be resurrected — there is no "reconnect" method on
+purpose, because the failed request's fate is unknown (the server may have
+half-processed it) and only the caller can decide whether resubmitting is
+safe.  Replace the client: ``close()`` it (idempotent, also what the
+``with`` block does) and construct a new one.  A closed client likewise
+refuses further requests with :class:`StaleConnectionError`.
 """
 
 from __future__ import annotations
@@ -49,27 +56,26 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.engine.bitpack import pack_bits
-from repro.serving.binary_protocol import encode_predict_request, recv_reply
-from repro.serving.protocol import (
-    ProtocolError,
-    recv_message,
-    send_message,
-)
 from repro.serving.queue import (
     BadRequestError,
     ServerOverloadedError,
     ServingError,
 )
-from repro.serving.registry import ModelNotFoundError
 from repro.serving.retry import RetryPolicy
+from repro.serving.transport import (
+    ProtocolError,
+    WIRE_ERROR_TYPES,
+    encode_predict_request,
+    recv_message,
+    recv_reply,
+    send_message,
+)
 
 __all__ = ["ServingClient", "StaleConnectionError"]
 
-_ERROR_TYPES = {
-    ServerOverloadedError.error_type: ServerOverloadedError,
-    BadRequestError.error_type: BadRequestError,
-    ModelNotFoundError.error_type: ModelNotFoundError,
-}
+#: kept as a module name for back-compat; the table itself lives in
+#: :mod:`repro.serving.transport`, shared by both protocols and the router
+_ERROR_TYPES = WIRE_ERROR_TYPES
 
 
 class StaleConnectionError(ConnectionError):
@@ -118,6 +124,7 @@ class ServingClient:
         self._retry = retry
         self._binary = binary
         self._dead: Optional[str] = None
+        self._closed = False
         if retry is None:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         else:
@@ -128,6 +135,10 @@ class ServingClient:
 
     # -------------------------------------------------------------- request
     def _check_usable(self) -> None:
+        if self._closed:
+            raise StaleConnectionError(
+                "this client has been closed; open a new one"
+            )
         if self._dead is not None:
             raise StaleConnectionError(
                 "refusing to reuse this connection: its stream may hold a "
@@ -268,10 +279,22 @@ class ServingClient:
 
     # -------------------------------------------------------------- cleanup
     def close(self) -> None:
+        """Close the connection.  Idempotent: a second (third, ...) call is
+        a no-op, so ``close()`` is safe from both an explicit call *and* the
+        context-manager exit.  After closing, every request method raises
+        :class:`StaleConnectionError` — a closed client, like a dead one,
+        must be replaced, never reused."""
+        if self._closed:
+            return
+        self._closed = True
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - already closed
             pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "ServingClient":
         return self

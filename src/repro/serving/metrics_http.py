@@ -16,7 +16,12 @@ Routes:
     that is every hosted model's stats snapshot.
 
 ``GET /healthz``
-    ``ok`` — a liveness probe for load balancers and k8s-style checks.
+    ``ok`` (200) while the owning server reports the ``serving`` state; any
+    other state — ``draining`` above all — answers 503 with the state name
+    as the body.  Load balancers and the cluster router key off exactly
+    this flip to stop sending a draining box new work while its admitted
+    requests finish.  A listener built without a ``state`` callable always
+    answers 200 (a bare liveness probe).
 
 Anything else is ``404``; non-GET/HEAD methods are ``405``; a malformed
 request line is ``400``.  ``HEAD`` is honoured (headers only) since probes
@@ -40,6 +45,7 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: the content type Prometheus expects from a scrape target
@@ -76,6 +82,11 @@ class HttpMetricsListener:
     host, port:
         Bind address; ``port=0`` picks a free port (read it back from the
         :meth:`start` return value).
+    state:
+        Optional zero-argument callable returning the owning server's
+        lifecycle state; ``/healthz`` answers 200 only while it returns
+        ``"serving"``, 503 otherwise.  ``None`` keeps the pre-lifecycle
+        behaviour: always 200.
     """
 
     def __init__(
@@ -84,8 +95,10 @@ class HttpMetricsListener:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        state: Optional[Callable[[], str]] = None,
     ) -> None:
         self._render = render
+        self._state = state
         self.host = host
         self.port = port
         self._server: Optional[asyncio.base_events.Server] = None
@@ -122,7 +135,10 @@ class HttpMetricsListener:
                 200, text, METRICS_CONTENT_TYPE, head_only=head_only
             )
         if path == "/healthz":
-            return _response(200, "ok\n", head_only=head_only)
+            state = "serving" if self._state is None else self._state()
+            if state == "serving":
+                return _response(200, "ok\n", head_only=head_only)
+            return _response(503, f"{state}\n", head_only=head_only)
         return _response(
             404, "try /metrics or /healthz\n", head_only=head_only
         )

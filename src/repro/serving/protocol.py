@@ -25,7 +25,10 @@ Request objects (client → server)::
     {"op": "stats", "model": "name"?}            # one model's snapshot
     {"op": "stats_text"}                         # Prometheus-style scrape
     {"op": "list_models"}                        # hosted models + default
-    {"op": "ping"}                               # liveness probe
+    {"op": "ping"}                               # liveness + lifecycle state
+    {"op": "drain"}                              # stop admissions, flush
+    {"op": "set_admission_weights",
+     "weights": {"name": 3, ...}}                # re-partition the budget
 
 ``model`` is optional everywhere it appears: absent routes to the server's
 default model; a name the server does not host fails with the typed
@@ -34,26 +37,40 @@ default model; a name the server does not host fails with the typed
 Response objects (server → client) always carry ``"ok"``::
 
     {"ok": true, "labels": [...], "scores": [[...], ...]?}
-    {"ok": true, "model": "name", "stats": {...}}
+    {"ok": true, "model": "name", "backlog_samples": 0, "stats": {...}}
     {"ok": true, "text": "# TYPE repro_serving_... counter\\n..."}
     {"ok": true, "default": "name", "models": [{"name": ..., "scores": ...,
                                                 "max_batch": ...}, ...]}
+    {"ok": true, "state": "serving" | "draining" | ...}   # ping / drain
     {"ok": false, "error": {"type": "overloaded" | "bad_request" |
-                            "model_not_found" | "internal",
+                            "model_not_found" | "unavailable" | "internal",
                             "message": "..."}}
 
 Both async (:func:`read_message` / :func:`write_message`) and blocking
-(:func:`recv_message` / :func:`send_message`) transports are provided; they
-share :func:`encode_message` so the framing cannot drift apart.
+(:func:`recv_message` / :func:`send_message`) transports are provided.
+
+.. note::
+   This module is a re-export shim: the codec itself lives in
+   :mod:`repro.serving.transport` — the single framing implementation the
+   client, the server and the cluster router all share — and nothing here
+   adds behaviour.  Import from either name; patch (e.g. the message cap)
+   on :mod:`repro.serving.transport`, where the implementation reads it.
 """
 
 from __future__ import annotations
 
-import asyncio
-import json
-import socket
-import struct
-from typing import Any, Dict, Optional
+from repro.serving.transport import (  # noqa: F401
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    _decode_body,
+    _HEADER,
+    _recv_exactly,
+    encode_message,
+    read_message,
+    recv_message,
+    send_message,
+    write_message,
+)
 
 __all__ = [
     "MAX_MESSAGE_BYTES",
@@ -64,118 +81,3 @@ __all__ = [
     "send_message",
     "write_message",
 ]
-
-_HEADER = struct.Struct(">I")
-
-#: Upper bound on one message's JSON payload (64 MiB ≈ a 250k-sample
-#: request of 256 features — far beyond anything the batcher admits).
-MAX_MESSAGE_BYTES = 64 * 1024 * 1024
-
-
-class ProtocolError(RuntimeError):
-    """Malformed frame: bad header, oversized payload, or invalid JSON."""
-
-
-def encode_message(payload: Dict[str, Any]) -> bytes:
-    """Serialise one message to its framed wire form.
-
-    Non-finite floats raise :class:`ProtocolError`: ``json.dumps`` would
-    otherwise emit the bare ``NaN``/``Infinity`` tokens, which are not JSON
-    — a strict peer rejects the whole frame.  The server converts this
-    failure into the typed ``internal`` wire error; the binary protocol
-    carries non-finite scores losslessly instead.
-    """
-    try:
-        body = json.dumps(
-            payload, separators=(",", ":"), allow_nan=False
-        ).encode("utf-8")
-    except ValueError as error:
-        raise ProtocolError(
-            f"payload is not JSON-serialisable: {error}"
-        ) from error
-    if len(body) > MAX_MESSAGE_BYTES:
-        raise ProtocolError(
-            f"message of {len(body)} bytes exceeds the "
-            f"{MAX_MESSAGE_BYTES}-byte cap"
-        )
-    return _HEADER.pack(len(body)) + body
-
-
-def _decode_body(body: bytes) -> Dict[str, Any]:
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ProtocolError(f"invalid JSON payload: {error}") from error
-    if not isinstance(payload, dict):
-        raise ProtocolError(
-            f"payload must be a JSON object, got {type(payload).__name__}"
-        )
-    return payload
-
-
-def _check_length(length: int) -> None:
-    if length > MAX_MESSAGE_BYTES:
-        raise ProtocolError(
-            f"frame announces {length} bytes, cap is {MAX_MESSAGE_BYTES}"
-        )
-
-
-# ----------------------------------------------------------------- asyncio
-async def read_message(
-    reader: asyncio.StreamReader,
-) -> Optional[Dict[str, Any]]:
-    """Read one framed message; ``None`` on clean EOF before a header."""
-    try:
-        header = await reader.readexactly(_HEADER.size)
-    except asyncio.IncompleteReadError as error:
-        if not error.partial:  # connection closed between messages
-            return None
-        raise ProtocolError("connection closed mid-header") from error
-    (length,) = _HEADER.unpack(header)
-    _check_length(length)
-    try:
-        body = await reader.readexactly(length)
-    except asyncio.IncompleteReadError as error:
-        raise ProtocolError("connection closed mid-message") from error
-    return _decode_body(body)
-
-
-async def write_message(
-    writer: asyncio.StreamWriter, payload: Dict[str, Any]
-) -> None:
-    """Frame and send one message, draining the transport buffer."""
-    writer.write(encode_message(payload))
-    await writer.drain()
-
-
-# ---------------------------------------------------------------- blocking
-def _recv_exactly(sock: socket.socket, n_bytes: int) -> bytes:
-    chunks = []
-    remaining = n_bytes
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            break
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
-    """Blocking counterpart of :func:`read_message` (``None`` on clean EOF)."""
-    header = _recv_exactly(sock, _HEADER.size)
-    if not header:
-        return None
-    if len(header) < _HEADER.size:
-        raise ProtocolError("connection closed mid-header")
-    (length,) = _HEADER.unpack(header)
-    _check_length(length)
-    body = _recv_exactly(sock, length)
-    if len(body) < length:
-        raise ProtocolError("connection closed mid-message")
-    return _decode_body(body)
-
-
-def send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
-    """Blocking counterpart of :func:`write_message`."""
-    sock.sendall(encode_message(payload))

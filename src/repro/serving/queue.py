@@ -78,7 +78,7 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -97,6 +97,7 @@ __all__ = [
     "BadRequestError",
     "BatchingQueue",
     "ServerOverloadedError",
+    "ServerUnavailableError",
     "ServingError",
 ]
 
@@ -120,6 +121,18 @@ class BadRequestError(ServingError):
     error_type = "bad_request"
 
 
+class ServerUnavailableError(ServingError):
+    """This server is draining (or stopped) and admits no new work.
+
+    Unlike :class:`ServerOverloadedError`, backing off and retrying the
+    *same* endpoint is pointless — a draining server never recovers, so a
+    client behind a router should be re-routed to another replica
+    immediately.  The router does exactly that.
+    """
+
+    error_type = "unavailable"
+
+
 class AdmissionBudget:
     """A sample budget shared by every queue of a multi-model server.
 
@@ -130,28 +143,112 @@ class AdmissionBudget:
     The idle-oversized exception mirrors the per-queue one: a request
     larger than the whole budget is admitted when *nothing* is in flight
     anywhere, because shedding it could never succeed on retry.
+
+    Weighted-fair shares
+    ====================
+
+    ``weights`` (settable live through :meth:`set_weights` — this is the
+    rebalancer's knob) splits the budget between *keys*, one per hosted
+    model.  A keyed reservation is bounded both by the whole budget and by
+    its key's share ``max(1, round(max_samples * w / sum(w)))``; keys
+    absent from the mapping (and key-less reservations) see only the total
+    bound.  Shares are soft in one direction — the idle-oversized
+    exception applies per key, so a request bigger than its model's share
+    is admitted when that model has nothing in flight — and hard in the
+    other: a model at its share sheds even while the box is idle
+    elsewhere, which is precisely what lets the rebalancer *reserve*
+    headroom for a latency-sensitive tenant.
     """
 
-    def __init__(self, max_samples: int) -> None:
+    def __init__(
+        self,
+        max_samples: int,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> None:
         if max_samples <= 0:
             raise ValueError("max_samples must be positive")
         self.max_samples = max_samples
         self._outstanding = 0
+        self._per_key: Dict[str, int] = {}
+        self._shares: Dict[str, int] = {}
+        self._weights: Dict[str, float] = {}
+        if weights:
+            self.set_weights(weights)
 
     @property
     def outstanding(self) -> int:
         """Samples currently reserved across every participating queue."""
         return self._outstanding
 
-    def try_reserve(self, k: int) -> bool:
-        """Reserve ``k`` samples; False when the shared budget is exhausted."""
+    def outstanding_for(self, key: str) -> int:
+        """Samples currently reserved under ``key``."""
+        return self._per_key.get(key, 0)
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """The live per-key weight mapping (a copy)."""
+        return dict(self._weights)
+
+    def set_weights(self, weights: Dict[str, float]) -> None:
+        """Re-partition the budget between keys (the rebalancer's knob).
+
+        Weights are relative; each listed key's share becomes
+        ``max(1, round(max_samples * w / sum(w)))``.  Takes effect at the
+        next reservation — samples already reserved are never clawed back,
+        an over-share key simply sheds until it drains below its new
+        share.  An empty mapping removes all per-key bounds.
+        """
+        cleaned = {}
+        for key, weight in weights.items():
+            if not isinstance(key, str):
+                raise ValueError("weight keys must be model-name strings")
+            weight = float(weight)
+            if weight < 0 or weight != weight:  # negative or NaN
+                raise ValueError(
+                    f"weight for {key!r} must be a non-negative number"
+                )
+            cleaned[key] = weight
+        total = sum(cleaned.values())
+        self._weights = cleaned
+        if total <= 0:
+            self._shares = {}
+            return
+        self._shares = {
+            key: max(1, round(self.max_samples * weight / total))
+            for key, weight in cleaned.items()
+        }
+
+    def share_of(self, key: Optional[str]) -> int:
+        """The sample bound ``key`` reserves under (the whole budget for
+        key-less reservations and keys without a configured weight)."""
+        if key is None:
+            return self.max_samples
+        return self._shares.get(key, self.max_samples)
+
+    def try_reserve(self, k: int, key: Optional[str] = None) -> bool:
+        """Reserve ``k`` samples; False when the shared budget — or, for a
+        weighted ``key``, its share — is exhausted."""
         if self._outstanding + k > self.max_samples and self._outstanding > 0:
             return False
+        if key is not None and key in self._shares:
+            held = self._per_key.get(key, 0)
+            # per-key idle-oversized mirror: a request larger than its
+            # model's share is admitted while that model holds nothing
+            if held + k > self._shares[key] and held > 0:
+                return False
         self._outstanding += k
+        if key is not None:
+            self._per_key[key] = self._per_key.get(key, 0) + k
         return True
 
-    def release(self, k: int) -> None:
+    def release(self, k: int, key: Optional[str] = None) -> None:
         self._outstanding -= k
+        if key is not None and key in self._per_key:
+            held = self._per_key[key] - k
+            if held <= 0:
+                del self._per_key[key]
+            else:
+                self._per_key[key] = held
 
 
 @dataclass
@@ -199,6 +296,11 @@ class BatchingQueue:
         Optional :class:`AdmissionBudget` shared with other queues; admitted
         samples also reserve from it, so a multi-model server's total
         in-flight work stays bounded whatever the per-model traffic mix.
+    budget_key:
+        The key this queue's reservations carry into the shared budget —
+        the model's name, in a registry — so weighted-fair shares
+        (:meth:`AdmissionBudget.set_weights`) can bound each model
+        individually.  ``None`` reserves against only the total bound.
     packed_fn:
         Optional ``(packed_words, n_samples) -> array with first axis
         n_samples`` fast path for :meth:`submit_packed`: the coalesced
@@ -218,6 +320,7 @@ class BatchingQueue:
         max_queue: int = 1024,
         stats: Optional[ServerStats] = None,
         budget: Optional[AdmissionBudget] = None,
+        budget_key: Optional[str] = None,
         packed_fn: Optional[Callable[[np.ndarray, int], np.ndarray]] = None,
     ) -> None:
         if max_batch <= 0:
@@ -233,6 +336,7 @@ class BatchingQueue:
         self.max_queue = max_queue
         self.stats = stats if stats is not None else ServerStats()
         self._budget = budget
+        self._budget_key = budget_key
         self._pending: List[_Pending] = []
         self._queued_samples = 0
         self._inflight_samples = 0
@@ -269,8 +373,21 @@ class BatchingQueue:
                 f"server backlog holds {backlog} samples; admitting {k} "
                 f"more would exceed the bound of {self.max_queue}"
             )
-        if self._budget is not None and not self._budget.try_reserve(k):
+        if self._budget is not None and not self._budget.try_reserve(
+            k, self._budget_key
+        ):
             self.stats.observe_shed()
+            key = self._budget_key
+            share = self._budget.share_of(key)
+            if key is not None and share < self._budget.max_samples:
+                raise ServerOverloadedError(
+                    f"model {key!r} holds "
+                    f"{self._budget.outstanding_for(key)} of its "
+                    f"{share}-sample admission share "
+                    f"(box total {self._budget.outstanding}/"
+                    f"{self._budget.max_samples}); admitting {k} more "
+                    "would exceed it"
+                )
             raise ServerOverloadedError(
                 f"shared admission budget holds "
                 f"{self._budget.outstanding} samples across all models; "
@@ -293,6 +410,15 @@ class BatchingQueue:
             self._flush_now(loop)
         self._pending.append(entry)
         self._queued_samples += k
+        # A caller that disappears before the flush (abortive disconnect →
+        # the connection handler cancels its request tasks) must not leave
+        # its entry behind: the dead entry would hold queue backlog and its
+        # shared-budget reservation until a batch happened to evaluate it,
+        # and the engine would burn a batch slot computing answers nobody
+        # reads.  The done-callback fires on cancellation; entries already
+        # flushed to a batch are out of our hands (the batch's finally
+        # releases them as always).
+        entry.future.add_done_callback(self._discard_if_cancelled(entry))
         self.stats.observe_queue_depth(self.backlog_samples)
         if self._queued_samples >= self.max_batch:
             self._flush_now(loop)
@@ -355,6 +481,22 @@ class BatchingQueue:
             )
         self._admit(n_samples)
         return await self._enqueue(words, n_samples, packed=True)
+
+    def _discard_if_cancelled(
+        self, entry: _Pending
+    ) -> Callable[[asyncio.Future], None]:
+        def on_done(future: asyncio.Future) -> None:
+            if not future.cancelled():
+                return
+            try:
+                self._pending.remove(entry)
+            except ValueError:
+                return  # already flushed into a batch; its finally releases
+            self._queued_samples -= entry.n_samples
+            if self._budget is not None:
+                self._budget.release(entry.n_samples, self._budget_key)
+
+        return on_done
 
     # ------------------------------------------------------------- flushing
     def _on_timer(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -429,7 +571,7 @@ class BatchingQueue:
         finally:
             self._inflight_samples -= n_samples
             if self._budget is not None:
-                self._budget.release(n_samples)
+                self._budget.release(n_samples, self._budget_key)
         finished = time.perf_counter()
         for entry, part in zip(entries, parts):
             if not entry.future.done():

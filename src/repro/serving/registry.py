@@ -147,6 +147,7 @@ class ModelRegistry:
                 ),
                 stats=stats,
                 budget=self.budget,
+                budget_key=name,
                 packed_fn=packed_fn,
             ),
             scores_mode=scores_mode,
@@ -212,6 +213,13 @@ class ModelRegistry:
         return list(self._models.values())
 
     # --------------------------------------------------------------- cleanup
+    async def flush_all(self) -> None:
+        """Force-evaluate every model's queued work and wait for it — the
+        drain step: everything admitted completes, nothing new is taken
+        (the server stops admissions before calling this)."""
+        for entry in self.entries():
+            await entry.queue.flush()
+
     async def close(self) -> None:
         """Drain and close every model's queue."""
         for entry in self.entries():

@@ -48,31 +48,24 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.serving.binary_protocol import (
-    BinaryProtocolError,
-    BinaryRequest,
-    encode_error,
-    encode_reply,
-    read_frame,
-)
 from repro.serving.metrics_http import HttpMetricsListener
-from repro.serving.protocol import (
-    ProtocolError,
-    encode_message,
-)
 from repro.serving.queue import (
     AdmissionBudget,
     BadRequestError,
+    ServerUnavailableError,
     ServingError,
 )
 from repro.serving.registry import ModelRegistry, RegisteredModel
 from repro.serving.stats import ServerStats, render_stats_text
+from repro.serving.transport import (
+    BinaryRequest,
+    FrameServer,
+    encode_error,
+    encode_reply,
+    error_response as _error_response,
+)
 
 __all__ = ["BackgroundServer", "InferenceServer"]
-
-
-def _error_response(error_type: str, message: str) -> Dict[str, Any]:
-    return {"ok": False, "error": {"type": error_type, "message": message}}
 
 
 def _forwardable(fn: Callable, candidates: Dict[str, Any]) -> Dict[str, Any]:
@@ -151,49 +144,17 @@ def _model_entry_point(
     )
 
 
-class _CorkedWriter:
-    """Per-connection response writer that coalesces same-tick writes.
-
-    When a batch completes, every request of that batch resolves in the same
-    event-loop pass — so their responses can share one ``send`` syscall
-    instead of paying one each (under load, each small send costs a GIL
-    round trip on top of the syscall).  ``send`` appends the encoded frame
-    and schedules a single flush with ``call_soon``; the flush runs after
-    all same-tick completions and writes the concatenation.  Loop-confined,
-    so no lock is needed.
-    """
-
-    def __init__(self, writer: asyncio.StreamWriter) -> None:
-        self._writer = writer
-        self._frames: list = []
-        self._flush_scheduled = False
-
-    def send(self, payload: Dict[str, Any]) -> None:
-        self.send_raw(encode_message(payload))
-
-    def send_raw(self, frame: bytes) -> None:
-        """Queue an already-encoded frame (either protocol) for the next
-        corked flush — binary and JSON responses share one send."""
-        self._frames.append(frame)
-        if not self._flush_scheduled:
-            self._flush_scheduled = True
-            asyncio.get_running_loop().call_soon(self._flush)
-
-    def _flush(self) -> None:
-        self._flush_scheduled = False
-        if not self._frames or self._writer.is_closing():
-            self._frames.clear()
-            return
-        data = b"".join(self._frames)
-        self._frames.clear()
-        self._writer.write(data)
-
-    async def drain(self) -> None:
-        await self._writer.drain()
-
-
-class InferenceServer:
+class InferenceServer(FrameServer):
     """Serve one or many batch-evaluable models over TCP with coalescing.
+
+    The transport half — dual-protocol listener, pipelined per-connection
+    dispatch, corked writes, and the explicit ``starting → serving →
+    draining → stopped`` lifecycle with :meth:`~FrameServer.drain` — lives
+    in the :class:`~repro.serving.transport.FrameServer` base; this class
+    owns the *model* half: the registry, the queues, and the request
+    semantics of both protocols.  While draining, new predicts are rejected
+    with the typed ``unavailable`` error (control ops keep answering so the
+    drain can be observed) and ``/healthz`` answers 503.
 
     Parameters
     ----------
@@ -291,15 +252,11 @@ class InferenceServer:
                     "packed_fn= applies to the constructor-registered "
                     "default model; pass it to register_model instead"
                 )
+        super().__init__(host=host, port=port, backlog=backlog)
         self._warm_up = warm_up
-        self._backlog = backlog
         self._empty_stats: Optional[ServerStats] = None
-        self.host = host
-        self.port = port
         self.http_port = http_port
-        self._server: Optional[asyncio.base_events.Server] = None
         self._http: Optional[HttpMetricsListener] = None
-        self._connections: set = set()
 
     @classmethod
     def for_model(
@@ -419,135 +376,40 @@ class InferenceServer:
         )
 
     # ------------------------------------------------------------ lifecycle
-    async def start(self) -> Tuple[str, int]:
-        """Bind the listener (running the warm-up first); returns the address."""
-        if self._server is not None:
-            raise RuntimeError("server already started")
+    # start/serve_forever/drain/stop and the connection handler live in
+    # FrameServer; the hooks below plug in the model layer's pieces.
+    async def _on_start(self) -> None:
         if self._warm_up is not None:
             await asyncio.get_running_loop().run_in_executor(
                 None, self._warm_up
             )
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port, backlog=self._backlog
-        )
-        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+
+    async def _post_bind(self) -> None:
         if self.http_port is not None:
             self._http = HttpMetricsListener(
-                self.render_metrics, host=self.host, port=self.http_port
+                self.render_metrics,
+                host=self.host,
+                port=self.http_port,
+                state=lambda: self.state,
             )
             try:
                 _, self.http_port = await self._http.start()
             except BaseException:
                 self._http = None
-                await self.stop()
-                raise
-        return self.host, self.port
+                raise  # FrameServer.start runs full stop() and re-raises
 
-    async def serve_forever(self) -> None:
-        """Run until cancelled (convenience for ``asyncio.run`` scripts)."""
-        if self._server is None:
-            await self.start()
-        async with self._server:
-            await self._server.serve_forever()
+    async def _on_drain(self) -> None:
+        # admissions already stopped (state is draining, the predict paths
+        # reject); everything admitted before the flip completes here
+        await self._registry.flush_all()
 
-    async def stop(self) -> None:
-        """Stop accepting, hang up open connections, drain every queue."""
+    async def _pre_stop(self) -> None:
         if self._http is not None:
             await self._http.stop()
             self._http = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        # wait_closed() does not wait for in-flight connection handlers
-        # (pre-3.12 asyncio); cancel them so shutdown never leaks a task
-        for task in list(self._connections):
-            task.cancel()
-        if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    async def _on_stop(self) -> None:
         await self._registry.close()
-
-    # ----------------------------------------------------------- connection
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        self._connections.add(task)
-        # Pipelined dispatch: every request on this connection is handled in
-        # its own task, so a stream of requests from one client coalesces
-        # into shared batches exactly like requests from many clients —
-        # including requests for *different models* interleaved on one
-        # socket, each routed to its own queue.  A request carrying an
-        # ``"id"`` gets it echoed in the response, which is how pipelining
-        # clients re-associate out-of-order completions; the corked writer
-        # turns all completions of one batch into a single frame-atomic
-        # send.
-        corked = _CorkedWriter(writer)
-        in_flight: set = set()
-
-        async def respond(request: Dict[str, Any]) -> None:
-            response = await self._dispatch(request)
-            if "id" in request:
-                response["id"] = request["id"]
-            try:
-                corked.send(response)
-            except ProtocolError as error:
-                # e.g. a model emitted NaN/Inf scores: JSON cannot carry
-                # them (encode_message enforces allow_nan=False), so the
-                # client gets the typed internal error instead of a frame
-                # its parser rejects — the connection stays usable
-                fallback = _error_response(
-                    "internal", f"response not representable in JSON: {error}"
-                )
-                if "id" in request:
-                    fallback["id"] = request["id"]
-                corked.send(fallback)
-            await corked.drain()
-
-        async def respond_binary(request: BinaryRequest) -> None:
-            corked.send_raw(await self._dispatch_binary(request))
-            await corked.drain()
-
-        try:
-            while True:
-                try:
-                    request = await read_frame(reader)
-                except BinaryProtocolError as error:
-                    corked.send_raw(encode_error("bad_request", str(error)))
-                    break
-                except ProtocolError as error:
-                    corked.send(_error_response("bad_request", str(error)))
-                    break
-                if request is None:  # client closed cleanly
-                    break
-                if isinstance(request, BinaryRequest):
-                    request_task = asyncio.create_task(respond_binary(request))
-                else:
-                    request_task = asyncio.create_task(respond(request))
-                in_flight.add(request_task)
-                request_task.add_done_callback(in_flight.discard)
-            if in_flight:
-                await asyncio.gather(*list(in_flight))
-        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-            pass  # client vanished mid-write; nothing to answer
-        except asyncio.CancelledError:
-            pass  # server shutting down with the connection open
-        finally:
-            for request_task in list(in_flight):
-                request_task.cancel()
-            corked._flush()  # anything still corked goes out before the FIN
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (
-                ConnectionResetError,
-                BrokenPipeError,
-                asyncio.CancelledError,
-            ):  # pragma: no cover
-                pass
-            # deregister only once fully torn down, so stop() still awaits
-            # a handler that is draining its transport
-            self._connections.discard(task)
 
     # ------------------------------------------------------------- dispatch
     def _resolve(self, request: Dict[str, Any]) -> RegisteredModel:
@@ -568,6 +430,9 @@ class InferenceServer:
             return {
                 "ok": True,
                 "model": entry.name,
+                # live queue depth alongside the counter snapshot — the
+                # rebalancer's per-model demand signal
+                "backlog_samples": entry.queue.backlog_samples,
                 "stats": entry.stats.snapshot(),
             }
         if op == "stats_text":
@@ -581,8 +446,38 @@ class InferenceServer:
                 ],
             }
         if op == "ping":
-            return {"ok": True}
+            return {"ok": True, "state": self.state}
+        if op == "drain":
+            await self.drain()
+            return {"ok": True, "state": self.state}
+        if op == "set_admission_weights":
+            return self._handle_set_weights(request)
         return _error_response("bad_request", f"unknown op {op!r}")
+
+    def _handle_set_weights(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        budget = self._registry.budget
+        if budget is None:
+            return _error_response(
+                "bad_request",
+                "this server has no shared admission budget to partition; "
+                "start it with max_total_queue=",
+            )
+        weights = request.get("weights")
+        if not isinstance(weights, dict):
+            return _error_response(
+                "bad_request", "weights must be a {model: weight} object"
+            )
+        try:
+            budget.set_weights(weights)
+        except ValueError as error:
+            return _error_response("bad_request", str(error))
+        return {
+            "ok": True,
+            "weights": budget.weights,
+            "shares": {
+                name: budget.share_of(name) for name in budget.weights
+            },
+        }
 
     async def _dispatch_binary(self, request: BinaryRequest) -> bytes:
         """One binary predict: packed words straight into the model's queue.
@@ -591,6 +486,12 @@ class InferenceServer:
         echoed so pipelining clients re-associate out-of-order completions.
         """
         rid = request.request_id
+        if self.state != self.SERVING:
+            return encode_error(
+                "unavailable",
+                f"this server is {self.state} and admits no new work",
+                request_id=rid,
+            )
         try:
             entry = self._registry.resolve(request.model)
         except ServingError as error:
@@ -622,6 +523,11 @@ class InferenceServer:
         return encode_reply(np.asarray(result), request_id=rid)
 
     async def _handle_predict(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self.state != self.SERVING:
+            return _error_response(
+                ServerUnavailableError.error_type,
+                f"this server is {self.state} and admits no new work",
+            )
         try:
             entry = self._resolve(request)
         except ServingError as error:

@@ -178,3 +178,41 @@ class TestTypedErrorsDoNotKillTheConnection:
                 np.testing.assert_array_equal(
                     client.predict(rows), np.arange(3)
                 )
+
+
+class TestIdempotentClose:
+    """The context-manager satellite: close() is idempotent and final."""
+
+    @pytest.fixture()
+    def server(self):
+        srv = InferenceServer(
+            scores_fn=_scores_fn, max_batch=8, max_wait_us=500, max_queue=64
+        )
+        with BackgroundServer(srv) as handle:
+            yield handle
+
+    def test_close_twice_is_fine(self, server):
+        client = ServingClient(*server.address)
+        client.predict(np.ones((1, N_FEATURES), dtype=np.uint8))
+        client.close()
+        client.close()  # second close is a no-op, not an error
+        assert client.closed
+
+    def test_context_manager_then_explicit_close(self, server):
+        with ServingClient(*server.address) as client:
+            client.predict(np.ones((1, N_FEATURES), dtype=np.uint8))
+            assert not client.closed
+        assert client.closed
+        client.close()  # closing an already-exited client is fine too
+
+    def test_closed_client_refuses_work_with_typed_error(self, server):
+        """A dead client is replaced, never resurrected: every call after
+        close() fails fast instead of touching a dead socket."""
+        client = ServingClient(*server.address)
+        client.close()
+        with pytest.raises(StaleConnectionError, match="closed"):
+            client.predict(np.ones((1, N_FEATURES), dtype=np.uint8))
+        with pytest.raises(StaleConnectionError, match="closed"):
+            client.ping()
+        with pytest.raises(StaleConnectionError, match="closed"):
+            client.stats()

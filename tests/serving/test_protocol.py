@@ -6,7 +6,7 @@ import struct
 
 import pytest
 
-from repro.serving import protocol
+from repro.serving import protocol, transport
 from repro.serving.protocol import (
     ProtocolError,
     encode_message,
@@ -106,7 +106,9 @@ class TestBlockingTransport:
 
 
 def test_encode_respects_cap(monkeypatch):
-    monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 8)
+    # the codec lives in transport (protocol is a re-export shim), so the
+    # cap must be patched where the implementation reads it
+    monkeypatch.setattr(transport, "MAX_MESSAGE_BYTES", 8)
     with pytest.raises(ProtocolError, match="cap"):
         encode_message({"op": "a message longer than eight bytes"})
 

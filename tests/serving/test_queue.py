@@ -631,3 +631,176 @@ class TestPackedSubmissions:
 
         result = asyncio.run(main())
         np.testing.assert_array_equal(result, [N_FEATURES] * 3)
+
+
+class TestWeightedBudget:
+    """Weighted-fair partitioning of the shared budget (rebalancer's knob)."""
+
+    def test_shares_follow_the_weights(self):
+        budget = AdmissionBudget(100, weights={"a": 3.0, "b": 1.0})
+        assert budget.share_of("a") == 75
+        assert budget.share_of("b") == 25
+        # key-less reservations and unweighted keys see the whole budget
+        assert budget.share_of(None) == 100
+        assert budget.share_of("c") == 100
+        assert budget.weights == {"a": 3.0, "b": 1.0}
+
+    def test_share_never_rounds_to_zero(self):
+        budget = AdmissionBudget(10, weights={"a": 1.0, "b": 1_000_000.0})
+        assert budget.share_of("a") == 1
+
+    def test_keyed_reservation_bounded_by_share(self):
+        budget = AdmissionBudget(100, weights={"a": 1.0, "b": 1.0})
+        assert budget.try_reserve(40, "a")
+        # 10 more would put "a" at 50... exactly its share: fine
+        assert budget.try_reserve(10, "a")
+        # one past the share sheds, even though the box holds 50/100
+        assert not budget.try_reserve(1, "a")
+        assert budget.outstanding_for("a") == 50
+        # "b" and unkeyed traffic are unaffected by "a" being at its share
+        assert budget.try_reserve(50, "b")
+        assert not budget.try_reserve(1, None)  # total bound still applies
+        assert budget.outstanding == 100
+
+    def test_per_key_idle_oversized_exception(self):
+        budget = AdmissionBudget(100, weights={"a": 1.0, "b": 1.0})
+        # a request bigger than "a"'s 50-sample share is admitted while
+        # "a" holds nothing (shedding could never succeed on retry)...
+        assert budget.try_reserve(80, "a")
+        # ...but once it holds anything, the share is enforced again
+        assert not budget.try_reserve(1, "a")
+        budget.release(80, "a")
+        assert budget.outstanding == 0
+        assert budget.outstanding_for("a") == 0
+
+    def test_release_unwinds_keyed_accounting(self):
+        budget = AdmissionBudget(100, weights={"a": 1.0, "b": 1.0})
+        assert budget.try_reserve(30, "a")
+        budget.release(30, "a")
+        assert budget.try_reserve(50, "a")  # full share available again
+        assert budget.outstanding == 50
+
+    def test_set_weights_live_reweighting(self):
+        budget = AdmissionBudget(100, weights={"a": 1.0, "b": 1.0})
+        assert budget.try_reserve(50, "a")
+        assert not budget.try_reserve(1, "a")
+        # the rebalancer shifts capacity toward "a" at runtime
+        budget.set_weights({"a": 3.0, "b": 1.0})
+        assert budget.try_reserve(25, "a")  # new share is 75
+        # and away again: over-share holdings are not clawed back, the key
+        # simply sheds until it drains below the new share
+        budget.set_weights({"a": 1.0, "b": 3.0})
+        assert not budget.try_reserve(1, "a")
+        budget.release(55, "a")
+        assert budget.try_reserve(5, "a")  # 20 + 5 <= 25
+
+    def test_empty_weights_remove_all_shares(self):
+        budget = AdmissionBudget(100, weights={"a": 1.0})
+        budget.set_weights({})
+        assert budget.share_of("a") == 100
+        assert budget.weights == {}
+
+    def test_weight_validation(self):
+        budget = AdmissionBudget(100)
+        with pytest.raises(ValueError, match="non-negative"):
+            budget.set_weights({"a": -1.0})
+        with pytest.raises(ValueError, match="non-negative"):
+            budget.set_weights({"a": float("nan")})
+        with pytest.raises(ValueError, match="strings"):
+            budget.set_weights({3: 1.0})
+
+    def test_queue_sheds_at_its_share_while_box_is_idle(self):
+        """The hard direction: reserved headroom stays reserved."""
+        calls = []
+
+        async def main():
+            budget = AdmissionBudget(
+                8, weights={"latency": 1.0, "batch": 1.0}
+            )
+            queue = BatchingQueue(
+                _sum_fn(calls), max_batch=100, max_wait_us=200_000,
+                max_queue=100, budget=budget, budget_key="batch",
+            )
+            holding = asyncio.ensure_future(
+                queue.submit(np.ones((4, N_FEATURES), dtype=np.uint8))
+            )
+            await asyncio.sleep(0)  # "batch" holds its whole 4-sample share
+            # nothing else is in flight anywhere, yet the share sheds:
+            # that idle headroom is what "latency" paid for
+            with pytest.raises(ServerOverloadedError, match="admission share"):
+                await queue.submit(np.ones((1, N_FEATURES), dtype=np.uint8))
+            await queue.flush()
+            await holding
+            assert budget.outstanding == 0
+            await queue.close()
+
+        asyncio.run(main())
+        assert calls == [4]
+
+
+class TestBudgetLeakOnCancel:
+    def test_cancelled_queued_request_releases_its_reservation(self):
+        """Regression: a request cancelled while queued (its connection
+        dropped) must give back its budget reservation and leave the
+        pending batch — previously the reservation leaked until restart."""
+        calls = []
+
+        async def main():
+            budget = AdmissionBudget(64, weights={"m": 1.0, "other": 1.0})
+            queue = BatchingQueue(
+                _sum_fn(calls), max_batch=100, max_wait_us=50_000,
+                max_queue=100, budget=budget, budget_key="m",
+            )
+            task = asyncio.ensure_future(
+                queue.submit(np.ones((4, N_FEATURES), dtype=np.uint8))
+            )
+            await asyncio.sleep(0)  # reaches the queue, holds 4 samples
+            assert budget.outstanding == 4
+            assert budget.outstanding_for("m") == 4
+            assert queue.backlog_samples == 4
+            task.cancel()
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)  # done-callback runs via call_soon
+            assert budget.outstanding == 0
+            assert budget.outstanding_for("m") == 0
+            assert queue.backlog_samples == 0
+            # the discarded entry must not reach the batch function either
+            await queue.flush()
+            await queue.close()
+
+        asyncio.run(main())
+        assert calls == []
+
+    def test_cancel_after_flush_does_not_double_release(self):
+        """A request cancelled *after* its batch flushed is the batch's to
+        release — the done-callback must not release a second time."""
+        import threading
+
+        release = threading.Event()
+
+        def slow_fn(X):
+            release.wait(timeout=5)
+            return X.sum(axis=1).astype(np.int64)
+
+        async def main():
+            budget = AdmissionBudget(64)
+            queue = BatchingQueue(
+                slow_fn, max_batch=4, max_wait_us=100, max_queue=100,
+                budget=budget,
+            )
+            task = asyncio.ensure_future(
+                queue.submit(np.ones((4, N_FEATURES), dtype=np.uint8))
+            )
+            await asyncio.sleep(0.05)  # batch flushed, evaluating in executor
+            assert queue.queued_samples == 0  # no longer pending, in flight
+            task.cancel()
+            release.set()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            await queue.flush()
+            await queue.close()
+            # exactly one release: 64 - 4 + 4, not 64 + 4
+            assert budget.outstanding == 0
+            assert budget.try_reserve(64)
+
+        asyncio.run(main())
