@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench-smoke bench-serving serve-demo serve-stats serve-cluster check
+.PHONY: test bench-smoke bench-native bench-serving serve-demo serve-stats serve-cluster check
 
 # Tier-1 verification: the full test suite (includes benchmarks/).
 test:
@@ -14,6 +14,13 @@ test:
 # (chain fusion, P=8 fabric decomposition) and the sharding scaling gate.
 bench-smoke:
 	$(PYTEST) benchmarks/test_engine_throughput.py -q
+
+# Native backend gate: the generated-C engine must run the paper's P=6
+# RINC bank >=5x faster than the NumPy engine, bit-identical.  Skips with
+# an explicit reason on hosts without a C compiler (cc/gcc/clang or $CC) —
+# the same hosts where backend="auto" serves the NumPy engine.
+bench-native:
+	$(PYTEST) benchmarks/test_native_throughput.py -q -rs
 
 # Serving-layer gates: coalesced async serving must beat sequential
 # per-request calls >=3x on 256 concurrent 1-sample requests, multi-model
@@ -44,4 +51,4 @@ serve-cluster:
 	PYTHONPATH=src python examples/cluster_demo.py
 
 # CI-style composite: tier-1 tests plus every perf gate in one invocation.
-check: test bench-smoke bench-serving
+check: test bench-smoke bench-native bench-serving

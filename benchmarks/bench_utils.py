@@ -2,14 +2,66 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import json
+import os
+import time
+from typing import List, Optional, Tuple
 
 #: sections collected during the run; replayed by the terminal-summary hook in
 #: conftest.py so they appear in the benchmark log even with output capture on.
 COLLECTED_SECTIONS: List[Tuple[str, str]] = []
+
+#: where record_gate appends measurements; override with REPRO_BENCH_RESULTS
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_results.json",
+)
 
 
 def emit(title: str, body: str) -> None:
     """Print a titled table and record it for the end-of-run summary."""
     COLLECTED_SECTIONS.append((title, body))
     print(f"\n=== {title} ===\n{body}")
+
+
+def record_gate(
+    gate: str,
+    measured: float,
+    target: float,
+    *,
+    unit: str = "x",
+    path: Optional[str] = None,
+) -> None:
+    """Append one gate measurement to ``BENCH_results.json``.
+
+    The file is a JSON array of ``{"gate", "measured", "target", "unit",
+    "passed", "timestamp"}`` records, one per gate evaluation, newest last —
+    a flat machine-readable history of how each performance gate trended
+    across runs (the human-readable tables go through :func:`emit`).  The
+    write is read-modify-replace via a temp file so a crash mid-dump cannot
+    truncate the history; a corrupt or foreign file is restarted rather
+    than crashing the benchmark that measured a perfectly good number.
+    """
+    path = path or os.environ.get("REPRO_BENCH_RESULTS") or RESULTS_PATH
+    entry = {
+        "gate": gate,
+        "measured": round(float(measured), 6),
+        "target": float(target),
+        "unit": unit,
+        "passed": bool(measured >= target),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if isinstance(existing, list):
+            records = existing
+    except (OSError, ValueError):
+        pass
+    records.append(entry)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)

@@ -52,7 +52,7 @@ from repro.engine import (
 from repro.engine.passes import ConstantFoldPass
 from repro.utils.rng import as_rng
 
-from bench_utils import emit
+from bench_utils import emit, record_gate
 
 BATCH = 1024
 N_FEATURES = 256
@@ -143,6 +143,7 @@ def test_packed_engine_speedup():
         "\n".join(rows),
     )
     t_naive, t_packed = gate_parts
+    record_gate("engine_speedup_p6", t_naive / t_packed, SPEEDUP_TARGET)
     assert t_naive / t_packed >= SPEEDUP_TARGET, (
         f"packed engine is only {t_naive / t_packed:.1f}x faster than the "
         f"naive simulator at P=6 (target {SPEEDUP_TARGET}x)"
@@ -250,6 +251,7 @@ def test_fused_vs_unfused():
     # every chain collapses onto its 3-bit support: one LUT per chain
     assert fused.n_nodes == 64
     assert fused.n_groups < unfused.n_groups
+    record_gate("fusion_speedup", speedup, FUSION_TARGET)
     assert speedup >= FUSION_TARGET, (
         f"fusion speedup {speedup:.2f}x below the {FUSION_TARGET}x gate"
     )
@@ -290,6 +292,7 @@ def test_p8_decomposed_vs_raw():
         ),
     )
     speedup = best["raw"] / best["pipeline"]
+    record_gate("pipeline_p8_speedup", speedup, PIPELINE_P8_TARGET)
     assert speedup >= PIPELINE_P8_TARGET, (
         f"decomposed pipeline is only {speedup:.2f}x vs the raw P=8 path "
         f"(target {PIPELINE_P8_TARGET}x)"
@@ -359,6 +362,10 @@ def test_structured_bank_pruning_and_speedup():
         ),
     )
     # deterministic gates (seeded tables): trained structure must fold hard
+    record_gate(
+        "structured_cost_ratio", raw_cost / opt_cost, STRUCTURED_COST_TARGET
+    )
+    record_gate("structured_speedup", speedup, STRUCTURED_SPEEDUP_TARGET)
     assert raw_cost / opt_cost >= STRUCTURED_COST_TARGET, (
         f"pipeline pruned table cost only {raw_cost / opt_cost:.1f}x on the "
         f"structured bank (target {STRUCTURED_COST_TARGET}x)"
@@ -459,6 +466,7 @@ def test_sharding_scaling_smoke():
             ),
         )
         speedup = best["serial"] / sharded_best(best)
+        record_gate("sharding_speedup", speedup, SHARDING_TARGET)
         assert speedup >= SHARDING_TARGET, (
             f"sharded speedup {speedup:.2f}x below the {SHARDING_TARGET}x gate"
         )

@@ -1,0 +1,127 @@
+"""Native (generated-C) backend throughput vs the NumPy packed engine.
+
+The NumPy engine already beats the naive simulator by an order of magnitude
+(see ``test_engine_throughput``), but it still pays interpreter and
+temporary-array overhead per Shannon-mux step: every level of every LUT's
+cascade is a separate vectorised numpy call over the whole word block.  The
+native backend compiles the same flat program into straight-line C — one
+fused expression per LUT with the table bits folded into constants at
+generation time — so a word's entire netlist evaluation runs register-hot
+with zero dispatch.
+
+The gate: on the paper's P=6 RINC-bank shape, the native engine must be at
+least ``NATIVE_SPEEDUP_TARGET``x faster than the NumPy engine on the same
+packed words, bit-identical.  Hosts without a C toolchain skip with an
+explicit reason (the serving default is ``backend="auto"``, which falls
+back to NumPy on exactly those hosts).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import compile_netlist, pack_bits, rinc_bank_netlist
+from repro.engine.native import find_compiler
+from repro.utils import as_rng
+
+from bench_utils import emit, record_gate
+
+BATCH = 1024
+N_FEATURES = 256
+NATIVE_SPEEDUP_TARGET = 5.0  # native vs NumPy engine, P=6 bank
+
+
+def _best_of(fn, repeats: int, inner: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def _measure(numpy_engine, native_engine, packed, rounds: int = 4):
+    """Interleaved best-of over both engines (same packed words).
+
+    Alternating the paths within each round keeps a noisy-neighbour CPU
+    spike from hitting only one side of the comparison.
+    """
+    t_numpy = t_native = float("inf")
+    for _ in range(rounds):
+        t_numpy = min(
+            t_numpy,
+            _best_of(lambda: numpy_engine.run_packed(packed), repeats=3, inner=2),
+        )
+        t_native = min(
+            t_native,
+            _best_of(lambda: native_engine.run_packed(packed), repeats=3, inner=8),
+        )
+    return t_numpy, t_native
+
+
+def test_native_backend_speedup():
+    """Generated C vs NumPy on the paper's P=6 netlist: >= 5x, bit-identical."""
+    if find_compiler() is None:
+        pytest.skip(
+            "no C compiler on this host (need cc/gcc/clang or $CC); the "
+            "native backend gate cannot run — backend='auto' serves NumPy here"
+        )
+    rows = []
+    gate_parts = None
+    for lut_width in (4, 6):
+        netlist = rinc_bank_netlist(
+            n_primary_inputs=N_FEATURES,
+            n_trees=480,
+            n_mats=80,
+            n_outputs=10,
+            lut_width=lut_width,
+            seed=2,
+        )
+        t_build = time.perf_counter()
+        native = compile_netlist(netlist, backend="native")
+        t_build = time.perf_counter() - t_build
+        numpy_engine = compile_netlist(netlist)
+        X = as_rng(0).integers(0, 2, size=(BATCH, N_FEATURES), dtype=np.uint8)
+        packed = pack_bits(X)
+
+        # correctness first: the speed comparison is meaningless otherwise
+        np.testing.assert_array_equal(
+            native.run_packed(packed), numpy_engine.run_packed(packed)
+        )
+        np.testing.assert_array_equal(
+            native.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+        t_numpy, t_native = _measure(numpy_engine, native, packed)
+        if lut_width == 6:
+            # the acceptance gate; re-measure with more rounds if a noisy
+            # run left the ratio short (mins only improve, so this
+            # converges on the steady-state speedup instead of flaking)
+            for _ in range(2):
+                if t_numpy / t_native >= NATIVE_SPEEDUP_TARGET:
+                    break
+                more = _measure(numpy_engine, native, packed, rounds=8)
+                t_numpy = min(t_numpy, more[0])
+                t_native = min(t_native, more[1])
+            gate_parts = (t_numpy, t_native)
+        rows.append(
+            f"P={lut_width}  {netlist.n_luts:4d} LUTs  "
+            f"build {t_build:5.2f} s  "
+            f"numpy {t_numpy * 1e3:6.2f} ms  native {t_native * 1e3:6.3f} ms  "
+            f"speedup {t_numpy / t_native:5.1f}x"
+        )
+    emit(
+        f"Native compiled backend ({BATCH}-sample batch, "
+        f"{N_FEATURES} features, cached .so after first build)",
+        "\n".join(rows),
+    )
+    t_numpy, t_native = gate_parts
+    record_gate(
+        "native_backend_speedup", t_numpy / t_native, NATIVE_SPEEDUP_TARGET
+    )
+    assert t_numpy / t_native >= NATIVE_SPEEDUP_TARGET, (
+        f"native backend is only {t_numpy / t_native:.1f}x faster than the "
+        f"NumPy engine at P=6 (target {NATIVE_SPEEDUP_TARGET}x)"
+    )

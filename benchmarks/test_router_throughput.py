@@ -46,7 +46,7 @@ from repro.serving.binary_protocol import (
 from repro.serving.protocol import recv_message, send_message
 from repro.utils.rng import as_rng
 
-from bench_utils import emit
+from bench_utils import emit, record_gate
 
 N_FEATURES = 256
 N_CLASSES = 10
@@ -247,6 +247,7 @@ def test_two_replica_router_scales_throughput(cluster):
             ]
         ),
     )
+    record_gate("router_scaling", t_single / t_router, SCALING_TARGET)
     assert t_single / t_router >= SCALING_TARGET, (
         f"2-replica router scaled only {t_single / t_router:.2f}x over a "
         f"single backend (gate {SCALING_TARGET}x)"

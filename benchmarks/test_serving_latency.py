@@ -39,7 +39,7 @@ from repro.serving import BackgroundServer, InferenceServer, ServerStats
 from repro.serving.protocol import encode_message, read_message, write_message
 from repro.utils.rng import as_rng
 
-from bench_utils import emit
+from bench_utils import emit, record_gate
 
 N_FEATURES = 256
 N_CLASSES = 10
@@ -235,6 +235,7 @@ def _run_coalescing_gate():
     assert snapshot["mean_batch_occupancy"] > 1.0, (
         "requests never coalesced — the server degenerated to per-request work"
     )
+    record_gate("serving_coalescing_speedup", speedup, COALESCING_TARGET)
     assert speedup >= COALESCING_TARGET, (
         f"coalesced serving is only {speedup:.2f}x the per-request baseline "
         f"(target {COALESCING_TARGET}x)"
@@ -429,6 +430,7 @@ def _run_multi_model_gate():
         assert snap["mean_batch_occupancy"] > 1.0, (
             f"model {name} never coalesced its requests"
         )
+    record_gate("multi_model_speedup", speedup, MULTI_MODEL_TARGET)
     assert speedup >= MULTI_MODEL_TARGET, (
         f"multi-model coalesced serving is only {speedup:.2f}x the "
         f"per-request baseline (target {MULTI_MODEL_TARGET}x)"

@@ -46,7 +46,7 @@ from repro.serving.binary_protocol import (
 from repro.serving.protocol import encode_message, read_message
 from repro.utils.rng import as_rng
 
-from bench_utils import emit
+from bench_utils import emit, record_gate
 
 N_FEATURES = 1024
 N_CLASSES = 10
@@ -245,6 +245,7 @@ def _run_wire_gate():
     assert snapshot["mean_batch_occupancy"] > 1.0, (
         "requests never coalesced — the server degenerated to per-request work"
     )
+    record_gate("binary_wire_speedup", ratio, WIRE_TARGET)
     assert ratio >= WIRE_TARGET, (
         f"binary wire is only {ratio:.2f}x faster than JSON "
         f"(target {WIRE_TARGET}x)"

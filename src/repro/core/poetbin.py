@@ -81,8 +81,9 @@ class PoETBiNClassifier:
         self.rinc_modules_: List[RINCClassifier] = []
         self.output_layer_: Optional[SparseQuantizedOutputLayer] = None
         self.n_features_: Optional[int] = None
-        self._compiled_: Optional["CompiledNetlist"] = None
-        # n_workers or ("pool", id(pool)) -> ShardedEngine
+        # engine backend ("numpy"/"native"/"auto") -> compiled engine
+        self._compiled_: dict = {}
+        # (n_workers or ("pool", id(pool)), engine_backend) -> ShardedEngine
         self._sharded_: dict = {}
 
     @property
@@ -124,7 +125,7 @@ class PoETBiNClassifier:
             raise ValueError("X_features and intermediate_targets length mismatch")
         self.n_features_ = X_features.shape[1]
         # invalidate cached engines before mutating the RINC bank
-        self._compiled_ = None
+        self._compiled_ = {}
         self._close_sharded()
 
         self.rinc_modules_ = []
@@ -172,20 +173,31 @@ class PoETBiNClassifier:
         self._check_fitted()
         return self.output_layer_.predict(self.predict_intermediate(X_features))
 
-    def compiled_netlist(self) -> "CompiledNetlist":
-        """The bit-packed engine for this classifier, compiled on first use."""
+    def compiled_netlist(self, engine_backend: str = "numpy"):
+        """The bit-packed engine for this classifier, compiled on first use.
+
+        ``engine_backend`` picks the evaluation engine — the NumPy word-op
+        interpreter (default), the generated-C native engine
+        (``"native"``), or ``"auto"`` (native when the host has a C
+        toolchain, else NumPy) — cached per backend.
+        """
         self._check_fitted()
-        if self._compiled_ is None:
+        engine = self._compiled_.get(engine_backend)
+        if engine is None:
             from repro.engine import compile_netlist
 
-            self._compiled_ = compile_netlist(self.to_netlist())
-        return self._compiled_
+            engine = compile_netlist(
+                self.to_netlist(), backend=engine_backend
+            )
+            self._compiled_[engine_backend] = engine
+        return engine
 
     def sharded_engine(
         self,
         n_workers: Optional[int] = None,
         *,
         pool: Optional["WorkerPool"] = None,
+        engine_backend: str = "numpy",
     ) -> "ShardedEngine":
         """A multicore executor for the RINC bank.
 
@@ -194,18 +206,25 @@ class PoETBiNClassifier:
         attaches this classifier to a shared
         :class:`~repro.engine.parallel.WorkerPool` (cached per pool), so
         many classifiers served from one process share one set of worker
-        processes — the multi-model serving path.
+        processes — the multi-model serving path.  ``engine_backend``
+        picks the per-worker evaluation engine (see
+        :meth:`compiled_netlist`); caching keys on it, so one classifier
+        can serve a native and a NumPy view side by side.
         """
         self._check_fitted()
         if (pool is None) == (n_workers is None):
             raise ValueError("provide exactly one of n_workers and pool")
         from repro.engine.parallel import ShardedEngine
 
-        key = ("pool", id(pool)) if pool is not None else n_workers
+        base = ("pool", id(pool)) if pool is not None else n_workers
+        key = (base, engine_backend)
         engine = self._sharded_.get(key)
         if engine is None:
             engine = ShardedEngine(
-                self.to_netlist(), n_workers=n_workers, pool=pool
+                self.to_netlist(),
+                n_workers=n_workers,
+                pool=pool,
+                engine_backend=engine_backend,
             )
             self._sharded_[key] = engine
         return engine
@@ -219,16 +238,17 @@ class PoETBiNClassifier:
         self,
         n_workers: Optional[int],
         pool: Optional["WorkerPool"] = None,
+        engine_backend: str = "numpy",
     ):
         if pool is not None:
             if n_workers is not None:
                 raise ValueError(
                     "provide at most one of n_workers and pool"
                 )
-            return self.sharded_engine(pool=pool)
+            return self.sharded_engine(pool=pool, engine_backend=engine_backend)
         if n_workers is None or n_workers <= 1:
-            return self.compiled_netlist()
-        return self.sharded_engine(n_workers)
+            return self.compiled_netlist(engine_backend)
+        return self.sharded_engine(n_workers, engine_backend=engine_backend)
 
     def predict_intermediate_batch(
         self,
@@ -236,15 +256,17 @@ class PoETBiNClassifier:
         batch_size: Optional[int] = None,
         n_workers: Optional[int] = None,
         pool: Optional["WorkerPool"] = None,
+        engine_backend: str = "numpy",
     ) -> np.ndarray:
         """Intermediate bits via the bit-packed engine; matches
         :meth:`predict_intermediate` bit for bit.  ``n_workers`` shards the
         packed words across a private process pool; ``pool`` shares an
         existing :class:`~repro.engine.parallel.WorkerPool` instead (see
-        :meth:`sharded_engine`)."""
+        :meth:`sharded_engine`).  ``engine_backend`` picks the evaluator —
+        ``"numpy"``, ``"native"`` (generated C) or ``"auto"``."""
         from repro.engine import predict_in_batches
 
-        engine = self._engine(n_workers, pool)
+        engine = self._engine(n_workers, pool, engine_backend)
         X_features = check_binary_matrix(X_features, "X_features")
         return predict_in_batches(engine.predict_batch, X_features, batch_size)
 
@@ -254,6 +276,7 @@ class PoETBiNClassifier:
         batch_size: Optional[int] = None,
         n_workers: Optional[int] = None,
         pool: Optional["WorkerPool"] = None,
+        engine_backend: str = "numpy",
     ) -> np.ndarray:
         """Predicted class labels, packed end to end.
 
@@ -271,7 +294,7 @@ class PoETBiNClassifier:
         """
         from repro.engine import pack_bits, predict_in_batches
 
-        engine = self._engine(n_workers, pool)
+        engine = self._engine(n_workers, pool, engine_backend)
         X_features = check_binary_matrix(X_features, "X_features")
 
         def predict_chunk(chunk: np.ndarray) -> np.ndarray:
@@ -288,6 +311,7 @@ class PoETBiNClassifier:
         batch_size: Optional[int] = None,
         n_workers: Optional[int] = None,
         pool: Optional["WorkerPool"] = None,
+        engine_backend: str = "numpy",
     ) -> np.ndarray:
         """Per-class decision scores ``(n, nc)``, packed end to end.
 
@@ -302,7 +326,7 @@ class PoETBiNClassifier:
         self._check_fitted()
         from repro.engine import pack_bits, predict_in_batches
 
-        engine = self._engine(n_workers, pool)
+        engine = self._engine(n_workers, pool, engine_backend)
         X_features = check_binary_matrix(X_features, "X_features")
 
         def scores_chunk(chunk: np.ndarray) -> np.ndarray:
@@ -319,6 +343,7 @@ class PoETBiNClassifier:
         n_samples: int,
         n_workers: Optional[int] = None,
         pool: Optional["WorkerPool"] = None,
+        engine_backend: str = "numpy",
     ) -> np.ndarray:
         """Per-class scores ``(n_samples, nc)`` from *already-packed* rows.
 
@@ -352,7 +377,7 @@ class PoETBiNClassifier:
                 f"packed has {packed.shape[1]} words per plane, but "
                 f"{n_samples} samples need {expected_words}"
             )
-        engine = self._engine(n_workers, pool)
+        engine = self._engine(n_workers, pool, engine_backend)
         packed_intermediate = engine.run_packed(packed)
         return self.output_layer_.decision_scores_packed(
             packed_intermediate, n_samples

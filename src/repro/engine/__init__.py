@@ -45,6 +45,20 @@ Compiler
     Results are bit-identical to ``LUTNetlist.evaluate_outputs`` under
     every pipeline configuration.
 
+``native``
+    The generated-C backend:
+    :func:`compile_netlist(..., backend="native") <repro.engine.compiled_netlist.compile_netlist>`
+    lowers the already-flat program once more, into straight-line
+    ``uint64_t`` C (per-arity-unrolled Shannon-mux expressions with the
+    table constants folded at generation time, the 3-op word mux for
+    mux groups, literal broadcasts for constants), builds it with the
+    host toolchain into a shared object cached by source digest, and
+    wraps it as a
+    :class:`~repro.engine.native.NativeCompiledNetlist` with the exact
+    ``run_packed``/``predict_batch`` surface — bit-exact vs NumPy and
+    an order of magnitude faster.  ``backend="auto"`` falls back to the
+    NumPy engine on hosts without a C compiler.
+
 Runtime
 =======
 
@@ -111,8 +125,13 @@ from repro.engine.bitpack import (
     packed_weighted_sums,
     unpack_bits,
 )
-from repro.engine.compiled_netlist import CompiledNetlist, compile_netlist
+from repro.engine.compiled_netlist import (
+    ENGINE_BACKENDS,
+    CompiledNetlist,
+    compile_netlist,
+)
 from repro.engine.ir import IRGraph, IRNode
+from repro.engine.native import NativeCompiledNetlist, NativeUnavailableError
 from repro.engine.parallel import ShardedEngine, WorkerPool, shard_bounds
 from repro.engine.passes import (
     MUX_TABLE,
@@ -135,10 +154,13 @@ __all__ = [
     "CompiledNetlist",
     "ConstantFoldPass",
     "DecomposePass",
+    "ENGINE_BACKENDS",
     "FuseChainsPass",
     "IRGraph",
     "IRNode",
     "MUX_TABLE",
+    "NativeCompiledNetlist",
+    "NativeUnavailableError",
     "Pass",
     "PassManager",
     "ShardedEngine",

@@ -25,6 +25,7 @@ are unpacked.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -97,6 +98,10 @@ class CompiledNetlist:
         Number of vectorised evaluation steps.
     """
 
+    #: engine-backend tag (the native engine's counterpart says "native");
+    #: surfaced through the serving layer's ``list_models``/``stats_text``
+    backend = "numpy"
+
     def __init__(
         self,
         n_primary_inputs: int,
@@ -110,8 +115,10 @@ class CompiledNetlist:
         self._output_slots = output_slots
         self.n_slots = n_slots
         self.n_nodes = n_nodes
-        # reusable working set for the most recent packed word count;
-        # repeated batches of the same size skip every large allocation
+        # reusable working set, cached by *capacity* (rounded up to the
+        # next power of two) rather than exact word count: alternating
+        # batch sizes reuse one grow-only allocation through views instead
+        # of reallocating all three scratch arrays on every call
         self._scratch: Optional[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = None
         lut_groups = [g for g in groups if isinstance(g, _Group)]
         self._max_group_nodes = max((g.n_nodes for g in lut_groups), default=0)
@@ -267,19 +274,38 @@ class CompiledNetlist:
                 f"got {packed_inputs.shape}"
             )
         words = packed_inputs.shape[1]
-        if self._scratch is None or self._scratch[0] != words:
-            state = np.empty((self.n_slots, words), dtype=np.uint64)
-            chunk_half = max(self._max_group_half, 1)
-            # Cache-block the mux cascade: the buffer is halved P times in
-            # place, so keeping one chunk of nodes resident in L2 through
-            # the whole cascade matters more than vector length.
-            chunk_nodes = max(1, _MUX_SCRATCH_BYTES // (chunk_half * words * 8 or 1))
-            chunk_nodes = min(chunk_nodes, max(self._max_group_nodes, 1))
-            mux = np.empty((chunk_nodes, chunk_half, words), dtype=np.uint64)
-            mux2 = np.empty((self._max_mux_nodes, words), dtype=np.uint64)
-            self._scratch = (words, state, mux, mux2)
-        _, state, mux, mux2 = self._scratch
-        chunk_nodes = mux.shape[0]
+        chunk_half = max(self._max_group_half, 1)
+        max_nodes = max(self._max_group_nodes, 1)
+        if self._scratch is None or self._scratch[0] < words:
+            # grow-only, rounded up to the next power of two: ragged
+            # alternating batch sizes settle on one allocation instead of
+            # thrashing all three scratch arrays every call
+            capacity = 1 << (max(words, 1) - 1).bit_length()
+            if self._scratch is not None:
+                capacity = max(capacity, self._scratch[0])
+            state_buf = np.empty((self.n_slots, capacity), dtype=np.uint64)
+            # flat mux scratch, re-carved per call: big enough for one
+            # L2-sized chunk at any word count up to the capacity
+            flat_words = max(
+                chunk_half * capacity,
+                min(_MUX_SCRATCH_BYTES // 8, max_nodes * chunk_half * capacity),
+            )
+            mux_flat = np.empty(flat_words, dtype=np.uint64)
+            mux2_buf = np.empty((self._max_mux_nodes, capacity), dtype=np.uint64)
+            self._scratch = (capacity, state_buf, mux_flat, mux2_buf)
+        _, state_buf, mux_flat, mux2_buf = self._scratch
+        state = state_buf[:, :words]
+        mux2 = mux2_buf[:, :words]
+        # Cache-block the mux cascade: the buffer is halved P times in
+        # place, so keeping one chunk of nodes resident in L2 through the
+        # whole cascade matters more than vector length.  Chunking depends
+        # on the *actual* word count, so the views are carved per call.
+        chunk_nodes = max(1, _MUX_SCRATCH_BYTES // (chunk_half * words * 8 or 1))
+        chunk_nodes = min(chunk_nodes, max_nodes)
+        chunk_nodes = min(chunk_nodes, max(1, mux_flat.size // (chunk_half * max(words, 1))))
+        mux = mux_flat[: chunk_nodes * chunk_half * words].reshape(
+            chunk_nodes, chunk_half, words
+        )
         state[: self.n_primary_inputs] = packed_inputs
         for group in self._groups:
             if isinstance(group, _MuxGroup):
@@ -347,12 +373,17 @@ class CompiledNetlist:
         return self.evaluate_outputs(X_bits)
 
 
+#: engine backends ``compile_netlist`` accepts
+ENGINE_BACKENDS = ("numpy", "native", "auto")
+
+
 def compile_netlist(
     netlist: LUTNetlist,
     *,
     passes: Optional[Sequence] = None,
     max_lut_inputs: Optional[int] = None,
-) -> CompiledNetlist:
+    backend: str = "numpy",
+):
     """Compile ``netlist`` for bit-packed batch inference.
 
     The netlist first runs through the optimisation pipeline of
@@ -360,7 +391,8 @@ def compile_netlist(
     single-fanout chain fusion, and (when ``max_lut_inputs`` is given)
     decomposition onto the physical LUT fabric — then lowers to the
     slot-allocated, level-grouped program.  Results are bit-identical to
-    ``netlist.evaluate_outputs`` for every pipeline configuration.
+    ``netlist.evaluate_outputs`` for every pipeline configuration and
+    every backend.
 
     Parameters
     ----------
@@ -371,8 +403,38 @@ def compile_netlist(
         Physical fabric width; wide LUTs are Shannon-decomposed onto
         ``max_lut_inputs``-input tables plus dedicated mux steps.  ``None``
         (the default) leaves wide LUTs intact.
+    backend:
+        ``"numpy"`` (the default) returns the NumPy word-op interpreter;
+        ``"native"`` lowers the program further to generated C compiled
+        into a cached shared object (see :mod:`repro.engine.native`),
+        raising :class:`~repro.engine.native.NativeUnavailableError` when
+        the host has no C toolchain; ``"auto"`` tries native and silently
+        falls back to NumPy when it cannot build (a warning is emitted
+        only when a toolchain exists but the build failed — that is
+        unexpected, whereas a missing toolchain is a normal deployment).
     """
+    if backend not in ENGINE_BACKENDS:
+        raise ValueError(
+            f"unknown engine backend {backend!r} (choose from {ENGINE_BACKENDS})"
+        )
     if not netlist.output_signals:
         raise ValueError("netlist must declare at least one output signal")
     optimized = optimize_netlist(netlist, passes=passes, max_lut_inputs=max_lut_inputs)
-    return CompiledNetlist.from_netlist(optimized)
+    program = CompiledNetlist.from_netlist(optimized)
+    if backend == "numpy":
+        return program
+    from repro.engine import native  # deferred: native imports this module
+
+    try:
+        return native.NativeCompiledNetlist(program)
+    except native.NativeUnavailableError as error:
+        if backend == "native":
+            raise
+        if native.find_compiler() is not None:
+            warnings.warn(
+                f"native backend unavailable ({error}); "
+                "falling back to the NumPy engine",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return program

@@ -1,0 +1,460 @@
+"""Generated-C native backend for the packed evaluator.
+
+:class:`~repro.engine.compiled_netlist.CompiledNetlist` already lowers a
+netlist to a flat, topologically-ordered, slot-allocated word program — but
+executing it still means a Python loop dispatching NumPy kernels group by
+group, with every mux step writing its intermediate back to memory.  This
+module lowers that same program one step further, into a C translation unit
+of straight-line ``uint64_t`` statements:
+
+* every LUT becomes an unrolled Shannon-mux expression over its input
+  slots, built MSB-first exactly like the NumPy cascade, with the table
+  constants folded away at generation time (a leaf pair ``(0, ~0)`` is just
+  the address bit; constant arms degrade muxes to ``&``/``|``; identical
+  cofactor subtrees are shared through a per-node memo) — for trained,
+  structured tables most of the tree collapses;
+* mux-shaped 3-input LUTs keep their dedicated 3-op ``a ^ ((a ^ b) & sel)``
+  lowering, and arity-0 constants become literal broadcasts;
+* the statements are wrapped in ``static`` segment functions of bounded
+  size (C compilers are superlinear in function length) called from a
+  per-word driver: one ``uint64_t s[n_slots]`` stack array holds the whole
+  live state, so the working set is L1-resident instead of a word-matrix
+  walk through L2;
+* a single exported ``run(const uint64_t* in, uint64_t* out,
+  size_t n_words)`` evaluates all packed words.
+
+The unit is compiled at attach time with the host toolchain (``$CC``, else
+``cc``/``gcc``/``clang``) into a shared object cached under a digest of the
+generated source + build command, so recompiling the same netlist — in this
+process, a forked worker, or tomorrow's process — reuses one build.
+:class:`NativeCompiledNetlist` wraps the loaded object behind the exact
+``run_packed``/``evaluate_outputs``/``predict_batch`` surface of the NumPy
+engine and is bit-exact against it (the equivalence suite is the gate).
+
+Unlike the NumPy engine, the native engine keeps no scratch state — the
+word loop's state lives on the C stack — so one instance **is**
+thread-safe, and ``ctypes`` releases the GIL for the duration of ``run``.
+
+When no C toolchain is present every entry point raises
+:class:`NativeUnavailableError`; ``compile_netlist(backend="auto")`` and
+the serving layer degrade to the NumPy engine instead of failing.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shlex
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.bitpack import pack_bits, unpack_bits
+from repro.engine.compiled_netlist import CompiledNetlist, _Group, _MuxGroup
+from repro.utils.validation import check_binary_matrix
+
+__all__ = [
+    "NativeCompiledNetlist",
+    "NativeUnavailableError",
+    "find_compiler",
+    "generate_c_source",
+    "shared_object_cache_dir",
+]
+
+#: optimisation level for the generated unit.  Straight-line bitwise code
+#: gains ~3x going -O0 -> -O1 (register allocation of the slot array) and
+#: nothing measurable beyond; -O1 also compiles ~2x faster than -O2.
+_CFLAGS = ("-O1", "-fPIC", "-shared")
+
+#: segment the straight-line program into static functions of at most this
+#: many statements — C compilers are superlinear in single-function length
+#: (the P=6 benchmark unit compiles 4-5x faster segmented, same runtime)
+_SEGMENT_STATEMENTS = 200
+
+_ENV_CACHE_DIR = "REPRO_NATIVE_CACHE"
+_ENV_CC = "CC"
+
+_UNSET = object()
+_compiler_cache: object = _UNSET
+_compiler_lock = threading.Lock()
+
+#: digest -> loaded (CDLL, run) so every instance of the same program in
+#: one process shares a single dlopen handle
+_loaded_libs: Dict[str, Tuple[ctypes.CDLL, object]] = {}
+_loaded_lock = threading.Lock()
+
+
+class NativeUnavailableError(RuntimeError):
+    """The native backend cannot run here (no toolchain, or a build failed).
+
+    ``compile_netlist(backend="native")`` propagates this;
+    ``backend="auto"`` catches it and falls back to the NumPy engine.
+    """
+
+
+# ---------------------------------------------------------------- toolchain
+def find_compiler() -> Optional[List[str]]:
+    """The C compiler command to use, or ``None`` when the host has none.
+
+    ``$CC`` wins when set (split shell-style, resolved on ``$PATH``);
+    otherwise the first of ``cc``/``gcc``/``clang`` found.  The result is
+    cached for the process; tests monkeypatch this function directly.
+    """
+    global _compiler_cache
+    with _compiler_lock:
+        if _compiler_cache is _UNSET:
+            _compiler_cache = _discover_compiler()
+        return _compiler_cache  # type: ignore[return-value]
+
+
+def _discover_compiler() -> Optional[List[str]]:
+    env_cc = os.environ.get(_ENV_CC)
+    if env_cc:
+        parts = shlex.split(env_cc)
+        if parts and shutil.which(parts[0]):
+            return parts
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return [path]
+    return None
+
+
+def toolchain_available() -> bool:
+    """Whether the native backend can build on this host."""
+    return find_compiler() is not None
+
+
+def shared_object_cache_dir() -> str:
+    """The directory compiled shared objects are cached in.
+
+    ``$REPRO_NATIVE_CACHE`` when set, else a per-user directory under the
+    system temp root.  Forked workers inherit the same path, so a model the
+    parent compiled at attach time is a file-cache hit in every worker.
+    """
+    override = os.environ.get(_ENV_CACHE_DIR)
+    if override:
+        return override
+    try:
+        user = f"-{os.getuid()}"
+    except AttributeError:  # pragma: no cover - non-POSIX
+        user = ""
+    return os.path.join(tempfile.gettempdir(), f"repro-native{user}")
+
+
+# ------------------------------------------------------------------ codegen
+def _emit_lut(
+    statements: List[str],
+    temp_counter: List[int],
+    table: Tuple[int, ...],
+    input_exprs: List[str],
+) -> str:
+    """Emit statements computing ``table[address]`` for one LUT node.
+
+    ``input_exprs[0]`` is the address MSB, matching the NumPy cascade and
+    the netlist's ``binary_to_index`` convention.  Returns the C expression
+    (a temp name, an input, or a constant) holding the node's value.
+    Constant table entries fold at generation time: a fully-constant
+    subtree is a literal, a 2-entry leaf is the address bit or its
+    complement, and a mux with one constant arm degrades to a single
+    ``&``/``|``.  Structurally identical cofactor subtrees are shared
+    through a memo keyed by the subtable, so repeated patterns inside one
+    table (ubiquitous in trained tables) cost one temp.
+    """
+    memo: Dict[Tuple[int, ...], str] = {}
+
+    def emit(text: str) -> str:
+        name = f"t{temp_counter[0]}"
+        temp_counter[0] += 1
+        statements.append(f"uint64_t {name} = {text};")
+        return name
+
+    def rec(lo: int, hi: int, depth: int) -> str:
+        sub = table[lo:hi]
+        if all(v == 0 for v in sub):
+            return "C0"
+        if all(v == 1 for v in sub):
+            return "C1"
+        hit = memo.get(sub)
+        if hit is not None:
+            return hit
+        x = input_exprs[depth]
+        if hi - lo == 2:
+            # leaf pair (0,1) is the bit itself, (1,0) its complement
+            result = x if sub == (0, 1) else f"~{x}"
+        else:
+            mid = (lo + hi) // 2
+            a = rec(lo, mid, depth + 1)  # cofactor with x = 0
+            b = rec(mid, hi, depth + 1)  # cofactor with x = 1
+            if a == b:
+                result = a
+            elif a == "C0":
+                result = emit(f"{b} & {x}")
+            elif b == "C0":
+                result = emit(f"{a} & ~{x}")
+            elif a == "C1":
+                result = emit(f"{b} | ~{x}")
+            elif b == "C1":
+                result = emit(f"{a} | {x}")
+            else:
+                result = emit(f"{a} ^ (({a} ^ {b}) & {x})")
+        memo[sub] = result
+        return result
+
+    return rec(0, len(table), 0)
+
+
+def _node_statements(program: CompiledNetlist) -> List[str]:
+    """One straight-line C statement (or brace block) per node, in program
+    order — the body the segmenter splits."""
+    lines: List[str] = []
+    temp_counter = [0]
+    for group in program._groups:
+        if isinstance(group, _MuxGroup):
+            for row in range(group.n_nodes):
+                sel, a, b = (int(v) for v in group.input_slots[row])
+                out = int(group.output_slots[row])
+                lines.append(
+                    f"s[{out}] = s[{a}] ^ ((s[{a}] ^ s[{b}]) & s[{sel}]);"
+                )
+            continue
+        assert isinstance(group, _Group)
+        tables = (group.table_words[:, :, 0] != 0).astype(np.uint8)
+        if group.arity == 0:
+            for row in range(group.n_nodes):
+                out = int(group.output_slots[row])
+                constant = "C1" if tables[row, 0] else "C0"
+                lines.append(f"s[{out}] = {constant};")
+            continue
+        for row in range(group.n_nodes):
+            input_exprs = [f"s[{int(v)}]" for v in group.input_slots[row]]
+            statements: List[str] = []
+            table = tuple(int(v) for v in tables[row])
+            value = _emit_lut(statements, temp_counter, table, input_exprs)
+            out = int(group.output_slots[row])
+            body = " ".join(statements)
+            lines.append(f"{{ {body} s[{out}] = {value}; }}")
+    return lines
+
+
+def generate_c_source(program: CompiledNetlist) -> str:
+    """The C translation unit evaluating ``program``, ready to compile.
+
+    Deterministic for a given program, so its digest keys the shared-object
+    cache: the parent process and every forked worker regenerate the same
+    bytes and share one build.
+    """
+    node_lines = _node_statements(program)
+    segments = [
+        node_lines[i : i + _SEGMENT_STATEMENTS]
+        for i in range(0, len(node_lines), _SEGMENT_STATEMENTS)
+    ]
+    parts = [
+        "#include <stdint.h>",
+        "#include <stddef.h>",
+        "#define C0 ((uint64_t)0)",
+        "#define C1 (~(uint64_t)0)",
+        "",
+    ]
+    for index, segment in enumerate(segments):
+        parts.append(f"static void seg{index}(uint64_t* restrict s) {{")
+        parts.extend(segment)
+        parts.append("}")
+        parts.append("")
+    parts.append(
+        "static void run_word(const uint64_t* restrict in,"
+        " uint64_t* restrict out, size_t w, size_t n_words) {"
+    )
+    parts.append(f"uint64_t s[{max(program.n_slots, 1)}];")
+    for i in range(program.n_primary_inputs):
+        parts.append(f"s[{i}] = in[{i}*n_words + w];")
+    for index in range(len(segments)):
+        parts.append(f"seg{index}(s);")
+    for j, slot in enumerate(program._output_slots):
+        parts.append(f"out[{j}*n_words + w] = s[{int(slot)}];")
+    parts.append("}")
+    parts.append("")
+    parts.append("void run(const uint64_t* in, uint64_t* out, size_t n_words) {")
+    parts.append("for (size_t w = 0; w < n_words; ++w) run_word(in, out, w, n_words);")
+    parts.append("}")
+    return "\n".join(parts) + "\n"
+
+
+# -------------------------------------------------------------------- build
+def _source_digest(source: str, command: List[str]) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(" ".join(command).encode())
+    hasher.update(b"\x00")
+    hasher.update(source.encode())
+    return hasher.hexdigest()[:24]
+
+
+def build_shared_object(
+    source: str, *, cache_dir: Optional[str] = None
+) -> Tuple[str, str]:
+    """Compile ``source`` into a cached shared object; ``(digest, path)``.
+
+    The cache key digests the source *and* the build command, so a compiler
+    or flag change never serves a stale object.  Builds land under a unique
+    temp name and are published with an atomic rename — concurrent builders
+    (racing worker processes) both succeed and one result wins.
+
+    Raises :class:`NativeUnavailableError` when the host has no C toolchain
+    or the build fails.
+    """
+    compiler = find_compiler()
+    if compiler is None:
+        raise NativeUnavailableError(
+            "no C toolchain on this host (set $CC or install cc/gcc/clang); "
+            "use backend='numpy' or backend='auto'"
+        )
+    command = list(compiler) + list(_CFLAGS)
+    digest = _source_digest(source, command)
+    directory = cache_dir or shared_object_cache_dir()
+    os.makedirs(directory, exist_ok=True)
+    so_path = os.path.join(directory, f"{digest}.so")
+    if os.path.exists(so_path):
+        return digest, so_path
+    c_path = os.path.join(directory, f"{digest}.c")
+    unique = f".{os.getpid()}-{threading.get_ident()}.tmp"
+    c_tmp = c_path + unique + ".c"  # cc needs the suffix to see C source
+    so_tmp = so_path + unique
+    try:
+        with open(c_tmp, "w") as handle:
+            handle.write(source)
+        result = subprocess.run(
+            command + ["-o", so_tmp, c_tmp],
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            tail = (result.stderr or result.stdout or "").strip()[-2000:]
+            raise NativeUnavailableError(
+                f"C build failed ({' '.join(command)}): {tail}"
+            )
+        # keep the source next to the object for debugging, then publish
+        os.replace(c_tmp, c_path)
+        os.replace(so_tmp, so_path)
+    finally:
+        for leftover in (c_tmp, so_tmp):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    return digest, so_path
+
+
+def _load_run(digest: str, so_path: str):
+    """dlopen (once per process per digest) and type the entry point."""
+    with _loaded_lock:
+        cached = _loaded_libs.get(digest)
+        if cached is None:
+            lib = ctypes.CDLL(so_path)
+            run = lib.run
+            run.argtypes = [
+                ctypes.POINTER(ctypes.c_uint64),
+                ctypes.POINTER(ctypes.c_uint64),
+                ctypes.c_size_t,
+            ]
+            run.restype = None
+            cached = (lib, run)
+            _loaded_libs[digest] = cached
+        return cached[1]
+
+
+# ------------------------------------------------------------------- engine
+class NativeCompiledNetlist:
+    """A :class:`CompiledNetlist` lowered to a compiled shared object.
+
+    Same evaluation surface as the NumPy engine — ``run_packed`` on packed
+    words, ``evaluate_outputs``/``predict_batch`` on 0/1 matrices — and
+    bit-exact against it.  Unlike the NumPy engine an instance is
+    thread-safe: the generated code's state lives on the C stack and
+    ``ctypes`` releases the GIL around ``run``.
+
+    Build one with ``compile_netlist(netlist, backend="native")`` (or
+    ``"auto"``); constructing directly from an already-lowered program is
+    what the worker pool does.  Raises :class:`NativeUnavailableError`
+    when the host cannot build.
+    """
+
+    backend = "native"
+
+    def __init__(
+        self, program: CompiledNetlist, *, cache_dir: Optional[str] = None
+    ) -> None:
+        self.program = program
+        self.n_primary_inputs = program.n_primary_inputs
+        self.n_slots = program.n_slots
+        self.n_nodes = program.n_nodes
+        self.c_source = generate_c_source(program)
+        self.digest, self.shared_object = build_shared_object(
+            self.c_source, cache_dir=cache_dir
+        )
+        self._run = _load_run(self.digest, self.shared_object)
+
+    # ---------------------------------------------------------- statistics
+    @property
+    def n_outputs(self) -> int:
+        return self.program.n_outputs
+
+    @property
+    def n_groups(self) -> int:
+        return self.program.n_groups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NativeCompiledNetlist({self.n_nodes} LUTs, "
+            f"{self.n_primary_inputs} inputs, {self.n_outputs} outputs, "
+            f"so={self.digest})"
+        )
+
+    # ---------------------------------------------------------- evaluation
+    def run_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Evaluate on packed inputs; returns packed output words.
+
+        Same contract as :meth:`CompiledNetlist.run_packed`: input shape
+        ``(n_primary_inputs, n_words)``, bits past the last sample
+        unspecified in the result.
+        """
+        packed_inputs = np.ascontiguousarray(packed_inputs, dtype=np.uint64)
+        if (
+            packed_inputs.ndim != 2
+            or packed_inputs.shape[0] != self.n_primary_inputs
+        ):
+            raise ValueError(
+                f"packed_inputs must have shape ({self.n_primary_inputs}, "
+                f"n_words), got {packed_inputs.shape}"
+            )
+        words = packed_inputs.shape[1]
+        out = np.empty((self.n_outputs, words), dtype=np.uint64)
+        if words:
+            self._run(
+                packed_inputs.ctypes.data_as(
+                    ctypes.POINTER(ctypes.c_uint64)
+                ),
+                out.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+                words,
+            )
+        return out
+
+    def evaluate_outputs(self, X_bits: np.ndarray) -> np.ndarray:
+        """Bit-exact packed counterpart of ``LUTNetlist.evaluate_outputs``."""
+        X_bits = check_binary_matrix(X_bits, "X_bits")
+        if X_bits.shape[1] != self.n_primary_inputs:
+            raise ValueError(
+                f"expected {self.n_primary_inputs} primary inputs, "
+                f"got {X_bits.shape[1]}"
+            )
+        packed = pack_bits(X_bits)
+        out = self.run_packed(packed)
+        return unpack_bits(out, X_bits.shape[0])
+
+    def predict_batch(self, X_bits: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`evaluate_outputs` (the shared batched entry point)."""
+        return self.evaluate_outputs(X_bits)

@@ -48,6 +48,13 @@ Batches too small to be worth splitting (fewer than
 ``min_words_per_worker`` packed words per worker) run serially whatever the
 backend, so the executor is safe to leave enabled for ragged traffic.
 
+Orthogonal to the pool flavour, each attached model picks its *evaluation
+engine* via ``engine_backend``: the NumPy word-op interpreter (default) or
+the generated-C native engine of :mod:`repro.engine.native` (``"native"`` /
+``"auto"``).  The parent builds the shared object once at attach time;
+workers — forked or threaded — regenerate the same source and reuse the
+digest-keyed cache, so a native model costs one C build per host, total.
+
 The fork + shared-memory contract
 =================================
 
@@ -125,11 +132,35 @@ import numpy as np
 
 from repro.core.netlist import LUTNetlist
 from repro.engine.bitpack import pack_bits, unpack_bits
-from repro.engine.compiled_netlist import CompiledNetlist
+from repro.engine.compiled_netlist import ENGINE_BACKENDS, CompiledNetlist
 from repro.engine.passes import optimize_netlist
 from repro.utils.validation import check_binary_matrix
 
 __all__ = ["ShardedEngine", "WorkerPool", "shard_bounds"]
+
+
+def _build_engine(
+    netlist: LUTNetlist, engine_backend: str, *, strict: bool = False
+):
+    """Compile an already-optimised ``netlist`` for ``engine_backend``.
+
+    ``strict`` is the parent-side attach contract: ``engine_backend=
+    "native"`` must surface the build failure.  Worker-side (and
+    ``"auto"`` everywhere) a failed native build degrades to the NumPy
+    engine instead — bit-exact, just slower — so a worker missing the
+    toolchain the parent had can still serve its shards.
+    """
+    program = CompiledNetlist.from_netlist(netlist)
+    if engine_backend == "numpy":
+        return program
+    try:
+        from repro.engine.native import NativeCompiledNetlist
+
+        return NativeCompiledNetlist(program)
+    except Exception:
+        if strict and engine_backend == "native":
+            raise
+        return program
 
 
 def shard_bounds(n_words: int, n_shards: int) -> List[Tuple[int, int]]:
@@ -163,11 +194,14 @@ def _worker_init(netlists: Dict[str, LUTNetlist]) -> None:
     _WORKER["shm"] = {}
 
 
-def _worker_engine(key: str, payload: Optional[bytes]) -> CompiledNetlist:
+def _worker_engine(key: str, payload: Optional[bytes], engine_backend: str):
     """This worker's compiled engine for attach key ``key`` (lazy).
 
     Fork-inherited netlists compile on first contact; models attached after
-    the fork arrive pickled in ``payload`` and re-attach lazily.
+    the fork arrive pickled in ``payload`` and re-attach lazily.  A native
+    model is a shared-object *cache hit* here, not a rebuild: the parent
+    compiled the digest-keyed .so at attach time, the worker regenerates
+    the same source, hashes it, and ``dlopen``\\ s the cached build.
     """
     engine = _WORKER["engines"].get(key)
     if engine is None:
@@ -179,7 +213,7 @@ def _worker_engine(key: str, payload: Optional[bytes]) -> CompiledNetlist:
                 )
             netlist = pickle.loads(payload)
             _WORKER["netlists"][key] = netlist
-        engine = CompiledNetlist.from_netlist(netlist)
+        engine = _build_engine(netlist, engine_backend)
         _WORKER["engines"][key] = engine
     return engine
 
@@ -193,13 +227,24 @@ def _worker_attach_shm(name: str) -> shared_memory.SharedMemory:
 
 
 def _worker_run(
-    task: Tuple[str, Optional[bytes], str, str, int, int, int, int, int],
+    task: Tuple[str, Optional[bytes], str, str, str, int, int, int, int, int],
 ) -> int:
     """Evaluate one shard; returns this worker's pid (the parent uses the
     pid set to decide when a lazily-attached model's payload has reached
     every worker and can stop being shipped)."""
-    key, payload, in_name, out_name, n_inputs, n_outputs, words, lo, hi = task
-    engine = _worker_engine(key, payload)
+    (
+        key,
+        payload,
+        engine_backend,
+        in_name,
+        out_name,
+        n_inputs,
+        n_outputs,
+        words,
+        lo,
+        hi,
+    ) = task
+    engine = _worker_engine(key, payload, engine_backend)
     shm_in = _worker_attach_shm(in_name)
     shm_out = _worker_attach_shm(out_name)
     # buffers are grow-only, so they may be larger than this batch needs
@@ -254,7 +299,10 @@ class _PoolModel:
     #: unique per attach — a re-attached id never aliases a stale worker copy
     key: str
     netlist: LUTNetlist
-    serial: CompiledNetlist
+    serial: object  # CompiledNetlist or NativeCompiledNetlist
+    #: resolved engine backend ("numpy" or "native"); workers compile the
+    #: same backend for their shards
+    engine_backend: str = "numpy"
     #: pickled optimised netlist for lazy re-attach; ``None`` when the
     #: netlist is (or will be, at the fork) fork-inherited, and cleared
     #: again once every worker has confirmed compiling its copy
@@ -262,9 +310,9 @@ class _PoolModel:
     #: pids of workers that have executed a shard for this model while the
     #: payload was live — at ``n_workers`` distinct pids the payload drops
     confirmed_pids: set = field(default_factory=set)
-    #: free-list of thread-backend engine instances (scratch is not
-    #: thread-safe, so concurrent shards each lease their own)
-    thread_engines: List[CompiledNetlist] = field(default_factory=list)
+    #: free-list of thread-backend engine instances (the NumPy engine's
+    #: scratch is not thread-safe, so concurrent shards each lease their own)
+    thread_engines: List[object] = field(default_factory=list)
 
 
 class WorkerPool:
@@ -343,6 +391,7 @@ class WorkerPool:
         *,
         passes: Optional[Sequence] = None,
         max_lut_inputs: Optional[int] = None,
+        engine_backend: str = "numpy",
     ) -> str:
         """Register ``netlist`` under ``model_id`` and return the id.
 
@@ -352,20 +401,34 @@ class WorkerPool:
         generates a unique one.  Attaching an id that is already attached
         raises — detach first (re-attaching then gets a fresh worker-side
         key, so stale worker copies can never serve the new model).
+
+        ``engine_backend`` picks the per-worker evaluation engine:
+        ``"native"`` compiles the generated-C shared object here (so the
+        build cost is paid once, at attach — forked workers regenerate the
+        same source and hit the digest-keyed .so cache), ``"auto"``
+        degrades to ``"numpy"`` when the host cannot build.  The resolved
+        choice is readable via :meth:`engine_backend`.
         """
         self._check_open()
         if model_id is not None and (
             not isinstance(model_id, str) or not model_id
         ):
             raise ValueError("model_id must be a non-empty string")
+        if engine_backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {engine_backend!r} "
+                f"(choose from {ENGINE_BACKENDS})"
+            )
         optimized = optimize_netlist(
             netlist, passes=passes, max_lut_inputs=max_lut_inputs
         )
+        serial = _build_engine(optimized, engine_backend, strict=True)
         entry = _PoolModel(
             model_id="",  # assigned under the lock below
             key=f"#{next(self._attach_seq)}",
             netlist=optimized,
-            serial=CompiledNetlist.from_netlist(optimized),
+            serial=serial,
+            engine_backend=serial.backend,
         )
 
         def insert() -> bool:
@@ -414,9 +477,14 @@ class WorkerPool:
             )
         return entry
 
-    def serial_engine(self, model_id: str) -> CompiledNetlist:
+    def serial_engine(self, model_id: str):
         """The single-threaded engine all of a model's shards match."""
         return self._entry(model_id).serial
+
+    def engine_backend(self, model_id: str) -> str:
+        """The resolved engine backend serving ``model_id``
+        (``"numpy"`` or ``"native"``)."""
+        return self._entry(model_id).engine_backend
 
     def optimized_netlist(self, model_id: str) -> LUTNetlist:
         """The post-pipeline netlist the pool serves for ``model_id``."""
@@ -538,6 +606,7 @@ class WorkerPool:
                     (
                         entry.key,
                         entry.payload,
+                        entry.engine_backend,
                         shm_in.name,
                         shm_out.name,
                         n_inputs,
@@ -720,7 +789,9 @@ class WorkerPool:
                     engines.append(None)
         for index, engine in enumerate(engines):
             if engine is None:  # compile outside the lock
-                engines[index] = CompiledNetlist.from_netlist(entry.netlist)
+                engines[index] = _build_engine(
+                    entry.netlist, entry.engine_backend
+                )
         futures = [
             executor.submit(engines[i].run_packed, packed[:, lo:hi])
             for i, (lo, hi) in enumerate(bounds)
@@ -755,6 +826,12 @@ class ShardedEngine:
         those are pool-level knobs).
     passes, max_lut_inputs:
         Optimisation-pipeline options for *this model*.
+    engine_backend:
+        ``"numpy"`` (default), ``"native"`` (generated-C shared object,
+        compiled at attach, shared with forked workers through the
+        digest-keyed .so cache) or ``"auto"`` (native when the host can
+        build, else NumPy).  Orthogonal to ``backend``, which picks the
+        *pool* flavour (processes/threads/serial).
     pool:
         A shared :class:`WorkerPool` to attach to.  ``None`` (the PR-3
         behaviour) creates a private single-model pool that this engine
@@ -774,6 +851,7 @@ class ShardedEngine:
         *,
         passes: Optional[Sequence] = None,
         max_lut_inputs: Optional[int] = None,
+        engine_backend: str = "numpy",
         min_words_per_worker: int = 4,
         pool: Optional[WorkerPool] = None,
         model_id: Optional[str] = None,
@@ -788,9 +866,18 @@ class ShardedEngine:
         else:
             self._owns_pool = False
         self.pool = pool
-        self.model_id = pool.attach(
-            model_id, netlist, passes=passes, max_lut_inputs=max_lut_inputs
-        )
+        try:
+            self.model_id = pool.attach(
+                model_id,
+                netlist,
+                passes=passes,
+                max_lut_inputs=max_lut_inputs,
+                engine_backend=engine_backend,
+            )
+        except BaseException:
+            if self._owns_pool:
+                pool.close()
+            raise
         self._closed = False
 
     # ------------------------------------------------------------ properties
@@ -807,11 +894,16 @@ class ShardedEngine:
         return self.pool.min_words_per_worker
 
     @property
+    def engine_backend(self) -> str:
+        """The resolved evaluation backend (``"numpy"`` or ``"native"``)."""
+        return self.pool.engine_backend(self.model_id)
+
+    @property
     def _netlist(self) -> LUTNetlist:
         return self.pool.optimized_netlist(self.model_id)
 
     @property
-    def serial_engine(self) -> CompiledNetlist:
+    def serial_engine(self):
         """The single-threaded engine all shards are bit-identical to."""
         return self.pool.serial_engine(self.model_id)
 

@@ -53,6 +53,7 @@ class RegisteredModel:
     queue: BatchingQueue
     scores_mode: bool
     stats: ServerStats
+    backend: str = "numpy"
 
     def describe(self) -> Dict[str, Any]:
         """The ``list_models`` wire entry for this model."""
@@ -60,6 +61,7 @@ class RegisteredModel:
             "name": self.name,
             "scores": self.scores_mode,
             "packed": self.queue.packed_path,
+            "backend": self.backend,
             "max_batch": self.queue.max_batch,
             "max_wait_us": self.queue.max_wait_us,
             "max_queue": self.queue.max_queue,
@@ -112,6 +114,7 @@ class ModelRegistry:
         max_queue: Optional[int] = None,
         stats: Optional[ServerStats] = None,
         default: bool = False,
+        backend: str = "numpy",
     ) -> RegisteredModel:
         """Host ``name`` behind its own queue; returns the record.
 
@@ -120,8 +123,11 @@ class ModelRegistry:
         optionally adds the binary protocol's zero-copy path — a
         ``(packed_words, n_samples)`` function whose output means the same
         thing as the given evaluation function's (scores with
-        ``scores_fn``, labels with ``batch_fn``).  Per-model knobs fall
-        back to the registry defaults.
+        ``scores_fn``, labels with ``batch_fn``).  ``backend`` is purely
+        descriptive — which evaluation engine the functions run on
+        (``"numpy"`` or ``"native"``) — surfaced in :meth:`describe` and
+        the ``stats_text`` exposition.  Per-model knobs fall back to the
+        registry defaults.
         """
         if not isinstance(name, str) or not name:
             raise ValueError("model name must be a non-empty string")
@@ -152,6 +158,7 @@ class ModelRegistry:
             ),
             scores_mode=scores_mode,
             stats=stats,
+            backend=backend,
         )
         entry.stats = entry.queue.stats  # the queue created one if None
         self._models[name] = entry

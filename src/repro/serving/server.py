@@ -88,10 +88,28 @@ def _forwardable(fn: Callable, candidates: Dict[str, Any]) -> Dict[str, Any]:
     return {k: v for k, v in candidates.items() if k in params}
 
 
+def _resolved_backend(backend: Optional[str]) -> str:
+    """The backend *label* a registration advertises: ``None`` → numpy,
+    ``"auto"`` → whichever engine the host toolchain actually yields."""
+    from repro.engine.compiled_netlist import ENGINE_BACKENDS
+    from repro.engine.native import toolchain_available
+
+    if backend is None:
+        return "numpy"
+    if backend not in ENGINE_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {ENGINE_BACKENDS}"
+        )
+    if backend == "auto":
+        return "native" if toolchain_available() else "numpy"
+    return backend
+
+
 def _model_entry_point(
     model: Any,
     n_workers: Optional[int],
     pool: Optional[Any],
+    engine_backend: Optional[str] = None,
 ) -> Tuple[Optional[Callable], Optional[Callable], Optional[Callable]]:
     """``(batch_fn, scores_fn, packed_fn)`` for what ``model`` offers.
 
@@ -100,10 +118,11 @@ def _model_entry_point(
     ``predict_batch``, then the model itself as a plain callable.  A model
     that additionally offers ``decision_scores_packed_batch`` (scores
     straight from pre-packed words) gets it wired as the binary protocol's
-    zero-copy ``packed_fn``.  ``n_workers``/``pool`` are forwarded where
-    the entry point accepts them, so big coalesced batches fan out to the
-    model's sharded engine — a shared ``pool`` makes every hosted model
-    share one set of workers.
+    zero-copy ``packed_fn``.  ``n_workers``/``pool``/``engine_backend``
+    are forwarded where the entry point accepts them, so big coalesced
+    batches fan out to the model's sharded engine — a shared ``pool``
+    makes every hosted model share one set of workers, and
+    ``engine_backend`` picks the evaluator (numpy vs generated C).
     """
     if n_workers is not None and pool is not None:
         raise ValueError("provide at most one of n_workers and pool")
@@ -112,6 +131,8 @@ def _model_entry_point(
         candidates["n_workers"] = n_workers
     if pool is not None:
         candidates["pool"] = pool
+    if engine_backend is not None:
+        candidates["engine_backend"] = engine_backend
     if hasattr(model, "decision_scores_batch"):
         packed_fn = None
         if hasattr(model, "decision_scores_packed_batch"):
@@ -201,6 +222,11 @@ class InferenceServer(FrameServer):
         Listen-queue depth; sized for hundreds of simultaneous connects
         (the whole point of a coalescing server is bursty many-client
         traffic, and a dropped SYN costs a full retransmit timeout).
+    backend:
+        Descriptive label for the constructor-registered default model's
+        evaluation engine (``"numpy"``/``"native"``); :meth:`for_model`
+        resolves it from its ``backend=`` selection.  Surfaced in
+        ``list_models`` and the ``repro_serving_model_backend`` metric.
     """
 
     def __init__(
@@ -219,6 +245,7 @@ class InferenceServer(FrameServer):
         stats: Optional[ServerStats] = None,
         warm_up: Optional[Callable[[], Any]] = None,
         backlog: int = 512,
+        backend: str = "numpy",
     ) -> None:
         if batch_fn is not None and scores_fn is not None:
             raise ValueError("provide at most one of batch_fn and scores_fn")
@@ -240,6 +267,7 @@ class InferenceServer(FrameServer):
                 scores_fn=scores_fn,
                 packed_fn=packed_fn,
                 stats=stats,
+                backend=backend,
             )
         else:
             if stats is not None:
@@ -265,6 +293,7 @@ class InferenceServer(FrameServer):
         *,
         n_workers: Optional[int] = None,
         pool: Optional[Any] = None,
+        backend: Optional[str] = None,
         **kwargs,
     ):
         """Build a single-model server around ``model``'s best entry point.
@@ -272,13 +301,24 @@ class InferenceServer(FrameServer):
         See :func:`_model_entry_point` for the preference order (including
         the binary protocol's packed path when the model offers one);
         ``register_model(name, model=...)`` is the multi-model counterpart.
+        ``backend`` selects the evaluation engine where the model accepts
+        an ``engine_backend`` kwarg — ``"native"`` for the generated-C
+        backend, ``"auto"`` to use it when a C toolchain exists.
         """
+        label = _resolved_backend(backend)
         batch_fn, scores_fn, packed_fn = _model_entry_point(
-            model, n_workers, pool
+            model, n_workers, pool, backend
         )
         if scores_fn is not None:
-            return cls(scores_fn=scores_fn, packed_fn=packed_fn, **kwargs)
-        return cls(batch_fn=batch_fn, packed_fn=packed_fn, **kwargs)
+            return cls(
+                scores_fn=scores_fn,
+                packed_fn=packed_fn,
+                backend=label,
+                **kwargs,
+            )
+        return cls(
+            batch_fn=batch_fn, packed_fn=packed_fn, backend=label, **kwargs
+        )
 
     # ------------------------------------------------------- model hosting
     @property
@@ -313,6 +353,7 @@ class InferenceServer(FrameServer):
         max_queue: Optional[int] = None,
         stats: Optional[ServerStats] = None,
         default: bool = False,
+        backend: Optional[str] = None,
     ) -> RegisteredModel:
         """Host another model under ``name``, with its own queue and knobs.
 
@@ -321,16 +362,21 @@ class InferenceServer(FrameServer):
         ``model=`` to pick the object's best entry point — including its
         packed path when it offers one (optionally sharded over
         ``n_workers`` / a shared ``pool`` — pass the same pool to every
-        model so they share one set of worker processes).  Knobs left
-        ``None`` inherit the server-level defaults.  Safe while serving:
-        requests naming ``name`` route to the new queue from the next
-        dispatch.
+        model so they share one set of worker processes).  With ``model=``,
+        ``backend`` selects the evaluation engine (``"numpy"``,
+        ``"native"`` for generated C, ``"auto"`` for native-if-toolchain);
+        with explicit functions it is a descriptive label only.  The
+        resolved value shows up in ``list_models`` and the
+        ``repro_serving_model_backend`` metric.  Knobs left ``None``
+        inherit the server-level defaults.  Safe while serving: requests
+        naming ``name`` route to the new queue from the next dispatch.
         """
+        label = _resolved_backend(backend)
         if model is not None:
             if batch_fn is not None or scores_fn is not None or packed_fn is not None:
                 raise ValueError("provide model= or an evaluation fn, not both")
             batch_fn, scores_fn, packed_fn = _model_entry_point(
-                model, n_workers, pool
+                model, n_workers, pool, backend
             )
         elif n_workers is not None or pool is not None:
             raise ValueError(
@@ -347,6 +393,7 @@ class InferenceServer(FrameServer):
             max_queue=max_queue,
             stats=stats,
             default=default,
+            backend=label,
         )
 
     async def unregister_model(self, name: str) -> None:
@@ -372,7 +419,11 @@ class InferenceServer(FrameServer):
             {
                 entry.name: entry.stats.snapshot()
                 for entry in self._registry.entries()
-            }
+            },
+            backends={
+                entry.name: entry.backend
+                for entry in self._registry.entries()
+            },
         )
 
     # ------------------------------------------------------------ lifecycle

@@ -213,6 +213,7 @@ def render_stats_text(
     snapshots: Mapping[str, Mapping[str, object]],
     *,
     prefix: str = "repro_serving",
+    backends: Optional[Mapping[str, str]] = None,
 ) -> str:
     """Prometheus-style plain-text rendering of per-model stats snapshots.
 
@@ -224,6 +225,11 @@ def render_stats_text(
         repro_serving_requests_completed{model="default"} 1024
         # TYPE repro_serving_latency_us gauge
         repro_serving_latency_us{model="default",quantile="0.5"} 2481.0
+
+    ``backends`` optionally maps model name → active evaluation backend
+    (``"numpy"`` / ``"native"``); each mapped model gets an info-style
+    gauge ``{prefix}_model_backend{{model="x",backend="native"}} 1`` so a
+    scrape can tell which engine is serving which tenant.
 
     This is the payload behind the wire protocol's ``stats_text`` op — a
     scrape endpoint for operational tooling without adding an HTTP server
@@ -278,4 +284,13 @@ def render_stats_text(
             )
         ),
     )
+    if backends:
+        section(
+            "model_backend",
+            "gauge",
+            (
+                ((("model", name), ("backend", str(backends[name]))), 1.0)
+                for name in sorted(backends)
+            ),
+        )
     return "\n".join(lines) + ("\n" if lines else "")

@@ -69,6 +69,26 @@ class TestRandomNetlistEquivalence:
             compiled.predict_batch(X), netlist.evaluate_outputs(X)
         )
 
+    def test_native_backend_exhaustive(self):
+        """The generated-C backend over the same exhaustive input space.
+
+        The deep fuzz lives in ``test_native_backend``; this is the
+        equivalence suite's cross-check that ``backend="native"`` sits
+        behind the same contract as the NumPy engine.
+        """
+        from repro.engine.native import toolchain_available
+
+        if not toolchain_available():
+            pytest.skip("no C compiler on this host")
+        netlist = random_netlist(10, 25, seed=4)
+        native = compile_netlist(netlist, backend="native")
+        X = np.array(
+            [[(i >> b) & 1 for b in range(10)] for i in range(1024)], dtype=np.uint8
+        )
+        np.testing.assert_array_equal(
+            native.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
 
 def _train_small_poetbin(seed=0):
     rng = as_rng(seed)
@@ -118,6 +138,20 @@ class TestClassifierFastPaths:
     def test_poetbin_engine_is_cached(self, trained):
         clf, _X, _targets, _y = trained
         assert clf.compiled_netlist() is clf.compiled_netlist()
+
+    def test_poetbin_native_backend_matches(self, trained):
+        from repro.engine.native import toolchain_available
+
+        if not toolchain_available():
+            pytest.skip("no C compiler on this host")
+        clf, X, _targets, _y = trained
+        np.testing.assert_array_equal(
+            clf.predict_batch(X, engine_backend="native"), clf.predict(X)
+        )
+        # per-backend engine caches are independent and both sticky
+        assert clf.compiled_netlist("native") is clf.compiled_netlist("native")
+        assert clf.compiled_netlist("native") is not clf.compiled_netlist()
+        assert clf.compiled_netlist("native").backend == "native"
 
     def test_rinc_predict_batch_matches_predict(self, trained):
         clf, X, targets, _y = trained

@@ -1,0 +1,189 @@
+"""The generated-C backend: bit-exactness, caching, and toolchain fallback.
+
+The fuzz half mirrors ``test_equivalence``: random DAGs across every LUT
+width (including the mux-group lowering via ``max_lut_inputs`` and the
+constant/arity-0 cases), native vs NumPy vs the naive simulator, ragged
+batch tails included.  The fallback half forces the no-toolchain path:
+``backend="auto"`` must degrade to the NumPy engine silently and
+``backend="native"`` must raise the typed error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.netlist import LUTNetlist, primary_input
+from repro.engine import (
+    CompiledNetlist,
+    NativeCompiledNetlist,
+    NativeUnavailableError,
+    compile_netlist,
+    pack_bits,
+    random_netlist,
+)
+from repro.engine import native as native_mod
+from repro.engine.native import (
+    build_shared_object,
+    find_compiler,
+    generate_c_source,
+    toolchain_available,
+)
+from repro.utils.rng import as_rng
+
+needs_cc = pytest.mark.skipif(
+    not toolchain_available(), reason="no C compiler on this host"
+)
+
+
+@needs_cc
+class TestNativeEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_dags_three_way(self, seed):
+        """native == numpy == naive on random DAGs, widths 2..8."""
+        rng = as_rng(7000 + seed)
+        n_primary = int(rng.integers(4, 40))
+        n_nodes = int(rng.integers(1, 90))
+        netlist = random_netlist(
+            n_primary, n_nodes, seed=seed, lut_widths=(2, 3, 4, 5, 6, 7, 8)
+        )
+        numpy_engine = compile_netlist(netlist)
+        native_engine = compile_netlist(netlist, backend="native")
+        assert isinstance(native_engine, NativeCompiledNetlist)
+        n_samples = int(rng.integers(1, 260))
+        X = rng.integers(0, 2, size=(n_samples, n_primary), dtype=np.uint8)
+        reference = netlist.evaluate_outputs(X)
+        np.testing.assert_array_equal(numpy_engine.predict_batch(X), reference)
+        np.testing.assert_array_equal(native_engine.predict_batch(X), reference)
+
+    def test_mux_decomposed_program(self):
+        """Wide LUTs through the P=4 fabric: the mux-group statement path."""
+        netlist = random_netlist(24, 60, seed=11, lut_widths=(6, 7, 8))
+        native_engine = compile_netlist(
+            netlist, backend="native", max_lut_inputs=4
+        )
+        assert native_engine.program.n_groups > 0
+        rng = as_rng(12)
+        for n_samples in (1, 63, 64, 65, 200):
+            X = rng.integers(0, 2, size=(n_samples, 24), dtype=np.uint8)
+            np.testing.assert_array_equal(
+                native_engine.predict_batch(X), netlist.evaluate_outputs(X)
+            )
+
+    def test_constant_and_narrow_luts(self):
+        """Arity-0 (constant broadcast) and arity-1 nodes survive folding."""
+        netlist = LUTNetlist(n_primary_inputs=2)
+        netlist.add_node(
+            name="const1", kind="mat", input_signals=[],
+            table=np.array([1], dtype=np.uint8),
+        )
+        netlist.add_node(
+            name="const0", kind="mat", input_signals=[],
+            table=np.array([0], dtype=np.uint8),
+        )
+        netlist.add_node(
+            name="inv", kind="mat",
+            input_signals=[primary_input(0)],
+            table=np.array([1, 0], dtype=np.uint8),
+        )
+        netlist.add_node(
+            name="mix", kind="mat",
+            input_signals=["const1", "inv", primary_input(1)],
+            table=np.array([0, 1, 1, 0, 1, 0, 0, 1], dtype=np.uint8),
+        )
+        netlist.output_signals = ["const1", "const0", "inv", "mix"]
+        # passes=() keeps the constants in the program instead of folding
+        # them away before lowering — the codegen must broadcast them
+        native_engine = compile_netlist(netlist, backend="native", passes=())
+        X = as_rng(3).integers(0, 2, size=(130, 2), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            native_engine.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    def test_ragged_batch_sizes_one_engine(self):
+        """One engine instance across growing/shrinking batches stays exact."""
+        netlist = random_netlist(16, 40, seed=21)
+        native_engine = compile_netlist(netlist, backend="native")
+        numpy_engine = compile_netlist(netlist)
+        rng = as_rng(22)
+        for n_samples in (1, 64, 5, 500, 65, 1, 128):
+            X = rng.integers(0, 2, size=(n_samples, 16), dtype=np.uint8)
+            packed = pack_bits(X)
+            np.testing.assert_array_equal(
+                native_engine.run_packed(packed),
+                numpy_engine.run_packed(packed),
+            )
+
+    def test_empty_word_block(self):
+        netlist = random_netlist(8, 10, seed=5)
+        native_engine = compile_netlist(netlist, backend="native")
+        empty = np.zeros((8, 0), dtype=np.uint64)
+        out = native_engine.run_packed(empty)
+        assert out.shape == (native_engine.n_outputs, 0)
+
+    def test_shared_object_cached_by_digest(self, tmp_path):
+        """Same program twice: the second build is a file-cache hit."""
+        netlist = random_netlist(10, 12, seed=9)
+        program = compile_netlist(netlist)
+        assert isinstance(program, CompiledNetlist)
+        first = NativeCompiledNetlist(program, cache_dir=str(tmp_path))
+        so_mtime = (tmp_path / f"{first.digest}.so").stat().st_mtime_ns
+        second = NativeCompiledNetlist(program, cache_dir=str(tmp_path))
+        assert second.digest == first.digest
+        assert (tmp_path / f"{first.digest}.so").stat().st_mtime_ns == so_mtime
+        # and the source is kept next to the object for debugging
+        assert (tmp_path / f"{first.digest}.c").exists()
+
+    def test_digest_covers_source(self, tmp_path):
+        a = generate_c_source(compile_netlist(random_netlist(8, 9, seed=1)))
+        b = generate_c_source(compile_netlist(random_netlist(8, 9, seed=2)))
+        assert a != b
+        da, _ = build_shared_object(a, cache_dir=str(tmp_path))
+        db, _ = build_shared_object(b, cache_dir=str(tmp_path))
+        assert da != db
+
+
+class TestToolchainFallback:
+    def test_auto_without_toolchain_degrades_to_numpy(self, monkeypatch):
+        monkeypatch.setattr(native_mod, "find_compiler", lambda: None)
+        netlist = random_netlist(8, 12, seed=3)
+        engine = compile_netlist(netlist, backend="auto")
+        assert isinstance(engine, CompiledNetlist)
+        assert engine.backend == "numpy"
+        X = as_rng(4).integers(0, 2, size=(70, 8), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            engine.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    def test_native_without_toolchain_raises_typed_error(self, monkeypatch):
+        monkeypatch.setattr(native_mod, "find_compiler", lambda: None)
+        netlist = random_netlist(8, 12, seed=3)
+        with pytest.raises(NativeUnavailableError, match="toolchain"):
+            compile_netlist(netlist, backend="native")
+
+    def test_bad_backend_name_rejected(self):
+        netlist = random_netlist(8, 12, seed=3)
+        with pytest.raises(ValueError, match="backend"):
+            compile_netlist(netlist, backend="fortran")
+
+    @needs_cc
+    def test_auto_with_toolchain_goes_native(self):
+        netlist = random_netlist(8, 12, seed=3)
+        engine = compile_netlist(netlist, backend="auto")
+        assert engine.backend == "native"
+
+
+@needs_cc
+class TestNativeValidation:
+    def test_wrong_plane_count_rejected(self):
+        netlist = random_netlist(8, 10, seed=6)
+        native_engine = compile_netlist(netlist, backend="native")
+        with pytest.raises(ValueError, match="shape"):
+            native_engine.run_packed(np.zeros((3, 2), dtype=np.uint64))
+
+    def test_compiler_discovery_honors_cc_env(self, monkeypatch):
+        cc = find_compiler()
+        assert cc is not None
+        monkeypatch.setenv("CC", cc[0])
+        assert native_mod._discover_compiler() == [cc[0]]
+        monkeypatch.setenv("CC", "/nonexistent/compiler-xyz")
+        # an unusable $CC falls through to PATH discovery, not a crash
+        assert native_mod._discover_compiler() is not None

@@ -96,6 +96,53 @@ class TestShardedEquivalence:
                 engine.predict_batch(X), netlist.evaluate_outputs(X)
             )
 
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_native_engine_backend_matches(self, case, backend):
+        """Sharded evaluation on the generated-C engine stays bit-exact."""
+        from repro.engine.native import toolchain_available
+
+        if not toolchain_available():
+            pytest.skip("no C compiler on this host")
+        netlist, serial = case
+        rng = as_rng(15)
+        with ShardedEngine(
+            netlist,
+            n_workers=2,
+            backend=backend,
+            engine_backend="native",
+            min_words_per_worker=1,
+        ) as engine:
+            assert engine.engine_backend == "native"
+            for n_samples in (1, 64, 257, 1500):
+                X = rng.integers(0, 2, size=(n_samples, 24), dtype=np.uint8)
+                np.testing.assert_array_equal(
+                    engine.predict_batch(X),
+                    serial.predict_batch(X),
+                    err_msg=f"native/{backend}, {n_samples} samples",
+                )
+
+    def test_auto_engine_backend_resolves(self, case):
+        """'auto' resolves at attach: the serial engine reports what won."""
+        from repro.engine.native import toolchain_available
+
+        netlist, serial = case
+        rng = as_rng(16)
+        with ShardedEngine(
+            netlist, n_workers=2, engine_backend="auto",
+            min_words_per_worker=1,
+        ) as engine:
+            expected = "native" if toolchain_available() else "numpy"
+            assert engine.engine_backend == expected
+            X = rng.integers(0, 2, size=(400, 24), dtype=np.uint8)
+            np.testing.assert_array_equal(
+                engine.predict_batch(X), serial.predict_batch(X)
+            )
+
+    def test_unknown_engine_backend_rejected(self, case):
+        netlist, _ = case
+        with pytest.raises(ValueError, match="engine backend"):
+            ShardedEngine(netlist, n_workers=2, engine_backend="fortran")
+
 
 class TestLifecycle:
     def test_close_is_idempotent_and_final(self):
@@ -370,6 +417,7 @@ class TestWorkerHelpers:
                     (
                         "m#0",
                         None,
+                        "numpy",
                         shm_in.name,
                         shm_out.name,
                         12,
@@ -389,6 +437,7 @@ class TestWorkerHelpers:
                     (
                         "late#1",
                         None,
+                        "numpy",
                         shm_in.name,
                         shm_out.name,
                         12,
@@ -408,6 +457,7 @@ class TestWorkerHelpers:
                 (
                     "late#1",
                     pickle.dumps(other),
+                    "numpy",
                     shm_in.name,
                     shm_out.name,
                     10,

@@ -366,6 +366,23 @@ class TestMultiModel:
         assert 'model="narrow"' in text
         assert "# TYPE repro_serving_requests_completed counter" in text
 
+    def test_backend_label_in_listing_and_metrics(self, multi_server):
+        """Every hosted model advertises its evaluation backend."""
+        with ServingClient(*multi_server.address) as client:
+            listing = client.list_models()
+            text = client.stats_text()
+        for entry in listing["models"]:
+            assert entry["backend"] == "numpy"
+        assert "# TYPE repro_serving_model_backend gauge" in text
+        assert (
+            'repro_serving_model_backend{model="wide",backend="numpy"} 1'
+            in text
+        )
+        assert (
+            'repro_serving_model_backend{model="narrow",backend="numpy"} 1'
+            in text
+        )
+
     def test_empty_server_rejects_predict_with_model_not_found(self):
         srv = InferenceServer(max_batch=4, max_wait_us=1_000, max_queue=64)
         with BackgroundServer(srv) as handle:
@@ -532,6 +549,54 @@ class TestConstruction:
         # the next registration (or default=True) re-points it
         srv.register_model("third", batch_fn=lambda X: np.zeros(len(X)))
         assert srv.registry.default_name == "third"
+
+    def test_backend_selection_forwards_and_labels(self):
+        """``backend=`` reaches the model's ``engine_backend`` kwarg and
+        the resolved label lands on the registration."""
+        from repro.serving.server import _resolved_backend
+
+        seen = []
+
+        class Model:
+            def predict_batch(self, X, engine_backend="numpy"):
+                seen.append(engine_backend)
+                return np.zeros(np.asarray(X).shape[0], dtype=np.int64)
+
+        srv = InferenceServer(max_batch=4, max_wait_us=1_000, max_queue=64)
+        entry = srv.register_model("m", model=Model(), backend="numpy")
+        assert entry.backend == "numpy"
+        assert entry.describe()["backend"] == "numpy"
+        # the auto label matches what the host toolchain can deliver
+        from repro.engine.native import toolchain_available
+
+        expected = "native" if toolchain_available() else "numpy"
+        assert _resolved_backend("auto") == expected
+        entry2 = srv.register_model("m2", model=Model(), backend="auto")
+        assert entry2.backend == expected
+
+        # a backend nobody implements is rejected at registration time
+        with pytest.raises(ValueError, match="unknown backend"):
+            srv.register_model("m3", model=Model(), backend="fortran")
+
+    def test_for_model_backend_reaches_the_engine(self):
+        """End to end: backend= on for_model selects the model's engine."""
+        seen = []
+
+        class Model:
+            def predict_batch(self, X, engine_backend="numpy"):
+                seen.append(engine_backend)
+                return np.zeros(np.asarray(X).shape[0], dtype=np.int64)
+
+        srv = InferenceServer.for_model(
+            Model(), backend="numpy", max_batch=4, max_wait_us=1_000,
+            max_queue=64,
+        )
+        with BackgroundServer(srv) as handle:
+            with ServingClient(*handle.address) as client:
+                client.predict(np.ones((2, N_FEATURES), dtype=np.uint8))
+                listing = client.list_models()
+        assert seen == ["numpy"]
+        assert listing["models"][0]["backend"] == "numpy"
 
     def test_warm_up_runs_before_first_request(self):
         ran = []

@@ -129,6 +129,25 @@ class TestRenderStatsText:
 
         assert render_stats_text({}) == ""
 
+    def test_backend_info_gauge(self):
+        from repro.serving import render_stats_text
+
+        text = render_stats_text(
+            self._snapshots(),
+            backends={"alpha": "native", "beta": "numpy"},
+        )
+        assert "# TYPE repro_serving_model_backend gauge" in text
+        assert (
+            'repro_serving_model_backend{model="alpha",backend="native"} 1'
+            in text
+        )
+        assert (
+            'repro_serving_model_backend{model="beta",backend="numpy"} 1'
+            in text
+        )
+        # omitting the mapping omits the metric (back-compat rendering)
+        assert "model_backend" not in render_stats_text(self._snapshots())
+
     def test_large_counters_render_exactly(self):
         """%g-style rounding past 6 significant digits would corrupt
         scraped rate() math on a long-lived server."""
