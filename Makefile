@@ -3,11 +3,19 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench-smoke bench-native bench-serving serve-demo serve-stats serve-cluster check
+.PHONY: test test-lifecycle bench-smoke bench-native bench-serving serve-demo serve-stats serve-cluster check
 
 # Tier-1 verification: the full test suite (includes benchmarks/).
 test:
 	$(PYTEST) -x -q
+
+# Lifecycle layer: versioned hot-swap under 256-way concurrent load,
+# shadow-traffic divergence recording, canary auto-promote/rollback over
+# both wire protocols, and the seeded chaos fuzzer (~40 ops; crank
+# REPRO_SOAK_OPS / REPRO_SOAK_SEED for a real soak — outcomes land in
+# BENCH_results.json via the lifecycle_soak gate).
+test-lifecycle:
+	$(PYTEST) tests/serving/test_lifecycle_swap.py tests/serving/test_shadow_canary.py tests/serving/test_lifecycle_chaos.py -x -q
 
 # Quick benchmark smoke: the bit-packed engine throughput comparisons,
 # including the >=10x packed-vs-naive gate, the compiler-pipeline gates
@@ -51,4 +59,6 @@ serve-cluster:
 	PYTHONPATH=src python examples/cluster_demo.py
 
 # CI-style composite: tier-1 tests plus every perf gate in one invocation.
-check: test bench-smoke bench-native bench-serving
+# (test already runs the lifecycle files; test-lifecycle re-runs them -x as
+# the explicit lifecycle/chaos gate so a soak failure is named in CI output.)
+check: test test-lifecycle bench-smoke bench-native bench-serving

@@ -17,7 +17,16 @@ The end-to-end tour of the multi-tenant serving story:
 5. scrape the server's ``GET /metrics`` endpoint with a real HTTP GET
    (the server runs a native HTTP listener when given ``http_port=``) and
    show a few of the Prometheus-format lines a scraper would collect,
-6. with ``--stats-text``, finish by printing the full Prometheus-style
+6. retrain the "fast" variant and roll it out *live*: register the
+   retrain as version 2 of the same family, mirror real traffic to it in
+   shadow mode (bit-exact diffing, zero client latency), and let
+   ``promote_canary`` flip the serving pointer automatically once the
+   evidence is clean — then do the same with a deliberately different
+   retrain (new seed) and watch the canary roll it back while version 2
+   keeps serving; the displaced versions detach from the shared
+   WorkerPool (the worker-registry census before/after shows the
+   eviction),
+7. with ``--stats-text``, finish by printing the full Prometheus-style
    scrape (the ``stats_text`` protocol op carries the same text over the
    serving socket).
 
@@ -192,6 +201,99 @@ def main(print_stats_text: bool = False) -> None:
         )
         for line in shown:
             print(f"  {line}")
+
+        # 6. live lifecycle: retrain -> shadow -> canary
+        def train_fast_variant(seed: int) -> PoETBiNClassifier:
+            per_class = VARIANTS["fast"]
+            return PoETBiNClassifier(
+                n_classes=N_CLASSES,
+                n_inputs=6,
+                n_levels=2,
+                intermediate_per_class=per_class,
+                output_epochs=10,
+                seed=seed,
+            ).fit(
+                X_train,
+                class_membership_targets(data.y_train, per_class),
+                data.y_train,
+            )
+
+        def register_version(version: int, clf: PoETBiNClassifier) -> None:
+            async def _do():
+                server.register_model(
+                    "fast", model=clf, pool=pool, version=version
+                )
+
+            handle.run(_do())
+
+        def drive_traffic(client: ServingClient, n: int) -> None:
+            rng = np.random.default_rng(99)
+            for _ in range(n):
+                i = int(rng.integers(X_test.shape[0]))
+                client.predict(X_test[i], model="fast")
+
+        async def _quiesce():
+            await server.registry.wait_idle()
+
+        print("\n--- live lifecycle: retrain -> shadow -> canary ---")
+        with ServingClient(host, port) as client:
+            # a same-seed retrain is bit-identical: the canary promotes it
+            register_version(2, train_fast_variant(seed=0))
+            client.set_shadow("fast", 2)
+            drive_traffic(client, 24)
+            handle.run(_quiesce())
+            report = client.shadow_report("fast")
+            print(
+                f"shadow v2: {report['shadow_requests']} mirrored, "
+                f"{report['shadow_divergences']} divergences "
+                f"(rate {report['divergence_rate']:.3f})"
+            )
+            verdict = client.promote_canary("fast", 2, min_requests=16)
+            print(
+                f"canary v2 verdict: {verdict['status']} "
+                f"(divergence rate {verdict['divergence_rate']:.3f})"
+            )
+            handle.run(_quiesce())
+
+            # a different-seed retrain learns different LUTs: divergences
+            # are recorded and the canary rolls it back; v2 keeps serving
+            register_version(3, train_fast_variant(seed=1))
+            client.set_shadow("fast", 3)
+            drive_traffic(client, 24)
+            handle.run(_quiesce())
+            report = client.shadow_report("fast")
+            print(
+                f"shadow v3: {report['shadow_requests']} mirrored, "
+                f"{report['shadow_divergences']} divergences "
+                f"(rate {report['divergence_rate']:.3f})"
+            )
+            verdict = client.promote_canary("fast", 3, min_requests=16)
+            line = f"canary v3 verdict: {verdict['status']}"
+            if verdict.get("reason"):
+                line += f" ({verdict['reason']})"
+            print(line)
+            handle.run(_quiesce())
+            serving_now = server.registry.serving_versions()["fast"]
+            print(
+                f"family 'fast' now serving version {serving_now}; "
+                "lifecycle tail:"
+            )
+            for event in client.lifecycle("fast")[-4:]:
+                fields = {
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("seq", "ts", "policy")
+                }
+                print(f"  {fields}")
+            census = pool.worker_registry_sizes()
+            if census:
+                print(
+                    "worker registries after retires: "
+                    + ", ".join(
+                        f"pid {pid}: {n} netlists"
+                        for pid, (n, _) in sorted(census.items())
+                    )
+                )
 
         if stats_text is not None:
             print("\n--- stats_text scrape (Prometheus exposition format) ---")

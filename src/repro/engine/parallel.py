@@ -226,12 +226,39 @@ def _worker_attach_shm(name: str) -> shared_memory.SharedMemory:
     return shm
 
 
+def _worker_evict(retired: Tuple[str, ...]) -> None:
+    """Drop detached models from this worker's registries.
+
+    Without this, a model attached after the fork (netlist shipped in the
+    task payload) would live in ``_WORKER["netlists"]``/``["engines"]``
+    forever after the parent detached it — version churn through a
+    long-lived pool would grow worker memory without bound.  Attach keys
+    are unique per attach, so a retired key can never name a live model.
+    """
+    for key in retired:
+        _WORKER["netlists"].pop(key, None)
+        _WORKER["engines"].pop(key, None)
+
+
 def _worker_run(
-    task: Tuple[str, Optional[bytes], str, str, str, int, int, int, int, int],
+    task: Tuple[
+        str,
+        Optional[bytes],
+        str,
+        str,
+        str,
+        int,
+        int,
+        int,
+        int,
+        int,
+        Tuple[str, ...],
+    ],
 ) -> int:
     """Evaluate one shard; returns this worker's pid (the parent uses the
     pid set to decide when a lazily-attached model's payload has reached
-    every worker and can stop being shipped)."""
+    every worker and can stop being shipped — and, symmetrically, when a
+    detached model's eviction notice has reached every worker)."""
     (
         key,
         payload,
@@ -243,7 +270,9 @@ def _worker_run(
         words,
         lo,
         hi,
+        retired,
     ) = task
+    _worker_evict(retired)
     engine = _worker_engine(key, payload, engine_backend)
     shm_in = _worker_attach_shm(in_name)
     shm_out = _worker_attach_shm(out_name)
@@ -261,6 +290,16 @@ def _worker_run(
         ]:
             _WORKER["shm"].pop(name).close()
     return os.getpid()
+
+
+def _worker_census(retired: Tuple[str, ...]) -> Tuple[int, int, int]:
+    """``(pid, n_netlists, n_engines)`` for this worker's registries.
+
+    Applies pending evictions first, so the census doubles as an eviction
+    pump for pools with no traffic (see :meth:`WorkerPool.worker_registry_sizes`).
+    """
+    _worker_evict(retired)
+    return os.getpid(), len(_WORKER["netlists"]), len(_WORKER["engines"])
 
 
 def _release_resources(resources: dict) -> None:
@@ -364,6 +403,11 @@ class WorkerPool:
         self.backend = backend
         self.min_words_per_worker = min_words_per_worker
         self._models: Dict[str, _PoolModel] = {}
+        # worker-side eviction ledger: attach-key of each detached model →
+        # set of worker pids confirmed to have dropped it.  Keys ride along
+        # with every task (and every census probe) until all n_workers pids
+        # have confirmed, then the ledger entry is deleted.
+        self._retired: Dict[str, set] = {}
         self._attach_seq = itertools.count()
         # One lock guards pool creation, the shm free-list and the model
         # registry; evaluation itself (pool.map / executor.submit) runs
@@ -458,14 +502,76 @@ class WorkerPool:
         return entry.model_id
 
     def detach(self, model_id: str) -> None:
-        """Drop a model from the registry (its in-flight calls complete)."""
+        """Drop a model from the registry (its in-flight calls complete).
+
+        With a live process pool the model's worker-side copies (netlist +
+        compiled engine, keyed by the unique attach key) are evicted too:
+        the key is recorded in a retirement ledger that piggybacks on every
+        subsequent task, and each worker drops its copy before its next
+        evaluation.  Serving stacks that hot-swap model versions through a
+        long-lived pool would otherwise grow worker memory monotonically.
+        """
         with self._lock:
-            self._models.pop(model_id, None)
+            entry = self._models.pop(model_id, None)
+            if entry is not None and self._resources["pool"] is not None:
+                self._retired[entry.key] = set()
 
     @property
     def model_ids(self) -> List[str]:
         with self._lock:
             return list(self._models)
+
+    def _confirm_retired_locked(
+        self, retired: Tuple[str, ...], worker_pids
+    ) -> None:
+        """Record which workers have seen the eviction notices in
+        ``retired``; a key confirmed by every worker leaves the ledger
+        (callers hold ``self._lock``)."""
+        for key in retired:
+            pids = self._retired.get(key)
+            if pids is not None:
+                pids.update(worker_pids)
+                if len(pids) >= self.n_workers:
+                    del self._retired[key]
+
+    def worker_registry_sizes(self, rounds: int = 4) -> Dict[int, Tuple[int, int]]:
+        """Sample each worker's registry sizes: pid → (n_netlists, n_engines).
+
+        Sends eviction-only probe tasks through the process pool, so this
+        doubles as an eviction pump: pending retirements are applied in
+        every sampled worker even on an idle pool.  Probes are mapped with
+        ``chunksize=1`` over ``rounds`` passes so each pass tends to touch
+        every worker, but a fast worker can still absorb a slow worker's
+        probe — treat the result as a sample of the worker set, not a
+        guaranteed full census.  Returns ``{}`` when no process pool is
+        live (serial/thread backends keep no worker-side registries).
+        """
+        self._check_open()
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        with self._lock:
+            pool = self._resources["pool"]
+            retired = tuple(self._retired)
+        if pool is None:
+            return {}
+        sizes: Dict[int, Tuple[int, int]] = {}
+        try:
+            for _ in range(rounds):
+                results = pool.map(
+                    _worker_census, [retired] * self.n_workers, chunksize=1
+                )
+                pids = [pid for pid, _, _ in results]
+                for pid, n_netlists, n_engines in results:
+                    sizes[pid] = (n_netlists, n_engines)
+                with self._lock:
+                    self._confirm_retired_locked(retired, pids)
+                if len(sizes) >= self.n_workers:
+                    break
+        except (OSError, mp.ProcessError, ValueError):
+            # pool died or was torn down by a concurrent fallback: return
+            # what was sampled — callers use this for observability only
+            pass
+        return sizes
 
     def _entry(self, model_id: str) -> _PoolModel:
         with self._lock:
@@ -520,6 +626,7 @@ class WorkerPool:
         self._finalizer()
         with self._lock:
             self._models = {}
+            self._retired = {}
 
     def _check_open(self) -> None:
         if self._closed:
@@ -602,6 +709,8 @@ class WorkerPool:
                     packed.shape, dtype=np.uint64, buffer=shm_in.buf
                 )
                 view_in[:] = packed
+                with self._lock:
+                    retired = tuple(self._retired)
                 tasks = [
                     (
                         entry.key,
@@ -614,17 +723,21 @@ class WorkerPool:
                         words,
                         lo,
                         hi,
+                        retired,
                     )
                     for lo, hi in bounds
                 ]
                 worker_pids = pool.map(_worker_run, tasks)
-                if entry.payload is not None:
-                    # lazy re-attach bookkeeping: once every worker has
-                    # compiled this model, stop shipping the payload
+                if entry.payload is not None or retired:
                     with self._lock:
-                        entry.confirmed_pids.update(worker_pids)
-                        if len(entry.confirmed_pids) >= self.n_workers:
-                            entry.payload = None
+                        if entry.payload is not None:
+                            # lazy re-attach bookkeeping: once every worker
+                            # has compiled this model, stop shipping the
+                            # payload
+                            entry.confirmed_pids.update(worker_pids)
+                            if len(entry.confirmed_pids) >= self.n_workers:
+                                entry.payload = None
+                        self._confirm_retired_locked(retired, worker_pids)
                 view_out = np.ndarray(
                     (n_outputs, words), dtype=np.uint64, buffer=shm_out.buf
                 )
@@ -660,6 +773,8 @@ class WorkerPool:
             self.backend = "thread"
             pool = self._resources["pool"]
             self._resources["pool"] = None
+            # worker registries die with the pool — nothing left to evict
+            self._retired.clear()
             # the thread backend never leases shared memory again: unlink
             # the free pairs now; pairs still leased by concurrent calls
             # are unlinked when returned (see _return_shm)
@@ -706,6 +821,8 @@ class WorkerPool:
                 # everything in the snapshot is now fork-inherited
                 for entry in self._models.values():
                     entry.payload = None
+                # fresh workers inherited only live models — nothing to evict
+                self._retired.clear()
             return self._resources["pool"]
 
     def _lease_shm(

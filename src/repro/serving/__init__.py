@@ -111,6 +111,11 @@ from repro.serving.binary_protocol import (
     recv_reply,
 )
 from repro.serving.client import ServingClient, StaleConnectionError
+from repro.serving.lifecycle import (
+    CanaryPolicy,
+    DivergenceStore,
+    LifecycleLog,
+)
 from repro.serving.metrics_http import HttpMetricsListener
 from repro.serving.protocol import (
     MAX_MESSAGE_BYTES,
@@ -139,10 +144,15 @@ from repro.serving.router import BackendFailedError, Rebalancer, RouterServer
 from repro.serving.server import BackgroundServer, InferenceServer
 from repro.serving.stats import ServerStats, render_stats_text
 from repro.serving.transport import (
+    BinaryControlRequest,
     FrameServer,
     RawBinaryReply,
     WIRE_ERROR_TYPES,
+    decode_control_reply,
     decode_reply,
+    encode_control_reply,
+    encode_control_request,
+    recv_control_reply,
     replace_request_id,
 )
 
@@ -154,10 +164,14 @@ __all__ = [
     "BatchingQueue",
     "BINARY_MAGIC",
     "BINARY_VERSION",
+    "BinaryControlRequest",
     "BinaryProtocolError",
     "BinaryReply",
     "BinaryRequest",
+    "CanaryPolicy",
+    "DivergenceStore",
     "FrameServer",
+    "LifecycleLog",
     "HttpMetricsListener",
     "InferenceServer",
     "MAX_MESSAGE_BYTES",
@@ -176,11 +190,15 @@ __all__ = [
     "ServingError",
     "StaleConnectionError",
     "WIRE_ERROR_TYPES",
+    "decode_control_reply",
     "decode_reply",
+    "encode_control_reply",
+    "encode_control_request",
     "encode_message",
     "encode_predict_request",
     "encode_reply",
     "read_message",
+    "recv_control_reply",
     "recv_message",
     "recv_reply",
     "render_stats_text",

@@ -65,7 +65,9 @@ from repro.serving.retry import RetryPolicy
 from repro.serving.transport import (
     ProtocolError,
     WIRE_ERROR_TYPES,
+    encode_control_request,
     encode_predict_request,
+    recv_control_reply,
     recv_message,
     recv_reply,
     send_message,
@@ -148,6 +150,14 @@ class ServingClient:
     def _mark_dead(self, error: BaseException) -> None:
         self._dead = f"{type(error).__name__}: {error}"
 
+    @staticmethod
+    def _ok_or_raise(response: Dict[str, Any]) -> Dict[str, Any]:
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        exc_type = _ERROR_TYPES.get(error.get("type"), ServingError)
+        raise exc_type(error.get("message", "unknown server error"))
+
     def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         self._check_usable()
         try:
@@ -162,11 +172,26 @@ class ServingClient:
             error = ConnectionError("server closed the connection")
             self._mark_dead(error)
             raise error
-        if response.get("ok"):
-            return response
-        error = response.get("error") or {}
-        exc_type = _ERROR_TYPES.get(error.get("type"), ServingError)
-        raise exc_type(error.get("message", "unknown server error"))
+        return self._ok_or_raise(response)
+
+    def _control(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One lifecycle/control op over this client's native protocol.
+
+        A ``binary=True`` client ships the op inside an OP_CONTROL binary
+        frame (so its pipelined stream stays single-codec); a JSON client
+        sends the plain JSON frame.  Typed server errors raise the same
+        exceptions either way.
+        """
+        if not self._binary:
+            return self._request(payload)
+        self._check_usable()
+        try:
+            self._sock.sendall(encode_control_request(payload))
+            response = recv_control_reply(self._sock)
+        except (ProtocolError, OSError) as error:
+            self._mark_dead(error)
+            raise
+        return self._ok_or_raise(response)
 
     def _request_binary(
         self,
@@ -276,6 +301,76 @@ class ServingClient:
     def ping(self) -> bool:
         """Liveness probe; True when the server answers."""
         return bool(self._request({"op": "ping"})["ok"])
+
+    # ------------------------------------------------------------- lifecycle
+    def promote(self, model: str, version: int) -> Dict[str, Any]:
+        """Atomically flip ``model``'s serving pointer to ``version``; the
+        displaced version drains and retires.  Returns the flip record
+        (``{"model", "version", "previous", "changed"}``)."""
+        return self._control(
+            {"op": "promote", "model": model, "version": int(version)}
+        )
+
+    def set_shadow(
+        self, model: str, version: int, fraction: float = 1.0
+    ) -> Dict[str, Any]:
+        """Mirror ``fraction`` of ``model``'s traffic to standby
+        ``version``; divergences land in the server's shadow report."""
+        return self._control(
+            {
+                "op": "set_shadow",
+                "model": model,
+                "version": int(version),
+                "fraction": float(fraction),
+            }
+        )
+
+    def clear_shadow(self, model: str) -> Dict[str, Any]:
+        """Stop mirroring ``model``'s traffic (idempotent)."""
+        return self._control({"op": "clear_shadow", "model": model})
+
+    def promote_canary(
+        self,
+        model: str,
+        version: int,
+        *,
+        min_requests: int = 32,
+        max_divergence_rate: float = 0.0,
+        max_p99_ratio: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Auto-promote or auto-roll-back ``version`` on shadow evidence.
+
+        Returns the verdict dict: ``status`` is ``"promoted"``,
+        ``"rolled_back"`` (with a ``reason``) or ``"watching"`` when the
+        policy's ``min_requests`` of mirrored traffic has not accumulated
+        yet — the eventual decision then lands in :meth:`lifecycle` and
+        :meth:`shadow_report`.
+        """
+        payload: Dict[str, Any] = {
+            "op": "promote_canary",
+            "model": model,
+            "version": int(version),
+            "min_requests": int(min_requests),
+            "max_divergence_rate": float(max_divergence_rate),
+        }
+        if max_p99_ratio is not None:
+            payload["max_p99_ratio"] = float(max_p99_ratio)
+        return self._control(payload)
+
+    def shadow_report(self, model: Optional[str] = None) -> Dict[str, Any]:
+        """The model family's divergence evidence: counters, divergence
+        rate, latency-ratio p99 and the recent divergent records."""
+        payload: Dict[str, Any] = {"op": "shadow_report"}
+        if model is not None:
+            payload["model"] = model
+        return self._control(payload)["report"]
+
+    def lifecycle(self, model: Optional[str] = None) -> list:
+        """The model family's lifecycle event history, oldest first."""
+        payload: Dict[str, Any] = {"op": "lifecycle"}
+        if model is not None:
+            payload["model"] = model
+        return self._control(payload)["events"]
 
     # -------------------------------------------------------------- cleanup
     def close(self) -> None:

@@ -68,6 +68,7 @@ from repro.serving.queue import (
     ServerUnavailableError,
     ServingError,
 )
+from repro.serving.registry import ModelRegistry
 from repro.serving.retry import RetryPolicy
 from repro.serving.stats import _escape_label, _format_value
 from repro.serving.transport import (
@@ -383,9 +384,21 @@ class RouterServer(FrameServer):
         )
 
     def _resolve_model(self, name: Optional[str]) -> str:
+        """The placement key ``name`` routes to.
+
+        A version-pinned request (``"mnist@2"``) routes by its family name
+        when the pin itself has no placement entry — the backend hosting
+        the family resolves (or rejects) the specific version, so clients
+        can pin versions through the router without the operator placing
+        every version separately.  The forwarded request keeps the
+        client's original (pinned) model name.
+        """
         if name is None:
             return self._default_model
         if name not in self._placement:
+            base, version = ModelRegistry.split_versioned(name)
+            if version is not None and base in self._placement:
+                return base
             raise ServingError(  # becomes model_not_found on the wire
                 f"unknown model {name!r} "
                 f"(routed: {sorted(self._placement)})"
@@ -573,16 +586,21 @@ class RouterServer(FrameServer):
         if op == "stats_text":
             return {"ok": True, "text": self.render_metrics()}
         if op == "list_models":
+            models = []
+            for model, replicas in self._placement.items():
+                entry: Dict[str, Any] = {
+                    "name": model,
+                    "replicas": [link.name for link in replicas],
+                }
+                base, version = ModelRegistry.split_versioned(model)
+                if version is not None:
+                    entry["family"] = base
+                    entry["version"] = version
+                models.append(entry)
             return {
                 "ok": True,
                 "default": self._default_model,
-                "models": [
-                    {
-                        "name": model,
-                        "replicas": [link.name for link in replicas],
-                    }
-                    for model, replicas in self._placement.items()
-                ],
+                "models": models,
             }
         if op == "drain":
             await self.drain()
@@ -608,7 +626,9 @@ class RouterServer(FrameServer):
         def frame_for(rid: int) -> bytes:
             forwarded = dict(request)
             forwarded["id"] = rid  # the router's id, not the client's
-            forwarded["model"] = resolved
+            # preserve a client's version pin ("m@2"); only fill in the
+            # resolved name when the client named no model at all
+            forwarded["model"] = resolved if model is None else model
             return encode_message(forwarded)
 
         try:
@@ -640,7 +660,7 @@ class RouterServer(FrameServer):
             return encode_predict_request(
                 request.packed,
                 request.n_samples,
-                model=resolved,
+                model=resolved if request.model is None else request.model,
                 return_scores=request.return_scores,
                 request_id=rid,
             )

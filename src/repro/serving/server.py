@@ -48,6 +48,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.serving.lifecycle import CanaryPolicy
 from repro.serving.metrics_http import HttpMetricsListener
 from repro.serving.queue import (
     AdmissionBudget,
@@ -354,6 +355,8 @@ class InferenceServer(FrameServer):
         stats: Optional[ServerStats] = None,
         default: bool = False,
         backend: Optional[str] = None,
+        version: Optional[int] = None,
+        on_retire: Optional[Callable[[], Any]] = None,
     ) -> RegisteredModel:
         """Host another model under ``name``, with its own queue and knobs.
 
@@ -370,6 +373,17 @@ class InferenceServer(FrameServer):
         ``repro_serving_model_backend`` metric.  Knobs left ``None``
         inherit the server-level defaults.  Safe while serving: requests
         naming ``name`` route to the new queue from the next dispatch.
+
+        ``version=`` on an already-hosted name adds a *standby* version to
+        the family — traffic moves only on ``promote``/``promote_canary``
+        (see :class:`~repro.serving.registry.ModelRegistry`).  When the
+        version eventually retires (displaced by a promotion, rolled back
+        by a canary, or unregistered), ``on_retire`` runs once; with
+        ``model=`` and sharded evaluation (``pool=``/``n_workers=``) a
+        hook is synthesized automatically that closes the model's cached
+        sharded engines — detaching the retired version from the shared
+        :class:`~repro.engine.parallel.WorkerPool` so worker-side state
+        does not accumulate across version churn.
         """
         label = _resolved_backend(backend)
         if model is not None:
@@ -378,6 +392,10 @@ class InferenceServer(FrameServer):
             batch_fn, scores_fn, packed_fn = _model_entry_point(
                 model, n_workers, pool, backend
             )
+            if on_retire is None and (
+                pool is not None or n_workers is not None
+            ):
+                on_retire = getattr(model, "_close_sharded", None)
         elif n_workers is not None or pool is not None:
             raise ValueError(
                 "n_workers/pool apply to model=; with an explicit "
@@ -394,14 +412,17 @@ class InferenceServer(FrameServer):
             stats=stats,
             default=default,
             backend=label,
+            version=version,
+            on_retire=on_retire,
         )
 
     async def unregister_model(self, name: str) -> None:
-        """Stop hosting ``name``: new requests get ``model_not_found``,
-        already-admitted ones drain through the closing queue."""
-        entry = self._registry.unregister(name)
-        if entry is not None:
+        """Stop hosting ``name`` — every version: new requests get
+        ``model_not_found``, already-admitted ones drain through the
+        closing queues, and each version's retire hook fires."""
+        for entry in self._registry.unregister(name):
             await entry.queue.close()
+            self._registry.retire_record(entry)
 
     @property
     def http_address(self) -> Optional[Tuple[str, int]]:
@@ -414,7 +435,9 @@ class InferenceServer(FrameServer):
     def render_metrics(self) -> str:
         """Every hosted model's stats in Prometheus exposition format —
         the payload behind both ``GET /metrics`` and the ``stats_text``
-        wire op."""
+        wire op.  Includes the serving-version gauge and the cumulative
+        shadow-traffic counters (``repro_serving_shadow_requests`` /
+        ``repro_serving_shadow_divergences``)."""
         return render_stats_text(
             {
                 entry.name: entry.stats.snapshot()
@@ -424,6 +447,8 @@ class InferenceServer(FrameServer):
                 entry.name: entry.backend
                 for entry in self._registry.entries()
             },
+            versions=self._registry.serving_versions(),
+            shadows=self._registry.shadow_totals(),
         )
 
     # ------------------------------------------------------------ lifecycle
@@ -493,7 +518,8 @@ class InferenceServer(FrameServer):
                 "ok": True,
                 "default": self._registry.default_name,
                 "models": [
-                    entry.describe() for entry in self._registry.entries()
+                    self._registry.describe_family(name)
+                    for name in self._registry.names
                 ],
             }
         if op == "ping":
@@ -503,7 +529,73 @@ class InferenceServer(FrameServer):
             return {"ok": True, "state": self.state}
         if op == "set_admission_weights":
             return self._handle_set_weights(request)
+        if op in (
+            "promote",
+            "set_shadow",
+            "clear_shadow",
+            "promote_canary",
+            "shadow_report",
+            "lifecycle",
+        ):
+            return self._handle_lifecycle(op, request)
         return _error_response("bad_request", f"unknown op {op!r}")
+
+    def _handle_lifecycle(
+        self, op: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """The lifecycle control ops, shared by both wire protocols (JSON
+        frames and binary OP_CONTROL frames dispatch identically)."""
+        model = request.get("model")
+        if model is not None and not isinstance(model, str):
+            return _error_response(
+                "bad_request", "the model field must be a string"
+            )
+        try:
+            if op == "shadow_report":
+                return {
+                    "ok": True,
+                    "report": self._registry.shadow_report(model),
+                }
+            if op == "lifecycle":
+                family = self._registry.resolve(model).name
+                return {
+                    "ok": True,
+                    "model": family,
+                    "events": self._registry.lifecycle_events(family),
+                }
+            if op == "clear_shadow":
+                return {"ok": True, **self._registry.clear_shadow(model)}
+            version = request.get("version")
+            if not isinstance(version, int) or isinstance(version, bool):
+                return _error_response(
+                    "bad_request", f"op {op!r} needs an integer version"
+                )
+            if op == "promote":
+                return {"ok": True, **self._registry.promote(model, version)}
+            if op == "set_shadow":
+                fraction = request.get("fraction", 1.0)
+                if not isinstance(fraction, (int, float)) or isinstance(
+                    fraction, bool
+                ):
+                    return _error_response(
+                        "bad_request", "fraction must be a number in (0, 1]"
+                    )
+                return {
+                    "ok": True,
+                    **self._registry.set_shadow(
+                        model, version, float(fraction)
+                    ),
+                }
+            # op == "promote_canary"
+            policy = CanaryPolicy.from_wire(request)
+            return {
+                "ok": True,
+                **self._registry.promote_canary(model, version, policy),
+            }
+        except ServingError as error:
+            return _error_response(error.error_type, str(error))
+        except (TypeError, ValueError) as error:
+            return _error_response("bad_request", str(error))
 
     def _handle_set_weights(self, request: Dict[str, Any]) -> Dict[str, Any]:
         budget = self._registry.budget
@@ -553,6 +645,8 @@ class InferenceServer(FrameServer):
                 f"model {entry.name!r} has no scores path",
                 request_id=rid,
             )
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
         try:
             result = await entry.queue.submit_packed(
                 request.packed, request.n_samples
@@ -563,6 +657,16 @@ class InferenceServer(FrameServer):
             return encode_error(
                 "internal", f"{type(error).__name__}: {error}", request_id=rid
             )
+        # mirror to the shadow candidate (if any) *after* the primary
+        # result exists — fire-and-forget, the client reply is not delayed
+        self._registry.spawn_shadow(
+            entry,
+            request.packed,
+            request.n_samples,
+            True,
+            result,
+            (loop.time() - t0) * 1e6,
+        )
         if entry.scores_mode:
             scores = np.asarray(result)
             labels = np.argmax(scores, axis=1)
@@ -598,6 +702,8 @@ class InferenceServer(FrameServer):
             return _error_response(
                 "bad_request", "features must be a rectangular 0/1 matrix"
             )
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
         try:
             result = await entry.queue.submit(rows)
         except ServingError as error:
@@ -605,6 +711,11 @@ class InferenceServer(FrameServer):
         except Exception as error:  # noqa: BLE001 - model failure
             self_type = type(error).__name__
             return _error_response("internal", f"{self_type}: {error}")
+        # mirror to the shadow candidate (if any) *after* the primary
+        # result exists — fire-and-forget, the client reply is not delayed
+        self._registry.spawn_shadow(
+            entry, rows, rows.shape[0], False, result, (loop.time() - t0) * 1e6
+        )
         if entry.scores_mode:
             labels = np.argmax(result, axis=1)
             response: Dict[str, Any] = {"ok": True, "labels": labels.tolist()}
@@ -671,6 +782,20 @@ class BackgroundServer:
             self._thread = None
             raise failure[0]
         return self.address
+
+    def run(self, coro, timeout: float = 30.0):
+        """Run ``coro`` on the server's event loop and return its result.
+
+        The blocking-side door to loop-confined state: lifecycle mutators
+        (``register_model`` on a live server, ``registry.promote``,
+        ``registry.wait_idle``) are synchronous-on-the-loop by design, so
+        off-thread callers route them through here instead of mutating the
+        registry from a foreign thread.
+        """
+        if self._loop is None or self._thread is None:
+            raise RuntimeError("server thread not started")
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
 
     def stop(self) -> None:
         if self._thread is None:

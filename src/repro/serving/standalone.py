@@ -49,7 +49,13 @@ from repro.serving.retry import RetryPolicy
 from repro.serving.router import RouterServer
 from repro.serving.server import InferenceServer
 
-__all__ = ["main", "make_popcount_model", "parse_model_spec", "parse_route"]
+__all__ = [
+    "main",
+    "make_popcount_model",
+    "parse_model_spec",
+    "parse_route",
+    "parse_shadow",
+]
 
 
 def make_popcount_model(
@@ -68,10 +74,22 @@ def make_popcount_model(
     return batch_fn, packed_fn
 
 
-def parse_model_spec(spec: str) -> Tuple[str, int, int, float]:
-    """``name=popcount:F:C[:SLEEP_MS]`` → ``(name, F, C, sleep_ms)``."""
+def parse_model_spec(
+    spec: str,
+) -> Tuple[str, Optional[int], int, int, float]:
+    """``name[@V]=popcount:F:C[:SLEEP_MS]`` → ``(name, V, F, C, sleep_ms)``.
+
+    ``V`` is the model version (``None`` when unversioned).  Repeating a
+    name with different versions builds a version family: the first listed
+    version serves, later ones register as standby candidates for
+    ``--shadow`` / canary promotion.
+    """
     try:
         name, rest = spec.split("=", 1)
+        version: Optional[int] = None
+        if "@" in name:
+            name, _, suffix = name.partition("@")
+            version = int(suffix)
         parts = rest.split(":")
         if parts[0] != "popcount" or len(parts) not in (3, 4):
             raise ValueError
@@ -79,9 +97,26 @@ def parse_model_spec(spec: str) -> Tuple[str, int, int, float]:
         sleep_ms = float(parts[3]) if len(parts) == 4 else 0.0
     except (ValueError, IndexError):
         raise SystemExit(
-            f"bad --model spec {spec!r}; expected name=popcount:F:C[:SLEEP_MS]"
+            f"bad --model spec {spec!r}; "
+            "expected name[@VERSION]=popcount:F:C[:SLEEP_MS]"
         )
-    return name, n_features, n_classes, sleep_ms
+    return name, version, n_features, n_classes, sleep_ms
+
+
+def parse_shadow(spec: str) -> Tuple[str, int, float]:
+    """``name=version[:fraction]`` → ``(name, version, fraction)``."""
+    try:
+        name, rest = spec.split("=", 1)
+        parts = rest.split(":")
+        if len(parts) not in (1, 2):
+            raise ValueError
+        version = int(parts[0])
+        fraction = float(parts[1]) if len(parts) == 2 else 1.0
+    except (ValueError, IndexError):
+        raise SystemExit(
+            f"bad --shadow spec {spec!r}; expected name=VERSION[:FRACTION]"
+        )
+    return name, version, fraction
 
 
 def parse_route(spec: str) -> Tuple[str, List[Tuple[str, int]]]:
@@ -128,11 +163,21 @@ async def _backend_main(args: argparse.Namespace) -> None:
         max_total_queue=args.max_total_queue,
     )
     for spec in args.model:
-        name, n_features, n_classes, sleep_ms = parse_model_spec(spec)
+        name, version, n_features, n_classes, sleep_ms = parse_model_spec(
+            spec
+        )
         batch_fn, packed_fn = make_popcount_model(
             n_features, n_classes, sleep_ms
         )
-        server.register_model(name, batch_fn, packed_fn=packed_fn)
+        server.register_model(
+            name, batch_fn, packed_fn=packed_fn, version=version
+        )
+    for spec in args.shadow or ():
+        name, version, fraction = parse_shadow(spec)
+        try:
+            server.registry.set_shadow(name, version, fraction)
+        except (ValueError, KeyError) as error:
+            raise SystemExit(f"bad --shadow spec {spec!r}: {error}")
     await server.start()
     _announce(server.host, server.port, server.http_port)
     await _run_until_signalled(server)
@@ -178,7 +223,20 @@ def main(argv: Optional[List[str]] = None) -> None:
         "--model",
         action="append",
         required=True,
-        help="name=popcount:F:C[:SLEEP_MS]; repeatable",
+        help=(
+            "name[@VERSION]=popcount:F:C[:SLEEP_MS]; repeatable — repeat a "
+            "name with different versions to build a hot-swap family (the "
+            "first listed version serves)"
+        ),
+    )
+    backend.add_argument(
+        "--shadow",
+        action="append",
+        default=None,
+        help=(
+            "name=VERSION[:FRACTION]: mirror that fraction of the named "
+            "family's traffic to standby VERSION; repeatable"
+        ),
     )
     backend.add_argument("--max-batch", type=int, default=64)
     backend.add_argument("--max-wait-us", type=float, default=2000.0)

@@ -214,6 +214,8 @@ def render_stats_text(
     *,
     prefix: str = "repro_serving",
     backends: Optional[Mapping[str, str]] = None,
+    versions: Optional[Mapping[str, int]] = None,
+    shadows: Optional[Mapping[str, Mapping[str, int]]] = None,
 ) -> str:
     """Prometheus-style plain-text rendering of per-model stats snapshots.
 
@@ -230,6 +232,15 @@ def render_stats_text(
     (``"numpy"`` / ``"native"``); each mapped model gets an info-style
     gauge ``{prefix}_model_backend{{model="x",backend="native"}} 1`` so a
     scrape can tell which engine is serving which tenant.
+
+    ``versions`` optionally maps model name → the family's *serving*
+    version, exported as the ``{prefix}_model_version`` gauge — a scrape
+    sees exactly when a hot-swap flipped the pointer.  ``shadows``
+    optionally maps model name → the cumulative shadow counters
+    (``{"requests": ..., "divergences": ...}``), exported as the
+    monotonic ``{prefix}_shadow_requests`` / ``{prefix}_shadow_divergences``
+    counters (cumulative across shadow re-targets, so ``rate()`` math
+    survives a candidate change).
 
     This is the payload behind the wire protocol's ``stats_text`` op — a
     scrape endpoint for operational tooling without adding an HTTP server
@@ -293,4 +304,26 @@ def render_stats_text(
                 for name in sorted(backends)
             ),
         )
+    if versions:
+        section(
+            "model_version",
+            "gauge",
+            (
+                ((("model", name),), float(versions[name]))
+                for name in sorted(versions)
+            ),
+        )
+    if shadows:
+        for metric, key in (
+            ("shadow_requests", "requests"),
+            ("shadow_divergences", "divergences"),
+        ):
+            section(
+                metric,
+                "counter",
+                (
+                    ((("model", name),), float(shadows[name].get(key, 0)))
+                    for name in sorted(shadows)
+                ),
+            )
     return "\n".join(lines) + ("\n" if lines else "")

@@ -58,6 +58,7 @@ from repro.serving.registry import ModelNotFoundError
 __all__ = [
     "BINARY_MAGIC",
     "BINARY_VERSION",
+    "BinaryControlRequest",
     "BinaryProtocolError",
     "BinaryReply",
     "BinaryRequest",
@@ -67,13 +68,18 @@ __all__ = [
     "MAX_MESSAGE_BYTES",
     "MAX_MODEL_NAME_BYTES",
     "MAX_PAYLOAD_BYTES",
+    "OP_CONTROL",
+    "OP_CONTROL_REPLY",
     "OP_ERROR",
     "OP_PREDICT",
     "OP_REPLY",
     "ProtocolError",
     "RawBinaryReply",
     "WIRE_ERROR_TYPES",
+    "decode_control_reply",
     "decode_reply",
+    "encode_control_reply",
+    "encode_control_request",
     "encode_error",
     "encode_message",
     "encode_predict_request",
@@ -82,6 +88,7 @@ __all__ = [
     "read_frame",
     "read_message",
     "read_reply_frame",
+    "recv_control_reply",
     "recv_message",
     "recv_reply",
     "replace_request_id",
@@ -264,6 +271,13 @@ BINARY_VERSION = 1
 OP_PREDICT = 0x01
 OP_REPLY = 0x02
 OP_ERROR = 0x03
+#: control-plane ops: a JSON payload inside a binary frame.  Lifecycle
+#: commands (promote, set_shadow, shadow_report, ...) are rare and
+#: structured, so they do not earn bespoke binary layouts — but a binary
+#: client must not interleave JSON frames into its pipelined stream just
+#: to run them, so the JSON body rides the binary framing instead.
+OP_CONTROL = 0x04
+OP_CONTROL_REPLY = 0x05
 
 #: flags bit 0 on OP_PREDICT: "return scores"; on OP_REPLY: "scores follow"
 FLAG_SCORES = 0x01
@@ -278,6 +292,7 @@ _COMMON = struct.Struct("<BBBBI")  # magic, version, opcode, flags, request id
 _PREDICT_HEAD = struct.Struct("<HII")  # name length, n_samples, n_features
 _REPLY_HEAD = struct.Struct("<II")  # n_samples, n_classes
 _ERROR_HEAD = struct.Struct("<BH")  # error code, message length
+_CONTROL_HEAD = struct.Struct("<I")  # JSON payload length
 
 _WORD = np.dtype("<u8")
 _LABEL = np.dtype("<i8")
@@ -308,6 +323,21 @@ class BinaryReply:
     request_id: int
     labels: np.ndarray  # (n_samples,) int64
     scores: Optional[np.ndarray]  # (n_samples, n_classes) float64 or None
+
+
+@dataclass
+class BinaryControlRequest:
+    """One decoded OP_CONTROL frame: a JSON control op on the binary wire.
+
+    The payload is the same dict the JSON protocol would carry (``op``,
+    ``model``, ...); the server dispatches it through the normal JSON op
+    table and answers with an OP_CONTROL_REPLY frame echoing the request
+    id — so a pipelined binary client runs lifecycle commands without
+    switching codecs mid-stream.
+    """
+
+    request_id: int
+    payload: Dict[str, Any]
 
 
 @dataclass
@@ -428,6 +458,55 @@ def encode_error(
     )
 
 
+def _encode_control_body(payload: Dict[str, Any]) -> bytes:
+    try:
+        body = json.dumps(
+            payload, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            f"payload is not JSON-serialisable: {error}"
+        ) from error
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"control payload of {len(body)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte cap"
+        )
+    return body
+
+
+def encode_control_request(
+    payload: Dict[str, Any], *, request_id: int = 0
+) -> bytes:
+    """Frame one JSON control op for the binary wire (OP_CONTROL)."""
+    body = _encode_control_body(payload)
+    return b"".join(
+        (
+            _COMMON.pack(
+                BINARY_MAGIC, BINARY_VERSION, OP_CONTROL, 0, request_id
+            ),
+            _CONTROL_HEAD.pack(len(body)),
+            body,
+        )
+    )
+
+
+def encode_control_reply(
+    payload: Dict[str, Any], *, request_id: int = 0
+) -> bytes:
+    """Frame one JSON control response (OP_CONTROL_REPLY)."""
+    body = _encode_control_body(payload)
+    return b"".join(
+        (
+            _COMMON.pack(
+                BINARY_MAGIC, BINARY_VERSION, OP_CONTROL_REPLY, 0, request_id
+            ),
+            _CONTROL_HEAD.pack(len(body)),
+            body,
+        )
+    )
+
+
 def replace_request_id(frame: bytes, request_id: int) -> bytes:
     """Re-stamp a binary frame's request id without touching the payload.
 
@@ -539,11 +618,12 @@ def decode_reply(frame: bytes) -> BinaryReply:
 # ----------------------------------------------- unified readers (both sides)
 async def read_frame(
     reader: asyncio.StreamReader,
-) -> Union[None, Dict[str, Any], BinaryRequest]:
+) -> Union[None, Dict[str, Any], BinaryRequest, BinaryControlRequest]:
     """Read one *request* frame of either protocol from a shared listener.
 
     Returns ``None`` on clean EOF before a frame, a ``dict`` for a JSON
-    frame, or a :class:`BinaryRequest` for a binary predict frame.  The
+    frame, a :class:`BinaryRequest` for a binary predict frame, or a
+    :class:`BinaryControlRequest` for a binary-framed control op.  The
     first byte discriminates: :data:`BINARY_MAGIC` can never open a JSON
     length header (the 64 MiB cap keeps that byte <= 0x04).
     """
@@ -558,10 +638,25 @@ async def read_frame(
             "<BBBI", await reader.readexactly(_COMMON.size - 1)
         )
         _check_version(version)
+        if opcode == OP_CONTROL:
+            head = await reader.readexactly(_CONTROL_HEAD.size)
+            (length,) = _CONTROL_HEAD.unpack(head)
+            try:
+                _check_length(length)
+            except ProtocolError as error:
+                raise BinaryProtocolError(str(error)) from error
+            body = await reader.readexactly(length) if length else b""
+            try:
+                payload = _decode_body(body)
+            except ProtocolError as error:
+                raise BinaryProtocolError(str(error)) from error
+            return BinaryControlRequest(
+                request_id=request_id, payload=payload
+            )
         if opcode != OP_PREDICT:
             raise BinaryProtocolError(
                 f"unexpected opcode 0x{opcode:02x} from a client "
-                "(only OP_PREDICT crosses this direction)"
+                "(only OP_PREDICT and OP_CONTROL cross this direction)"
             )
         head = await reader.readexactly(_PREDICT_HEAD.size)
         name_len, samples, features = _PREDICT_HEAD.unpack(head)
@@ -606,6 +701,20 @@ async def read_reply_frame(
                 request_id=request_id,
                 opcode=OP_ERROR,
                 error_type=ERROR_CODES.get(code, "internal"),
+                frame=first + rest_common + head + body,
+            )
+        if opcode == OP_CONTROL_REPLY:
+            head = await reader.readexactly(_CONTROL_HEAD.size)
+            (length,) = _CONTROL_HEAD.unpack(head)
+            try:
+                _check_length(length)
+            except ProtocolError as error:
+                raise BinaryProtocolError(str(error)) from error
+            body = await reader.readexactly(length) if length else b""
+            return RawBinaryReply(
+                request_id=request_id,
+                opcode=OP_CONTROL_REPLY,
+                error_type=None,
                 frame=first + rest_common + head + body,
             )
         if opcode != OP_REPLY:
@@ -666,6 +775,51 @@ def recv_reply(sock: socket.socket) -> BinaryReply:
     labels_bytes, scores_bytes = _reply_sizes(samples, n_classes, flags)
     body = _recv_or_raise(sock, labels_bytes + scores_bytes, "reply body")
     return _parse_reply(flags, request_id, head, body)
+
+
+def decode_control_reply(frame: bytes) -> Tuple[int, Dict[str, Any]]:
+    """Parse one OP_CONTROL_REPLY frame held in memory → ``(id, payload)``."""
+    magic, version, opcode, _flags, request_id = _COMMON.unpack(
+        frame[: _COMMON.size]
+    )
+    if magic != BINARY_MAGIC:
+        raise BinaryProtocolError(
+            f"expected a binary control reply, got leading byte 0x{magic:02x}"
+        )
+    _check_version(version)
+    if opcode != OP_CONTROL_REPLY:
+        raise BinaryProtocolError(
+            f"unexpected opcode 0x{opcode:02x} in a control reply"
+        )
+    rest = frame[_COMMON.size:]
+    (length,) = _CONTROL_HEAD.unpack(rest[: _CONTROL_HEAD.size])
+    body = rest[_CONTROL_HEAD.size: _CONTROL_HEAD.size + length]
+    return request_id, _decode_body(body)
+
+
+def recv_control_reply(sock: socket.socket) -> Dict[str, Any]:
+    """Blocking read of one OP_CONTROL_REPLY frame's JSON payload.
+
+    Error semantics match the JSON protocol: the payload itself carries
+    ``ok``/``error``, so this only raises on transport/framing failures —
+    the caller maps typed wire errors exactly like a JSON response.
+    """
+    header = _recv_or_raise(sock, _COMMON.size, "header")
+    magic, version, opcode, _flags, _request_id = _COMMON.unpack(header)
+    if magic != BINARY_MAGIC:
+        raise BinaryProtocolError(
+            f"expected a binary control reply, got leading byte 0x{magic:02x}"
+        )
+    _check_version(version)
+    if opcode != OP_CONTROL_REPLY:
+        raise BinaryProtocolError(
+            f"unexpected opcode 0x{opcode:02x} in a control reply"
+        )
+    head = _recv_or_raise(sock, _CONTROL_HEAD.size, "control header")
+    (length,) = _CONTROL_HEAD.unpack(head)
+    _check_length(length)
+    body = _recv_or_raise(sock, length, "control body") if length else b""
+    return _decode_body(body)
 
 
 # --------------------------------------------------------- listener machinery
@@ -884,6 +1038,26 @@ class FrameServer:
             corked.send_raw(await self._dispatch_binary(request))
             await corked.drain()
 
+        async def respond_control(request: BinaryControlRequest) -> None:
+            # a binary-framed control op dispatches through the JSON op
+            # table; the response rides back inside the binary framing so
+            # the client's pipelined stream stays single-codec
+            response = await self._dispatch(request.payload)
+            try:
+                frame = encode_control_reply(
+                    response, request_id=request.request_id
+                )
+            except ProtocolError as error:
+                frame = encode_control_reply(
+                    error_response(
+                        "internal",
+                        f"response not representable in JSON: {error}",
+                    ),
+                    request_id=request.request_id,
+                )
+            corked.send_raw(frame)
+            await corked.drain()
+
         try:
             while True:
                 try:
@@ -898,6 +1072,10 @@ class FrameServer:
                     break
                 if isinstance(request, BinaryRequest):
                     request_task = asyncio.create_task(respond_binary(request))
+                elif isinstance(request, BinaryControlRequest):
+                    request_task = asyncio.create_task(
+                        respond_control(request)
+                    )
                 else:
                     request_task = asyncio.create_task(respond(request))
                 in_flight.add(request_task)

@@ -311,6 +311,55 @@ class TestWorkerPool:
                 pool.evaluate_outputs("a", X), serial_a.predict_batch(X)
             )
 
+    def test_detach_evicts_worker_side_copies(self, models):
+        """Cycling many versions through a live pool keeps worker registries
+        flat: ``detach`` ships eviction notices with later tasks, so the
+        serving layer's hot-swap loop (attach v2, drain v1, detach v1,
+        repeat) cannot grow worker memory without bound."""
+        netlist_b, _ = models["b"]
+        rng = as_rng(18)
+        variants = [
+            random_netlist(16, 30, seed=100 + i, n_outputs=2)
+            for i in range(6)
+        ]
+        serials = [compile_netlist(n) for n in variants]
+        X = rng.integers(0, 2, size=(700, 16), dtype=np.uint8)
+        with WorkerPool(
+            n_workers=2, backend="process", min_words_per_worker=1
+        ) as pool:
+            pool.attach("base", netlist_b)
+            pool.warm_up()
+            if pool.backend != "process":  # pragma: no cover - no fork host
+                pytest.skip("process backend unavailable on this host")
+            assert pool.worker_registry_sizes() != {}
+            for cycle in range(50):
+                i = cycle % len(variants)
+                vid = f"v{cycle}"
+                pool.attach(vid, variants[i])
+                np.testing.assert_array_equal(
+                    pool.evaluate_outputs(vid, X),
+                    serials[i].predict_batch(X),
+                )
+                pool.detach(vid)
+            sizes = pool.worker_registry_sizes()
+            assert sizes, "census sampled no workers"
+            for pid, (n_netlists, n_engines) in sizes.items():
+                # only the fork-inherited base model may remain — without
+                # eviction each worker would hold ~25 stale versions here
+                assert n_netlists == 1, (pid, n_netlists)
+                assert n_engines <= 1, (pid, n_engines)
+            if len(sizes) == pool.n_workers:
+                # every worker confirmed every eviction: ledger drained
+                assert pool._retired == {}
+
+    def test_worker_registry_sizes_needs_a_process_pool(self, models):
+        netlist_b, _ = models["b"]
+        with WorkerPool(n_workers=2, backend="thread") as pool:
+            pool.attach("b", netlist_b)
+            assert pool.worker_registry_sizes() == {}
+            with pytest.raises(ValueError, match="rounds"):
+                pool.worker_registry_sizes(rounds=0)
+
     def test_shared_pool_views(self, models):
         """ShardedEngine views share one pool; closing a view detaches only."""
         netlist_a, serial_a = models["a"]
@@ -425,6 +474,7 @@ class TestWorkerHelpers:
                         words,
                         lo,
                         hi,
+                        (),
                     )
                 )
             out = np.ndarray((3, words), dtype=np.uint64, buffer=shm_out.buf)
@@ -445,6 +495,7 @@ class TestWorkerHelpers:
                         words,
                         0,
                         1,
+                        (),
                     )
                 )
             other_serial = compile_netlist(other)
@@ -465,6 +516,7 @@ class TestWorkerHelpers:
                     1,
                     0,
                     1,
+                    (),
                 )
             )
             out_other = np.ndarray(

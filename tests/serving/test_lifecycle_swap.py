@@ -1,0 +1,293 @@
+"""Hot-swap under fire: version flips while client threads hammer predict.
+
+The PR-9 contract for :meth:`ModelRegistry.promote`: the serving-pointer
+flip is atomic *between batches*.  While versions flip under concurrent
+load, every reply must be bit-exact against exactly one version's function
+over that request's rows (no torn batches mixing versions inside one
+reply), no request may error, no request may be shed because of a flip,
+and the shared admission budget must drain back to zero — a leaked
+reservation would eventually wedge the box.
+
+Lifecycle mutators are loop-confined; blocking test code reaches them
+through :meth:`BackgroundServer.run` or over the wire.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BackgroundServer,
+    InferenceServer,
+    ModelNotFoundError,
+    ServingClient,
+)
+from repro.serving.registry import SERVING, STANDBY
+from repro.utils.rng import as_rng
+
+N_FEATURES = 24
+N_CLASSES = 8
+
+
+def version_fn(version: int):
+    """Version ``v``'s batch function: ``(popcount(row) + v) % C``.
+
+    Distinct versions disagree on every row, so a reply identifies the
+    version that produced it — and a torn batch (some rows answered by v1,
+    some by v2) cannot match any single version.
+    """
+
+    def batch_fn(X):
+        return (np.asarray(X, dtype=np.int64).sum(axis=1) + version) % N_CLASSES
+
+    return batch_fn
+
+
+def matching_versions(X, labels, candidates):
+    """The candidate versions whose function produced ``labels`` for ``X``."""
+    labels = np.asarray(labels)
+    return [
+        v for v in candidates if np.array_equal(labels, version_fn(v)(X))
+    ]
+
+
+def register(handle, *args, **kwargs):
+    """``register_model`` on the server's loop (live registration)."""
+
+    async def _do():
+        return handle.server.register_model(*args, **kwargs)
+
+    return handle.run(_do())
+
+
+def quiesce(handle):
+    """Wait out every scheduled drain/retire/shadow task."""
+
+    async def _do():
+        await handle.server.registry.wait_idle()
+
+    handle.run(_do())
+
+
+@pytest.fixture()
+def server():
+    srv = InferenceServer(
+        max_batch=32,
+        max_wait_us=500,
+        max_queue=100_000,
+        max_total_queue=100_000,
+    )
+    srv.register_model("m", version_fn(1), version=1)
+    with BackgroundServer(srv) as handle:
+        yield handle
+
+
+class TestPromoteSemantics:
+    def test_promote_flips_and_retires(self, server):
+        rng = as_rng(0)
+        X = rng.integers(0, 2, size=(5, N_FEATURES), dtype=np.uint8)
+        with ServingClient(*server.address) as client:
+            register(server, "m", version_fn(2), version=2)
+            np.testing.assert_array_equal(
+                client.predict(X, model="m"), version_fn(1)(X)
+            )
+            # the standby is pinnable before the flip
+            np.testing.assert_array_equal(
+                client.predict(X, model="m@2"), version_fn(2)(X)
+            )
+            result = client.promote("m", 2)
+            assert result == {
+                "ok": True,
+                "model": "m",
+                "version": 2,
+                "previous": 1,
+                "changed": True,
+            }
+            np.testing.assert_array_equal(
+                client.predict(X, model="m"), version_fn(2)(X)
+            )
+            # idempotent re-promotion
+            assert client.promote("m", 2)["changed"] is False
+            quiesce(server)
+            # v1 drained out of the chain: pinning it is model_not_found
+            events = {e["event"] for e in client.lifecycle("m")}
+            assert {"promoted", "draining", "retired"} <= events
+            with pytest.raises(ModelNotFoundError):
+                client.predict(X, model="m@1")
+            info = next(
+                entry
+                for entry in client.list_models()["models"]
+                if entry["name"] == "m"
+            )
+            assert info["version"] == 2
+            assert info["versions"] == [{"version": 2, "state": SERVING}]
+
+    def test_promote_unknown_version_is_typed(self, server):
+        with ServingClient(*server.address) as client:
+            with pytest.raises(ModelNotFoundError):
+                client.promote("m", 7)
+            with pytest.raises(ModelNotFoundError):
+                client.promote("ghost", 1)
+
+    def test_register_duplicate_version_rejected(self, server):
+        register(server, "m", version_fn(2), version=2)
+        with pytest.raises(ValueError, match="already has a version 2"):
+            register(server, "m", version_fn(2), version=2)
+        with pytest.raises(ValueError, match="already registered"):
+            register(server, "m", version_fn(3))
+
+    def test_on_retire_fires_once_per_displaced_version(self, server):
+        retired = []
+        register(
+            server,
+            "m",
+            version_fn(2),
+            version=2,
+            on_retire=lambda: retired.append(2),
+        )
+        with ServingClient(*server.address) as client:
+            client.promote("m", 2)
+            quiesce(server)
+            assert retired == []  # v2 is serving; v1 had no hook
+            register(
+                server,
+                "m",
+                version_fn(3),
+                version=3,
+                on_retire=lambda: retired.append(3),
+            )
+            client.promote("m", 3)
+            quiesce(server)
+            assert retired == [2]
+
+
+class TestSwapUnderLoad:
+    N_THREADS = 8
+    N_FLIPS = 6
+    REQUESTS_PER_THREAD = 60
+
+    def test_concurrent_hot_swap_is_torn_free(self, server):
+        """Client threads hammer while the control thread cycles versions
+        1→2→...→7; every reply must match exactly one version function."""
+        rng = as_rng(1)
+        batches = [
+            rng.integers(0, 2, size=(n, N_FEATURES), dtype=np.uint8)
+            for n in (1, 3, 17, 32, 57)
+        ]
+        all_versions = range(1, self.N_FLIPS + 2)
+        failures = []
+
+        def hammer(worker: int):
+            try:
+                with ServingClient(*server.address) as client:
+                    for i in range(self.REQUESTS_PER_THREAD):
+                        X = batches[(worker + i) % len(batches)]
+                        labels = client.predict(X, model="m")
+                        matched = matching_versions(X, labels, all_versions)
+                        if len(matched) != 1:
+                            failures.append(
+                                (worker, i, labels.tolist(), matched)
+                            )
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                failures.append((worker, "error", repr(error)))
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            with ServingClient(*server.address) as control:
+                for version in range(2, self.N_FLIPS + 2):
+                    register(server, "m", version_fn(version), version=version)
+                    control.promote("m", version)
+        finally:
+            for t in threads:
+                t.join()
+        assert not failures, failures[:5]
+        quiesce(server)
+        stats = server.server.registry.resolve("m").stats.snapshot()
+        assert stats["shed"] == 0
+        assert stats["errors"] == 0
+        assert (
+            stats["requests_completed"]
+            >= self.N_THREADS * self.REQUESTS_PER_THREAD
+        )
+        # the shared budget drained: nothing leaked across the flips
+        assert server.server.registry.budget.outstanding == 0
+
+    def test_256_concurrent_requests_across_a_flip(self, server):
+        """The acceptance drill: 256 in-flight requests race one promote.
+
+        Zero errors, zero sheds, and every reply bit-exact against v1 or
+        v2 — never a mixture inside one reply.
+        """
+        rng = as_rng(2)
+        X = rng.integers(0, 2, size=(13, N_FEATURES), dtype=np.uint8)
+        expected = {1: version_fn(1)(X), 2: version_fn(2)(X)}
+        register(server, "m", version_fn(2), version=2)
+        n_clients = 256
+        barrier = threading.Barrier(n_clients + 1)
+        failures = []
+
+        def one_shot(worker: int):
+            try:
+                with ServingClient(*server.address) as client:
+                    client.ping()  # connection is up before the barrier
+                    barrier.wait(timeout=30)
+                    labels = client.predict(X, model="m")
+                    matched = [
+                        v
+                        for v, exp in expected.items()
+                        if np.array_equal(labels, exp)
+                    ]
+                    if len(matched) != 1:
+                        failures.append((worker, labels.tolist()))
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                failures.append((worker, repr(error)))
+
+        threads = [
+            threading.Thread(target=one_shot, args=(w,))
+            for w in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        with ServingClient(*server.address) as control:
+            barrier.wait(timeout=30)
+            control.promote("m", 2)
+        for t in threads:
+            t.join()
+        assert not failures, failures[:5]
+        quiesce(server)
+        stats = server.server.registry.resolve("m").stats.snapshot()
+        assert stats["shed"] == 0
+        assert stats["errors"] == 0
+        assert server.server.registry.budget.outstanding == 0
+
+
+class TestVersionStates:
+    def test_family_view_tracks_states(self, server):
+        register(server, "m", version_fn(2), version=2)
+        info = server.server.registry.describe_family("m")
+        assert info["versions"] == [
+            {"version": 1, "state": SERVING},
+            {"version": 2, "state": STANDBY},
+        ]
+        assert info["shadow"] is None
+
+    def test_unregister_version_refuses_the_serving_one(self, server):
+        register(server, "m", version_fn(2), version=2)
+        registry = server.server.registry
+
+        async def _unregister(version):
+            return registry.unregister_version("m", version)
+
+        with pytest.raises(ValueError, match="is serving"):
+            server.run(_unregister(1))
+        server.run(_unregister(2))
+        quiesce(server)
+        assert registry.describe_family("m")["versions"] == [
+            {"version": 1, "state": SERVING}
+        ]

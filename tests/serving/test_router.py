@@ -198,6 +198,46 @@ class TestRouting:
         response = asyncio.run(drive())
         assert response["error"]["type"] == "model_not_found"
 
+    def test_version_pin_routes_by_family_and_is_forwarded(self):
+        """``m@2`` has no placement entry of its own: the router routes it
+        by the family ``m`` and forwards the pin untouched, so the backend
+        answers with the pinned standby version."""
+
+        def v2_fn(X):
+            return (np.asarray(X, dtype=np.int64).sum(axis=1) + 1) % 3
+
+        async def drive():
+            backend = await _backend()
+            backend.register_model("m", v2_fn, version=2)
+            router = _router([backend])
+            address = await router.start()
+            rows = [[1, 0, 1, 0, 1, 0, 1, 0], [1] * N_FEATURES]
+            try:
+                pinned = await _request(
+                    address,
+                    {"op": "predict", "model": "m@2", "features": rows},
+                )
+                primary = await _request(
+                    address,
+                    {"op": "predict", "model": "m", "features": rows},
+                )
+                ghost = await _request(
+                    address,
+                    {"op": "predict", "model": "ghost@2", "features": rows},
+                )
+                return pinned, primary, ghost, rows
+            finally:
+                await router.stop()
+                await backend.stop()
+
+        pinned, primary, ghost, rows = asyncio.run(drive())
+        assert pinned["ok"], pinned
+        X = np.asarray(rows)
+        assert pinned["labels"] == v2_fn(X).tolist()
+        assert primary["labels"] == _expected(rows).tolist()
+        # the family fallback only applies to names the router places
+        assert ghost["error"]["type"] == "model_not_found"
+
     def test_load_spreads_across_replicas(self):
         """Concurrent requests land on both replicas, not just the first."""
         calls_a, calls_b = [], []
