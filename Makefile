@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-lifecycle bench-smoke bench-native bench-serving serve-demo serve-stats serve-cluster check
+.PHONY: test test-lifecycle bench-smoke bench-native bench-native-mt bench-serving serve-demo serve-stats serve-cluster check
 
 # Tier-1 verification: the full test suite (includes benchmarks/).
 test:
@@ -29,6 +29,14 @@ bench-smoke:
 # the same hosts where backend="auto" serves the NumPy engine.
 bench-native:
 	$(PYTEST) benchmarks/test_native_throughput.py -q -rs
+
+# Tier-2 native runtime gates: the autotuned threads+SIMD engine must beat
+# the single-thread native engine >=2x at a 4096-sample batch (skips with
+# an explicit reason on <4-core or toolchain-less hosts; a 1/2/4 thread
+# sweep lands in BENCH_results.json alongside the gate) and a 1-word batch
+# must stay on the calling thread — no small-batch latency regression.
+bench-native-mt:
+	$(PYTEST) benchmarks/test_native_mt_throughput.py -q -rs
 
 # Serving-layer gates: coalesced async serving must beat sequential
 # per-request calls >=3x on 256 concurrent 1-sample requests, multi-model
@@ -61,4 +69,4 @@ serve-cluster:
 # CI-style composite: tier-1 tests plus every perf gate in one invocation.
 # (test already runs the lifecycle files; test-lifecycle re-runs them -x as
 # the explicit lifecycle/chaos gate so a soak failure is named in CI output.)
-check: test test-lifecycle bench-smoke bench-native bench-serving
+check: test test-lifecycle bench-smoke bench-native bench-native-mt bench-serving

@@ -1,0 +1,216 @@
+"""Tier-2 native runtime (threads + SIMD) vs the single-thread native engine.
+
+PR-8's native backend removed the interpreter overhead; what is left on a
+large batch is pure word-program arithmetic, which is embarrassingly
+parallel along the word axis and vectorisable within it.  The tier-2
+runtime exploits both: the emitted C processes ``unroll`` words per
+statement (GCC/Clang vector extensions, ``-O2 -march=native``) and
+``run_packed`` splits the word range across a persistent in-process
+thread pool, with the autotuner pinning the winning (threads, unroll,
+tier) combination per netlist.
+
+Two gates:
+
+* ``native_mt_speedup`` — the autotuned multithreaded engine must be at
+  least ``NATIVE_MT_SPEEDUP_TARGET``x faster than the single-thread
+  scalar native engine on the paper's P=6 bank at a large batch.  This
+  needs real parallel hardware, so hosts with fewer than
+  ``MIN_CORES_FOR_GATE`` cores skip with an explicit reason (the
+  correctness assertions and the small-batch guard below still run
+  there via ``make check``'s unit tier).
+* small-batch latency — a sub-grain batch must run on the calling
+  thread, so the tier-2 engine's latency cannot regress materially vs
+  the single-thread native engine.  This guard runs on any host with a
+  toolchain, core count regardless.
+
+Both paths assert bit-exactness against NumPy and the single-thread
+native engine before timing anything.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import compile_netlist, pack_bits, rinc_bank_netlist
+from repro.engine.native import (
+    NativeCompiledNetlist,
+    find_compiler,
+)
+from repro.utils import as_rng
+
+from bench_utils import emit, record_gate
+
+BATCH = 4096
+SMALL_BATCH = 64
+N_FEATURES = 256
+NATIVE_MT_SPEEDUP_TARGET = 2.0  # autotuned mt vs single-thread native
+MIN_CORES_FOR_GATE = 4
+#: a sub-grain batch stays on the calling thread, so its latency should be
+#: within noise of the scalar engine; 1.5x leaves headroom for timer jitter
+#: on sub-millisecond calls without letting a real regression through
+SMALL_BATCH_MAX_RATIO = 1.5
+
+
+def _bank():
+    return rinc_bank_netlist(
+        n_primary_inputs=N_FEATURES,
+        n_trees=480,
+        n_mats=80,
+        n_outputs=10,
+        lut_width=6,
+        seed=2,
+    )
+
+
+def _best_of(fn, repeats: int, inner: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def _measure(baseline, contender, packed, rounds: int = 4, inner: int = 4):
+    """Interleaved best-of over both engines on the same packed words."""
+    t_base = t_cont = float("inf")
+    for _ in range(rounds):
+        t_base = min(
+            t_base,
+            _best_of(lambda: baseline.run_packed(packed), repeats=3, inner=inner),
+        )
+        t_cont = min(
+            t_cont,
+            _best_of(lambda: contender.run_packed(packed), repeats=3, inner=inner),
+        )
+    return t_base, t_cont
+
+
+def _require_toolchain():
+    if find_compiler() is None:
+        pytest.skip(
+            "no C compiler on this host (need cc/gcc/clang or $CC); the "
+            "tier-2 native runtime cannot build here"
+        )
+
+
+def test_native_mt_speedup():
+    """Autotuned threads+SIMD vs scalar native: >= 2x on a >= 4-core host."""
+    _require_toolchain()
+    n_cpus = os.cpu_count() or 1
+    if n_cpus < MIN_CORES_FOR_GATE:
+        pytest.skip(
+            f"host has {n_cpus} core(s); the {NATIVE_MT_SPEEDUP_TARGET}x "
+            f"multithread gate needs >= {MIN_CORES_FOR_GATE} — thread shards "
+            "would just queue on the shared executor here (bit-exactness "
+            "across thread counts is covered by tests/engine/test_native_mt.py)"
+        )
+    netlist = _bank()
+    program = compile_netlist(netlist)
+    scalar = NativeCompiledNetlist(program)  # PR-8 engine: 1 thread, -O1
+    t_tune = time.perf_counter()
+    tuned = NativeCompiledNetlist.tuned(program)
+    t_tune = time.perf_counter() - t_tune
+
+    X = as_rng(0).integers(0, 2, size=(BATCH, N_FEATURES), dtype=np.uint8)
+    packed = pack_bits(X)
+    # correctness first: NumPy == scalar native == tuned mt native
+    reference = program.run_packed(packed)
+    np.testing.assert_array_equal(scalar.run_packed(packed), reference)
+    np.testing.assert_array_equal(tuned.run_packed(packed), reference)
+
+    t_scalar, t_tuned = _measure(scalar, tuned, packed)
+    # re-measure if a noisy run left the ratio short (mins only improve)
+    for _ in range(2):
+        if t_scalar / t_tuned >= NATIVE_MT_SPEEDUP_TARGET:
+            break
+        more = _measure(scalar, tuned, packed, rounds=8)
+        t_scalar = min(t_scalar, more[0])
+        t_tuned = min(t_tuned, more[1])
+
+    # the thread sweep: same tuned build at 1/2/4 threads, for the record
+    sweep_rows = []
+    for threads in (1, 2, 4):
+        engine = NativeCompiledNetlist(
+            program,
+            threads=threads,
+            unroll=tuned.unroll,
+            opt_tier=tuned.opt_tier,
+        )
+        np.testing.assert_array_equal(engine.run_packed(packed), reference)
+        t = _best_of(lambda: engine.run_packed(packed), repeats=6, inner=4)
+        sweep_rows.append(f"threads={threads}  {t * 1e3:6.3f} ms")
+        record_gate(
+            f"native_mt_sweep_threads_{threads}",
+            t_scalar / t,
+            1.0 if threads == 1 else NATIVE_MT_SPEEDUP_TARGET,
+        )
+
+    emit(
+        f"Tier-2 native runtime ({BATCH}-sample batch, {N_FEATURES} features, "
+        f"{n_cpus} cores, tuned {tuned.tuned_config}, tune+build "
+        f"{t_tune:.2f} s)",
+        "\n".join(
+            [
+                f"scalar native {t_scalar * 1e3:6.3f} ms  "
+                f"tuned mt {t_tuned * 1e3:6.3f} ms  "
+                f"speedup {t_scalar / t_tuned:5.2f}x",
+            ]
+            + sweep_rows
+        ),
+    )
+    record_gate(
+        "native_mt_speedup", t_scalar / t_tuned, NATIVE_MT_SPEEDUP_TARGET
+    )
+    assert t_scalar / t_tuned >= NATIVE_MT_SPEEDUP_TARGET, (
+        f"tier-2 runtime is only {t_scalar / t_tuned:.2f}x faster than the "
+        f"single-thread native engine (target {NATIVE_MT_SPEEDUP_TARGET}x "
+        f"on {n_cpus} cores)"
+    )
+
+
+def test_native_mt_small_batch_no_regression():
+    """Sub-grain batches must not pay a threading tax (any host)."""
+    _require_toolchain()
+    netlist = _bank()
+    program = compile_netlist(netlist)
+    scalar = NativeCompiledNetlist(program)
+    tuned = NativeCompiledNetlist.tuned(program)
+
+    X = as_rng(1).integers(0, 2, size=(SMALL_BATCH, N_FEATURES), dtype=np.uint8)
+    packed = pack_bits(X)
+    assert packed.shape[1] == 1  # one word: below any shard grain
+    np.testing.assert_array_equal(
+        tuned.run_packed(packed), scalar.run_packed(packed)
+    )
+
+    t_scalar, t_tuned = _measure(scalar, tuned, packed, rounds=6, inner=64)
+    ratio = t_tuned / t_scalar
+    # mins only improve: give a noisy host a second chance before failing
+    for _ in range(2):
+        if ratio <= SMALL_BATCH_MAX_RATIO:
+            break
+        more = _measure(scalar, tuned, packed, rounds=8, inner=64)
+        t_scalar = min(t_scalar, more[0])
+        t_tuned = min(t_tuned, more[1])
+        ratio = t_tuned / t_scalar
+    emit(
+        f"Tier-2 small-batch latency ({SMALL_BATCH} samples = 1 word)",
+        f"scalar native {t_scalar * 1e6:7.2f} us  "
+        f"tuned mt {t_tuned * 1e6:7.2f} us  ratio {ratio:4.2f}x "
+        f"(max {SMALL_BATCH_MAX_RATIO}x)",
+    )
+    record_gate(
+        "native_mt_small_batch_ratio",
+        SMALL_BATCH_MAX_RATIO / ratio,  # >= 1 means within budget
+        1.0,
+        unit="budget",
+    )
+    assert ratio <= SMALL_BATCH_MAX_RATIO, (
+        f"tuned engine is {ratio:.2f}x slower than scalar native on a "
+        f"1-word batch (budget {SMALL_BATCH_MAX_RATIO}x) — the shard grain "
+        "should have kept this on the calling thread"
+    )

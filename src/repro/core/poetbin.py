@@ -81,7 +81,7 @@ class PoETBiNClassifier:
         self.rinc_modules_: List[RINCClassifier] = []
         self.output_layer_: Optional[SparseQuantizedOutputLayer] = None
         self.n_features_: Optional[int] = None
-        # engine backend ("numpy"/"native"/"auto") -> compiled engine
+        # engine backend ("numpy"/"native"/"native-mt"/"auto") -> engine
         self._compiled_: dict = {}
         # (n_workers or ("pool", id(pool)), engine_backend) -> ShardedEngine
         self._sharded_: dict = {}
@@ -178,7 +178,9 @@ class PoETBiNClassifier:
 
         ``engine_backend`` picks the evaluation engine — the NumPy word-op
         interpreter (default), the generated-C native engine
-        (``"native"``), or ``"auto"`` (native when the host has a C
+        (``"native"``), its autotuned multithreaded/SIMD tier
+        (``"native-mt"``, which shards large batches across word ranges
+        in-process), or ``"auto"`` (native when the host has a C
         toolchain, else NumPy) — cached per backend.
         """
         self._check_fitted()
@@ -263,7 +265,8 @@ class PoETBiNClassifier:
         packed words across a private process pool; ``pool`` shares an
         existing :class:`~repro.engine.parallel.WorkerPool` instead (see
         :meth:`sharded_engine`).  ``engine_backend`` picks the evaluator —
-        ``"numpy"``, ``"native"`` (generated C) or ``"auto"``."""
+        ``"numpy"``, ``"native"`` (generated C), ``"native-mt"``
+        (autotuned multithreaded native) or ``"auto"``."""
         from repro.engine import predict_in_batches
 
         engine = self._engine(n_workers, pool, engine_backend)

@@ -24,7 +24,10 @@ Compiler
     support reduction, dead-node pruning),
     :class:`~repro.engine.passes.FuseChainsPass` (single-fanout LUT chains
     fused into wider tables under the packed cost model — fewer levels,
-    fewer Shannon mux steps) and
+    fewer Shannon mux steps),
+    :class:`~repro.engine.passes.DedupTablesPass` (structurally identical
+    tables collapsed to one shared node; never raises
+    :func:`~repro.engine.passes.table_cost`) and
     :class:`~repro.engine.passes.DecomposePass` (LUTs wider than the
     physical fabric split onto max-``P``-input tables plus mux nodes,
     shared with ``repro.hardware.lut_decompose``).
@@ -58,6 +61,14 @@ Compiler
     ``run_packed``/``predict_batch`` surface — bit-exact vs NumPy and
     an order of magnitude faster.  ``backend="auto"`` falls back to the
     NumPy engine on hosts without a C compiler.
+    ``backend="native-mt"`` is tier 2: the same statements are also
+    instantiated against a K-lane GCC/Clang vector type (so the compiler
+    autovectorises the mux cascades across words), ``run_packed`` shards
+    large batches across word ranges on an in-process thread pool (ctypes
+    releases the GIL), and a per-netlist autotuner
+    (:func:`~repro.engine.native.autotune_config`) measures threads ×
+    unroll × opt-tier candidates on a calibration batch and persists the
+    winner next to the ``.so`` cache.
 
 Runtime
 =======
@@ -131,17 +142,24 @@ from repro.engine.compiled_netlist import (
     compile_netlist,
 )
 from repro.engine.ir import IRGraph, IRNode
-from repro.engine.native import NativeCompiledNetlist, NativeUnavailableError
+from repro.engine.native import (
+    MTConfig,
+    NativeCompiledNetlist,
+    NativeUnavailableError,
+    autotune_config,
+)
 from repro.engine.parallel import ShardedEngine, WorkerPool, shard_bounds
 from repro.engine.passes import (
     MUX_TABLE,
     ConstantFoldPass,
     DecomposePass,
+    DedupTablesPass,
     FuseChainsPass,
     Pass,
     PassManager,
     default_passes,
     optimize_netlist,
+    table_cost,
 )
 from repro.engine.random_netlists import (
     random_netlist,
@@ -154,10 +172,12 @@ __all__ = [
     "CompiledNetlist",
     "ConstantFoldPass",
     "DecomposePass",
+    "DedupTablesPass",
     "ENGINE_BACKENDS",
     "FuseChainsPass",
     "IRGraph",
     "IRNode",
+    "MTConfig",
     "MUX_TABLE",
     "NativeCompiledNetlist",
     "NativeUnavailableError",
@@ -166,6 +186,7 @@ __all__ = [
     "ShardedEngine",
     "WORD_BITS",
     "WorkerPool",
+    "autotune_config",
     "coalesce_batches",
     "concat_packed",
     "compile_netlist",
@@ -181,5 +202,6 @@ __all__ = [
     "shard_bounds",
     "split_batches",
     "structured_bank_netlist",
+    "table_cost",
     "unpack_bits",
 ]

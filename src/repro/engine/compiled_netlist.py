@@ -374,7 +374,7 @@ class CompiledNetlist:
 
 
 #: engine backends ``compile_netlist`` accepts
-ENGINE_BACKENDS = ("numpy", "native", "auto")
+ENGINE_BACKENDS = ("numpy", "native", "native-mt", "auto")
 
 
 def compile_netlist(
@@ -408,10 +408,14 @@ def compile_netlist(
         ``"native"`` lowers the program further to generated C compiled
         into a cached shared object (see :mod:`repro.engine.native`),
         raising :class:`~repro.engine.native.NativeUnavailableError` when
-        the host has no C toolchain; ``"auto"`` tries native and silently
-        falls back to NumPy when it cannot build (a warning is emitted
-        only when a toolchain exists but the build failed — that is
-        unexpected, whereas a missing toolchain is a normal deployment).
+        the host has no C toolchain; ``"native-mt"`` is the autotuned
+        multithreaded/SIMD native runtime — the per-netlist autotuner
+        picks threads × unroll × opt tier and ``run_packed`` shards large
+        batches across word ranges in-process; ``"auto"`` tries native and
+        silently falls back to NumPy when it cannot build (a warning is
+        emitted only when a toolchain exists but the build failed — that
+        is unexpected, whereas a missing toolchain is a normal
+        deployment).
     """
     if backend not in ENGINE_BACKENDS:
         raise ValueError(
@@ -426,9 +430,11 @@ def compile_netlist(
     from repro.engine import native  # deferred: native imports this module
 
     try:
+        if backend == "native-mt":
+            return native.NativeCompiledNetlist.tuned(program)
         return native.NativeCompiledNetlist(program)
     except native.NativeUnavailableError as error:
-        if backend == "native":
+        if backend in ("native", "native-mt"):
             raise
         if native.find_compiler() is not None:
             warnings.warn(

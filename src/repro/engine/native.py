@@ -5,7 +5,7 @@ netlist to a flat, topologically-ordered, slot-allocated word program — but
 executing it still means a Python loop dispatching NumPy kernels group by
 group, with every mux step writing its intermediate back to memory.  This
 module lowers that same program one step further, into a C translation unit
-of straight-line ``uint64_t`` statements:
+of straight-line word statements:
 
 * every LUT becomes an unrolled Shannon-mux expression over its input
   slots, built MSB-first exactly like the NumPy cascade, with the table
@@ -17,23 +17,59 @@ of straight-line ``uint64_t`` statements:
   lowering, and arity-0 constants become literal broadcasts;
 * the statements are wrapped in ``static`` segment functions of bounded
   size (C compilers are superlinear in function length) called from a
-  per-word driver: one ``uint64_t s[n_slots]`` stack array holds the whole
-  live state, so the working set is L1-resident instead of a word-matrix
-  walk through L2;
-* a single exported ``run(const uint64_t* in, uint64_t* out,
-  size_t n_words)`` evaluates all packed words.
+  per-word driver: one ``W s[n_slots]`` stack array holds the whole live
+  state, so the working set is L1-resident instead of a word-matrix walk
+  through L2;
+* the exported entry points are ``run(in, out, n_words)`` and its
+  range-restricted sibling ``run_range(in, out, lo, hi, n_words)`` — the
+  latter writes only word columns ``[lo, hi)`` of the full-stride planes,
+  which is what makes in-process word sharding possible.
+
+Tier 2: SIMD width and in-process threads
+=========================================
+
+The statements are generated against an abstract word type ``W``.  With
+``unroll=1`` that is plain ``uint64_t`` (the PR-8 program).  With
+``unroll=K`` the same statement stream is *additionally* instantiated
+against a GCC/Clang vector type of ``K`` lanes
+(``__attribute__((vector_size(K*8))))``), so each emitted statement
+processes ``K`` packed words — ``64*K`` samples — per operation and the
+host compiler maps the Shannon-mux cascade onto SIMD registers.
+``run_range`` runs the vector body over the aligned span and the scalar
+body over the ragged tail, so results stay bit-exact for every word count.
+The ``"fast"`` optimisation tier (``-O2 -march=native``) exists for exactly
+this instantiation; the ``"base"`` tier keeps PR-8's fast-compiling
+``-O1``.
+
+Because the generated code keeps no global state (the word loop's state
+lives on the C stack) a loaded program is thread-safe, and ``ctypes``
+releases the GIL for the duration of every call.  The multithreaded mode
+exploits that with a *Python* ``ThreadPoolExecutor`` over ``run_range``
+calls on disjoint word ranges — chosen over a pthread pool compiled into
+each ``.so`` because (a) the GIL is already released, so Python threads
+reach the same parallelism, (b) one process-wide executor is shared by
+every engine instead of one pthread pool per generated unit, and (c) the
+generated C stays dependency-free and trivially portable.  Batches smaller
+than ``min_words_per_thread`` words per shard never split, so small-batch
+latency is identical to the single-threaded engine.
+
+The autotuner (:func:`autotune_config`) measures 2–3 candidate configs —
+threads × unroll × opt tier — on a calibration batch and pins the winner
+per netlist, persisting the choice in a ``<digest>.tune.json`` file next to
+the ``.so`` cache; :meth:`NativeCompiledNetlist.tuned` (what
+``compile_netlist(backend="native-mt")`` calls) applies it, and
+``tune(force=True)`` re-measures on demand.
 
 The unit is compiled at attach time with the host toolchain (``$CC``, else
 ``cc``/``gcc``/``clang``) into a shared object cached under a digest of the
 generated source + build command, so recompiling the same netlist — in this
 process, a forked worker, or tomorrow's process — reuses one build.
+Concurrent builders of the same digest serialise on a ``<digest>.lock``
+file, so exactly one compiler runs per digest per host and the losers reuse
+the winner's atomically-published object.
 :class:`NativeCompiledNetlist` wraps the loaded object behind the exact
 ``run_packed``/``evaluate_outputs``/``predict_batch`` surface of the NumPy
 engine and is bit-exact against it (the equivalence suite is the gate).
-
-Unlike the NumPy engine, the native engine keeps no scratch state — the
-word loop's state lives on the C stack — so one instance **is**
-thread-safe, and ``ctypes`` releases the GIL for the duration of ``run``.
 
 When no C toolchain is present every entry point raises
 :class:`NativeUnavailableError`; ``compile_netlist(backend="auto")`` and
@@ -44,12 +80,17 @@ from __future__ import annotations
 
 import ctypes
 import hashlib
+import json
 import os
 import shlex
 import shutil
 import subprocess
 import tempfile
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -58,23 +99,57 @@ from repro.engine.bitpack import pack_bits, unpack_bits
 from repro.engine.compiled_netlist import CompiledNetlist, _Group, _MuxGroup
 from repro.utils.validation import check_binary_matrix
 
+try:  # POSIX only; on other platforms builds fall back to the atomic-rename race
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 __all__ = [
+    "MTConfig",
     "NativeCompiledNetlist",
     "NativeUnavailableError",
+    "autotune_config",
+    "default_thread_count",
     "find_compiler",
     "generate_c_source",
     "shared_object_cache_dir",
 ]
 
-#: optimisation level for the generated unit.  Straight-line bitwise code
+#: optimisation tiers for the generated unit.  Straight-line bitwise code
 #: gains ~3x going -O0 -> -O1 (register allocation of the slot array) and
-#: nothing measurable beyond; -O1 also compiles ~2x faster than -O2.
-_CFLAGS = ("-O1", "-fPIC", "-shared")
+#: little beyond at unroll=1; the vector instantiation wants -O2 plus the
+#: host ISA (-march=native) so the compiler picks the widest SIMD register.
+#: A tier whose flags the host compiler rejects (e.g. -march=native on some
+#: cross toolchains) simply fails the candidate build and the autotuner
+#: falls back to "base".
+_OPT_TIERS: Dict[str, Tuple[str, ...]] = {
+    "base": ("-O1",),
+    "fast": ("-O2", "-march=native"),
+}
+
+_COMMON_CFLAGS = ("-fPIC", "-shared")
+
+#: vector width (words per statement) the autotuner tries; 4 lanes = 256
+#: bits, the sweet spot for AVX2-class hosts and harmless (the compiler
+#: splits the vector) elsewhere
+DEFAULT_UNROLL = 4
+
+#: a thread shard below this many packed words (64 samples each) is not
+#: worth the submit/wake cost — batches under ``threads * grain`` words
+#: run on fewer shards, and under ``2 * grain`` words stay single-threaded
+DEFAULT_MIN_WORDS_PER_THREAD = 32
 
 #: segment the straight-line program into static functions of at most this
 #: many statements — C compilers are superlinear in single-function length
 #: (the P=6 benchmark unit compiles 4-5x faster segmented, same runtime)
 _SEGMENT_STATEMENTS = 200
+
+#: autotune persistence format version (bump to invalidate stale records)
+_TUNE_VERSION = 1
+
+#: words in the autotuner's calibration batch (256 words = 16384 samples —
+#: large enough that threading wins show, small enough to measure at attach)
+_CALIBRATION_WORDS = 256
 
 _ENV_CACHE_DIR = "REPRO_NATIVE_CACHE"
 _ENV_CC = "CC"
@@ -83,10 +158,15 @@ _UNSET = object()
 _compiler_cache: object = _UNSET
 _compiler_lock = threading.Lock()
 
-#: digest -> loaded (CDLL, run) so every instance of the same program in
-#: one process shares a single dlopen handle
-_loaded_libs: Dict[str, Tuple[ctypes.CDLL, object]] = {}
+#: digest -> loaded (CDLL, run, run_range) so every instance of the same
+#: program in one process shares a single dlopen handle
+_loaded_libs: Dict[str, Tuple[ctypes.CDLL, object, object]] = {}
 _loaded_lock = threading.Lock()
+
+#: the process-wide executor shard calls run on; daemon threads, created
+#: lazily, shared by every engine so N models never stack N thread pools
+_executor: Optional[ThreadPoolExecutor] = None
+_executor_lock = threading.Lock()
 
 
 class NativeUnavailableError(RuntimeError):
@@ -130,12 +210,19 @@ def toolchain_available() -> bool:
     return find_compiler() is not None
 
 
+def default_thread_count() -> int:
+    """The thread count the autotuner offers as its parallel candidate."""
+    return os.cpu_count() or 1
+
+
 def shared_object_cache_dir() -> str:
     """The directory compiled shared objects are cached in.
 
     ``$REPRO_NATIVE_CACHE`` when set, else a per-user directory under the
     system temp root.  Forked workers inherit the same path, so a model the
     parent compiled at attach time is a file-cache hit in every worker.
+    Autotune records (``*.tune.json``) live here too, next to the objects
+    they describe.
     """
     override = os.environ.get(_ENV_CACHE_DIR)
     if override:
@@ -165,13 +252,17 @@ def _emit_lut(
     ``&``/``|``.  Structurally identical cofactor subtrees are shared
     through a memo keyed by the subtable, so repeated patterns inside one
     table (ubiquitous in trained tables) cost one temp.
+
+    Temps are declared with the abstract word type ``W`` so the same
+    statement stream instantiates as scalar ``uint64_t`` or as a K-lane
+    vector (see :func:`generate_c_source`).
     """
     memo: Dict[Tuple[int, ...], str] = {}
 
     def emit(text: str) -> str:
         name = f"t{temp_counter[0]}"
         temp_counter[0] += 1
-        statements.append(f"uint64_t {name} = {text};")
+        statements.append(f"W {name} = {text};")
         return name
 
     def rec(lo: int, hi: int, depth: int) -> str:
@@ -242,45 +333,86 @@ def _node_statements(program: CompiledNetlist) -> List[str]:
     return lines
 
 
-def generate_c_source(program: CompiledNetlist) -> str:
+def generate_c_source(program: CompiledNetlist, unroll: int = 1) -> str:
     """The C translation unit evaluating ``program``, ready to compile.
 
-    Deterministic for a given program, so its digest keys the shared-object
-    cache: the parent process and every forked worker regenerate the same
-    bytes and share one build.
+    Deterministic for a given ``(program, unroll)``, so its digest keys the
+    shared-object cache: the parent process and every forked worker
+    regenerate the same bytes and share one build.
+
+    ``unroll=1`` emits only the scalar (``uint64_t``) instantiation —
+    PR-8's program plus the ``run_range`` export.  ``unroll=K`` (K > 1)
+    additionally instantiates the same statement stream against a K-lane
+    GCC/Clang vector type; ``run_range`` runs the vector body over the
+    K-aligned span of the range and the scalar body over the tail, so the
+    result is bit-exact for every word count.
     """
+    if unroll < 1:
+        raise ValueError("unroll must be >= 1")
     node_lines = _node_statements(program)
     segments = [
         node_lines[i : i + _SEGMENT_STATEMENTS]
         for i in range(0, len(node_lines), _SEGMENT_STATEMENTS)
     ]
+    n_slots = max(program.n_slots, 1)
     parts = [
         "#include <stdint.h>",
         "#include <stddef.h>",
-        "#define C0 ((uint64_t)0)",
-        "#define C1 (~(uint64_t)0)",
+        "",
+        "/* C0/C1 broadcast against whichever word type W is in effect. */",
+        "#define C0 ((W){0})",
+        "#define C1 (~(W){0})",
         "",
     ]
-    for index, segment in enumerate(segments):
-        parts.append(f"static void seg{index}(uint64_t* restrict s) {{")
-        parts.extend(segment)
+    widths = [1] if unroll == 1 else [1, unroll]
+    for k in widths:
+        if k == 1:
+            parts.append("typedef uint64_t w1;")
+        else:
+            # may_alias: the lanes are loaded straight out of the uint64
+            # planes, so the vector type must be allowed to alias them;
+            # aligned(8): packed planes are only word-aligned
+            parts.append(
+                f"typedef uint64_t w{k} __attribute__((vector_size({k * 8}),"
+                " aligned(8), may_alias));"
+            )
+        parts.append(f"#define W w{k}")
+        for index, segment in enumerate(segments):
+            parts.append(f"static void seg{index}_w{k}(W* restrict s) {{")
+            parts.extend(segment)
+            parts.append("}")
+            parts.append("")
+        parts.append(
+            f"static void run_word_w{k}(const uint64_t* restrict in,"
+            " uint64_t* restrict out, size_t w, size_t n_words) {"
+        )
+        parts.append(f"W s[{n_slots}];")
+        for i in range(program.n_primary_inputs):
+            parts.append(f"s[{i}] = *(const W*)(in + (size_t){i} * n_words + w);")
+        for index in range(len(segments)):
+            parts.append(f"seg{index}_w{k}(s);")
+        for j, slot in enumerate(program._output_slots):
+            parts.append(
+                f"*(W*)(out + (size_t){j} * n_words + w) = s[{int(slot)}];"
+            )
         parts.append("}")
+        parts.append("#undef W")
         parts.append("")
     parts.append(
-        "static void run_word(const uint64_t* restrict in,"
-        " uint64_t* restrict out, size_t w, size_t n_words) {"
+        "void run_range(const uint64_t* in, uint64_t* out,"
+        " size_t lo, size_t hi, size_t n_words) {"
     )
-    parts.append(f"uint64_t s[{max(program.n_slots, 1)}];")
-    for i in range(program.n_primary_inputs):
-        parts.append(f"s[{i}] = in[{i}*n_words + w];")
-    for index in range(len(segments)):
-        parts.append(f"seg{index}(s);")
-    for j, slot in enumerate(program._output_slots):
-        parts.append(f"out[{j}*n_words + w] = s[{int(slot)}];")
+    parts.append("size_t w = lo;")
+    if unroll > 1:
+        parts.append(
+            f"for (; w + {unroll} <= hi; w += {unroll}) "
+            f"run_word_w{unroll}(in, out, w, n_words);"
+        )
+    parts.append("for (; w < hi; ++w) run_word_w1(in, out, w, n_words);")
     parts.append("}")
     parts.append("")
     parts.append("void run(const uint64_t* in, uint64_t* out, size_t n_words) {")
-    parts.append("for (size_t w = 0; w < n_words; ++w) run_word(in, out, w, n_words);")
+    parts.append("run_range(in, out, 0, n_words, n_words);")
     parts.append("}")
     return "\n".join(parts) + "\n"
 
@@ -294,18 +426,43 @@ def _source_digest(source: str, command: List[str]) -> str:
     return hasher.hexdigest()[:24]
 
 
+@contextmanager
+def _build_lock(directory: str, digest: str):
+    """Serialise concurrent builders of one digest on a lock file.
+
+    Two processes attaching the same model (e.g. racing pool workers) would
+    otherwise both run the compiler; with the lock, the loser blocks until
+    the winner publishes and then reuses the cached object.  Where
+    ``fcntl`` is unavailable the old behaviour stands: both build under
+    unique temp names and the atomic rename picks a winner — correct,
+    merely one build wasted.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    lock_path = os.path.join(directory, f"{digest}.lock")
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 def build_shared_object(
-    source: str, *, cache_dir: Optional[str] = None
+    source: str, *, cache_dir: Optional[str] = None, opt_tier: str = "base"
 ) -> Tuple[str, str]:
     """Compile ``source`` into a cached shared object; ``(digest, path)``.
 
-    The cache key digests the source *and* the build command, so a compiler
-    or flag change never serves a stale object.  Builds land under a unique
-    temp name and are published with an atomic rename — concurrent builders
-    (racing worker processes) both succeed and one result wins.
+    The cache key digests the source *and* the build command (so a
+    compiler, flag, or ``opt_tier`` change never serves a stale object).
+    Builds land under a unique temp name and are published with an atomic
+    rename; concurrent builders of the same digest additionally serialise
+    on a ``<digest>.lock`` file so only one compiler runs per digest.
 
     Raises :class:`NativeUnavailableError` when the host has no C toolchain
-    or the build fails.
+    or the build fails (including an ``opt_tier`` whose flags the host
+    compiler rejects).
     """
     compiler = find_compiler()
     if compiler is None:
@@ -313,58 +470,230 @@ def build_shared_object(
             "no C toolchain on this host (set $CC or install cc/gcc/clang); "
             "use backend='numpy' or backend='auto'"
         )
-    command = list(compiler) + list(_CFLAGS)
+    if opt_tier not in _OPT_TIERS:
+        raise ValueError(
+            f"unknown opt_tier {opt_tier!r} (choose from {sorted(_OPT_TIERS)})"
+        )
+    command = list(compiler) + list(_OPT_TIERS[opt_tier]) + list(_COMMON_CFLAGS)
     digest = _source_digest(source, command)
     directory = cache_dir or shared_object_cache_dir()
     os.makedirs(directory, exist_ok=True)
     so_path = os.path.join(directory, f"{digest}.so")
     if os.path.exists(so_path):
         return digest, so_path
-    c_path = os.path.join(directory, f"{digest}.c")
-    unique = f".{os.getpid()}-{threading.get_ident()}.tmp"
-    c_tmp = c_path + unique + ".c"  # cc needs the suffix to see C source
-    so_tmp = so_path + unique
-    try:
-        with open(c_tmp, "w") as handle:
-            handle.write(source)
-        result = subprocess.run(
-            command + ["-o", so_tmp, c_tmp],
-            capture_output=True,
-            text=True,
-        )
-        if result.returncode != 0:
-            tail = (result.stderr or result.stdout or "").strip()[-2000:]
-            raise NativeUnavailableError(
-                f"C build failed ({' '.join(command)}): {tail}"
+    with _build_lock(directory, digest):
+        # the lock's previous holder may have published while we waited
+        if os.path.exists(so_path):
+            return digest, so_path
+        c_path = os.path.join(directory, f"{digest}.c")
+        unique = f".{os.getpid()}-{threading.get_ident()}.tmp"
+        c_tmp = c_path + unique + ".c"  # cc needs the suffix to see C source
+        so_tmp = so_path + unique
+        try:
+            with open(c_tmp, "w") as handle:
+                handle.write(source)
+            result = subprocess.run(
+                command + ["-o", so_tmp, c_tmp],
+                capture_output=True,
+                text=True,
             )
-        # keep the source next to the object for debugging, then publish
-        os.replace(c_tmp, c_path)
-        os.replace(so_tmp, so_path)
-    finally:
-        for leftover in (c_tmp, so_tmp):
-            try:
-                os.unlink(leftover)
-            except OSError:
-                pass
+            if result.returncode != 0:
+                tail = (result.stderr or result.stdout or "").strip()[-2000:]
+                raise NativeUnavailableError(
+                    f"C build failed ({' '.join(command)}): {tail}"
+                )
+            # keep the source next to the object for debugging, then publish
+            os.replace(c_tmp, c_path)
+            os.replace(so_tmp, so_path)
+        finally:
+            for leftover in (c_tmp, so_tmp):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
     return digest, so_path
 
 
-def _load_run(digest: str, so_path: str):
-    """dlopen (once per process per digest) and type the entry point."""
+def _load_entry_points(digest: str, so_path: str):
+    """dlopen (once per process per digest) and type the entry points."""
     with _loaded_lock:
         cached = _loaded_libs.get(digest)
         if cached is None:
             lib = ctypes.CDLL(so_path)
+            word_ptr = ctypes.POINTER(ctypes.c_uint64)
             run = lib.run
-            run.argtypes = [
-                ctypes.POINTER(ctypes.c_uint64),
-                ctypes.POINTER(ctypes.c_uint64),
+            run.argtypes = [word_ptr, word_ptr, ctypes.c_size_t]
+            run.restype = None
+            run_range = lib.run_range
+            run_range.argtypes = [
+                word_ptr,
+                word_ptr,
+                ctypes.c_size_t,
+                ctypes.c_size_t,
                 ctypes.c_size_t,
             ]
-            run.restype = None
-            cached = (lib, run)
+            run_range.restype = None
+            cached = (lib, run, run_range)
             _loaded_libs[digest] = cached
-        return cached[1]
+        return cached[1], cached[2]
+
+
+def _shared_executor() -> ThreadPoolExecutor:
+    """The process-wide shard executor (lazy, shared by every engine).
+
+    Sized to the host core count: engine ``threads`` values above it still
+    produce correct output (the extra shards queue), they just cannot run
+    more parallel than the hardware.
+    """
+    global _executor
+    with _executor_lock:
+        if _executor is None:
+            _executor = ThreadPoolExecutor(
+                max_workers=max(2, default_thread_count()),
+                thread_name_prefix="repro-native",
+            )
+        return _executor
+
+
+# ---------------------------------------------------------------- autotuner
+@dataclass(frozen=True)
+class MTConfig:
+    """One native-runtime configuration the autotuner can pin.
+
+    ``threads`` is the word-shard fan-out of :meth:`NativeCompiledNetlist.
+    run_packed`, ``unroll`` the vector lane count of the generated code,
+    ``opt_tier`` the compiler flag set (see ``_OPT_TIERS``).
+    """
+
+    threads: int
+    unroll: int
+    opt_tier: str
+
+
+def _candidate_configs(n_cpus: int) -> List[MTConfig]:
+    """The 2–3 configs the autotuner measures, baseline first.
+
+    Baseline is PR-8's engine exactly; the second candidate isolates the
+    SIMD win (same single thread, vector code, fast tier); the third adds
+    the thread fan-out on multi-core hosts.  Keeping the list this small
+    bounds attach-time cost at three cached builds and a few dozen
+    calibration runs.
+    """
+    candidates = [
+        MTConfig(threads=1, unroll=1, opt_tier="base"),
+        MTConfig(threads=1, unroll=DEFAULT_UNROLL, opt_tier="fast"),
+    ]
+    if n_cpus > 1:
+        candidates.append(
+            MTConfig(threads=n_cpus, unroll=DEFAULT_UNROLL, opt_tier="fast")
+        )
+    return candidates
+
+
+def _program_tune_digest(program: CompiledNetlist) -> str:
+    """The netlist-identity digest autotune records are keyed by.
+
+    Derived from the canonical scalar source only — *not* the flags — so
+    one record covers every (unroll, tier) variant of the same program.
+    """
+    source = generate_c_source(program, unroll=1)
+    return hashlib.sha256(source.encode()).hexdigest()[:24]
+
+
+def autotune_config(
+    program: CompiledNetlist,
+    *,
+    cache_dir: Optional[str] = None,
+    force: bool = False,
+    calibration_words: int = _CALIBRATION_WORDS,
+) -> MTConfig:
+    """Measure the candidate configs for ``program`` and pin the winner.
+
+    The winner is persisted as ``<digest>.tune.json`` next to the ``.so``
+    cache, keyed by the program's scalar source digest and the host core
+    count — a later attach of the same netlist on the same host is a file
+    read, not a re-measurement (``force=True`` re-measures).  Candidates
+    whose build fails (e.g. the ``fast`` tier's ``-march=native`` on an
+    unsupporting toolchain) are skipped; the baseline build failing raises
+    :class:`NativeUnavailableError` like any native attach.
+    """
+    if calibration_words < 1:
+        raise ValueError("calibration_words must be positive")
+    directory = cache_dir or shared_object_cache_dir()
+    digest = _program_tune_digest(program)
+    record_path = os.path.join(directory, f"{digest}.tune.json")
+    n_cpus = default_thread_count()
+    if not force:
+        try:
+            with open(record_path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            if (
+                record.get("version") == _TUNE_VERSION
+                and record.get("n_cpus") == n_cpus
+            ):
+                return MTConfig(
+                    threads=int(record["threads"]),
+                    unroll=int(record["unroll"]),
+                    opt_tier=str(record["opt_tier"]),
+                )
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # missing/stale/corrupt record: re-measure below
+    rng = np.random.default_rng(0xB17AC5)
+    calibration = rng.integers(
+        0,
+        np.iinfo(np.uint64).max,
+        size=(max(program.n_primary_inputs, 1), calibration_words),
+        dtype=np.uint64,
+        endpoint=True,
+    )
+    best: Optional[MTConfig] = None
+    best_time = float("inf")
+    timings: Dict[str, float] = {}
+    for index, candidate in enumerate(_candidate_configs(n_cpus)):
+        try:
+            engine = NativeCompiledNetlist(
+                program,
+                cache_dir=cache_dir,
+                threads=candidate.threads,
+                unroll=candidate.unroll,
+                opt_tier=candidate.opt_tier,
+            )
+        except NativeUnavailableError:
+            if index == 0:
+                raise  # no toolchain / broken base tier: not tunable at all
+            continue
+        engine.run_packed(calibration)  # warm: page in code, spin up threads
+        elapsed = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            engine.run_packed(calibration)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        timings[f"{candidate.threads}x{candidate.unroll}:{candidate.opt_tier}"] = (
+            elapsed
+        )
+        if elapsed < best_time:
+            best, best_time = candidate, elapsed
+    assert best is not None  # the baseline either measured or raised
+    record = {
+        "version": _TUNE_VERSION,
+        "n_cpus": n_cpus,
+        "calibration_words": calibration_words,
+        "timings_s": {k: round(v, 9) for k, v in timings.items()},
+        **asdict(best),
+    }
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{record_path}.{os.getpid()}-{threading.get_ident()}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, record_path)
+    except OSError:  # pragma: no cover - read-only cache dir: tune anyway
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+    return best
 
 
 # ------------------------------------------------------------------- engine
@@ -375,28 +704,117 @@ class NativeCompiledNetlist:
     words, ``evaluate_outputs``/``predict_batch`` on 0/1 matrices — and
     bit-exact against it.  Unlike the NumPy engine an instance is
     thread-safe: the generated code's state lives on the C stack and
-    ``ctypes`` releases the GIL around ``run``.
+    ``ctypes`` releases the GIL around every call.
+
+    Tier-2 knobs (all default to PR-8 behaviour):
+
+    ``threads``
+        Word-shard fan-out of :meth:`run_packed`.  ``> 1`` splits the batch
+        into contiguous word ranges evaluated concurrently on the shared
+        in-process executor via the ``run_range`` export — bit-exact, since
+        packed words are independent.  Batches below
+        ``2 * min_words_per_thread`` words never split.
+    ``unroll``
+        Vector lane count of the generated code (words per statement).
+    ``opt_tier``
+        Compiler flag tier: ``"base"`` (``-O1``) or ``"fast"``
+        (``-O2 -march=native``).
 
     Build one with ``compile_netlist(netlist, backend="native")`` (or
-    ``"auto"``); constructing directly from an already-lowered program is
-    what the worker pool does.  Raises :class:`NativeUnavailableError`
-    when the host cannot build.
+    ``"auto"``), or :meth:`tuned` / ``backend="native-mt"`` for the
+    autotuned multithreaded configuration; constructing directly from an
+    already-lowered program is what the worker pool does.  Raises
+    :class:`NativeUnavailableError` when the host cannot build.
     """
 
     backend = "native"
 
     def __init__(
-        self, program: CompiledNetlist, *, cache_dir: Optional[str] = None
+        self,
+        program: CompiledNetlist,
+        *,
+        cache_dir: Optional[str] = None,
+        threads: int = 1,
+        unroll: int = 1,
+        opt_tier: str = "base",
+        min_words_per_thread: int = DEFAULT_MIN_WORDS_PER_THREAD,
     ) -> None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        if min_words_per_thread < 1:
+            raise ValueError("min_words_per_thread must be >= 1")
         self.program = program
         self.n_primary_inputs = program.n_primary_inputs
         self.n_slots = program.n_slots
         self.n_nodes = program.n_nodes
-        self.c_source = generate_c_source(program)
+        self.threads = threads
+        self.min_words_per_thread = min_words_per_thread
+        self._cache_dir = cache_dir
+        self._apply_build(unroll=unroll, opt_tier=opt_tier)
+        if threads > 1:
+            self.backend = "native-mt"
+
+    def _apply_build(self, *, unroll: int, opt_tier: str) -> None:
+        self.unroll = unroll
+        self.opt_tier = opt_tier
+        self.c_source = generate_c_source(self.program, unroll=unroll)
         self.digest, self.shared_object = build_shared_object(
-            self.c_source, cache_dir=cache_dir
+            self.c_source, cache_dir=self._cache_dir, opt_tier=opt_tier
         )
-        self._run = _load_run(self.digest, self.shared_object)
+        self._run, self._run_range = _load_entry_points(
+            self.digest, self.shared_object
+        )
+
+    # ------------------------------------------------------------ autotuning
+    @classmethod
+    def tuned(
+        cls,
+        program: CompiledNetlist,
+        *,
+        cache_dir: Optional[str] = None,
+        max_threads: Optional[int] = None,
+        min_words_per_thread: int = DEFAULT_MIN_WORDS_PER_THREAD,
+    ) -> "NativeCompiledNetlist":
+        """The autotuned engine for ``program`` (backend ``"native-mt"``).
+
+        Runs :func:`autotune_config` (a cache-file read after the first
+        attach of a netlist on a host) and builds the winner.
+        ``max_threads`` caps the pinned thread count without re-tuning —
+        the worker pool uses it to divide the host between processes and
+        threads instead of oversubscribing.
+        """
+        config = autotune_config(program, cache_dir=cache_dir)
+        threads = config.threads
+        if max_threads is not None:
+            threads = max(1, min(threads, max_threads))
+        instance = cls(
+            program,
+            cache_dir=cache_dir,
+            threads=threads,
+            unroll=config.unroll,
+            opt_tier=config.opt_tier,
+            min_words_per_thread=min_words_per_thread,
+        )
+        instance.backend = "native-mt"
+        instance.tuned_config = config
+        return instance
+
+    def tune(self, *, force: bool = True) -> MTConfig:
+        """Re-run the autotuner for this program and adopt the winner.
+
+        ``force=True`` (default) re-measures even when a persisted record
+        exists — the explicit knob for hosts whose load profile changed.
+        Returns the adopted config; the instance's ``threads``/``unroll``/
+        ``opt_tier`` and loaded code are switched in place.
+        """
+        config = autotune_config(
+            self.program, cache_dir=self._cache_dir, force=force
+        )
+        self._apply_build(unroll=config.unroll, opt_tier=config.opt_tier)
+        self.threads = config.threads
+        self.backend = "native-mt"
+        self.tuned_config = config
+        return config
 
     # ---------------------------------------------------------- statistics
     @property
@@ -411,7 +829,8 @@ class NativeCompiledNetlist:
         return (
             f"NativeCompiledNetlist({self.n_nodes} LUTs, "
             f"{self.n_primary_inputs} inputs, {self.n_outputs} outputs, "
-            f"so={self.digest})"
+            f"threads={self.threads}, unroll={self.unroll}, "
+            f"tier={self.opt_tier}, so={self.digest})"
         )
 
     # ---------------------------------------------------------- evaluation
@@ -420,7 +839,10 @@ class NativeCompiledNetlist:
 
         Same contract as :meth:`CompiledNetlist.run_packed`: input shape
         ``(n_primary_inputs, n_words)``, bits past the last sample
-        unspecified in the result.
+        unspecified in the result.  With ``threads > 1`` the word axis is
+        split into contiguous shards evaluated concurrently — the shards
+        write disjoint ``[lo, hi)`` column ranges of the same output
+        planes, so the result is bit-identical to the serial call.
         """
         packed_inputs = np.ascontiguousarray(packed_inputs, dtype=np.uint64)
         if (
@@ -433,14 +855,33 @@ class NativeCompiledNetlist:
             )
         words = packed_inputs.shape[1]
         out = np.empty((self.n_outputs, words), dtype=np.uint64)
-        if words:
-            self._run(
-                packed_inputs.ctypes.data_as(
-                    ctypes.POINTER(ctypes.c_uint64)
-                ),
-                out.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
-                words,
-            )
+        if not words:
+            return out
+        word_ptr = ctypes.POINTER(ctypes.c_uint64)
+        in_ptr = packed_inputs.ctypes.data_as(word_ptr)
+        out_ptr = out.ctypes.data_as(word_ptr)
+        n_shards = 1
+        if self.threads > 1:
+            n_shards = min(self.threads, words // self.min_words_per_thread)
+        if n_shards <= 1:
+            self._run(in_ptr, out_ptr, words)
+            return out
+        executor = _shared_executor()
+        edges = [(i * words) // n_shards for i in range(n_shards + 1)]
+        futures = [
+            executor.submit(self._run_range, in_ptr, out_ptr, lo, hi, words)
+            for lo, hi in zip(edges, edges[1:])
+            if hi > lo
+        ]
+        first_error = None
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
         return out
 
     def evaluate_outputs(self, X_bits: np.ndarray) -> np.ndarray:

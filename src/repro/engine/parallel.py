@@ -49,11 +49,34 @@ Batches too small to be worth splitting (fewer than
 backend, so the executor is safe to leave enabled for ragged traffic.
 
 Orthogonal to the pool flavour, each attached model picks its *evaluation
-engine* via ``engine_backend``: the NumPy word-op interpreter (default) or
+engine* via ``engine_backend``: the NumPy word-op interpreter (default),
 the generated-C native engine of :mod:`repro.engine.native` (``"native"`` /
-``"auto"``).  The parent builds the shared object once at attach time;
-workers — forked or threaded — regenerate the same source and reuse the
-digest-keyed cache, so a native model costs one C build per host, total.
+``"auto"``), or the autotuned multithreaded native runtime
+(``"native-mt"``).  The parent builds the shared object once at attach
+time; workers — forked or threaded — regenerate the same source and reuse
+the digest-keyed cache, so a native model costs one C build per host,
+total.
+
+``native-mt`` and the fork question
+===================================
+
+The ``native-mt`` engine shards ``run_packed`` across word ranges on an
+in-process thread pool (ctypes releases the GIL, so the threads genuinely
+run in parallel) — which means it can saturate the host on its own,
+without this module's fork+shm machinery.  Two rules keep the layers from
+fighting over the same cores:
+
+* **The pool does not fork for a model whose engine already threads.**
+  When an attached model's serial engine is multithreaded (autotuned
+  ``threads > 1``), :meth:`WorkerPool.run_packed` routes every batch down
+  the serial path — the engine's own thread shards replace the pool's
+  process shards.  Pass ``prefer_threads=False`` to the pool to override
+  the heuristic and force process sharding anyway.
+* **When processes *are* used, worker-side threads are capped.**  A model
+  attached with ``engine_backend="native-mt"`` on a multi-worker pool
+  ships workers the backend string ``"native-mt@{cap}"`` with
+  ``cap = cpu_count // n_workers`` (min 1), so processes × threads never
+  oversubscribes the host by default.
 
 The fork + shared-memory contract
 =================================
@@ -144,21 +167,30 @@ def _build_engine(
 ):
     """Compile an already-optimised ``netlist`` for ``engine_backend``.
 
+    Besides the public backend names, this accepts the worker-side form
+    ``"native-mt@N"`` — the autotuned engine with its thread count capped
+    at ``N``, which is how a multi-worker pool divides the host between
+    processes and threads (see the module docstring).
+
     ``strict`` is the parent-side attach contract: ``engine_backend=
-    "native"`` must surface the build failure.  Worker-side (and
-    ``"auto"`` everywhere) a failed native build degrades to the NumPy
-    engine instead — bit-exact, just slower — so a worker missing the
-    toolchain the parent had can still serve its shards.
+    "native"``/``"native-mt"`` must surface the build failure.
+    Worker-side (and ``"auto"`` everywhere) a failed native build degrades
+    to the NumPy engine instead — bit-exact, just slower — so a worker
+    missing the toolchain the parent had can still serve its shards.
     """
     program = CompiledNetlist.from_netlist(netlist)
     if engine_backend == "numpy":
         return program
+    base, _, cap_text = engine_backend.partition("@")
     try:
         from repro.engine.native import NativeCompiledNetlist
 
+        if base == "native-mt":
+            max_threads = int(cap_text) if cap_text else None
+            return NativeCompiledNetlist.tuned(program, max_threads=max_threads)
         return NativeCompiledNetlist(program)
     except Exception:
-        if strict and engine_backend == "native":
+        if strict and base in ("native", "native-mt"):
             raise
         return program
 
@@ -339,9 +371,12 @@ class _PoolModel:
     key: str
     netlist: LUTNetlist
     serial: object  # CompiledNetlist or NativeCompiledNetlist
-    #: resolved engine backend ("numpy" or "native"); workers compile the
-    #: same backend for their shards
+    #: resolved engine backend label ("numpy", "native" or "native-mt")
     engine_backend: str = "numpy"
+    #: backend string shipped to workers — equals ``engine_backend`` except
+    #: for native-mt on a multi-worker pool, where it carries the
+    #: per-worker thread cap as ``"native-mt@N"``
+    worker_backend: str = "numpy"
     #: pickled optimised netlist for lazy re-attach; ``None`` when the
     #: netlist is (or will be, at the fork) fork-inherited, and cleared
     #: again once every worker has confirmed compiling its copy
@@ -369,6 +404,15 @@ class WorkerPool:
         Batches with fewer packed words than ``n_workers *
         min_words_per_worker`` run serially — below that, pool latency
         dominates any parallel win.
+    prefer_threads:
+        ``None`` (default) applies the oversubscription heuristic: a model
+        whose serial engine already threads in-process (autotuned
+        ``native-mt`` with ``threads > 1``) is served on the serial path
+        instead of being forked across workers — its own thread shards
+        saturate the host without the fork+shm tax.  ``True`` states the
+        same preference explicitly; ``False`` disables it, forcing such
+        models through the process/thread pool (whose workers then run
+        with capped thread counts — see the module docstring).
 
     Models are attached with :meth:`attach` (the optimisation pipeline runs
     once, in the parent) and evaluated with :meth:`run_packed`; concurrent
@@ -384,6 +428,7 @@ class WorkerPool:
         backend: Optional[str] = None,
         *,
         min_words_per_worker: int = 4,
+        prefer_threads: Optional[bool] = None,
     ) -> None:
         if backend not in (None, "process", "thread", "serial"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -402,6 +447,7 @@ class WorkerPool:
             backend = "serial"
         self.backend = backend
         self.min_words_per_worker = min_words_per_worker
+        self.prefer_threads = prefer_threads
         self._models: Dict[str, _PoolModel] = {}
         # worker-side eviction ledger: attach-key of each detached model →
         # set of worker pids confirmed to have dropped it.  Keys ride along
@@ -449,9 +495,13 @@ class WorkerPool:
         ``engine_backend`` picks the per-worker evaluation engine:
         ``"native"`` compiles the generated-C shared object here (so the
         build cost is paid once, at attach — forked workers regenerate the
-        same source and hit the digest-keyed .so cache), ``"auto"``
-        degrades to ``"numpy"`` when the host cannot build.  The resolved
-        choice is readable via :meth:`engine_backend`.
+        same source and hit the digest-keyed .so cache), ``"native-mt"``
+        runs the autotuner and serves the multithreaded native runtime
+        (workers get thread counts capped at ``cpu_count // n_workers`` so
+        processes × threads never oversubscribes), ``"auto"`` degrades to
+        ``"numpy"`` when the host cannot build.  The resolved choice is
+        readable via :meth:`engine_backend`, the in-process thread count
+        via :meth:`engine_threads`.
         """
         self._check_open()
         if model_id is not None and (
@@ -467,12 +517,18 @@ class WorkerPool:
             netlist, passes=passes, max_lut_inputs=max_lut_inputs
         )
         serial = _build_engine(optimized, engine_backend, strict=True)
+        worker_backend = serial.backend
+        if worker_backend == "native-mt" and self.n_workers > 1:
+            # divide the host between pool processes and in-process threads
+            cap = max(1, (os.cpu_count() or 1) // self.n_workers)
+            worker_backend = f"native-mt@{cap}"
         entry = _PoolModel(
             model_id="",  # assigned under the lock below
             key=f"#{next(self._attach_seq)}",
             netlist=optimized,
             serial=serial,
             engine_backend=serial.backend,
+            worker_backend=worker_backend,
         )
 
         def insert() -> bool:
@@ -589,8 +645,13 @@ class WorkerPool:
 
     def engine_backend(self, model_id: str) -> str:
         """The resolved engine backend serving ``model_id``
-        (``"numpy"`` or ``"native"``)."""
+        (``"numpy"``, ``"native"`` or ``"native-mt"``)."""
         return self._entry(model_id).engine_backend
+
+    def engine_threads(self, model_id: str) -> int:
+        """The in-process thread count of ``model_id``'s serial engine
+        (1 for every backend except an autotuned ``native-mt``)."""
+        return getattr(self._entry(model_id).serial, "threads", 1)
 
     def optimized_netlist(self, model_id: str) -> LUTNetlist:
         """The post-pipeline netlist the pool serves for ``model_id``."""
@@ -671,11 +732,24 @@ class WorkerPool:
             self.backend == "serial"
             or len(bounds) <= 1
             or words < self.n_workers * self.min_words_per_worker
+            or self._prefer_in_process(entry)
         ):
             return entry.serial.run_packed(packed_inputs)
         if self.backend == "process":
             return self._run_process(entry, packed_inputs, bounds)
         return self._run_thread(entry, packed_inputs, bounds)
+
+    def _prefer_in_process(self, entry: _PoolModel) -> bool:
+        """Whether this model should skip the pool and thread in-process.
+
+        The oversubscription heuristic (see the module docstring): an
+        engine that already shards across in-process threads saturates the
+        host without forking, so the pool stands aside unless
+        ``prefer_threads=False`` explicitly forces process sharding.
+        """
+        if self.prefer_threads is False:
+            return False
+        return getattr(entry.serial, "threads", 1) > 1
 
     def evaluate_outputs(self, model_id: str, X_bits: np.ndarray) -> np.ndarray:
         """Bit-exact sharded ``LUTNetlist.evaluate_outputs`` for one model."""
@@ -715,7 +789,7 @@ class WorkerPool:
                     (
                         entry.key,
                         entry.payload,
-                        entry.engine_backend,
+                        entry.worker_backend,
                         shm_in.name,
                         shm_out.name,
                         n_inputs,
@@ -907,7 +981,7 @@ class WorkerPool:
         for index, engine in enumerate(engines):
             if engine is None:  # compile outside the lock
                 engines[index] = _build_engine(
-                    entry.netlist, entry.engine_backend
+                    entry.netlist, entry.worker_backend
                 )
         futures = [
             executor.submit(engines[i].run_packed, packed[:, lo:hi])
@@ -946,9 +1020,15 @@ class ShardedEngine:
     engine_backend:
         ``"numpy"`` (default), ``"native"`` (generated-C shared object,
         compiled at attach, shared with forked workers through the
-        digest-keyed .so cache) or ``"auto"`` (native when the host can
-        build, else NumPy).  Orthogonal to ``backend``, which picks the
-        *pool* flavour (processes/threads/serial).
+        digest-keyed .so cache), ``"native-mt"`` (the autotuned
+        multithreaded native runtime — such models run in-process by
+        default instead of forking, see ``prefer_threads``) or ``"auto"``
+        (native when the host can build, else NumPy).  Orthogonal to
+        ``backend``, which picks the *pool* flavour
+        (processes/threads/serial).
+    prefer_threads:
+        Forwarded to the private pool (see :class:`WorkerPool`); ignored
+        when ``pool`` is given.
     pool:
         A shared :class:`WorkerPool` to attach to.  ``None`` (the PR-3
         behaviour) creates a private single-model pool that this engine
@@ -970,6 +1050,7 @@ class ShardedEngine:
         max_lut_inputs: Optional[int] = None,
         engine_backend: str = "numpy",
         min_words_per_worker: int = 4,
+        prefer_threads: Optional[bool] = None,
         pool: Optional[WorkerPool] = None,
         model_id: Optional[str] = None,
     ) -> None:
@@ -978,6 +1059,7 @@ class ShardedEngine:
                 n_workers=n_workers,
                 backend=backend,
                 min_words_per_worker=min_words_per_worker,
+                prefer_threads=prefer_threads,
             )
             self._owns_pool = True
         else:
@@ -1012,8 +1094,15 @@ class ShardedEngine:
 
     @property
     def engine_backend(self) -> str:
-        """The resolved evaluation backend (``"numpy"`` or ``"native"``)."""
+        """The resolved evaluation backend
+        (``"numpy"``, ``"native"`` or ``"native-mt"``)."""
         return self.pool.engine_backend(self.model_id)
+
+    @property
+    def engine_threads(self) -> int:
+        """In-process thread count of the serial engine (1 unless
+        autotuned ``native-mt``)."""
+        return self.pool.engine_threads(self.model_id)
 
     @property
     def _netlist(self) -> LUTNetlist:

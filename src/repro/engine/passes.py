@@ -17,6 +17,15 @@ a sequence of ordered, individually testable passes over
     the pair it replaces, which also cuts levels, groups and scatter/gather
     traffic.
 
+``DedupTablesPass``
+    Merges structurally identical nodes — same ordered inputs, same truth
+    table — into one, rewriting every consumer (and declared output) to the
+    surviving copy.  Trained banks repeat tables constantly (tied trees,
+    duplicated constants, mirrored comparators), and in the lowered program
+    each survivor costs its word cascade exactly once.  The pass only ever
+    removes nodes, so program cost (see :func:`table_cost`) never increases
+    — an invariant the test suite asserts.
+
 ``DecomposePass``
     Shannon-decomposes LUTs wider than the physical fabric onto
     ``max_inputs``-input tables plus mux nodes, exactly like the FPGA
@@ -27,12 +36,16 @@ a sequence of ordered, individually testable passes over
 Pass ordering
 =============
 
-:func:`default_passes` runs **fold → fuse → decompose**, and the order is
-load-bearing:
+:func:`default_passes` runs **fold → fuse → dedup → decompose**, and the
+order is load-bearing:
 
 * folding first shrinks supports (a constant or don't-care input severs a
   chain link), which both exposes more single-fanout chains to the fuser and
   keeps fused tables small;
+* deduplication runs *after* fusion, not before: merging two copies of a
+  node raises its fanout above one, which would block the chain walk from
+  inlining either copy — fuse first, then collapse whatever identical
+  tables remain (including ones fusion itself just created);
 * fusion runs before decomposition because fusing *then* splitting can
   re-balance a deep chain onto the fabric, whereas decomposing first would
   introduce multi-fanout mux nodes that block the chain walk;
@@ -41,7 +54,9 @@ load-bearing:
   at the fabric width, so it never builds a table decomposition would
   immediately split again);
 * a second fold runs after decomposition to clean up degenerate cofactors
-  (a cofactor table that collapsed to a constant or a buffer).
+  (a cofactor table that collapsed to a constant or a buffer), and a second
+  dedup after that catches equal cofactor tables decomposition splits out
+  of sibling wide LUTs.
 
 Each pass is a semantics-preserving graph-to-graph rewrite, so inserting a
 custom pass anywhere in the list is safe as long as it preserves the
@@ -305,6 +320,69 @@ class FuseChainsPass(Pass):
 
 
 # --------------------------------------------------------------------------
+# structural truth-table deduplication
+# --------------------------------------------------------------------------
+def table_cost(graph) -> int:
+    """The packed engine's cost model: ``sum(2**P)`` over all live nodes.
+
+    A ``P``-input LUT lowers to ``2**P - 1`` word muxes (plus a constant
+    broadcast at ``P = 0``), so this is the mux-count proxy every
+    cost-driven pass optimises against.  Duck-typed over anything with
+    ``.nodes`` carrying ``n_inputs`` — both :class:`~repro.engine.ir.IRGraph`
+    and :class:`~repro.core.netlist.LUTNetlist`.
+    """
+    return sum(1 << node.n_inputs for node in graph.nodes)
+
+
+class DedupTablesPass(Pass):
+    """Merge structurally identical nodes into one shared copy.
+
+    One topological sweep: each node's inputs are first rewritten through
+    the alias map (so duplicates whose inputs were themselves duplicates
+    still converge), then the node is keyed by ``(inputs, table bytes)``.
+    The first node with a given key survives; later ones are aliased to it
+    and removed, with declared outputs re-pointed at the survivor (the IR
+    contract allows output aliasing — ``ConstantFoldPass`` relies on the
+    same rule).  Aliases never chain: a surviving node is by construction
+    never itself aliased.
+
+    When aliasing makes a consumer read the same surviving signal through
+    two of its inputs (its two producers were duplicates of each other),
+    the consumer's table is re-expressed over the distinct inputs — a
+    strictly narrower table, so the netlist invariant "no duplicate input
+    signals" holds and cost still only goes down.
+
+    The pass only removes nodes and never widens a table, so
+    :func:`table_cost` is monotonically non-increasing — asserted by the
+    property tests, and the reason it can sit anywhere in the pipeline
+    without a budget check.
+    """
+
+    name = "dedup-tables"
+
+    def run(self, graph: IRGraph) -> IRGraph:
+        seen: Dict[Tuple, str] = {}
+        alias: Dict[str, str] = {}
+        dropped: List[str] = []
+        for node in graph.nodes:
+            inputs = [alias.get(sig, sig) for sig in node.inputs]
+            if len(set(inputs)) != len(inputs):
+                ConstantFoldPass._rebuild_table(node, inputs, {})
+            else:
+                node.inputs = inputs
+            key = (tuple(node.inputs), node.table.tobytes())
+            survivor = seen.get(key)
+            if survivor is None:
+                seen[key] = node.name
+            else:
+                alias[node.name] = survivor
+                dropped.append(node.name)
+        graph.outputs = [alias.get(sig, sig) for sig in graph.outputs]
+        graph.remove_nodes(dropped)
+        return graph
+
+
+# --------------------------------------------------------------------------
 # decomposition onto the physical LUT fabric
 # --------------------------------------------------------------------------
 class DecomposePass(Pass):
@@ -368,21 +446,24 @@ class DecomposePass(Pass):
 # pipeline assembly
 # --------------------------------------------------------------------------
 def default_passes(max_lut_inputs: Optional[int] = None) -> Tuple[Pass, ...]:
-    """The engine's default pipeline: fold → fuse [→ decompose → fold].
+    """The default pipeline: fold → fuse → dedup [→ decompose → fold → dedup].
 
-    Without a fabric width the pipeline folds and fuses; with
-    ``max_lut_inputs`` it additionally decomposes wide LUTs onto the fabric
-    and folds once more to clean up degenerate cofactors.  Fusion is capped
-    at the fabric width so it never produces a table decomposition would
-    immediately split again.
+    Without a fabric width the pipeline folds, fuses, and deduplicates;
+    with ``max_lut_inputs`` it additionally decomposes wide LUTs onto the
+    fabric, folds once more to clean up degenerate cofactors, and
+    deduplicates again to collapse equal cofactor tables the split exposed.
+    Fusion is capped at the fabric width so it never produces a table
+    decomposition would immediately split again.
     """
     passes: List[Pass] = [
         ConstantFoldPass(),
         FuseChainsPass(max_width=max_lut_inputs),
+        DedupTablesPass(),
     ]
     if max_lut_inputs is not None:
         passes.append(DecomposePass(max_inputs=max_lut_inputs))
         passes.append(ConstantFoldPass())
+        passes.append(DedupTablesPass())
     return tuple(passes)
 
 

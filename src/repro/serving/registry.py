@@ -110,6 +110,12 @@ class RegisteredModel:
     scores_mode: bool
     stats: ServerStats
     backend: str = "numpy"
+    #: in-process thread count of the evaluation engine (the native-mt
+    #: word-shard fan-out; 1 for single-threaded backends)
+    threads: int = 1
+    #: vector lane count of the generated code (words per statement;
+    #: 1 for scalar backends)
+    unroll: int = 1
     version: int = 1
     state: str = SERVING
     #: runs exactly once when this version retires (drained and removed) —
@@ -125,6 +131,8 @@ class RegisteredModel:
             "scores": self.scores_mode,
             "packed": self.queue.packed_path,
             "backend": self.backend,
+            "threads": self.threads,
+            "unroll": self.unroll,
             "max_batch": self.queue.max_batch,
             "max_wait_us": self.queue.max_wait_us,
             "max_queue": self.queue.max_queue,
@@ -209,6 +217,8 @@ class ModelRegistry:
         stats: Optional[ServerStats] = None,
         default: bool = False,
         backend: str = "numpy",
+        threads: int = 1,
+        unroll: int = 1,
         version: Optional[int] = None,
         on_retire: Optional[Callable[[], Any]] = None,
     ) -> RegisteredModel:
@@ -283,6 +293,8 @@ class ModelRegistry:
             scores_mode=scores_mode,
             stats=stats,
             backend=backend,
+            threads=threads,
+            unroll=unroll,
             version=version,
             state=SERVING if family is None else STANDBY,
             on_retire=on_retire,

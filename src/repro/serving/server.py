@@ -91,7 +91,9 @@ def _forwardable(fn: Callable, candidates: Dict[str, Any]) -> Dict[str, Any]:
 
 def _resolved_backend(backend: Optional[str]) -> str:
     """The backend *label* a registration advertises: ``None`` → numpy,
-    ``"auto"`` → whichever engine the host toolchain actually yields."""
+    ``"auto"`` → whichever engine the host toolchain actually yields.
+    ``"native-mt"`` keeps its label (the attach raises downstream when the
+    host cannot build, same contract as ``"native"``)."""
     from repro.engine.compiled_netlist import ENGINE_BACKENDS
     from repro.engine.native import toolchain_available
 
@@ -104,6 +106,41 @@ def _resolved_backend(backend: Optional[str]) -> str:
     if backend == "auto":
         return "native" if toolchain_available() else "numpy"
     return backend
+
+
+def _resolved_threads(label: str, threads: Optional[int]) -> int:
+    """The in-process thread count a registration advertises.
+
+    An explicit ``threads`` wins; otherwise ``native-mt`` defaults to the
+    autotuner's parallel candidate (the host core count) and every other
+    backend is single-threaded.
+    """
+    if threads is not None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        return threads
+    if label == "native-mt":
+        from repro.engine.native import default_thread_count
+
+        return default_thread_count()
+    return 1
+
+
+def _resolved_unroll(label: str, unroll: Optional[int]) -> int:
+    """The vector lane count a registration advertises.
+
+    An explicit ``unroll`` wins; otherwise ``native-mt`` defaults to the
+    autotuner's vector candidate and every other backend is scalar.
+    """
+    if unroll is not None:
+        if unroll < 1:
+            raise ValueError("unroll must be >= 1")
+        return unroll
+    if label == "native-mt":
+        from repro.engine.native import DEFAULT_UNROLL
+
+        return DEFAULT_UNROLL
+    return 1
 
 
 def _model_entry_point(
@@ -225,9 +262,19 @@ class InferenceServer(FrameServer):
         traffic, and a dropped SYN costs a full retransmit timeout).
     backend:
         Descriptive label for the constructor-registered default model's
-        evaluation engine (``"numpy"``/``"native"``); :meth:`for_model`
-        resolves it from its ``backend=`` selection.  Surfaced in
-        ``list_models`` and the ``repro_serving_model_backend`` metric.
+        evaluation engine (``"numpy"``/``"native"``/``"native-mt"``);
+        :meth:`for_model` resolves it from its ``backend=`` selection.
+        Surfaced in ``list_models`` and the
+        ``repro_serving_model_backend`` metric.
+    threads:
+        In-process thread count label for the default model (the
+        ``native-mt`` engine's word-shard fan-out; 1 for everything else).
+        Surfaced in ``list_models`` and the
+        ``repro_serving_model_threads`` gauge.
+    unroll:
+        Vector lane count label for the default model (words per emitted
+        statement in the ``native-mt`` engine's generated code; 1 for
+        scalar backends).  Surfaced in ``list_models``.
     """
 
     def __init__(
@@ -247,6 +294,8 @@ class InferenceServer(FrameServer):
         warm_up: Optional[Callable[[], Any]] = None,
         backlog: int = 512,
         backend: str = "numpy",
+        threads: int = 1,
+        unroll: int = 1,
     ) -> None:
         if batch_fn is not None and scores_fn is not None:
             raise ValueError("provide at most one of batch_fn and scores_fn")
@@ -269,6 +318,8 @@ class InferenceServer(FrameServer):
                 packed_fn=packed_fn,
                 stats=stats,
                 backend=backend,
+                threads=threads,
+                unroll=unroll,
             )
         else:
             if stats is not None:
@@ -295,6 +346,8 @@ class InferenceServer(FrameServer):
         n_workers: Optional[int] = None,
         pool: Optional[Any] = None,
         backend: Optional[str] = None,
+        threads: Optional[int] = None,
+        unroll: Optional[int] = None,
         **kwargs,
     ):
         """Build a single-model server around ``model``'s best entry point.
@@ -304,9 +357,15 @@ class InferenceServer(FrameServer):
         ``register_model(name, model=...)`` is the multi-model counterpart.
         ``backend`` selects the evaluation engine where the model accepts
         an ``engine_backend`` kwarg — ``"native"`` for the generated-C
-        backend, ``"auto"`` to use it when a C toolchain exists.
+        backend, ``"native-mt"`` for its autotuned multithreaded tier,
+        ``"auto"`` to use native when a C toolchain exists.  ``threads``
+        overrides the advertised in-process thread count (defaulting to
+        the host core count for ``native-mt``, 1 otherwise); ``unroll``
+        likewise the advertised vector lane count.
         """
         label = _resolved_backend(backend)
+        resolved_threads = _resolved_threads(label, threads)
+        resolved_unroll = _resolved_unroll(label, unroll)
         batch_fn, scores_fn, packed_fn = _model_entry_point(
             model, n_workers, pool, backend
         )
@@ -315,10 +374,17 @@ class InferenceServer(FrameServer):
                 scores_fn=scores_fn,
                 packed_fn=packed_fn,
                 backend=label,
+                threads=resolved_threads,
+                unroll=resolved_unroll,
                 **kwargs,
             )
         return cls(
-            batch_fn=batch_fn, packed_fn=packed_fn, backend=label, **kwargs
+            batch_fn=batch_fn,
+            packed_fn=packed_fn,
+            backend=label,
+            threads=resolved_threads,
+            unroll=resolved_unroll,
+            **kwargs,
         )
 
     # ------------------------------------------------------- model hosting
@@ -355,6 +421,8 @@ class InferenceServer(FrameServer):
         stats: Optional[ServerStats] = None,
         default: bool = False,
         backend: Optional[str] = None,
+        threads: Optional[int] = None,
+        unroll: Optional[int] = None,
         version: Optional[int] = None,
         on_retire: Optional[Callable[[], Any]] = None,
     ) -> RegisteredModel:
@@ -367,10 +435,16 @@ class InferenceServer(FrameServer):
         ``n_workers`` / a shared ``pool`` — pass the same pool to every
         model so they share one set of worker processes).  With ``model=``,
         ``backend`` selects the evaluation engine (``"numpy"``,
-        ``"native"`` for generated C, ``"auto"`` for native-if-toolchain);
-        with explicit functions it is a descriptive label only.  The
-        resolved value shows up in ``list_models`` and the
-        ``repro_serving_model_backend`` metric.  Knobs left ``None``
+        ``"native"`` for generated C, ``"native-mt"`` for the autotuned
+        multithreaded native runtime, ``"auto"`` for
+        native-if-toolchain); with explicit functions it is a descriptive
+        label only.  The resolved value shows up in ``list_models`` and
+        the ``repro_serving_model_backend`` metric; ``threads`` likewise
+        labels the in-process word-shard fan-out (defaulting to the host
+        core count for ``native-mt``, 1 otherwise) in ``list_models`` and
+        the ``repro_serving_model_threads`` gauge, and ``unroll`` the
+        vector lane count (the autotuner default for ``native-mt``, 1
+        otherwise) in ``list_models``.  Knobs left ``None``
         inherit the server-level defaults.  Safe while serving: requests
         naming ``name`` route to the new queue from the next dispatch.
 
@@ -386,6 +460,8 @@ class InferenceServer(FrameServer):
         does not accumulate across version churn.
         """
         label = _resolved_backend(backend)
+        resolved_threads = _resolved_threads(label, threads)
+        resolved_unroll = _resolved_unroll(label, unroll)
         if model is not None:
             if batch_fn is not None or scores_fn is not None or packed_fn is not None:
                 raise ValueError("provide model= or an evaluation fn, not both")
@@ -412,6 +488,8 @@ class InferenceServer(FrameServer):
             stats=stats,
             default=default,
             backend=label,
+            threads=resolved_threads,
+            unroll=resolved_unroll,
             version=version,
             on_retire=on_retire,
         )
@@ -445,6 +523,10 @@ class InferenceServer(FrameServer):
             },
             backends={
                 entry.name: entry.backend
+                for entry in self._registry.entries()
+            },
+            threads={
+                entry.name: entry.threads
                 for entry in self._registry.entries()
             },
             versions=self._registry.serving_versions(),

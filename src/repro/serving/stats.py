@@ -214,6 +214,7 @@ def render_stats_text(
     *,
     prefix: str = "repro_serving",
     backends: Optional[Mapping[str, str]] = None,
+    threads: Optional[Mapping[str, int]] = None,
     versions: Optional[Mapping[str, int]] = None,
     shadows: Optional[Mapping[str, Mapping[str, int]]] = None,
 ) -> str:
@@ -229,9 +230,13 @@ def render_stats_text(
         repro_serving_latency_us{model="default",quantile="0.5"} 2481.0
 
     ``backends`` optionally maps model name → active evaluation backend
-    (``"numpy"`` / ``"native"``); each mapped model gets an info-style
-    gauge ``{prefix}_model_backend{{model="x",backend="native"}} 1`` so a
-    scrape can tell which engine is serving which tenant.
+    (``"numpy"`` / ``"native"`` / ``"native-mt"``); each mapped model gets
+    an info-style gauge
+    ``{prefix}_model_backend{{model="x",backend="native"}} 1`` so a
+    scrape can tell which engine is serving which tenant.  ``threads``
+    optionally maps model name → the engine's in-process thread count
+    (the native-mt word-shard fan-out), exported as the
+    ``{prefix}_model_threads`` gauge.
 
     ``versions`` optionally maps model name → the family's *serving*
     version, exported as the ``{prefix}_model_version`` gauge — a scrape
@@ -302,6 +307,15 @@ def render_stats_text(
             (
                 ((("model", name), ("backend", str(backends[name]))), 1.0)
                 for name in sorted(backends)
+            ),
+        )
+    if threads:
+        section(
+            "model_threads",
+            "gauge",
+            (
+                ((("model", name),), float(threads[name]))
+                for name in sorted(threads)
             ),
         )
     if versions:

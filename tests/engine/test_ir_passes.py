@@ -15,6 +15,7 @@ from repro.core import LUTNetlist
 from repro.engine import (
     ConstantFoldPass,
     DecomposePass,
+    DedupTablesPass,
     FuseChainsPass,
     IRGraph,
     MUX_TABLE,
@@ -23,12 +24,14 @@ from repro.engine import (
     default_passes,
     optimize_netlist,
     random_netlist,
+    table_cost,
 )
 from repro.utils.rng import as_rng
 
 ALL_PASSES = [
     ConstantFoldPass(),
     FuseChainsPass(),
+    DedupTablesPass(),
     DecomposePass(max_inputs=4),
     DecomposePass(max_inputs=6),
 ]
@@ -291,6 +294,105 @@ class TestFuseChains:
         fused = FuseChainsPass().run(graph)
         assert fused.n_nodes < 80
         assert fused.logic_depth() <= before_depth
+
+
+class TestDedupTables:
+    def _duplicated_trees(self):
+        """Three copies of the same 2-input tree feeding one consumer."""
+        netlist = LUTNetlist(n_primary_inputs=2)
+        xor = np.array([0, 1, 1, 0], dtype=np.uint8)
+        for i in range(3):
+            netlist.add_node(f"t{i}", "rinc0", ["in0", "in1"], xor)
+        netlist.add_node(
+            "vote", "mat", ["t0", "t1", "t2"],
+            np.array([0, 0, 0, 1, 0, 1, 1, 1], dtype=np.uint8),
+        )
+        netlist.mark_output("vote")
+        return netlist
+
+    def test_identical_tables_share_one_node(self):
+        netlist = self._duplicated_trees()
+        graph = DedupTablesPass().run(IRGraph.from_netlist(netlist))
+        graph.validate()
+        names = {node.name for node in graph.nodes}
+        assert names == {"t0", "vote"}
+        # the 3-way majority over three equal signals is the signal itself
+        # after the consumer's table is re-expressed over distinct inputs
+        assert graph.node("vote").inputs == ["t0"]
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(
+            graph.to_netlist().evaluate_outputs(X),
+            netlist.evaluate_outputs(X),
+        )
+
+    def test_transitive_duplicates_converge(self):
+        # two identical chains: dedup at level 0 must expose (and collapse)
+        # the level-1 duplicates whose inputs only match after aliasing
+        netlist = LUTNetlist(n_primary_inputs=2)
+        inv = np.array([1, 0], dtype=np.uint8)
+        for side in ("a", "b"):
+            netlist.add_node(f"{side}0", "rinc0", ["in0"], inv)
+            netlist.add_node(f"{side}1", "rinc0", [f"{side}0"], inv)
+        netlist.add_node(
+            "xor", "mat", ["a1", "b1"], np.array([0, 1, 1, 0], dtype=np.uint8)
+        )
+        netlist.mark_output("xor")
+        graph = DedupTablesPass().run(IRGraph.from_netlist(netlist))
+        graph.validate()
+        assert {node.name for node in graph.nodes} == {"a0", "a1", "xor"}
+
+    def test_duplicate_outputs_are_re_pointed(self):
+        netlist = LUTNetlist(n_primary_inputs=1)
+        inv = np.array([1, 0], dtype=np.uint8)
+        netlist.add_node("p", "rinc0", ["in0"], inv)
+        netlist.add_node("q", "rinc0", ["in0"], inv)
+        netlist.mark_output("p")
+        netlist.mark_output("q")
+        graph = DedupTablesPass().run(IRGraph.from_netlist(netlist))
+        graph.validate()
+        assert graph.outputs == ["p", "p"]
+        X = np.array([[0], [1]], dtype=np.uint8)
+        np.testing.assert_array_equal(
+            graph.to_netlist().evaluate_outputs(X),
+            netlist.evaluate_outputs(X),
+        )
+
+    def test_same_table_different_inputs_not_merged(self):
+        netlist = LUTNetlist(n_primary_inputs=2)
+        inv = np.array([1, 0], dtype=np.uint8)
+        netlist.add_node("p", "rinc0", ["in0"], inv)
+        netlist.add_node("q", "rinc0", ["in1"], inv)
+        netlist.mark_output("p")
+        netlist.mark_output("q")
+        graph = DedupTablesPass().run(IRGraph.from_netlist(netlist))
+        assert graph.n_nodes == 2
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_cost_never_increases(self, seed):
+        """The satellite's cost-model assertion: dedup only removes work."""
+        netlist, X = _random_case(seed)
+        graph = IRGraph.from_netlist(netlist)
+        before = table_cost(graph)
+        graph = DedupTablesPass().run(graph)
+        assert table_cost(graph) <= before
+        np.testing.assert_array_equal(
+            graph.to_netlist().evaluate_outputs(X),
+            netlist.evaluate_outputs(X),
+        )
+
+    @pytest.mark.parametrize("max_lut_inputs", [None, 6, 4])
+    def test_default_pipeline_cost_never_increases(self, max_lut_inputs):
+        """End-to-end guard over the full (now dedup-bearing) pipeline on
+        the shared-structure workload dedup exists for."""
+        netlist, X = _random_case(5)
+        optimized = optimize_netlist(netlist, max_lut_inputs=max_lut_inputs)
+        if max_lut_inputs is None:
+            # decomposition legitimately trades cost for fabric width, so
+            # the monotonicity claim is for the non-decomposing pipeline
+            assert table_cost(optimized) <= table_cost(netlist)
+        np.testing.assert_array_equal(
+            optimized.evaluate_outputs(X), netlist.evaluate_outputs(X)
+        )
 
 
 class TestDecompose:

@@ -141,6 +141,76 @@ class TestNativeEquivalence:
         assert da != db
 
 
+@needs_cc
+class TestConcurrentBuilders:
+    def test_racing_processes_compile_once(self, tmp_path):
+        """Two processes building the same digest: exactly one compiler
+        run, both get a working object, no corruption.
+
+        Each child process builds the same source through a $CC wrapper
+        script that logs its invocation (O_APPEND, so concurrent writers
+        never interleave) before delegating to the real compiler.  The
+        children rendezvous on a barrier so both reach
+        ``build_shared_object`` with the cache cold — without the
+        ``<digest>.lock`` serialisation both would invoke the compiler.
+        """
+        import multiprocessing as mp
+        import os
+        import stat
+
+        cc = find_compiler()
+        log = tmp_path / "cc_invocations.log"
+        wrapper = tmp_path / "cc_wrapper.sh"
+        wrapper.write_text(
+            "#!/bin/sh\n"
+            f'echo "invoked $$" >> {log}\n'
+            f'exec {" ".join(cc)} "$@"\n'
+        )
+        wrapper.chmod(wrapper.stat().st_mode | stat.S_IEXEC)
+        source = generate_c_source(
+            compile_netlist(random_netlist(10, 30, seed=77))
+        )
+        cache = tmp_path / "cache"
+
+        ctx = mp.get_context("fork")
+        barrier = ctx.Barrier(2)
+        results = ctx.Queue()
+
+        def racer():
+            os.environ["CC"] = str(wrapper)
+            native_mod._compiler_cache = native_mod._UNSET  # re-discover $CC
+            barrier.wait()
+            digest, path = build_shared_object(source, cache_dir=str(cache))
+            results.put((digest, os.path.getsize(path)))
+
+        procs = [ctx.Process(target=racer) for _ in range(2)]
+        for p in procs:
+            p.start()
+        outcomes = [results.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+        digests = {d for d, _ in outcomes}
+        assert len(digests) == 1
+        # one compile total across both processes (the loser waited on the
+        # lock file and reused the winner's atomically-published object)
+        assert len(log.read_text().splitlines()) == 1
+        # the published object is loadable and correct in this process
+        digest = digests.pop()
+        so_path = str(cache / f"{digest}.so")
+        run, _ = native_mod._load_entry_points(digest, so_path)
+        assert run is not None
+
+    def test_stale_tmp_files_are_cleaned(self, tmp_path):
+        source = generate_c_source(
+            compile_netlist(random_netlist(6, 8, seed=42))
+        )
+        build_shared_object(source, cache_dir=str(tmp_path))
+        leftovers = [
+            name for name in tmp_path.iterdir() if ".tmp" in name.name
+        ]
+        assert leftovers == []
+
+
 class TestToolchainFallback:
     def test_auto_without_toolchain_degrades_to_numpy(self, monkeypatch):
         monkeypatch.setattr(native_mod, "find_compiler", lambda: None)

@@ -1,0 +1,357 @@
+"""The tier-2 native runtime: word-shard threading, vector codegen, autotune.
+
+Splits from ``test_native_backend`` (which covers the tier-1 scalar
+engine): everything here exercises the multithreaded/SIMD surface added
+on top of it — ragged shard math across thread counts, the unrolled
+source structure, the per-netlist autotune records, the ``native-mt``
+backend plumbing through ``compile_netlist`` and the worker pool, and
+the oversubscription rules between pool processes and engine threads.
+
+The correctness tests run on any host with a C toolchain regardless of
+core count — with one core the shards simply queue on the shared
+executor, and bit-exactness must hold all the same.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CompiledNetlist,
+    MTConfig,
+    NativeCompiledNetlist,
+    ShardedEngine,
+    WorkerPool,
+    autotune_config,
+    compile_netlist,
+    pack_bits,
+    random_netlist,
+)
+from repro.engine import native as native_mod
+from repro.engine.native import (
+    default_thread_count,
+    generate_c_source,
+    toolchain_available,
+)
+from repro.engine.parallel import _build_engine
+from repro.utils.rng import as_rng
+
+needs_cc = pytest.mark.skipif(
+    not toolchain_available(), reason="no C compiler on this host"
+)
+
+
+def _program(seed=0, n_primary=24, n_nodes=50):
+    netlist = random_netlist(n_primary, n_nodes, seed=seed)
+    return netlist, compile_netlist(netlist)
+
+
+# ------------------------------------------------------------- shard math
+@needs_cc
+class TestWordShardMath:
+    """Ragged splits: every (threads, words, samples) shape stays exact."""
+
+    @pytest.mark.parametrize("threads", [1, 2, 7])
+    def test_bit_exact_across_thread_counts(self, threads):
+        netlist, program = _program(seed=31)
+        numpy_engine = program
+        engine = NativeCompiledNetlist(
+            program, threads=threads, min_words_per_thread=1
+        )
+        rng = as_rng(32)
+        # n_samples % 64 != 0 (ragged tail word), n_words % threads != 0
+        # (uneven shards), and the 1-word batch that must not split at all
+        for n_samples in (1, 63, 64, 65, 7 * 64 + 13, 1024):
+            X = rng.integers(0, 2, size=(n_samples, 24), dtype=np.uint8)
+            packed = pack_bits(X)
+            np.testing.assert_array_equal(
+                engine.run_packed(packed), numpy_engine.run_packed(packed)
+            )
+
+    def test_more_threads_than_words(self):
+        """threads > n_words: empty shards are skipped, not submitted."""
+        _, program = _program(seed=33, n_primary=12, n_nodes=20)
+        engine = NativeCompiledNetlist(
+            program, threads=7, min_words_per_thread=1
+        )
+        packed = as_rng(34).integers(
+            0, np.iinfo(np.uint64).max, size=(12, 3), dtype=np.uint64,
+            endpoint=True,
+        )
+        reference = NativeCompiledNetlist(program).run_packed(packed)
+        np.testing.assert_array_equal(engine.run_packed(packed), reference)
+
+    def test_small_batches_stay_single_threaded(self, monkeypatch):
+        """Below the words-per-thread grain the executor is never touched."""
+        _, program = _program(seed=35, n_primary=8, n_nodes=15)
+        engine = NativeCompiledNetlist(
+            program, threads=4, min_words_per_thread=32
+        )
+
+        def banned():
+            raise AssertionError("executor used for a sub-grain batch")
+
+        monkeypatch.setattr(native_mod, "_shared_executor", banned)
+        packed = np.zeros((8, 63), dtype=np.uint64)  # 63 // 32 == 1 shard
+        engine.run_packed(packed)  # must run inline on the calling thread
+        monkeypatch.undo()
+        packed = np.zeros((8, 64), dtype=np.uint64)  # 2 shards: may split
+        engine.run_packed(packed)
+
+    def test_empty_batch_with_threads(self):
+        _, program = _program(seed=36, n_primary=8, n_nodes=10)
+        engine = NativeCompiledNetlist(
+            program, threads=4, min_words_per_thread=1
+        )
+        out = engine.run_packed(np.zeros((8, 0), dtype=np.uint64))
+        assert out.shape == (engine.n_outputs, 0)
+
+    def test_validation(self):
+        _, program = _program(seed=37, n_primary=8, n_nodes=10)
+        with pytest.raises(ValueError, match="threads"):
+            NativeCompiledNetlist(program, threads=0)
+        with pytest.raises(ValueError, match="min_words_per_thread"):
+            NativeCompiledNetlist(program, min_words_per_thread=0)
+
+
+# --------------------------------------------------------- vector codegen
+class TestVectorCodegen:
+    def test_unrolled_source_structure(self):
+        _, program = _program(seed=41, n_primary=10, n_nodes=20)
+        source = generate_c_source(program, unroll=4)
+        # a 4-lane width next to the scalar tail driver, both restrict-ed
+        assert "vector_size(32)" in source
+        assert "typedef uint64_t w4" in source
+        assert "typedef uint64_t w1;" in source
+        assert "run_word_w4" in source
+        assert "run_word_w1" in source
+        assert "restrict" in source
+        # the exported range entry point the thread shards call
+        assert "void run_range(" in source
+
+    def test_scalar_source_has_no_vector_types(self):
+        _, program = _program(seed=41, n_primary=10, n_nodes=20)
+        source = generate_c_source(program, unroll=1)
+        assert "vector_size" not in source
+        assert "void run_range(" in source  # exported at every unroll
+
+    def test_unroll_validation(self):
+        _, program = _program(seed=41, n_primary=10, n_nodes=20)
+        with pytest.raises(ValueError, match="unroll"):
+            generate_c_source(program, unroll=0)
+
+    @needs_cc
+    @pytest.mark.parametrize("unroll", [2, 4, 8])
+    def test_unrolled_builds_are_bit_exact(self, unroll):
+        netlist, program = _program(seed=42)
+        engine = NativeCompiledNetlist(
+            program, unroll=unroll, opt_tier="fast"
+        )
+        rng = as_rng(43)
+        for n_samples in (1, 65, 64 * unroll + 7, 512):
+            X = rng.integers(0, 2, size=(n_samples, 24), dtype=np.uint8)
+            np.testing.assert_array_equal(
+                engine.predict_batch(X), netlist.evaluate_outputs(X)
+            )
+
+    @needs_cc
+    def test_unknown_opt_tier_rejected(self):
+        _, program = _program(seed=44, n_primary=8, n_nodes=10)
+        with pytest.raises(ValueError, match="opt_tier"):
+            NativeCompiledNetlist(program, opt_tier="ludicrous")
+
+
+# -------------------------------------------------------------- autotuner
+@needs_cc
+class TestAutotune:
+    def test_record_persisted_and_reused(self, tmp_path):
+        _, program = _program(seed=51, n_primary=12, n_nodes=25)
+        config = autotune_config(program, cache_dir=str(tmp_path))
+        assert isinstance(config, MTConfig)
+        records = list(tmp_path.glob("*.tune.json"))
+        assert len(records) == 1
+        record = json.loads(records[0].read_text())
+        assert record["threads"] == config.threads
+        assert record["unroll"] == config.unroll
+        assert record["opt_tier"] == config.opt_tier
+        assert record["n_cpus"] == default_thread_count()
+        assert record["timings_s"]  # the measurements that picked it
+        # second call is a file read: the record is not rewritten
+        mtime = records[0].stat().st_mtime_ns
+        assert autotune_config(program, cache_dir=str(tmp_path)) == config
+        assert records[0].stat().st_mtime_ns == mtime
+        # force=True re-measures and rewrites
+        autotune_config(program, cache_dir=str(tmp_path), force=True)
+        assert records[0].stat().st_mtime_ns != mtime
+
+    def test_stale_record_re_measured(self, tmp_path):
+        """A record pinned on a different core count is not trusted."""
+        _, program = _program(seed=52, n_primary=12, n_nodes=25)
+        autotune_config(program, cache_dir=str(tmp_path))
+        record_path = next(tmp_path.glob("*.tune.json"))
+        record = json.loads(record_path.read_text())
+        record["n_cpus"] = 9999
+        record["threads"] = 9999
+        record_path.write_text(json.dumps(record))
+        config = autotune_config(program, cache_dir=str(tmp_path))
+        assert config.threads != 9999
+        assert json.loads(record_path.read_text())["n_cpus"] != 9999
+
+    def test_corrupt_record_re_measured(self, tmp_path):
+        _, program = _program(seed=53, n_primary=12, n_nodes=25)
+        autotune_config(program, cache_dir=str(tmp_path))
+        record_path = next(tmp_path.glob("*.tune.json"))
+        record_path.write_text("not json{{")
+        config = autotune_config(program, cache_dir=str(tmp_path))
+        assert isinstance(config, MTConfig)
+
+    def test_failed_fast_tier_falls_back_to_baseline(
+        self, tmp_path, monkeypatch
+    ):
+        """A tier the host compiler rejects is skipped, not fatal."""
+        monkeypatch.setitem(
+            native_mod._OPT_TIERS, "fast", ("-this-flag-does-not-exist",)
+        )
+        _, program = _program(seed=54, n_primary=10, n_nodes=15)
+        config = autotune_config(program, cache_dir=str(tmp_path))
+        assert config == MTConfig(threads=1, unroll=1, opt_tier="base")
+
+    def test_calibration_words_validated(self, tmp_path):
+        _, program = _program(seed=55, n_primary=8, n_nodes=10)
+        with pytest.raises(ValueError, match="calibration_words"):
+            autotune_config(
+                program, cache_dir=str(tmp_path), calibration_words=0
+            )
+
+    def test_tuned_classmethod_and_caps(self, tmp_path):
+        netlist, program = _program(seed=56)
+        engine = NativeCompiledNetlist.tuned(program, cache_dir=str(tmp_path))
+        assert engine.backend == "native-mt"
+        assert engine.tuned_config.threads >= 1
+        capped = NativeCompiledNetlist.tuned(
+            program, cache_dir=str(tmp_path), max_threads=1
+        )
+        assert capped.threads == 1
+        assert capped.backend == "native-mt"  # the tier-2 label, capped or not
+        X = as_rng(57).integers(0, 2, size=(200, 24), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            engine.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    def test_tune_instance_method_adopts_winner(self, tmp_path):
+        netlist, program = _program(seed=58)
+        engine = NativeCompiledNetlist(program, cache_dir=str(tmp_path))
+        assert engine.backend == "native"
+        config = engine.tune()
+        assert engine.backend == "native-mt"
+        assert engine.tuned_config == config
+        assert (engine.threads, engine.unroll, engine.opt_tier) == (
+            config.threads, config.unroll, config.opt_tier,
+        )
+        X = as_rng(59).integers(0, 2, size=(130, 24), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            engine.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+
+# ------------------------------------------------------- backend plumbing
+@needs_cc
+class TestNativeMTBackend:
+    def test_compile_netlist_native_mt(self):
+        netlist = random_netlist(16, 30, seed=61)
+        engine = compile_netlist(netlist, backend="native-mt")
+        assert isinstance(engine, NativeCompiledNetlist)
+        assert engine.backend == "native-mt"
+        assert isinstance(engine.tuned_config, MTConfig)
+        X = as_rng(62).integers(0, 2, size=(300, 16), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            engine.predict_batch(X), netlist.evaluate_outputs(X)
+        )
+
+    def test_build_engine_parses_thread_cap(self):
+        netlist = random_netlist(12, 20, seed=63)
+        engine = _build_engine(netlist, "native-mt@2")
+        assert isinstance(engine, NativeCompiledNetlist)
+        assert engine.backend == "native-mt"
+        assert engine.threads <= 2
+
+    def test_native_mt_without_toolchain_raises(self, monkeypatch):
+        from repro.engine import NativeUnavailableError
+
+        monkeypatch.setattr(native_mod, "find_compiler", lambda: None)
+        netlist = random_netlist(8, 12, seed=64)
+        with pytest.raises(NativeUnavailableError):
+            compile_netlist(netlist, backend="native-mt")
+
+
+# --------------------------------------------------- pool composition
+@needs_cc
+class TestPoolComposition:
+    """Processes x threads must compose without oversubscription."""
+
+    def test_multi_worker_pool_caps_worker_threads(self):
+        netlist = random_netlist(12, 25, seed=71)
+        with WorkerPool(n_workers=2, backend="thread") as pool:
+            model = pool.attach(None, netlist, engine_backend="native-mt")
+            cap = max(1, (os.cpu_count() or 1) // 2)
+            entry = pool._entry(model)
+            assert entry.worker_backend == f"native-mt@{cap}"
+            assert entry.engine_backend == "native-mt"
+            assert pool.engine_threads(model) >= 1
+            X = as_rng(72).integers(0, 2, size=(400, 12), dtype=np.uint8)
+            np.testing.assert_array_equal(
+                pool.evaluate_outputs(model, X), netlist.evaluate_outputs(X)
+            )
+
+    def test_threaded_engine_skips_the_pool(self):
+        """An engine that threads in-process runs on the serial path."""
+        netlist = random_netlist(10, 20, seed=73)
+        with WorkerPool(n_workers=2, backend="thread") as pool:
+            model = pool.attach(None, netlist, engine_backend="native-mt")
+            entry = pool._entry(model)
+            entry.serial.threads = 4  # force the heuristic regardless of host
+            assert pool._prefer_in_process(entry)
+            entry.serial.threads = 1
+            assert not pool._prefer_in_process(entry)
+
+    def test_prefer_threads_false_forces_pool_sharding(self):
+        netlist = random_netlist(10, 20, seed=74)
+        with WorkerPool(
+            n_workers=2, backend="thread", prefer_threads=False
+        ) as pool:
+            model = pool.attach(None, netlist, engine_backend="native-mt")
+            entry = pool._entry(model)
+            entry.serial.threads = 4
+            assert not pool._prefer_in_process(entry)
+            # and the pool path stays bit-exact for such a model
+            X = as_rng(75).integers(0, 2, size=(600, 10), dtype=np.uint8)
+            np.testing.assert_array_equal(
+                pool.evaluate_outputs(model, X), netlist.evaluate_outputs(X)
+            )
+
+    def test_sharded_engine_forwards_and_reports(self):
+        netlist = random_netlist(10, 18, seed=76)
+        with ShardedEngine(
+            netlist,
+            n_workers=2,
+            backend="thread",
+            engine_backend="native-mt",
+            prefer_threads=True,
+        ) as engine:
+            assert engine.engine_backend == "native-mt"
+            assert engine.engine_threads >= 1
+            assert engine.pool.prefer_threads is True
+            X = as_rng(77).integers(0, 2, size=(150, 10), dtype=np.uint8)
+            np.testing.assert_array_equal(
+                engine.evaluate_outputs(X), netlist.evaluate_outputs(X)
+            )
+
+    def test_numpy_models_unaffected_by_heuristic(self):
+        """The heuristic only triggers on engines that expose threads > 1."""
+        netlist = random_netlist(10, 18, seed=78)
+        with WorkerPool(n_workers=2, backend="thread") as pool:
+            model = pool.attach(None, netlist, engine_backend="numpy")
+            assert not pool._prefer_in_process(pool._entry(model))
+            assert pool.engine_threads(model) == 1

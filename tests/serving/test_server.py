@@ -578,6 +578,51 @@ class TestConstruction:
         with pytest.raises(ValueError, match="unknown backend"):
             srv.register_model("m3", model=Model(), backend="fortran")
 
+    def test_native_mt_label_threads_and_gauge(self):
+        """``backend="native-mt"`` advertises its thread/unroll choice: in
+        ``list_models`` (describe) and the model_threads gauge."""
+        from repro.engine.native import DEFAULT_UNROLL, default_thread_count
+        from repro.serving.server import _resolved_threads, _resolved_unroll
+
+        class Model:
+            def predict_batch(self, X, engine_backend="numpy"):
+                return np.zeros(np.asarray(X).shape[0], dtype=np.int64)
+
+        srv = InferenceServer(max_batch=4, max_wait_us=1_000, max_queue=64)
+        entry = srv.register_model(
+            "mt", model=Model(), backend="native-mt", threads=6, unroll=8
+        )
+        assert entry.backend == "native-mt"
+        assert entry.threads == 6
+        assert entry.unroll == 8
+        assert entry.describe()["threads"] == 6
+        assert entry.describe()["unroll"] == 8
+        # default resolution: host core count / autotuner lane count for
+        # native-mt, scalar for everything else
+        assert _resolved_threads("native-mt", None) == default_thread_count()
+        assert _resolved_threads("numpy", None) == 1
+        assert _resolved_unroll("native-mt", None) == DEFAULT_UNROLL
+        assert _resolved_unroll("numpy", None) == 1
+        with pytest.raises(ValueError, match="threads"):
+            srv.register_model(
+                "bad", model=Model(), backend="native-mt", threads=0
+            )
+        with pytest.raises(ValueError, match="unroll"):
+            srv.register_model(
+                "bad", model=Model(), backend="native-mt", unroll=0
+            )
+        plain = srv.register_model("plain", model=Model(), backend="numpy")
+        assert plain.threads == 1
+        assert plain.unroll == 1
+        text = srv.render_metrics()
+        assert "# TYPE repro_serving_model_threads gauge" in text
+        assert 'repro_serving_model_threads{model="mt"} 6' in text
+        assert 'repro_serving_model_threads{model="plain"} 1' in text
+        assert (
+            'repro_serving_model_backend{model="mt",backend="native-mt"} 1'
+            in text
+        )
+
     def test_for_model_backend_reaches_the_engine(self):
         """End to end: backend= on for_model selects the model's engine."""
         seen = []

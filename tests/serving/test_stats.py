@@ -148,6 +148,24 @@ class TestRenderStatsText:
         # omitting the mapping omits the metric (back-compat rendering)
         assert "model_backend" not in render_stats_text(self._snapshots())
 
+    def test_threads_gauge(self):
+        from repro.serving import render_stats_text
+
+        text = render_stats_text(
+            self._snapshots(),
+            backends={"alpha": "native-mt", "beta": "numpy"},
+            threads={"alpha": 8, "beta": 1},
+        )
+        assert "# TYPE repro_serving_model_threads gauge" in text
+        assert 'repro_serving_model_threads{model="alpha"} 8' in text
+        assert 'repro_serving_model_threads{model="beta"} 1' in text
+        assert (
+            'repro_serving_model_backend{model="alpha",backend="native-mt"} 1'
+            in text
+        )
+        # omitting the mapping omits the metric (back-compat rendering)
+        assert "model_threads" not in render_stats_text(self._snapshots())
+
     def test_large_counters_render_exactly(self):
         """%g-style rounding past 6 significant digits would corrupt
         scraped rate() math on a long-lived server."""
